@@ -1,0 +1,456 @@
+//! Phase 1: flow-insensitive, Andersen-style points-to analysis over
+//! allocation sites.
+//!
+//! Objects are abstracted by their allocation site (a CFG edge performing a
+//! `new` or a call to an allocating library method). The analysis computes
+//! `var → sites` and `(site, field) → sites` maps by iterating subset
+//! constraints to a fixpoint, interpreting Easl constructor and method
+//! bodies for their reference effects. This is the *client-independent,
+//! up-front* pointer analysis that the paper contrasts with its integrated
+//! approach.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use hetsep_easl::ast::{EaslMethod, EaslStmt, Path, RefRhs, ReturnValue, Spec};
+use hetsep_ir::cfg::{Cfg, CfgOp};
+use hetsep_ir::{Arg, Program};
+
+use crate::BaselineError;
+
+/// An allocation site: the CFG edge index of the allocating operation.
+pub type Site = usize;
+
+/// Points-to results.
+#[derive(Debug, Clone, Default)]
+pub struct PointsTo {
+    /// Variable → sites it may point to.
+    pub var: HashMap<String, BTreeSet<Site>>,
+    /// (site, field name) → sites the field may point to.
+    pub heap: HashMap<(Site, String), BTreeSet<Site>>,
+    /// Site → class allocated there.
+    pub site_class: HashMap<Site, String>,
+    /// Sites whose allocation executes at most once (not inside a loop):
+    /// eligible for strong updates in the typestate phase.
+    pub singleton: HashSet<Site>,
+}
+
+impl PointsTo {
+    /// Sites a variable may point to.
+    pub fn of_var(&self, var: &str) -> BTreeSet<Site> {
+        self.var.get(var).cloned().unwrap_or_default()
+    }
+
+    /// Sites reachable from `roots` through `field`.
+    pub fn of_field(&self, roots: &BTreeSet<Site>, field: &str) -> BTreeSet<Site> {
+        let mut out = BTreeSet::new();
+        for &r in roots {
+            if let Some(s) = self.heap.get(&(r, field.to_owned())) {
+                out.extend(s.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Resolves an Easl path against an environment of root bindings.
+    pub fn resolve_path(
+        &self,
+        env: &HashMap<String, BTreeSet<Site>>,
+        path: &Path,
+    ) -> BTreeSet<Site> {
+        let mut cur = env.get(&path.root).cloned().unwrap_or_default();
+        for f in &path.fields {
+            cur = self.of_field(&cur, f);
+        }
+        cur
+    }
+}
+
+/// Whether the CFG edge `e` lies on a cycle (its target reaches its source).
+fn on_cycle(cfg: &Cfg, edge_ix: usize) -> bool {
+    let edge = &cfg.edges()[edge_ix];
+    let mut seen = vec![false; cfg.node_count()];
+    let mut queue = VecDeque::from([edge.to]);
+    seen[edge.to] = true;
+    while let Some(n) = queue.pop_front() {
+        if n == edge.from {
+            return true;
+        }
+        for &out_ix in cfg.out_edges(n) {
+            let t = cfg.edges()[out_ix].to;
+            if !seen[t] {
+                seen[t] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    false
+}
+
+/// Runs the points-to phase.
+///
+/// # Errors
+///
+/// Fails on calls to unknown library classes or methods.
+pub fn analyze(cfg: &Cfg, spec: &Spec, program: &Program) -> Result<PointsTo, BaselineError> {
+    let mut pt = PointsTo::default();
+    // Discover allocation sites and their classes; mark singletons.
+    for (ix, edge) in cfg.edges().iter().enumerate() {
+        let class = match &edge.op {
+            CfgOp::New { class, .. } => Some(class.clone()),
+            CfgOp::CallLib { recv, method, .. } => {
+                // Class determined lazily below; here we only know for calls
+                // once the receiver's sites are known. Use the declared
+                // method's allocation class, searched across all classes
+                // compatible with the receiver later. For site discovery we
+                // conservatively scan every spec class with this method.
+                let _ = (recv, method);
+                None
+            }
+            _ => None,
+        };
+        if let Some(c) = class {
+            pt.site_class.insert(ix, c);
+            if !on_cycle(cfg, ix) {
+                pt.singleton.insert(ix);
+            }
+        }
+    }
+    let _ = program;
+
+    // Fixpoint over subset constraints.
+    loop {
+        let before = snapshot(&pt);
+        for (ix, edge) in cfg.edges().iter().enumerate() {
+            match &edge.op {
+                CfgOp::New { dst, class, args } => {
+                    pt.site_class.insert(ix, class.clone());
+                    if let Some(d) = dst {
+                        pt.var.entry(d.clone()).or_default().insert(ix);
+                    }
+                    if let Some(cls) = spec.class(class) {
+                        let env = ctor_env(&pt, ix, &cls.ctor, args);
+                        interpret_ref_effects(&mut pt, spec, &cls.ctor, &env, None)?;
+                    }
+                }
+                CfgOp::AssignVar { dst, src } => {
+                    let s = pt.of_var(src);
+                    pt.var.entry(dst.clone()).or_default().extend(s);
+                }
+                CfgOp::LoadField { dst, src, field } => {
+                    let roots = pt.of_var(src);
+                    let s = pt.of_field(&roots, field);
+                    pt.var.entry(dst.clone()).or_default().extend(s);
+                }
+                CfgOp::StoreField {
+                    dst,
+                    field,
+                    src: Some(src),
+                } => {
+                    let owners = pt.of_var(dst);
+                    let values = pt.of_var(src);
+                    for o in owners {
+                        pt.heap
+                            .entry((o, field.clone()))
+                            .or_default()
+                            .extend(values.iter().copied());
+                    }
+                }
+                CfgOp::CallLib {
+                    result,
+                    recv,
+                    method,
+                    args,
+                } => {
+                    let recv_sites = pt.of_var(recv);
+                    for site in recv_sites.clone() {
+                        let Some(class) = pt.site_class.get(&site).cloned() else {
+                            continue;
+                        };
+                        let Some(cls) = spec.class(&class) else {
+                            continue;
+                        };
+                        let Some(m) = cls.method(method) else {
+                            return Err(BaselineError(format!(
+                                "line {}: class `{class}` has no method `{method}`",
+                                edge.line
+                            )));
+                        };
+                        let mut env: HashMap<String, BTreeSet<Site>> = HashMap::new();
+                        env.insert("this".into(), BTreeSet::from([site]));
+                        bind_params(&pt, &mut env, m, args);
+                        // An allocating call: the fresh object lives at this
+                        // call's site.
+                        let alloc = m
+                            .body
+                            .iter()
+                            .find_map(|s| match s {
+                                EaslStmt::Alloc { var, class, .. } => {
+                                    Some((var.clone(), class.clone()))
+                                }
+                                _ => None,
+                            });
+                        if let Some((var, alloc_class)) = &alloc {
+                            pt.site_class.insert(ix, alloc_class.clone());
+                            if !on_cycle(cfg, ix) {
+                                pt.singleton.insert(ix);
+                            }
+                            env.insert(var.clone(), BTreeSet::from([ix]));
+                        }
+                        let returned =
+                            interpret_ref_effects(&mut pt, spec, m, &env, Some(ix))?;
+                        if let (Some(r), Some(sites)) = (result, returned) {
+                            pt.var.entry(r.clone()).or_default().extend(sites);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if snapshot(&pt) == before {
+            return Ok(pt);
+        }
+    }
+}
+
+fn snapshot(pt: &PointsTo) -> (usize, usize) {
+    (
+        pt.var.values().map(BTreeSet::len).sum::<usize>(),
+        pt.heap.values().map(BTreeSet::len).sum::<usize>(),
+    )
+}
+
+fn ctor_env(
+    pt: &PointsTo,
+    site: Site,
+    ctor: &EaslMethod,
+    args: &[Arg],
+) -> HashMap<String, BTreeSet<Site>> {
+    let mut env: HashMap<String, BTreeSet<Site>> = HashMap::new();
+    env.insert("this".into(), BTreeSet::from([site]));
+    bind_params(pt, &mut env, ctor, args);
+    env
+}
+
+fn bind_params(
+    pt: &PointsTo,
+    env: &mut HashMap<String, BTreeSet<Site>>,
+    method: &EaslMethod,
+    args: &[Arg],
+) {
+    for ((pname, pclass), arg) in method.params.iter().zip(args) {
+        if pclass == "String" {
+            continue;
+        }
+        let sites = match arg {
+            Arg::Var(v) => pt.of_var(v),
+            _ => BTreeSet::new(),
+        };
+        env.insert(pname.clone(), sites);
+    }
+}
+
+/// Interprets a method body for its reference effects (field stores, set
+/// adds, nested constructors), returning the sites of the returned value.
+fn interpret_ref_effects(
+    pt: &mut PointsTo,
+    spec: &Spec,
+    method: &EaslMethod,
+    env: &HashMap<String, BTreeSet<Site>>,
+    alloc_site: Option<Site>,
+) -> Result<Option<BTreeSet<Site>>, BaselineError> {
+    let mut env = env.clone();
+    let mut returned: Option<BTreeSet<Site>> = None;
+    interpret_stmts(pt, spec, &method.body, &mut env, alloc_site, &mut returned)?;
+    Ok(returned)
+}
+
+fn interpret_stmts(
+    pt: &mut PointsTo,
+    spec: &Spec,
+    stmts: &[EaslStmt],
+    env: &mut HashMap<String, BTreeSet<Site>>,
+    alloc_site: Option<Site>,
+    returned: &mut Option<BTreeSet<Site>>,
+) -> Result<(), BaselineError> {
+    for stmt in stmts {
+        match stmt {
+            EaslStmt::AssignRef {
+                target,
+                field,
+                value,
+            } => {
+                let owners = pt.resolve_path(env, target);
+                let values = match value {
+                    RefRhs::Null => BTreeSet::new(),
+                    RefRhs::Path(p) => pt.resolve_path(env, p),
+                };
+                for o in owners {
+                    pt.heap
+                        .entry((o, field.clone()))
+                        .or_default()
+                        .extend(values.iter().copied());
+                }
+            }
+            EaslStmt::SetAdd {
+                target,
+                field,
+                elem,
+            } => {
+                let owners = pt.resolve_path(env, target);
+                let values = pt.resolve_path(env, elem);
+                for o in owners {
+                    pt.heap
+                        .entry((o, field.clone()))
+                        .or_default()
+                        .extend(values.iter().copied());
+                }
+            }
+            EaslStmt::Alloc { var, class, args } => {
+                let Some(site) = alloc_site else {
+                    continue;
+                };
+                env.insert(var.clone(), BTreeSet::from([site]));
+                if let Some(cls) = spec.class(class) {
+                    let mut ctor_env: HashMap<String, BTreeSet<Site>> = HashMap::new();
+                    ctor_env.insert("this".into(), BTreeSet::from([site]));
+                    for ((pname, pclass), apath) in cls
+                        .ctor
+                        .params
+                        .iter()
+                        .filter(|(_, t)| t != "String")
+                        .zip(args)
+                    {
+                        let _ = pclass;
+                        ctor_env.insert(pname.clone(), pt.resolve_path(env, apath));
+                    }
+                    let body = cls.ctor.body.clone();
+                    interpret_stmts(pt, spec, &body, &mut ctor_env.clone(), None, &mut None)?;
+                }
+            }
+            EaslStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                interpret_stmts(pt, spec, then_branch, env, alloc_site, returned)?;
+                interpret_stmts(pt, spec, else_branch, env, alloc_site, returned)?;
+            }
+            EaslStmt::Foreach {
+                var,
+                target,
+                field,
+                body,
+            } => {
+                let owners = pt.resolve_path(env, target);
+                let elems = pt.of_field(&owners, field);
+                let saved = env.insert(var.clone(), elems);
+                interpret_stmts(pt, spec, body, env, alloc_site, returned)?;
+                match saved {
+                    Some(s) => {
+                        env.insert(var.clone(), s);
+                    }
+                    None => {
+                        env.remove(var);
+                    }
+                }
+            }
+            EaslStmt::Return(Some(ReturnValue::Path(p))) => {
+                *returned = Some(pt.resolve_path(env, p));
+            }
+            EaslStmt::Return(_)
+            | EaslStmt::Requires(_)
+            | EaslStmt::AssignBool { .. }
+            | EaslStmt::SetClear { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsep_ir::parse_program;
+
+    fn analyze_src(src: &str) -> (Cfg, PointsTo) {
+        let p = parse_program(src).unwrap();
+        let spec = hetsep_easl::builtin::by_name(&p.uses).unwrap();
+        let cfg = Cfg::build(&p, "main").unwrap();
+        let pt = analyze(&cfg, &spec, &p).unwrap();
+        (cfg, pt)
+    }
+
+    #[test]
+    fn direct_allocation_and_copy() {
+        let (_cfg, pt) = analyze_src(
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = a;\n}",
+        );
+        assert_eq!(pt.of_var("a").len(), 1);
+        assert_eq!(pt.of_var("a"), pt.of_var("b"));
+        let site = *pt.of_var("a").iter().next().unwrap();
+        assert_eq!(pt.site_class[&site], "InputStream");
+        assert!(pt.singleton.contains(&site));
+    }
+
+    #[test]
+    fn loop_allocation_not_singleton() {
+        let (_cfg, pt) = analyze_src(
+            "program P uses IOStreams; void main() {\n\
+             while (?) {\n\
+             File f = new File();\n\
+             f.close();\n\
+             }\n}",
+        );
+        let site = *pt.of_var("f").iter().next().unwrap();
+        assert!(!pt.singleton.contains(&site), "loop allocations are summaries");
+    }
+
+    #[test]
+    fn library_allocating_call_creates_site() {
+        let (_cfg, pt) = analyze_src(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             Statement st = cm.createStatement(con);\n\
+             ResultSet rs = st.executeQuery(\"q\");\n}",
+        );
+        assert_eq!(pt.of_var("con").len(), 1);
+        assert_eq!(pt.of_var("st").len(), 1);
+        assert_eq!(pt.of_var("rs").len(), 1);
+        let st_site = *pt.of_var("st").iter().next().unwrap();
+        assert_eq!(pt.site_class[&st_site], "Statement");
+        // Heap edges: the connection's statements set contains st; the
+        // statement's myResultSet points to rs.
+        let con_site = *pt.of_var("con").iter().next().unwrap();
+        let rs_site = *pt.of_var("rs").iter().next().unwrap();
+        assert!(pt.heap[&(con_site, "statements".to_owned())].contains(&st_site));
+        assert!(pt.heap[&(st_site, "myResultSet".to_owned())].contains(&rs_site));
+    }
+
+    #[test]
+    fn field_store_and_load_through_program_class() {
+        let (_cfg, pt) = analyze_src(
+            "program P uses IOStreams;\n\
+             class Holder { InputStream s; }\n\
+             void main() {\n\
+             Holder h = new Holder();\n\
+             InputStream f = new InputStream();\n\
+             h.s = f;\n\
+             InputStream g = h.s;\n}",
+        );
+        assert_eq!(pt.of_var("g"), pt.of_var("f"));
+    }
+
+    #[test]
+    fn two_streams_stay_apart() {
+        let (_cfg, pt) = analyze_src(
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = new InputStream();\n}",
+        );
+        assert_eq!(pt.of_var("a").len(), 1);
+        assert_eq!(pt.of_var("b").len(), 1);
+        assert_ne!(pt.of_var("a"), pt.of_var("b"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Phase 2: flow-sensitive typestate propagation over allocation sites.
+//!
+//! Each (allocation site, boolean field) pair carries one value of the
+//! lattice `Bot < {False, True} < Top`. Transfer functions interpret Easl
+//! bodies: boolean-field assignments move the state, with a **strong update
+//! only when the assignment's target resolves to a single, singleton
+//! allocation site** — otherwise the new value is joined in (a weak update).
+//! `requires !path.f` checks fail when the field may be true.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use hetsep_easl::ast::{BoolRhs, EaslCond, EaslMethod, EaslStmt, Spec};
+use hetsep_ir::cfg::{Cfg, CfgOp};
+use hetsep_ir::Arg;
+
+use crate::points_to::{PointsTo, Site};
+use crate::{BaselineError, BaselineErrorReport, BaselineReport};
+
+/// A three-point lattice over boolean field values (plus bottom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoolVal {
+    /// Unreachable / not yet allocated.
+    #[default]
+    Bot,
+    /// Definitely false.
+    False,
+    /// Definitely true.
+    True,
+    /// May be either.
+    Top,
+}
+
+impl BoolVal {
+    /// Least upper bound.
+    pub fn join(self, other: BoolVal) -> BoolVal {
+        use BoolVal::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (a, b) if a == b => a,
+            _ => Top,
+        }
+    }
+
+    /// Whether the value may be `true`.
+    pub fn maybe_true(self) -> bool {
+        matches!(self, BoolVal::True | BoolVal::Top)
+    }
+}
+
+type State = HashMap<(Site, String), BoolVal>;
+
+fn join_states(a: &State, b: &State) -> State {
+    let mut out = a.clone();
+    for (k, &v) in b {
+        let e = out.entry(k.clone()).or_default();
+        *e = e.join(v);
+    }
+    out
+}
+
+/// Runs the typestate phase.
+///
+/// # Errors
+///
+/// Fails on calls to unknown library methods.
+pub fn analyze(cfg: &Cfg, spec: &Spec, pt: &PointsTo) -> Result<BaselineReport, BaselineError> {
+    let n = cfg.node_count();
+    let mut states: Vec<Option<State>> = vec![None; n];
+    states[cfg.entry()] = Some(State::new());
+    let mut worklist: VecDeque<usize> = VecDeque::from([cfg.entry()]);
+    let mut errors: BTreeSet<(u32, String)> = BTreeSet::new();
+    let mut iterations = 0usize;
+
+    while let Some(node) = worklist.pop_front() {
+        iterations += 1;
+        if iterations > 100_000 {
+            return Err(BaselineError("typestate fixpoint did not converge".into()));
+        }
+        let state = states[node].clone().expect("queued nodes have state");
+        for &edge_ix in cfg.out_edges(node) {
+            let edge = &cfg.edges()[edge_ix];
+            let mut next = state.clone();
+            transfer(cfg, spec, pt, edge_ix, &edge.op, edge.line, &mut next, &mut errors)?;
+            let target = edge.to;
+            let joined = match &states[target] {
+                None => next,
+                Some(old) => {
+                    let j = join_states(old, &next);
+                    if &j == old {
+                        continue;
+                    }
+                    j
+                }
+            };
+            states[target] = Some(joined);
+            worklist.push_back(target);
+        }
+    }
+
+    Ok(BaselineReport {
+        errors: errors
+            .into_iter()
+            .map(|(line, label)| BaselineErrorReport { line, label })
+            .collect(),
+        sites: pt.site_class.len(),
+        iterations,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn transfer(
+    cfg: &Cfg,
+    spec: &Spec,
+    pt: &PointsTo,
+    edge_ix: usize,
+    op: &CfgOp,
+    line: u32,
+    state: &mut State,
+    errors: &mut BTreeSet<(u32, String)>,
+) -> Result<(), BaselineError> {
+    let _ = cfg;
+    match op {
+        CfgOp::New { class, args, .. } => {
+            if let Some(cls) = spec.class(class) {
+                let mut env: HashMap<String, BTreeSet<Site>> = HashMap::new();
+                env.insert("this".into(), BTreeSet::from([edge_ix]));
+                bind_params(pt, &mut env, &cls.ctor, args);
+                apply_allocation(spec, pt, edge_ix, state);
+                let body = cls.ctor.body.clone();
+                interpret(spec, pt, &body, &env, edge_ix, line, state, errors);
+            } else {
+                apply_allocation(spec, pt, edge_ix, state);
+            }
+            Ok(())
+        }
+        CfgOp::CallLib {
+            recv,
+            method,
+            args,
+            ..
+        } => {
+            let recv_sites = pt.of_var(recv);
+            for site in recv_sites.iter().copied() {
+                let Some(class) = pt.site_class.get(&site) else {
+                    continue;
+                };
+                let Some(cls) = spec.class(class) else {
+                    continue;
+                };
+                let Some(m) = cls.method(method) else {
+                    return Err(BaselineError(format!(
+                        "line {line}: class `{class}` has no method `{method}`"
+                    )));
+                };
+                let mut env: HashMap<String, BTreeSet<Site>> = HashMap::new();
+                env.insert("this".into(), BTreeSet::from([site]));
+                bind_params(pt, &mut env, m, args);
+                if let Some(var) = m.body.iter().find_map(|s| match s {
+                    EaslStmt::Alloc { var, .. } => Some(var.clone()),
+                    _ => None,
+                }) {
+                    env.insert(var, BTreeSet::from([edge_ix]));
+                    apply_allocation(spec, pt, edge_ix, state);
+                }
+                let body = m.body.clone();
+                interpret(spec, pt, &body, &env, edge_ix, line, state, errors);
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// A fresh object's boolean fields start false — strongly for singleton
+/// sites, weakly (joined) otherwise, since older objects from the same site
+/// keep their states. This weak update is exactly what makes the Fig. 3
+/// loop unverifiable for the baseline.
+fn apply_allocation(spec: &Spec, pt: &PointsTo, site: Site, state: &mut State) {
+    let Some(class) = pt.site_class.get(&site) else {
+        return;
+    };
+    let strong = pt.singleton.contains(&site);
+    let Some(cls) = spec.class(class) else {
+        return;
+    };
+    for (f, kind) in &cls.fields {
+        if !matches!(kind, hetsep_easl::ast::FieldKind::Bool) {
+            continue;
+        }
+        let e = state.entry((site, f.clone())).or_default();
+        *e = if strong {
+            BoolVal::False
+        } else {
+            e.join(BoolVal::False)
+        };
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::only_used_in_recursion)]
+fn interpret(
+    spec: &Spec,
+    pt: &PointsTo,
+    stmts: &[EaslStmt],
+    env: &HashMap<String, BTreeSet<Site>>,
+    alloc_site: Site,
+    line: u32,
+    state: &mut State,
+    errors: &mut BTreeSet<(u32, String)>,
+) {
+    for stmt in stmts {
+        match stmt {
+            EaslStmt::Requires(cond) => {
+                if cond_may_fail(pt, env, cond, state) {
+                    errors.insert((line, "requires violated (baseline)".into()));
+                }
+            }
+            EaslStmt::AssignBool {
+                target,
+                field,
+                value,
+            } => {
+                let targets = pt.resolve_path(env, target);
+                let val = match value {
+                    BoolRhs::Const(true) => BoolVal::True,
+                    BoolRhs::Const(false) => BoolVal::False,
+                    BoolRhs::Nondet => BoolVal::Top,
+                    BoolRhs::Read(p) => read_bool(pt, env, p, state),
+                };
+                // Strong update only for a unique singleton target reached
+                // without heap indirection (`this.f = …` on a singleton).
+                let direct = target.fields.is_empty();
+                let strong = direct
+                    && targets.len() == 1
+                    && targets.iter().all(|s| pt.singleton.contains(s));
+                for site in targets {
+                    let e = state.entry((site, field.clone())).or_default();
+                    *e = if strong { val } else { e.join(val) };
+                }
+            }
+            EaslStmt::Alloc { var, class, args } => {
+                // Nested constructor: interpret its boolean inits on the
+                // allocation site of the enclosing call.
+                if let Some(cls) = spec.class(class) {
+                    let mut ctor_env: HashMap<String, BTreeSet<Site>> = HashMap::new();
+                    ctor_env.insert("this".into(), env.get(var).cloned().unwrap_or_default());
+                    for ((pname, pclass), apath) in cls
+                        .ctor
+                        .params
+                        .iter()
+                        .filter(|(_, t)| t != "String")
+                        .zip(args)
+                    {
+                        let _ = pclass;
+                        ctor_env.insert(pname.clone(), pt.resolve_path(env, apath));
+                    }
+                    let body = cls.ctor.body.clone();
+                    interpret(spec, pt, &body, &ctor_env, alloc_site, line, state, errors);
+                }
+            }
+            EaslStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                // Path-insensitive: both branches' effects are joined by
+                // virtue of weak interpretation. Apply both on copies and
+                // join.
+                let mut t = state.clone();
+                interpret(spec, pt, then_branch, env, alloc_site, line, &mut t, errors);
+                let mut e = state.clone();
+                interpret(spec, pt, else_branch, env, alloc_site, line, &mut e, errors);
+                *state = join_states(&t, &e);
+            }
+            EaslStmt::Foreach {
+                var,
+                target,
+                field,
+                body,
+            } => {
+                let owners = pt.resolve_path(env, target);
+                let elems = pt.of_field(&owners, field);
+                let mut inner = env.clone();
+                inner.insert(var.clone(), elems);
+                interpret(spec, pt, body, &inner, alloc_site, line, state, errors);
+            }
+            EaslStmt::AssignRef { .. }
+            | EaslStmt::SetClear { .. }
+            | EaslStmt::SetAdd { .. }
+            | EaslStmt::Return(_) => {}
+        }
+    }
+}
+
+fn read_bool(
+    pt: &PointsTo,
+    env: &HashMap<String, BTreeSet<Site>>,
+    path: &hetsep_easl::ast::Path,
+    state: &State,
+) -> BoolVal {
+    let Some((field, init)) = path.fields.split_last() else {
+        return BoolVal::Top;
+    };
+    let owner = hetsep_easl::ast::Path {
+        root: path.root.clone(),
+        fields: init.to_vec(),
+    };
+    let sites = pt.resolve_path(env, &owner);
+    let mut acc = BoolVal::Bot;
+    for s in sites {
+        acc = acc.join(
+            state
+                .get(&(s, field.clone()))
+                .copied()
+                .unwrap_or(BoolVal::False),
+        );
+    }
+    acc
+}
+
+fn cond_may_fail(
+    pt: &PointsTo,
+    env: &HashMap<String, BTreeSet<Site>>,
+    cond: &EaslCond,
+    state: &State,
+) -> bool {
+    match cond {
+        // requires !p  — fails when p may be true.
+        EaslCond::Not(inner) => match inner.as_ref() {
+            EaslCond::Read(p) => read_bool(pt, env, p, state).maybe_true(),
+            _ => false, // other negated forms: assumed satisfiable
+        },
+        // requires p — fails when p may be false.
+        EaslCond::Read(p) => !matches!(read_bool(pt, env, p, state), BoolVal::True),
+        EaslCond::And(a, b) => {
+            cond_may_fail(pt, env, a, state) || cond_may_fail(pt, env, b, state)
+        }
+        // Null-checks: the site abstraction cannot decide them; assume ok.
+        EaslCond::IsNull(_) | EaslCond::NotNull(_) => false,
+    }
+}
+
+fn bind_params(
+    pt: &PointsTo,
+    env: &mut HashMap<String, BTreeSet<Site>>,
+    method: &EaslMethod,
+    args: &[Arg],
+) {
+    for ((pname, pclass), arg) in method.params.iter().zip(args) {
+        if pclass == "String" {
+            continue;
+        }
+        let sites = match arg {
+            Arg::Var(v) => pt.of_var(v),
+            _ => BTreeSet::new(),
+        };
+        env.insert(pname.clone(), sites);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::verify;
+    use hetsep_ir::parse_program;
+
+    fn run(src: &str) -> crate::BaselineReport {
+        let p = parse_program(src).unwrap();
+        let spec = hetsep_easl::builtin::by_name(&p.uses).unwrap();
+        verify(&p, &spec).unwrap()
+    }
+
+    #[test]
+    fn straightline_correct_program_verifies() {
+        let r = run(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+        );
+        assert!(r.verified(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn read_after_close_detected() {
+        let r = run(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.close();\n\
+             f.read();\n}",
+        );
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].line, 4);
+    }
+
+    #[test]
+    fn fig3_loop_is_a_false_alarm_for_the_baseline() {
+        // The paper's Fig. 3: correct, but the allocation-site abstraction
+        // forces weak updates, so the baseline cannot verify it.
+        let r = run(
+            "program P uses IOStreams; void main() {\n\
+             while (?) {\n\
+             File f = new File();\n\
+             f.read();\n\
+             f.close();\n\
+             }\n}",
+        );
+        assert_eq!(r.errors.len(), 1, "expected the ESP-style false alarm");
+        assert_eq!(r.errors[0].line, 4, "the read() is flagged");
+    }
+
+    #[test]
+    fn jdbc_implicit_close_found_weakly() {
+        let r = run(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             Statement st = cm.createStatement(con);\n\
+             ResultSet rs1 = st.executeQuery(\"a\");\n\
+             ResultSet rs2 = st.executeQuery(\"b\");\n\
+             while (rs1.next()) {\n\
+             }\n}",
+        );
+        assert!(!r.verified());
+        assert!(r.errors.iter().any(|e| e.line == 7), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn aliasing_close_detected() {
+        let r = run(
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = a;\n\
+             b.close();\n\
+             a.read();\n}",
+        );
+        assert_eq!(r.errors.len(), 1);
+    }
+
+    #[test]
+    fn two_independent_streams_verify() {
+        let r = run(
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = new InputStream();\n\
+             a.close();\n\
+             b.read();\n\
+             b.close();\n}",
+        );
+        assert!(r.verified(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn site_count_reported() {
+        let r = run(
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             a.close();\n}",
+        );
+        assert_eq!(r.sites, 1);
+        assert!(r.iterations > 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Baseline behaviour on the collections (CMP) specification: the
+//! allocation-site abstraction handles simple iterator invalidation but
+//! weakens on loops, mirroring its IOStreams behaviour.
+
+use hetsep_ir::parse_program;
+
+fn run(src: &str) -> hetsep_baseline::BaselineReport {
+    let p = parse_program(src).unwrap();
+    let spec = hetsep_easl::builtin::by_name(&p.uses).unwrap();
+    hetsep_baseline::verify(&p, &spec).unwrap()
+}
+
+#[test]
+fn stale_iterator_detected() {
+    let r = run(
+        "program P uses CMP; void main() {\n\
+         Collection c = new Collection();\n\
+         Iterator it = c.iterator();\n\
+         Element x = new Element();\n\
+         c.add(x);\n\
+         Element y = it.next();\n}",
+    );
+    assert!(!r.verified());
+    assert!(r.errors.iter().any(|e| e.line == 6), "{:?}", r.errors);
+}
+
+#[test]
+fn fresh_iterator_after_add_verifies() {
+    let r = run(
+        "program P uses CMP; void main() {\n\
+         Collection c = new Collection();\n\
+         Element x = new Element();\n\
+         c.add(x);\n\
+         Iterator it = c.iterator();\n\
+         Element y = it.next();\n}",
+    );
+    assert!(r.verified(), "{:?}", r.errors);
+}
+
+#[test]
+fn iterator_reacquired_in_loop_is_a_baseline_false_alarm() {
+    // Correct (each iteration re-acquires), but the in-loop iterator site
+    // is non-singleton: weak updates leave `invalid` possibly true.
+    let r = run(
+        "program P uses CMP; void main() {\n\
+         Collection c = new Collection();\n\
+         while (?) {\n\
+         Element x = new Element();\n\
+         c.add(x);\n\
+         Iterator it = c.iterator();\n\
+         Element y = it.next();\n\
+         }\n}",
+    );
+    assert!(!r.verified(), "expected the weak-update false alarm");
+}
+
+#[test]
+fn two_collections_do_not_interfere() {
+    let r = run(
+        "program P uses CMP; void main() {\n\
+         Collection c1 = new Collection();\n\
+         Collection c2 = new Collection();\n\
+         Iterator it2 = c2.iterator();\n\
+         Element x = new Element();\n\
+         c1.add(x);\n\
+         Element y = it2.next();\n}",
+    );
+    assert!(r.verified(), "{:?}", r.errors);
+}
+
+#[test]
+fn sockets_spec_supported_by_baseline() {
+    let r = run(
+        "program P uses Sockets; void main() {\n\
+         Socket s = new Socket();\n\
+         s.connect();\n\
+         s.send();\n\
+         s.close();\n}",
+    );
+    assert!(r.verified(), "{:?}", r.errors);
+    let bad = run(
+        "program P uses Sockets; void main() {\n\
+         Socket s = new Socket();\n\
+         s.close();\n\
+         s.send();\n}",
+    );
+    assert!(!bad.verified());
+}

@@ -1,0 +1,138 @@
+//! Criterion ablation benches: cost of the heterogeneous-abstraction design
+//! choices as the workload scales (connection count sweep), plus the
+//! figure-level micro-comparisons (engine vs ESP-style baseline on Fig. 3).
+//!
+//! The structure-merging policies (`NullaryJoin`, `RelevantIso`) are *not*
+//! timed here: our union-based realization of the paper's §5 merging
+//! relations is sound but converges slowly (the capped `ablation` binary
+//! reports their space shape instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hetsep::core::engine::{run, EngineConfig, StructureMerge};
+use hetsep::core::translate::{translate, TranslateOptions};
+use hetsep::core::{verify, Mode};
+use hetsep::strategy::parse_strategy;
+use hetsep::suite::generators::{jdbc_client, JdbcWorkload};
+
+fn config(merge: StructureMerge) -> EngineConfig {
+    EngineConfig {
+        max_visits: 100_000,
+        max_structures: 40_000,
+        merge,
+        ..EngineConfig::default()
+    }
+}
+
+/// Vanilla vs separation as the number of overlapping connections grows —
+/// the scaling law behind Table 3's `-` rows.
+fn scaling_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/scaling");
+    g.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let source = jdbc_client(
+            "Sweep",
+            &JdbcWorkload {
+                connections: n,
+                queries_per_connection: 2,
+                buggy_connection: None,
+                interleaved: true,
+                seed: 5,
+            },
+        );
+        let program = hetsep::ir::parse_program(&source).unwrap();
+        let spec = hetsep::easl::builtin::jdbc();
+        g.bench_with_input(BenchmarkId::new("vanilla", n), &n, |b, _| {
+            b.iter(|| {
+                verify(
+                    &program,
+                    &spec,
+                    &Mode::Vanilla,
+                    &config(StructureMerge::Powerset),
+                )
+                .unwrap()
+            });
+        });
+        let strategy = parse_strategy(hetsep::strategy::builtin::JDBC_SINGLE).unwrap();
+        g.bench_with_input(BenchmarkId::new("separation-sim", n), &n, |b, _| {
+            b.iter(|| {
+                verify(
+                    &program,
+                    &spec,
+                    &Mode::simultaneous(strategy.clone()),
+                    &config(StructureMerge::Powerset),
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Heterogeneous abstraction on/off under the same strategy.
+fn heterogeneous_ablation(c: &mut Criterion) {
+    let source = jdbc_client(
+        "Hetero",
+        &JdbcWorkload {
+            connections: 3,
+            queries_per_connection: 2,
+            buggy_connection: None,
+            interleaved: true,
+            seed: 9,
+        },
+    );
+    let program = hetsep::ir::parse_program(&source).unwrap();
+    let spec = hetsep::easl::builtin::jdbc();
+    let strategy = parse_strategy(hetsep::strategy::builtin::JDBC_SINGLE).unwrap();
+    let mut g = c.benchmark_group("ablation/heterogeneous");
+    g.sample_size(10);
+    for (label, hetero) in [("on", true), ("off", false)] {
+        let options = TranslateOptions {
+            stage: Some(strategy.stages[0].clone()),
+            heterogeneous: hetero,
+            ..TranslateOptions::default()
+        };
+        let inst = translate(&program, &spec, &options).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
+            b.iter(|| run(inst, &config(StructureMerge::Powerset)));
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 3 micro-comparison: engine vs ESP-style baseline.
+fn fig3_comparison(c: &mut Criterion) {
+    let source = "program Fig3 uses IOStreams; void main() {\n\
+                  while (?) {\n\
+                  File f = new File();\n\
+                  f.read();\n\
+                  f.close();\n\
+                  }\n}";
+    let program = hetsep::ir::parse_program(source).unwrap();
+    let spec = hetsep::easl::builtin::iostreams();
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("baseline", |b| {
+        b.iter(|| hetsep::baseline::verify(&program, &spec).unwrap());
+    });
+    let strategy = parse_strategy(hetsep::strategy::builtin::FILE_SINGLE).unwrap();
+    g.bench_function("separation", |b| {
+        b.iter(|| {
+            verify(
+                &program,
+                &spec,
+                &Mode::simultaneous(strategy.clone()),
+                &config(StructureMerge::Powerset),
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    scaling_sweep,
+    heterogeneous_ablation,
+    fig3_comparison
+);
+criterion_main!(benches);

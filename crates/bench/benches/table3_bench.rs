@@ -1,0 +1,139 @@
+//! Criterion benchmarks over the Table 3 modes, on reduced workloads so a
+//! full `cargo bench` stays tractable. One group per benchmark family; each
+//! group benches the analysis modes the paper's table reports for it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hetsep::core::{verify, EngineConfig, Mode};
+use hetsep::strategy::builtin as strategies;
+use hetsep::strategy::parse_strategy;
+use hetsep::suite;
+use hetsep::suite::generators::{jdbc_client, kernel, JdbcWorkload, KernelWorkload};
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        max_visits: 100_000,
+        max_structures: 40_000,
+        ..EngineConfig::default()
+    }
+}
+
+fn modes_for(single: &str, multi: Option<&str>, inc: Option<&str>) -> Vec<(&'static str, Mode)> {
+    let mut out = vec![
+        ("vanilla", Mode::Vanilla),
+        (
+            "single",
+            Mode::separation(parse_strategy(single).unwrap()),
+        ),
+        (
+            "sim",
+            Mode::simultaneous(parse_strategy(single).unwrap()),
+        ),
+    ];
+    if let Some(m) = multi {
+        out.push(("multi", Mode::separation(parse_strategy(m).unwrap())));
+    }
+    if let Some(i) = inc {
+        out.push(("inc", Mode::incremental(parse_strategy(i).unwrap())));
+    }
+    out
+}
+
+fn bench_source(c: &mut Criterion, group: &str, source: &str, modes: Vec<(&'static str, Mode)>) {
+    let program = hetsep::ir::parse_program(source).unwrap();
+    let spec = hetsep::easl::builtin::by_name(&program.uses).unwrap();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for (label, mode) in modes {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
+            b.iter(|| verify(&program, &spec, mode, &config()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn table3_ispath(c: &mut Criterion) {
+    let bench = suite::by_name("ISPath").unwrap();
+    bench_source(
+        c,
+        "table3/ISPath",
+        &bench.source,
+        modes_for(strategies::IOSTREAM_SINGLE, None, None),
+    );
+}
+
+fn table3_input_stream5(c: &mut Criterion) {
+    let bench = suite::by_name("InputStream5").unwrap();
+    bench_source(
+        c,
+        "table3/InputStream5",
+        &bench.source,
+        modes_for(strategies::IOSTREAM_SINGLE, None, None),
+    );
+}
+
+fn table3_jdbc(c: &mut Criterion) {
+    // Reduced JDBCExample: 3 overlapping connections.
+    let source = jdbc_client(
+        "Bench",
+        &JdbcWorkload {
+            connections: 3,
+            queries_per_connection: 2,
+            buggy_connection: Some(1),
+            interleaved: true,
+            seed: 7,
+        },
+    );
+    bench_source(
+        c,
+        "table3/JDBCExample(reduced)",
+        &source,
+        modes_for(
+            strategies::JDBC_SINGLE,
+            Some(strategies::JDBC_MULTI),
+            Some(strategies::JDBC_INCREMENTAL),
+        ),
+    );
+}
+
+fn table3_kernel(c: &mut Criterion) {
+    // Reduced KernelBench3: 3 interleaved collections.
+    let source = kernel(
+        "Bench",
+        &KernelWorkload {
+            collections: 3,
+            buggy_collection: Some(1),
+            interleaved: true,
+        },
+    );
+    bench_source(
+        c,
+        "table3/KernelBench(reduced)",
+        &source,
+        modes_for(
+            strategies::CMP_SINGLE,
+            Some(strategies::CMP_MULTI),
+            Some(strategies::CMP_INCREMENTAL),
+        ),
+    );
+}
+
+fn table3_db(c: &mut Criterion) {
+    let bench = suite::by_name("db").unwrap();
+    bench_source(
+        c,
+        "table3/db",
+        &bench.source,
+        modes_for(strategies::IOSTREAM_SINGLE, None, None),
+    );
+}
+
+criterion_group!(
+    benches,
+    table3_ispath,
+    table3_input_stream5,
+    table3_jdbc,
+    table3_kernel,
+    table3_db
+);
+criterion_main!(benches);

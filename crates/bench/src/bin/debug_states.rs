@@ -1,0 +1,85 @@
+//! Development aid: dump the abstract state space of a benchmark run.
+//!
+//! Usage: `debug_states <benchmark> <mode> [budget] [dump-node-count]`
+
+use std::collections::{HashSet, VecDeque};
+
+use hetsep::core::engine::EngineConfig;
+use hetsep::core::translate::{translate, TranslateOptions};
+use hetsep::strategy::parse_strategy;
+use hetsep::suite;
+use hetsep::tvl::action::apply;
+use hetsep::tvl::canon::{blur, canonical_key};
+use hetsep::tvl::display::to_text;
+use hetsep::tvl::structure::Structure;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = suite::by_name(&args[0]).expect("benchmark");
+    let mode = args.get(1).map(String::as_str).unwrap_or("single");
+    let budget: u64 = args
+        .get(2)
+        .map(|s| s.parse().expect("budget"))
+        .unwrap_or(20_000);
+    let dump: usize = args
+        .get(3)
+        .map(|s| s.parse().expect("dump"))
+        .unwrap_or(3);
+
+    let program = bench.program();
+    let spec = bench.spec();
+    let mut options = TranslateOptions::default();
+    if mode != "vanilla" {
+        let strategy = parse_strategy(bench.single_strategy).unwrap();
+        options.stage = Some(strategy.stages[0].clone());
+        options.heterogeneous = true;
+    }
+    let inst = translate(&program, &spec, &options).unwrap();
+    let table = &inst.vocab.table;
+    let cfg = &inst.cfg;
+    let config = EngineConfig::default();
+
+    let mut states: Vec<HashSet<Structure>> = vec![HashSet::new(); cfg.node_count()];
+    let mut wl: VecDeque<(usize, Structure)> = VecDeque::new();
+    let init = canonical_key(&blur(&Structure::new(table), table), table).into_structure();
+    states[cfg.entry()].insert(init.clone());
+    wl.push_back((cfg.entry(), init));
+    let mut visits = 0u64;
+    while let Some((node, s)) = wl.pop_front() {
+        for &eix in cfg.out_edges(node) {
+            let edge = &cfg.edges()[eix];
+            for action in &inst.actions[eix] {
+                visits += 1;
+                if visits > budget {
+                    wl.clear();
+                    break;
+                }
+                let out = apply(action, &s, table, config.focus_limit);
+                for post in out.results {
+                    let k = canonical_key(&blur(&post, table), table).into_structure();
+                    if states[edge.to].insert(k.clone()) {
+                        wl.push_back((edge.to, k));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut by_count: Vec<(usize, usize)> = states
+        .iter()
+        .enumerate()
+        .map(|(n, set)| (set.len(), n))
+        .collect();
+    by_count.sort_unstable_by(|a, b| b.cmp(a));
+    println!("visits: {visits}");
+    println!("total structures: {}", states.iter().map(HashSet::len).sum::<usize>());
+    for (count, node) in by_count.iter().take(10) {
+        println!("node n{node} (line {}): {count} structures", cfg.line(*node));
+    }
+    let (_, worst) = by_count[0];
+    println!("--- sample structures at n{worst} ---");
+    for s in states[worst].iter().take(dump) {
+        println!("{}", to_text(s, table));
+    }
+}
+// (violation dump appended below main in a helper; see debug_violations bin)

@@ -1,0 +1,121 @@
+//! Development aid: find the first structure matching a textual pattern and
+//! print the action + pre-state that produced it.
+//!
+//! Usage: `debug_trace <benchmark> <mode> <pattern-a> [pattern-b]`
+//! Patterns are matched against the `to_text` rendering; `SELFLOOP:<field>`
+//! matches a definite self edge `uK -<field>-> uK`.
+
+use std::collections::{HashSet, VecDeque};
+
+use hetsep::core::engine::EngineConfig;
+use hetsep::core::translate::{translate, TranslateOptions};
+use hetsep::strategy::parse_strategy;
+use hetsep::suite;
+use hetsep::tvl::action::apply;
+use hetsep::tvl::canon::{blur, canonical_key};
+use hetsep::tvl::display::to_text;
+use hetsep::tvl::structure::Structure;
+
+fn matches_pattern(text: &str, pattern: &str) -> bool {
+    if let Some(field) = pattern.strip_prefix("SELFLOOP:") {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some((src, rest)) = line.split_once(&format!(" -{field}-> ")) {
+                if src == rest {
+                    return true;
+                }
+            }
+        }
+        false
+    } else if let Some(field) = pattern.strip_prefix("IRRELTOREL:") {
+        // An edge (definite or 1/2) over `field` from a node NOT marked
+        // relevant to a node marked relevant.
+        let mut relevant_nodes: Vec<String> = Vec::new();
+        let mut irrelevant_nodes: Vec<String> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some((node, props)) = line.split_once(": [") {
+                let node = node.trim_end_matches("**").to_owned();
+                if props.contains("relevant") {
+                    relevant_nodes.push(node);
+                } else {
+                    irrelevant_nodes.push(node);
+                }
+            }
+        }
+        for line in text.lines() {
+            let line = line.trim();
+            for sep in [format!(" -{field}-> "), format!(" -{field}?-> ")] {
+                if let Some((src, dst)) = line.split_once(&sep) {
+                    if irrelevant_nodes.iter().any(|n| n == src)
+                        && relevant_nodes.iter().any(|n| n == dst)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    } else {
+        text.contains(pattern)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = suite::by_name(&args[0]).expect("benchmark");
+    let mode = args[1].as_str();
+    let patterns: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+
+    let program = bench.program();
+    let spec = bench.spec();
+    let mut options = TranslateOptions::default();
+    if mode != "vanilla" {
+        let strategy = parse_strategy(bench.single_strategy).unwrap();
+        options.stage = Some(strategy.stages[0].clone());
+        options.heterogeneous = true;
+    }
+    let inst = translate(&program, &spec, &options).unwrap();
+    let table = &inst.vocab.table;
+    let cfg = &inst.cfg;
+    let config = EngineConfig::default();
+
+    let mut states: Vec<HashSet<Structure>> = vec![HashSet::new(); cfg.node_count()];
+    let mut wl: VecDeque<(usize, Structure)> = VecDeque::new();
+    let init = canonical_key(&blur(&Structure::new(table), table), table).into_structure();
+    states[cfg.entry()].insert(init.clone());
+    wl.push_back((cfg.entry(), init));
+    let mut visits = 0u64;
+    while let Some((node, s)) = wl.pop_front() {
+        for &eix in cfg.out_edges(node) {
+            let edge = &cfg.edges()[eix];
+            for action in &inst.actions[eix] {
+                visits += 1;
+                if visits > 200_000 {
+                    println!("budget hit, pattern not found");
+                    return;
+                }
+                let out = apply(action, &s, table, config.focus_limit);
+                for post in out.results {
+                    let k = canonical_key(&blur(&post, table), table).into_structure();
+                    let text = to_text(&k, table);
+                    if patterns.iter().all(|p| matches_pattern(&text, p)) {
+                        println!(
+                            "=== first match after {visits} visits, action `{}` (line {}) ===",
+                            action.name, edge.line
+                        );
+                        println!("--- pre-state (at n{node}):");
+                        println!("{}", to_text(&s, table));
+                        println!("--- post-state (blurred):");
+                        println!("{text}");
+                        return;
+                    }
+                    if states[edge.to].insert(k.clone()) {
+                        wl.push_back((edge.to, k));
+                    }
+                }
+            }
+        }
+    }
+    println!("pattern not found (fixpoint reached, {visits} visits)");
+}

@@ -1,0 +1,74 @@
+//! Development aid: print the structures on which `requires` checks are
+//! (possibly) violated.
+//!
+//! Usage: `debug_violations <benchmark> <mode> [max-dumps]`
+
+use std::collections::{HashSet, VecDeque};
+
+use hetsep::core::engine::EngineConfig;
+use hetsep::core::translate::{translate, TranslateOptions};
+use hetsep::strategy::parse_strategy;
+use hetsep::suite;
+use hetsep::tvl::action::apply;
+use hetsep::tvl::canon::{blur, canonical_key};
+use hetsep::tvl::display::to_text;
+use hetsep::tvl::structure::Structure;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = suite::by_name(&args[0]).expect("benchmark");
+    let mode = args.get(1).map(String::as_str).unwrap_or("single");
+    let max_dumps: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(2);
+
+    let program = bench.program();
+    let spec = bench.spec();
+    let mut options = TranslateOptions::default();
+    if mode != "vanilla" {
+        let strategy = parse_strategy(bench.single_strategy).unwrap();
+        options.stage = Some(strategy.stages[0].clone());
+        options.heterogeneous = true;
+    }
+    let inst = translate(&program, &spec, &options).unwrap();
+    let table = &inst.vocab.table;
+    let cfg = &inst.cfg;
+    let config = EngineConfig::default();
+
+    let mut states: Vec<HashSet<Structure>> = vec![HashSet::new(); cfg.node_count()];
+    let mut wl: VecDeque<(usize, Structure)> = VecDeque::new();
+    let init = canonical_key(&blur(&Structure::new(table), table), table).into_structure();
+    states[cfg.entry()].insert(init.clone());
+    wl.push_back((cfg.entry(), init));
+    let mut dumped = 0usize;
+    let mut visits = 0u64;
+    while let Some((node, s)) = wl.pop_front() {
+        for &eix in cfg.out_edges(node) {
+            let edge = &cfg.edges()[eix];
+            for action in &inst.actions[eix] {
+                visits += 1;
+                if visits > 200_000 {
+                    println!("budget hit");
+                    return;
+                }
+                let out = apply(action, &s, table, config.focus_limit);
+                if !out.violations.is_empty() && dumped < max_dumps {
+                    dumped += 1;
+                    println!(
+                        "=== violation at line {} via action `{}` (value {:?}) on pre-state:",
+                        edge.line, action.name, out.violations[0].value
+                    );
+                    println!("{}", to_text(&s, table));
+                }
+                for post in out.results {
+                    let k = canonical_key(&blur(&post, table), table).into_structure();
+                    if states[edge.to].insert(k.clone()) {
+                        wl.push_back((edge.to, k));
+                    }
+                }
+            }
+        }
+        if dumped >= max_dumps {
+            break;
+        }
+    }
+    println!("done: {dumped} dumps, {visits} visits");
+}

@@ -1,0 +1,71 @@
+//! Regenerates the paper's Fig. 3 comparison: the file-in-a-loop program
+//! that an ESP-style two-phase verifier cannot verify (weak updates on the
+//! in-loop allocation site) but the separation engine can (strong updates on
+//! the materialized chosen object).
+//!
+//! ```sh
+//! cargo run -p hetsep-bench --bin fig3 --release
+//! ```
+
+use hetsep::core::{verify, EngineConfig, Mode};
+use hetsep::strategy::parse_strategy;
+
+const FIG3: &str = r#"program Fig3 uses IOStreams;
+
+void main() {
+    while (?) {
+        File f = new File();
+        f.read();
+        f.close();
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fig. 3 program (correct):\n{FIG3}");
+    let program = hetsep::ir::parse_program(FIG3)?;
+    let spec = hetsep::easl::builtin::iostreams();
+
+    println!("| verifier                      | result                 |");
+    println!("|-------------------------------|------------------------|");
+
+    let baseline = hetsep::baseline::verify(&program, &spec)?;
+    let b = if baseline.verified() {
+        "verified".to_owned()
+    } else {
+        format!("{} false alarm(s)", baseline.errors.len())
+    };
+    println!("| ESP-style two-phase baseline  | {b:<22} |");
+
+    let strategy = parse_strategy(hetsep::strategy::builtin::FILE_SINGLE)?;
+    let report = verify(
+        &program,
+        &spec,
+        &Mode::simultaneous(strategy),
+        &EngineConfig::default(),
+    )?;
+    let r = if report.verified() {
+        "verified".to_owned()
+    } else {
+        format!("{} error(s)", report.errors.len())
+    };
+    println!("| separation engine             | {r:<22} |");
+
+    let vanilla = verify(&program, &spec, &Mode::Vanilla, &EngineConfig::default())?;
+    let v = if vanilla.verified() {
+        "verified".to_owned()
+    } else {
+        format!("{} error(s)", vanilla.errors.len())
+    };
+    println!("| integrated engine (vanilla)   | {v:<22} |");
+
+    for e in &baseline.errors {
+        println!("\nbaseline report: {e}");
+    }
+    println!(
+        "\nThe baseline's pointer phase runs first and abstracts all files by their\n\
+         (in-loop) allocation site, forcing weak updates in the typestate phase.\n\
+         The integrated analyses materialize each fresh file and keep strong updates."
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Table 3: analysis results and cost for the
+//! benchmark programs, per verification mode.
+//!
+//! Usage: `table3 [benchmark-name …]` (default: all benchmarks).
+
+use hetsep::harness::{format_rows, run_benchmark, table3_config};
+use hetsep::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<suite::Benchmark> = if args.is_empty() {
+        suite::all()
+    } else {
+        args.iter()
+            .map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark `{n}`")))
+            .collect()
+    };
+    println!(
+        "{:<18} {:<8} {:>5} {:>9} {:>9} {:>10} {:>4} {:>4}",
+        "Program", "Mode", "Lines", "Space", "Time", "Visits", "Rep", "Act"
+    );
+    println!("{}", "-".repeat(75));
+    let config = table3_config();
+    for bench in &benches {
+        match run_benchmark(bench, &config) {
+            Ok(rows) => print!("{}", format_rows(&rows, bench.line_count())),
+            Err(e) => println!("{:<18} failed: {e}", bench.name),
+        }
+        println!();
+    }
+}

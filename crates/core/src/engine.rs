@@ -1,0 +1,426 @@
+//! The abstract-interpretation engine.
+//!
+//! A chaotic-iteration worklist over the CFG: each program location holds a
+//! set of canonically-abstracted 3-valued structures; applying an edge's
+//! action (focus → coerce → assume → checks → update) to a structure yields
+//! post-structures that are blurred and joined into the successor location.
+//! `requires` violations are collected as error reports; for incremental
+//! strategies, the allocation sites of the chosen objects in violating
+//! states are recorded as *failing sites*.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use hetsep_tvl::action::apply;
+use hetsep_tvl::canon::{blur, canonical_key};
+use hetsep_tvl::focus::DEFAULT_FOCUS_LIMIT;
+use hetsep_tvl::kleene::Kleene;
+use hetsep_tvl::pred::Arity;
+use hetsep_tvl::structure::Structure;
+
+use crate::report::{dedup_reports, ErrorReport};
+use crate::translate::AnalysisInstance;
+use crate::vocab::SiteId;
+
+/// How structures arriving at one program location are merged (paper §5,
+/// "Structure Merging").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StructureMerge {
+    /// Keep every isomorphism class (TVLA's default powerset).
+    #[default]
+    Powerset,
+    /// Merge structures agreeing on all nullary predicates.
+    NullaryJoin,
+    /// Heterogeneous merging `≈_relevant`: merge structures whose relevant
+    /// substructures are isomorphic (falls back to powerset in vanilla mode,
+    /// where no relevance predicate exists).
+    RelevantIso,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Focus expansion budget per action application.
+    pub focus_limit: usize,
+    /// Abort with [`AnalysisOutcome::BudgetExceeded`] after this many action
+    /// applications (the paper's `-` rows: vanilla runs that do not finish).
+    pub max_visits: u64,
+    /// Abort when this many structures are stored across all locations.
+    pub max_structures: usize,
+    /// Structure-merging policy at program locations.
+    pub merge: StructureMerge,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            focus_limit: DEFAULT_FOCUS_LIMIT,
+            max_visits: 2_000_000,
+            max_structures: 400_000,
+            merge: StructureMerge::Powerset,
+        }
+    }
+}
+
+/// Whether a run explored the full state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisOutcome {
+    /// Fixpoint reached.
+    Complete,
+    /// The visit or structure budget was exhausted; results are partial
+    /// (sound for errors found, inconclusive for verification).
+    BudgetExceeded,
+}
+
+/// Statistics of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Action applications performed.
+    pub visits: u64,
+    /// Structures stored across all locations at fixpoint (the peak, since
+    /// location sets only grow).
+    pub structures: usize,
+    /// Largest universe size among visited structures.
+    pub peak_nodes: usize,
+    /// Wall-clock duration.
+    pub wall: Duration,
+    /// CFG locations.
+    pub locations: usize,
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Deduplicated (per line) violation reports.
+    pub errors: Vec<ErrorReport>,
+    /// Allocation sites of chosen objects in violating states.
+    pub failing_sites: HashSet<SiteId>,
+    /// Run statistics.
+    pub stats: RunStats,
+    /// Completion status.
+    pub outcome: AnalysisOutcome,
+}
+
+impl RunResult {
+    /// Whether the run proves the program correct: complete and error-free.
+    pub fn verified(&self) -> bool {
+        self.errors.is_empty() && self.outcome == AnalysisOutcome::Complete
+    }
+}
+
+/// The key under which a structure is merged at a location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MergeKey {
+    Whole(Structure),
+    Nullary(Vec<Kleene>),
+    Relevant(Structure),
+}
+
+fn merge_key(
+    s: &Structure,
+    instance: &AnalysisInstance,
+    policy: StructureMerge,
+) -> MergeKey {
+    let table = &instance.vocab.table;
+    match (policy, instance.vocab.relevant) {
+        (StructureMerge::Powerset, _) | (StructureMerge::RelevantIso, None) => {
+            MergeKey::Whole(s.clone())
+        }
+        (StructureMerge::NullaryJoin, _) => MergeKey::Nullary(
+            table
+                .iter_arity(Arity::Nullary)
+                .map(|p| s.nullary(table, p))
+                .collect(),
+        ),
+        (StructureMerge::RelevantIso, Some(rel)) => {
+            let (sub, _) = s.retain_nodes(table, |u| s.unary(table, rel, u) == Kleene::True);
+            MergeKey::Relevant(canonical_key(&sub, table).into_structure())
+        }
+    }
+}
+
+/// Runs the worklist analysis on a translated instance.
+pub fn run(instance: &AnalysisInstance, config: &EngineConfig) -> RunResult {
+    let start = Instant::now();
+    let table = &instance.vocab.table;
+    let cfg = &instance.cfg;
+    let n_nodes = cfg.node_count();
+
+    let mut states: Vec<HashMap<MergeKey, Structure>> = vec![HashMap::new(); n_nodes];
+    let mut worklist: VecDeque<(usize, Structure)> = VecDeque::new();
+
+    let init = canonical_key(&blur(&Structure::new(table), table), table).into_structure();
+    states[cfg.entry()].insert(merge_key(&init, instance, config.merge), init.clone());
+    worklist.push_back((cfg.entry(), init));
+
+    let mut visits: u64 = 0;
+    let mut total_structures: usize = 1;
+    let mut peak_nodes: usize = 0;
+    let mut outcome = AnalysisOutcome::Complete;
+    // (line, label) → definite?
+    let mut errors: HashMap<(u32, String), bool> = HashMap::new();
+    let mut failing_sites: HashSet<SiteId> = HashSet::new();
+
+    'outer: while let Some((node, s)) = worklist.pop_front() {
+        for &edge_ix in cfg.out_edges(node) {
+            let edge = &cfg.edges()[edge_ix];
+            for action in &instance.actions[edge_ix] {
+                visits += 1;
+                if visits > config.max_visits || total_structures > config.max_structures {
+                    outcome = AnalysisOutcome::BudgetExceeded;
+                    break 'outer;
+                }
+                let out = apply(action, &s, table, config.focus_limit);
+                if !out.violations.is_empty() {
+                    for v in &out.violations {
+                        let definite = v.value == hetsep_tvl::Kleene::False;
+                        errors
+                            .entry((edge.line, v.label.clone()))
+                            .and_modify(|d| *d |= definite)
+                            .or_insert(definite);
+                    }
+                    collect_failing_sites(instance, &s, &mut failing_sites);
+                }
+                for post in out.results {
+                    peak_nodes = peak_nodes.max(post.node_count());
+                    let keyed = canonical_key(&blur(&post, table), table).into_structure();
+                    let key = merge_key(&keyed, instance, config.merge);
+                    match states[edge.to].get(&key) {
+                        None => {
+                            total_structures += 1;
+                            states[edge.to].insert(key, keyed.clone());
+                            worklist.push_back((edge.to, keyed));
+                        }
+                        Some(existing) if *existing == keyed => {}
+                        Some(existing) => {
+                            // Join into the existing representative. The raw
+                            // union may violate uniqueness/functionality
+                            // constraints across the merged states; weaken
+                            // those conflicts to 1/2 so coerce does not
+                            // discard the join.
+                            let merged = canonical_key(
+                                &blur(
+                                    &hetsep_tvl::merge::weaken_union_conflicts(
+                                        &existing.union(&keyed),
+                                        table,
+                                    ),
+                                    table,
+                                ),
+                                table,
+                            )
+                            .into_structure();
+                            if merged != *existing {
+                                states[edge.to].insert(key, merged.clone());
+                                worklist.push_back((edge.to, merged));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let reports: Vec<ErrorReport> = errors
+        .into_iter()
+        .map(|((line, label), definite)| ErrorReport {
+            line,
+            label,
+            definite,
+        })
+        .collect();
+
+    RunResult {
+        errors: dedup_reports(reports),
+        failing_sites,
+        stats: RunStats {
+            visits,
+            structures: total_structures,
+            peak_nodes,
+            wall: start.elapsed(),
+            locations: n_nodes,
+        },
+        outcome,
+    }
+}
+
+/// Records the allocation sites of the chosen objects of a violating
+/// pre-state (paper §4.2: allocation-site based identification of failed
+/// individuals).
+fn collect_failing_sites(
+    instance: &AnalysisInstance,
+    s: &Structure,
+    failing: &mut HashSet<SiteId>,
+) {
+    let table = &instance.vocab.table;
+    let Some(chosen) = instance.vocab.chosen else {
+        return;
+    };
+    for u in s.nodes() {
+        if s.unary(table, chosen, u).maybe_true() {
+            for (&site, &pred) in &instance.vocab.site_preds {
+                if s.unary(table, pred, u).maybe_true() {
+                    failing.insert(site);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{translate, TranslateOptions};
+
+    fn run_src(src: &str) -> RunResult {
+        let program = hetsep_ir::parse_program(src).unwrap();
+        let spec = hetsep_easl::builtin::by_name(&program.uses).unwrap();
+        let inst = translate(&program, &spec, &TranslateOptions::default()).unwrap();
+        run(&inst, &EngineConfig::default())
+    }
+
+    #[test]
+    fn straightline_correct_program_verifies() {
+        let r = run_src(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+        );
+        assert!(r.verified(), "{:?}", r.errors);
+        assert!(r.stats.visits > 0);
+    }
+
+    #[test]
+    fn read_after_close_detected() {
+        let r = run_src(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.close();\n\
+             f.read();\n}",
+        );
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].line, 4);
+        assert!(r.errors[0].definite);
+    }
+
+    #[test]
+    fn branch_sensitive_close() {
+        // close() in one branch only: the read after the join is a possible
+        // error.
+        let r = run_src(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             if (?) {\n\
+             f.close();\n\
+             }\n\
+             f.read();\n}",
+        );
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].line, 6);
+    }
+
+    #[test]
+    fn loop_with_fresh_streams_verifies() {
+        // The Fig. 3 pattern (with InputStream): our integrated analysis
+        // verifies it even without separation, thanks to materialization.
+        let r = run_src(
+            "program P uses IOStreams; void main() {\n\
+             while (?) {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n\
+             }\n}",
+        );
+        assert!(r.verified(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn aliasing_through_assignment_tracked() {
+        let r = run_src(
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = a;\n\
+             b.close();\n\
+             a.read();\n}",
+        );
+        assert_eq!(r.errors.len(), 1, "close through alias must be seen");
+        assert_eq!(r.errors[0].line, 5);
+    }
+
+    #[test]
+    fn heap_roundtrip_through_holder() {
+        let r = run_src(
+            "program P uses IOStreams;\n\
+             class Holder { InputStream s; }\n\
+             void main() {\n\
+             Holder h = new Holder();\n\
+             InputStream f = new InputStream();\n\
+             h.s = f;\n\
+             f = null;\n\
+             InputStream g = h.s;\n\
+             g.read();\n\
+             g.close();\n}",
+        );
+        assert!(r.verified(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn jdbc_implicit_close_error_found() {
+        // The essence of Fig. 1: two executeQuery calls on one Statement,
+        // then next() on the first ResultSet.
+        let r = run_src(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             Statement st = cm.createStatement(con);\n\
+             ResultSet rs1 = st.executeQuery(\"a\");\n\
+             ResultSet rs2 = st.executeQuery(\"b\");\n\
+             while (rs1.next()) {\n\
+             }\n}",
+        );
+        assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
+        assert_eq!(r.errors[0].line, 7);
+    }
+
+    #[test]
+    fn jdbc_correct_usage_verifies() {
+        let r = run_src(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             Statement st = cm.createStatement(con);\n\
+             ResultSet rs1 = st.executeQuery(\"a\");\n\
+             while (rs1.next()) {\n\
+             }\n\
+             ResultSet rs2 = st.executeQuery(\"b\");\n\
+             while (rs2.next()) {\n\
+             }\n\
+             con.close();\n}",
+        );
+        assert!(r.verified(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let program = hetsep_ir::parse_program(
+            "program P uses IOStreams; void main() {\n\
+             while (?) {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n\
+             }\n}",
+        )
+        .unwrap();
+        let spec = hetsep_easl::builtin::iostreams();
+        let inst = translate(&program, &spec, &TranslateOptions::default()).unwrap();
+        let r = run(
+            &inst,
+            &EngineConfig {
+                max_visits: 3,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, AnalysisOutcome::BudgetExceeded);
+        assert!(!r.verified());
+    }
+}

@@ -1,0 +1,53 @@
+//! # hetsep-core
+//!
+//! The separation-based verification engine of the paper: translation of a
+//! (client program, Easl specification, separation strategy) triple into a
+//! first-order transition system, and a forward abstract interpretation over
+//! canonically-abstracted 3-valued structures with *heterogeneous
+//! abstraction* — relevant objects abstracted precisely, irrelevant objects
+//! collapsed.
+//!
+//! Entry point: [`verify`] with a [`Mode`]:
+//!
+//! * [`Mode::Vanilla`] — TVLA-style verification without separation,
+//! * [`Mode::Separation`] — one strategy stage; either *simultaneous* (all
+//!   subproblems explored in one run via the non-deterministic `choose some`)
+//!   or per-allocation-site subproblem scheduling (the paper's
+//!   non-simultaneous mode, which reduces the peak memory footprint),
+//! * [`Mode::Incremental`] — a sequence of stages, each restricted to the
+//!   allocation sites that failed the previous one.
+//!
+//! # Example
+//!
+//! ```
+//! use hetsep_core::{verify, Mode, EngineConfig};
+//!
+//! let program = hetsep_ir::parse_program(
+//!     "program P uses IOStreams; void main() {\n\
+//!        InputStream f = new InputStream();\n\
+//!        f.read();\n\
+//!        f.close();\n\
+//!      }",
+//! )
+//! .unwrap();
+//! let spec = hetsep_easl::builtin::iostreams();
+//! let report = verify(&program, &spec, &Mode::Vanilla, &EngineConfig::default()).unwrap();
+//! assert!(report.errors.is_empty());
+//! ```
+
+pub mod concrete;
+pub mod engine;
+pub mod liveness;
+pub mod modes;
+pub mod refine;
+pub mod relevance;
+pub mod report;
+pub mod semantics;
+pub mod translate;
+pub mod vocab;
+
+pub use engine::{AnalysisOutcome, EngineConfig, RunStats};
+pub use modes::{verify, Mode, VerificationReport};
+pub use report::{ErrorReport, VerifyError};
+pub use translate::{translate, AnalysisInstance, TranslateOptions};
+pub use vocab::Vocabulary;

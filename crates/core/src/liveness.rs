@@ -1,0 +1,246 @@
+//! Liveness-based variable nullification.
+//!
+//! A dead program variable that still points into the heap pollutes the
+//! abstraction: its predicate lingers at `1/2` on summary nodes, multiplying
+//! otherwise-equal structures. As in TVLA practice, translation appends a
+//! *kill* (`x := null`) for every variable that is dead after an edge. This
+//! is a pure state-space reduction — a dead variable is never read again, so
+//! nullifying it preserves the meaning of the program.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use hetsep_ir::cfg::{BoolRhs, Cfg, CfgOp};
+use hetsep_ir::{Arg, Cond};
+
+/// Variables read by an operation.
+pub fn uses(op: &CfgOp) -> Vec<&str> {
+    let mut out: Vec<&str> = Vec::new();
+    let mut args_of = |args: &'static str| {
+        let _ = args;
+    };
+    let _ = &mut args_of;
+    match op {
+        CfgOp::Nop | CfgOp::AssignNull { .. } => {}
+        CfgOp::AssignVar { src, .. } => out.push(src),
+        CfgOp::LoadField { src, .. } | CfgOp::LoadBoolField { src, .. } => out.push(src),
+        CfgOp::StoreField { dst, src, .. } => {
+            out.push(dst);
+            if let Some(s) = src {
+                out.push(s);
+            }
+        }
+        CfgOp::StoreBoolField { dst, value, .. } => {
+            out.push(dst);
+            if let BoolRhs::Var(v) = value {
+                out.push(v);
+            }
+        }
+        CfgOp::New { args, .. } => {
+            for a in args {
+                if let Arg::Var(v) = a {
+                    out.push(v);
+                }
+            }
+        }
+        CfgOp::CallLib { recv, args, .. } => {
+            out.push(recv);
+            for a in args {
+                if let Arg::Var(v) = a {
+                    out.push(v);
+                }
+            }
+        }
+        CfgOp::AssignBool { value, .. } => {
+            if let BoolRhs::Var(v) = value {
+                out.push(v);
+            }
+        }
+        CfgOp::Assume { cond, .. } => match cond {
+            Cond::Nondet => {}
+            Cond::RefEq { lhs, rhs, .. } => {
+                out.push(lhs);
+                out.push(rhs);
+            }
+            Cond::NullCheck { var, .. } | Cond::BoolVar { var, .. } => out.push(var),
+            Cond::CallBool { recv, args, .. } => {
+                out.push(recv);
+                for a in args {
+                    if let Arg::Var(v) = a {
+                        out.push(v);
+                    }
+                }
+            }
+        },
+    }
+    out
+}
+
+/// Variable written by an operation, if any.
+pub fn def(op: &CfgOp) -> Option<&str> {
+    match op {
+        CfgOp::AssignNull { dst }
+        | CfgOp::AssignVar { dst, .. }
+        | CfgOp::LoadField { dst, .. }
+        | CfgOp::LoadBoolField { dst, .. }
+        | CfgOp::AssignBool { dst, .. } => Some(dst),
+        CfgOp::New { dst, .. } => dst.as_deref(),
+        CfgOp::CallLib { result, .. } => result.as_deref(),
+        _ => None,
+    }
+}
+
+/// Computes live-in variable sets per CFG node (backward may-analysis).
+pub fn live_in(cfg: &Cfg) -> Vec<HashSet<String>> {
+    let n = cfg.node_count();
+    let mut live: Vec<HashSet<String>> = vec![HashSet::new(); n];
+    // Predecessor map for the backward propagation.
+    let mut preds: HashMap<usize, Vec<usize>> = HashMap::new();
+    for e in cfg.edges() {
+        preds.entry(e.to).or_default().push(e.from);
+    }
+    let mut worklist: VecDeque<usize> = (0..n).collect();
+    while let Some(node) = worklist.pop_front() {
+        // live-in(node) = ∪ over out edges: use(op) ∪ (live-in(to) \ def(op))
+        let mut new_live: HashSet<String> = HashSet::new();
+        for &eix in cfg.out_edges(node) {
+            let e = &cfg.edges()[eix];
+            for u in uses(&e.op) {
+                new_live.insert(u.to_owned());
+            }
+            let killed = def(&e.op);
+            for v in &live[e.to] {
+                if Some(v.as_str()) != killed {
+                    new_live.insert(v.clone());
+                }
+            }
+        }
+        if new_live != live[node] {
+            live[node] = new_live;
+            if let Some(ps) = preds.get(&node) {
+                for &p in ps {
+                    worklist.push_back(p);
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Variables to kill after traversing `edge_ix`: variables that were
+/// possibly-set before (used/def'd/live at the source) but are dead at the
+/// target.
+pub fn kills(cfg: &Cfg, live: &[HashSet<String>], edge_ix: usize) -> Vec<String> {
+    let e = &cfg.edges()[edge_ix];
+    let mut candidates: HashSet<String> = live[e.from].clone();
+    for u in uses(&e.op) {
+        candidates.insert(u.to_owned());
+    }
+    if let Some(d) = def(&e.op) {
+        candidates.insert(d.to_owned());
+    }
+    let mut out: Vec<String> = candidates
+        .into_iter()
+        .filter(|v| !live[e.to].contains(v))
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsep_ir::parse_program;
+
+    fn build(src: &str) -> Cfg {
+        Cfg::build(&parse_program(src).unwrap(), "main").unwrap()
+    }
+
+    #[test]
+    fn straightline_liveness() {
+        let cfg = build(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+        );
+        let live = live_in(&cfg);
+        // f is live between its definition and close().
+        let read_edge = cfg
+            .edges()
+            .iter()
+            .position(|e| matches!(&e.op, CfgOp::CallLib { method, .. } if method == "read"))
+            .unwrap();
+        let e = &cfg.edges()[read_edge];
+        assert!(live[e.from].contains("f"));
+        // After close(), f is dead.
+        let close_edge = cfg
+            .edges()
+            .iter()
+            .position(|e| matches!(&e.op, CfgOp::CallLib { method, .. } if method == "close"))
+            .unwrap();
+        let k = kills(&cfg, &live, close_edge);
+        assert!(k.contains(&"f".to_owned()), "{k:?}");
+    }
+
+    #[test]
+    fn loop_keeps_variables_alive() {
+        let cfg = build(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             while (?) {\n\
+             f.read();\n\
+             }\n}",
+        );
+        let live = live_in(&cfg);
+        // f stays live around the loop: the edge defining f must not kill it.
+        let def_edge = cfg
+            .edges()
+            .iter()
+            .position(|e| matches!(&e.op, CfgOp::New { .. }))
+            .unwrap();
+        let k = kills(&cfg, &live, def_edge);
+        assert!(!k.contains(&"f".to_owned()), "{k:?}");
+    }
+
+    #[test]
+    fn dead_tmp_killed_after_store() {
+        let cfg = build(
+            "program P uses IOStreams;\n\
+             class Holder { InputStream s; }\n\
+             void main() {\n\
+             Holder h = new Holder();\n\
+             InputStream f = new InputStream();\n\
+             h.s = f;\n\
+             h = h;\n}",
+        );
+        let live = live_in(&cfg);
+        let store_edge = cfg
+            .edges()
+            .iter()
+            .position(|e| matches!(&e.op, CfgOp::StoreField { .. }))
+            .unwrap();
+        let k = kills(&cfg, &live, store_edge);
+        assert!(k.contains(&"f".to_owned()), "f dead after the store: {k:?}");
+        assert!(!k.contains(&"h".to_owned()));
+    }
+
+    #[test]
+    fn uses_and_def_cover_ops() {
+        let cfg = build(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection c = cm.getConnection();\n\
+             boolean b = ?;\n\
+             if (b) {\n\
+             c.close();\n\
+             }\n}",
+        );
+        let mut all_uses: Vec<String> = Vec::new();
+        for e in cfg.edges() {
+            all_uses.extend(uses(&e.op).into_iter().map(str::to_owned));
+        }
+        assert!(all_uses.contains(&"cm".to_owned()));
+        assert!(all_uses.contains(&"b".to_owned()));
+        assert!(all_uses.contains(&"c".to_owned()));
+    }
+}

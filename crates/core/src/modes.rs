@@ -1,0 +1,447 @@
+//! Verification modes: the drivers of Table 3.
+//!
+//! * `vanilla` — homogeneous TVLA-style verification, no separation;
+//! * `single`/`multi` (simultaneous) — separation instrumentation active,
+//!   all subproblems explored in one run;
+//! * non-simultaneous separation — one engine run per allocation site of the
+//!   first `choose some` class, reducing the peak memory footprint (the
+//!   paper's default measurement mode);
+//! * `inc` — incremental strategies: stages tried in order, later stages
+//!   restricted to the allocation sites that failed earlier ones.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use hetsep_easl::ast::Spec;
+use hetsep_ir::Program;
+use hetsep_strategy::ast::{ChoiceMode, Strategy};
+
+use crate::engine::{run, AnalysisOutcome, EngineConfig, RunStats};
+use crate::report::{dedup_reports, ErrorReport, VerifyError};
+use crate::translate::{translate, TranslateOptions};
+use crate::vocab::SiteId;
+
+/// How to verify.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// No separation: the homogeneous baseline of Table 3's `vanilla` rows.
+    Vanilla,
+    /// One strategy stage.
+    Separation {
+        /// The strategy (only its first stage is used).
+        strategy: Strategy,
+        /// `true` = one engine run exploring all subproblems at once
+        /// (Table 3's `sim` rows); `false` = one run per allocation site of
+        /// the first `choose some` class (the non-simultaneous default).
+        simultaneous: bool,
+        /// Use heterogeneous abstraction (the paper's default; `false` only
+        /// for ablation).
+        heterogeneous: bool,
+    },
+    /// Incremental strategy: try stages until one verifies.
+    Incremental {
+        /// The multi-stage strategy.
+        strategy: Strategy,
+        /// Use heterogeneous abstraction.
+        heterogeneous: bool,
+    },
+}
+
+impl Mode {
+    /// Separation with the paper's defaults (non-simultaneous,
+    /// heterogeneous).
+    pub fn separation(strategy: Strategy) -> Mode {
+        Mode::Separation {
+            strategy,
+            simultaneous: false,
+            heterogeneous: true,
+        }
+    }
+
+    /// Simultaneous separation (`sim` rows).
+    pub fn simultaneous(strategy: Strategy) -> Mode {
+        Mode::Separation {
+            strategy,
+            simultaneous: true,
+            heterogeneous: true,
+        }
+    }
+
+    /// Incremental verification with heterogeneous abstraction.
+    pub fn incremental(strategy: Strategy) -> Mode {
+        Mode::Incremental {
+            strategy,
+            heterogeneous: true,
+        }
+    }
+
+    /// Short mode label as used in Table 3.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Vanilla => "vanilla",
+            Mode::Separation {
+                simultaneous: true, ..
+            } => "sim",
+            Mode::Separation { .. } => "sep",
+            Mode::Incremental { .. } => "inc",
+        }
+    }
+}
+
+/// Statistics of one subproblem run.
+#[derive(Debug, Clone)]
+pub struct SubproblemStats {
+    /// The allocation site this subproblem was restricted to, if any.
+    pub site: Option<SiteId>,
+    /// Engine statistics.
+    pub stats: RunStats,
+    /// Number of (per-line) errors this subproblem reported.
+    pub errors: usize,
+    /// Completion status.
+    pub outcome: AnalysisOutcome,
+}
+
+/// The result of a verification.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Deduplicated error reports.
+    pub errors: Vec<ErrorReport>,
+    /// Whether every run completed within budget.
+    pub complete: bool,
+    /// Max structures stored by any single run (the paper's "space" — the
+    /// maximal footprint of analyzing one set of subproblems).
+    pub max_space: usize,
+    /// Total action applications across all runs (deterministic time proxy).
+    pub total_visits: u64,
+    /// Accumulated wall-clock time across all runs (the paper's "time").
+    pub total_wall: Duration,
+    /// Largest universe encountered.
+    pub peak_nodes: usize,
+    /// Per-subproblem statistics.
+    pub subproblems: Vec<SubproblemStats>,
+    /// Number of incremental stages executed (1 for other modes).
+    pub stages_run: usize,
+}
+
+impl VerificationReport {
+    /// Whether the program was proven correct.
+    pub fn verified(&self) -> bool {
+        self.errors.is_empty() && self.complete
+    }
+
+    /// Average visits per subproblem (the paper's on-demand argument: this
+    /// is much smaller than a vanilla run even when the total is not).
+    pub fn avg_visits_per_subproblem(&self) -> f64 {
+        if self.subproblems.is_empty() {
+            0.0
+        } else {
+            self.total_visits as f64 / self.subproblems.len() as f64
+        }
+    }
+
+    fn empty() -> VerificationReport {
+        VerificationReport {
+            errors: Vec::new(),
+            complete: true,
+            max_space: 0,
+            total_visits: 0,
+            total_wall: Duration::ZERO,
+            peak_nodes: 0,
+            subproblems: Vec::new(),
+            stages_run: 0,
+        }
+    }
+
+    fn absorb(&mut self, site: Option<SiteId>, result: crate::engine::RunResult) {
+        self.complete &= result.outcome == AnalysisOutcome::Complete;
+        self.max_space = self.max_space.max(result.stats.structures);
+        self.total_visits += result.stats.visits;
+        self.total_wall += result.stats.wall;
+        self.peak_nodes = self.peak_nodes.max(result.stats.peak_nodes);
+        self.subproblems.push(SubproblemStats {
+            site,
+            stats: result.stats.clone(),
+            errors: result.errors.len(),
+            outcome: result.outcome,
+        });
+        self.errors.extend(result.errors);
+    }
+
+    fn finish(mut self) -> VerificationReport {
+        self.errors = dedup_reports(std::mem::take(&mut self.errors));
+        self
+    }
+}
+
+/// Verifies `program` against `spec` under `mode`.
+///
+/// # Errors
+///
+/// Propagates translation failures; property violations are *results*
+/// (see [`VerificationReport::errors`]), not errors.
+pub fn verify(
+    program: &Program,
+    spec: &Spec,
+    mode: &Mode,
+    config: &EngineConfig,
+) -> Result<VerificationReport, VerifyError> {
+    match mode {
+        Mode::Vanilla => {
+            let inst = translate(program, spec, &TranslateOptions::default())?;
+            let mut report = VerificationReport::empty();
+            report.stages_run = 1;
+            report.absorb(None, run(&inst, config));
+            Ok(report.finish())
+        }
+        Mode::Separation {
+            strategy,
+            simultaneous,
+            heterogeneous,
+        } => {
+            let stage = strategy
+                .stages
+                .first()
+                .ok_or_else(|| VerifyError::Strategy("strategy has no stages".into()))?;
+            let base = TranslateOptions {
+                stage: Some(stage.clone()),
+                heterogeneous: *heterogeneous,
+                ..TranslateOptions::default()
+            };
+            let mut report = VerificationReport::empty();
+            report.stages_run = 1;
+            if *simultaneous {
+                let inst = translate(program, spec, &base)?;
+                report.absorb(None, run(&inst, config));
+                return Ok(report.finish());
+            }
+            // Non-simultaneous: one run per allocation site of the first
+            // `choose some` class.
+            let probe = translate(program, spec, &base)?;
+            let first_some = stage
+                .choices
+                .iter()
+                .position(|c| c.mode == ChoiceMode::Some);
+            match first_some {
+                None => {
+                    report.absorb(None, run(&probe, config));
+                }
+                Some(choice_ix) => {
+                    let class = &stage.choices[choice_ix].class;
+                    let sites: Vec<SiteId> = probe.sites_of(class).to_vec();
+                    if sites.is_empty() {
+                        // Nothing of the chosen class is ever allocated: a
+                        // single (cheap) run covers the empty family.
+                        report.absorb(None, run(&probe, config));
+                    }
+                    for site in sites {
+                        let mut options = base.clone();
+                        options.site_constraints =
+                            HashMap::from([(choice_ix, HashSet::from([site]))]);
+                        let inst = translate(program, spec, &options)?;
+                        report.absorb(Some(site), run(&inst, config));
+                    }
+                }
+            }
+            Ok(report.finish())
+        }
+        Mode::Incremental {
+            strategy,
+            heterogeneous,
+        } => {
+            let mut report = VerificationReport::empty();
+            let mut failing: HashSet<SiteId> = HashSet::new();
+            let mut last_errors: Vec<ErrorReport> = Vec::new();
+            let mut last_stage_complete = false;
+            for (ix, stage) in strategy.stages.iter().enumerate() {
+                let options = TranslateOptions {
+                    stage: Some(stage.clone()),
+                    heterogeneous: *heterogeneous,
+                    failing_sites: failing.clone(),
+                    ..TranslateOptions::default()
+                };
+                let inst = translate(program, spec, &options)?;
+                let result = run(&inst, config);
+                report.stages_run = ix + 1;
+                let stage_errors = result.errors.clone();
+                last_stage_complete = result.outcome == AnalysisOutcome::Complete;
+                failing = result.failing_sites.clone();
+                report.absorb(None, result);
+                last_errors = stage_errors;
+                if last_errors.is_empty() && last_stage_complete {
+                    break;
+                }
+            }
+            // The deciding stage's verdict stands: earlier stages' failures
+            // may have been refuted with more context, and an earlier
+            // incomplete stage does not taint a later complete one.
+            report.errors = last_errors;
+            report.complete = last_stage_complete;
+            Ok(report.finish())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsep_strategy::builtin::{parse_builtin, IOSTREAM_SINGLE, JDBC_INCREMENTAL, JDBC_MULTI, JDBC_SINGLE};
+
+    const JDBC_BUGGY: &str = r#"
+program P uses JDBC;
+void main() {
+    ConnectionManager cm = new ConnectionManager();
+    Connection con = cm.getConnection();
+    Statement st = cm.createStatement(con);
+    ResultSet rs1 = st.executeQuery("a");
+    ResultSet rs2 = st.executeQuery("b");
+    while (rs1.next()) {
+    }
+}
+"#;
+
+    const JDBC_OK: &str = r#"
+program P uses JDBC;
+void main() {
+    ConnectionManager cm = new ConnectionManager();
+    Connection con = cm.getConnection();
+    Statement st = cm.createStatement(con);
+    ResultSet rs1 = st.executeQuery("a");
+    while (rs1.next()) {
+    }
+    ResultSet rs2 = st.executeQuery("b");
+    while (rs2.next()) {
+    }
+    con.close();
+}
+"#;
+
+    fn program(src: &str) -> Program {
+        hetsep_ir::parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn vanilla_finds_the_bug() {
+        let r = verify(
+            &program(JDBC_BUGGY),
+            &hetsep_easl::builtin::jdbc(),
+            &Mode::Vanilla,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.errors.len(), 1);
+        assert!(!r.verified());
+    }
+
+    #[test]
+    fn single_choice_sim_finds_the_bug() {
+        let strategy = parse_builtin(JDBC_SINGLE);
+        let r = verify(
+            &program(JDBC_BUGGY),
+            &hetsep_easl::builtin::jdbc(),
+            &Mode::simultaneous(strategy),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
+    }
+
+    #[test]
+    fn single_choice_nonsim_finds_the_bug() {
+        let strategy = parse_builtin(JDBC_SINGLE);
+        let r = verify(
+            &program(JDBC_BUGGY),
+            &hetsep_easl::builtin::jdbc(),
+            &Mode::separation(strategy),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
+        // One subproblem per Connection allocation site.
+        assert_eq!(r.subproblems.len(), 1);
+    }
+
+    #[test]
+    fn multi_choice_finds_the_bug() {
+        let strategy = parse_builtin(JDBC_MULTI);
+        let r = verify(
+            &program(JDBC_BUGGY),
+            &hetsep_easl::builtin::jdbc(),
+            &Mode::simultaneous(strategy),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
+    }
+
+    #[test]
+    fn correct_program_verifies_in_all_modes() {
+        let spec = hetsep_easl::builtin::jdbc();
+        let p = program(JDBC_OK);
+        for mode in [
+            Mode::Vanilla,
+            Mode::simultaneous(parse_builtin(JDBC_SINGLE)),
+            Mode::separation(parse_builtin(JDBC_SINGLE)),
+            Mode::simultaneous(parse_builtin(JDBC_MULTI)),
+            Mode::incremental(parse_builtin(JDBC_INCREMENTAL)),
+        ] {
+            let r = verify(&p, &spec, &mode, &EngineConfig::default()).unwrap();
+            assert!(r.verified(), "mode {} reported {:?}", mode.label(), r.errors);
+        }
+    }
+
+    #[test]
+    fn incremental_finds_real_bug_in_later_stage() {
+        let strategy = parse_builtin(JDBC_INCREMENTAL);
+        let r = verify(
+            &program(JDBC_BUGGY),
+            &hetsep_easl::builtin::jdbc(),
+            &Mode::incremental(strategy),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
+        assert!(r.stages_run >= 1);
+    }
+
+    #[test]
+    fn iostream_separation_verifies_two_streams() {
+        let src = "program P uses IOStreams; void main() {\n\
+                   InputStream a = new InputStream();\n\
+                   InputStream b = new InputStream();\n\
+                   a.read();\n\
+                   b.read();\n\
+                   a.close();\n\
+                   b.read();\n\
+                   b.close();\n}";
+        let strategy = parse_builtin(IOSTREAM_SINGLE);
+        let r = verify(
+            &program(src),
+            &hetsep_easl::builtin::iostreams(),
+            &Mode::separation(strategy),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(r.verified(), "{:?}", r.errors);
+        assert_eq!(r.subproblems.len(), 2, "one per stream allocation site");
+    }
+
+    #[test]
+    fn separation_still_catches_stream_error() {
+        let src = "program P uses IOStreams; void main() {\n\
+                   InputStream a = new InputStream();\n\
+                   InputStream b = new InputStream();\n\
+                   a.close();\n\
+                   a.read();\n\
+                   b.close();\n}";
+        let strategy = parse_builtin(IOSTREAM_SINGLE);
+        let r = verify(
+            &program(src),
+            &hetsep_easl::builtin::iostreams(),
+            &Mode::separation(strategy),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].line, 5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error reporting.
+
+use std::fmt;
+
+/// A (possible) safety-property violation, attributed to a source line.
+///
+/// Following the paper's counting convention, the engine deduplicates
+/// reports per program location: "when counting errors, we count all errors
+/// reported at the same program location as a single error".
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ErrorReport {
+    /// 1-based source line of the violating operation.
+    pub line: u32,
+    /// Human-readable description (from the violated `requires`).
+    pub label: String,
+    /// Whether the violation is definite (`requires` evaluated to `0`) or
+    /// only possible (`1/2`).
+    pub definite: bool,
+}
+
+impl fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.definite { "error" } else { "possible error" };
+        write!(f, "line {}: {kind}: {}", self.line, self.label)
+    }
+}
+
+/// Errors surfaced by verification (distinct from property violations, which
+/// are results).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The client program failed semantic checking.
+    Check(String),
+    /// CFG construction failed (e.g. recursion).
+    Cfg(String),
+    /// Translation to a transition system failed (unknown classes/methods,
+    /// unsupported spec patterns).
+    Translate(String),
+    /// The strategy is inconsistent with the specification.
+    Strategy(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Check(m) => write!(f, "program check failed: {m}"),
+            VerifyError::Cfg(m) => write!(f, "cfg construction failed: {m}"),
+            VerifyError::Translate(m) => write!(f, "translation failed: {m}"),
+            VerifyError::Strategy(m) => write!(f, "strategy error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Deduplicates reports per line, keeping the most definite one.
+pub fn dedup_reports(mut reports: Vec<ErrorReport>) -> Vec<ErrorReport> {
+    reports.sort_by(|a, b| {
+        (a.line, &a.label, b.definite)
+            .cmp(&(b.line, &b.label, a.definite))
+    });
+    reports.dedup_by_key(|r| r.line);
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keeps_one_per_line() {
+        let reports = vec![
+            ErrorReport {
+                line: 40,
+                label: "a".into(),
+                definite: false,
+            },
+            ErrorReport {
+                line: 40,
+                label: "a".into(),
+                definite: true,
+            },
+            ErrorReport {
+                line: 41,
+                label: "b".into(),
+                definite: false,
+            },
+        ];
+        let out = dedup_reports(reports);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].definite, "the definite report wins for line 40");
+        assert_eq!(out[1].line, 41);
+    }
+
+    #[test]
+    fn display_distinguishes_definite() {
+        let r = ErrorReport {
+            line: 3,
+            label: "ResultSet.next: requires violated".into(),
+            definite: false,
+        };
+        assert!(r.to_string().contains("possible error"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Abstract syntax of Easl specifications.
+//!
+//! An Easl [`Spec`] declares library classes with boolean fields, reference
+//! fields, and built-in *set*-valued fields; each class has one constructor
+//! and any number of methods. Statements are restricted to the forms used by
+//! the paper's specifications (Fig. 4): `requires`, field assignment, set
+//! insertion/initialization, a single allocation per method, conditionals,
+//! `foreach` over a set field, and `return`.
+
+use std::fmt;
+
+/// A complete Easl specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spec {
+    /// Specification name (referenced by client programs via `uses`).
+    pub name: String,
+    /// Library classes.
+    pub classes: Vec<EaslClass>,
+}
+
+impl Spec {
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&EaslClass> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+/// The kind of a library-class field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A boolean field (modelled by a unary predicate).
+    Bool,
+    /// A reference field to instances of the named class (binary predicate,
+    /// functional).
+    Ref(String),
+    /// A set of references to instances of the named class (binary
+    /// predicate, not functional). Easl's built-in `Set` type.
+    Set(String),
+}
+
+/// A library class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EaslClass {
+    /// Class name.
+    pub name: String,
+    /// Declared fields `(name, kind)`.
+    pub fields: Vec<(String, FieldKind)>,
+    /// The constructor (named after the class).
+    pub ctor: EaslMethod,
+    /// Methods.
+    pub methods: Vec<EaslMethod>,
+}
+
+impl EaslClass {
+    /// Looks up a field kind by name.
+    pub fn field(&self, name: &str) -> Option<&FieldKind> {
+        self.fields.iter().find(|(f, _)| f == name).map(|(_, k)| k)
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&EaslMethod> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// Return kind of a method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetKind {
+    /// `void`.
+    Void,
+    /// `boolean` — the returned value is unconstrained from the client's
+    /// point of view (non-deterministic).
+    Bool,
+    /// A reference to an instance of the named class.
+    Ref(String),
+}
+
+/// A method or constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EaslMethod {
+    /// Method name (class name for constructors).
+    pub name: String,
+    /// Parameters `(name, class)`. Parameters of class `String` are inert
+    /// (e.g. SQL query text) and ignored by compilation.
+    pub params: Vec<(String, String)>,
+    /// Return kind.
+    pub ret: RetKind,
+    /// Body statements.
+    pub body: Vec<EaslStmt>,
+}
+
+/// A field-access path rooted at a variable: `root.f1.f2...`.
+///
+/// The root is `this`, a parameter, a local (allocation result), or a
+/// `foreach` variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Root variable name (`this` included).
+    pub root: String,
+    /// Chain of field names.
+    pub fields: Vec<String>,
+}
+
+impl Path {
+    /// A path consisting of just a root variable.
+    pub fn var(root: impl Into<String>) -> Path {
+        Path {
+            root: root.into(),
+            fields: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)?;
+        for field in &self.fields {
+            write!(f, ".{field}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Right-hand side of a boolean-field assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolRhs {
+    /// `true` / `false`.
+    Const(bool),
+    /// `?` — non-deterministic.
+    Nondet,
+    /// A boolean field read through a path (e.g. `c.closed`).
+    Read(Path),
+}
+
+/// Right-hand side of a reference-field assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefRhs {
+    /// `null`.
+    Null,
+    /// A path denoting an object.
+    Path(Path),
+}
+
+/// A boolean condition (in `requires` and `if`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EaslCond {
+    /// A boolean-field read `path` (ending in a boolean field).
+    Read(Path),
+    /// `!cond`.
+    Not(Box<EaslCond>),
+    /// `path == null`.
+    IsNull(Path),
+    /// `path != null`.
+    NotNull(Path),
+    /// `cond && cond`.
+    And(Box<EaslCond>, Box<EaslCond>),
+}
+
+/// An Easl statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EaslStmt {
+    /// `requires cond;` — the client must guarantee `cond` here.
+    Requires(EaslCond),
+    /// `path.bf = <bool>;` where the last path element is a boolean field.
+    AssignBool {
+        /// Path to the object whose field is written (without the field).
+        target: Path,
+        /// The boolean field name.
+        field: String,
+        /// New value.
+        value: BoolRhs,
+    },
+    /// `path.rf = <ref>;` strong update of a reference field.
+    AssignRef {
+        /// Path to the object whose field is written.
+        target: Path,
+        /// The reference field name.
+        field: String,
+        /// New value.
+        value: RefRhs,
+    },
+    /// `path.sf = {};` — empty the set field.
+    SetClear {
+        /// Path to the object whose set is cleared.
+        target: Path,
+        /// The set field name.
+        field: String,
+    },
+    /// `path.sf += x;` — insert an element into the set field.
+    SetAdd {
+        /// Path to the object whose set is extended.
+        target: Path,
+        /// The set field name.
+        field: String,
+        /// Path denoting the inserted element.
+        elem: Path,
+    },
+    /// `C x = new C(args);` — allocation (at most one per method); the
+    /// constructor body is inlined.
+    Alloc {
+        /// Local variable bound to the new object.
+        var: String,
+        /// Allocated class.
+        class: String,
+        /// Constructor arguments (paths; `this` allowed).
+        args: Vec<Path>,
+    },
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: EaslCond,
+        /// Then branch.
+        then_branch: Vec<EaslStmt>,
+        /// Else branch (may be empty).
+        else_branch: Vec<EaslStmt>,
+    },
+    /// `foreach (x in path.sf) { .. }` — the body's effects apply to every
+    /// element of the set simultaneously.
+    Foreach {
+        /// Element variable.
+        var: String,
+        /// Path to the object owning the set.
+        target: Path,
+        /// The set field iterated over.
+        field: String,
+        /// Body.
+        body: Vec<EaslStmt>,
+    },
+    /// `return x;` / `return ?;` / `return;`
+    Return(Option<ReturnValue>),
+}
+
+/// The value of a `return` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReturnValue {
+    /// A path denoting the returned object.
+    Path(Path),
+    /// A non-deterministic boolean (`?`, `true`, `false` are all abstracted
+    /// to non-deterministic from the client's point of view).
+    Bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_display() {
+        let p = Path {
+            root: "this".into(),
+            fields: vec!["myResultSet".into(), "closed".into()],
+        };
+        assert_eq!(p.to_string(), "this.myResultSet.closed");
+        assert_eq!(Path::var("st").to_string(), "st");
+    }
+
+    #[test]
+    fn class_lookups() {
+        let c = EaslClass {
+            name: "C".into(),
+            fields: vec![("closed".into(), FieldKind::Bool)],
+            ctor: EaslMethod {
+                name: "C".into(),
+                params: vec![],
+                ret: RetKind::Void,
+                body: vec![],
+            },
+            methods: vec![EaslMethod {
+                name: "close".into(),
+                params: vec![],
+                ret: RetKind::Void,
+                body: vec![],
+            }],
+        };
+        assert_eq!(c.field("closed"), Some(&FieldKind::Bool));
+        assert!(c.field("nope").is_none());
+        assert!(c.method("close").is_some());
+    }
+}

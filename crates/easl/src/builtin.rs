@@ -1,0 +1,395 @@
+//! Built-in Easl specifications used by the paper's benchmarks.
+//!
+//! * [`JDBC`] — the simplified JDBC API of paper Fig. 4 (plus the
+//!   `ConnectionManager` facade the running example of Fig. 1 uses),
+//! * [`IOSTREAMS`] — input streams and files with a read-after-close
+//!   property (used by `ISPath`, the `InputStream*` benchmarks, `db`, and
+//!   the Fig. 3 file example),
+//! * [`CMP`] — collections and iterators with the concurrent-modification
+//!   property (used by the kernel benchmarks of Ramalingam et al.).
+
+use crate::ast::Spec;
+use crate::parser::parse_spec;
+
+/// Easl source of the simplified JDBC specification (paper Fig. 4).
+///
+/// Field names follow Sun's `sun.jdbc.odbc` implementation, as in the paper:
+/// `statements`, `myResultSet`, `myConnection`, `ownerStmt`.
+pub const JDBC: &str = r#"
+spec JDBC;
+
+class ConnectionManager {
+    ConnectionManager() { }
+
+    Connection getConnection() {
+        Connection c = new Connection();
+        return c;
+    }
+
+    Statement createStatement(Connection c) {
+        requires !c.closed;
+        Statement st = new Statement(c);
+        c.statements += st;
+        return st;
+    }
+}
+
+class Connection {
+    boolean closed;
+    set<Statement> statements;
+
+    Connection() {
+        this.closed = false;
+        this.statements = {};
+    }
+
+    Statement createStatement() {
+        requires !this.closed;
+        Statement st = new Statement(this);
+        this.statements += st;
+        return st;
+    }
+
+    void close() {
+        this.closed = true;
+        foreach (st in this.statements) {
+            st.closed = true;
+            if (st.myResultSet != null) {
+                st.myResultSet.closed = true;
+            }
+        }
+    }
+}
+
+class Statement {
+    boolean closed;
+    ResultSet myResultSet;
+    Connection myConnection;
+
+    Statement(Connection c) {
+        this.closed = false;
+        this.myConnection = c;
+        this.myResultSet = null;
+    }
+
+    ResultSet executeQuery(String qry) {
+        requires !this.closed;
+        if (this.myResultSet != null) {
+            this.myResultSet.closed = true;
+        }
+        ResultSet r = new ResultSet(this);
+        this.myResultSet = r;
+        return r;
+    }
+
+    void close() {
+        this.closed = true;
+        if (this.myResultSet != null) {
+            this.myResultSet.closed = true;
+        }
+    }
+}
+
+class ResultSet {
+    boolean closed;
+    Statement ownerStmt;
+
+    ResultSet(Statement s) {
+        this.closed = false;
+        this.ownerStmt = s;
+    }
+
+    boolean next() {
+        requires !this.closed;
+        return ?;
+    }
+
+    void close() {
+        this.closed = true;
+    }
+}
+"#;
+
+/// Easl source of the IO-streams specification: an `InputStream` (and a
+/// `File`, for the Fig. 3 example) must not be read after being closed.
+pub const IOSTREAMS: &str = r#"
+spec IOStreams;
+
+class InputStream {
+    boolean closed;
+
+    InputStream() {
+        this.closed = false;
+    }
+
+    void read() {
+        requires !this.closed;
+    }
+
+    boolean ready() {
+        requires !this.closed;
+        return ?;
+    }
+
+    void close() {
+        this.closed = true;
+    }
+}
+
+class File {
+    boolean closed;
+
+    File() {
+        this.closed = false;
+    }
+
+    void read() {
+        requires !this.closed;
+    }
+
+    void close() {
+        this.closed = true;
+    }
+}
+
+class OutputStream {
+    boolean closed;
+
+    OutputStream() {
+        this.closed = false;
+    }
+
+    void write() {
+        requires !this.closed;
+    }
+
+    void close() {
+        this.closed = true;
+    }
+}
+"#;
+
+/// Easl source of the collections/iterators specification (the
+/// concurrent-modification property, CMP): structurally modifying a
+/// collection invalidates all of its iterators; an invalidated iterator must
+/// not be advanced.
+pub const CMP: &str = r#"
+spec CMP;
+
+class Element {
+    Element() { }
+}
+
+class Collection {
+    set<Iterator> iters;
+
+    Collection() {
+        this.iters = {};
+    }
+
+    Iterator iterator() {
+        Iterator it = new Iterator(this);
+        this.iters += it;
+        return it;
+    }
+
+    void add(Element e) {
+        foreach (it in this.iters) {
+            it.invalid = true;
+        }
+    }
+
+    void remove(Element e) {
+        foreach (it in this.iters) {
+            it.invalid = true;
+        }
+    }
+}
+
+class Iterator {
+    boolean invalid;
+    Collection myColl;
+
+    Iterator(Collection c) {
+        this.invalid = false;
+        this.myColl = c;
+    }
+
+    boolean hasNext() {
+        requires !this.invalid;
+        return ?;
+    }
+
+    Element next() {
+        requires !this.invalid;
+        Element e = new Element();
+        return e;
+    }
+}
+"#;
+
+/// Easl source of a sockets specification (one of the paper's "additional
+/// small but interesting specifications"): a `Socket` must be connected
+/// before sending, must not be used after `close`, and a `Listener` hands
+/// out connected sockets.
+pub const SOCKETS: &str = r#"
+spec Sockets;
+
+class Listener {
+    boolean closed;
+
+    Listener() {
+        this.closed = false;
+    }
+
+    Socket accept() {
+        requires !this.closed;
+        Socket s = new Socket();
+        s.connected = true;
+        return s;
+    }
+
+    void close() {
+        this.closed = true;
+    }
+}
+
+class Socket {
+    boolean connected;
+    boolean closed;
+
+    Socket() {
+        this.connected = false;
+        this.closed = false;
+    }
+
+    void connect() {
+        requires !this.connected && !this.closed;
+        this.connected = true;
+    }
+
+    void send() {
+        requires this.connected && !this.closed;
+    }
+
+    void receive() {
+        requires this.connected && !this.closed;
+    }
+
+    void close() {
+        this.closed = true;
+        this.connected = false;
+    }
+}
+"#;
+
+/// Parses the built-in JDBC specification.
+///
+/// # Panics
+///
+/// Never panics for the shipped source (covered by tests).
+pub fn jdbc() -> Spec {
+    parse_spec(JDBC).expect("builtin JDBC spec parses")
+}
+
+/// Parses the built-in IO-streams specification.
+pub fn iostreams() -> Spec {
+    parse_spec(IOSTREAMS).expect("builtin IOStreams spec parses")
+}
+
+/// Parses the built-in collections/iterators specification.
+pub fn cmp() -> Spec {
+    parse_spec(CMP).expect("builtin CMP spec parses")
+}
+
+/// Parses the built-in sockets specification.
+pub fn sockets() -> Spec {
+    parse_spec(SOCKETS).expect("builtin Sockets spec parses")
+}
+
+/// Looks up a built-in specification by the name a program `uses`.
+pub fn by_name(name: &str) -> Option<Spec> {
+    match name {
+        "JDBC" => Some(jdbc()),
+        "IOStreams" => Some(iostreams()),
+        "CMP" => Some(cmp()),
+        "Sockets" => Some(sockets()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{EaslStmt, FieldKind, RetKind};
+
+    #[test]
+    fn all_builtins_parse() {
+        assert_eq!(jdbc().classes.len(), 4);
+        assert_eq!(iostreams().classes.len(), 3);
+        assert_eq!(cmp().classes.len(), 3);
+        assert_eq!(sockets().classes.len(), 2);
+    }
+
+    #[test]
+    fn by_name_resolves() {
+        assert!(by_name("JDBC").is_some());
+        assert!(by_name("IOStreams").is_some());
+        assert!(by_name("CMP").is_some());
+        assert!(by_name("Sockets").is_some());
+        assert!(by_name("Nope").is_none());
+    }
+
+    #[test]
+    fn socket_send_requires_conjunction() {
+        let spec = sockets();
+        let send = spec.class("Socket").unwrap().method("send").unwrap();
+        assert!(matches!(
+            &send.body[0],
+            EaslStmt::Requires(crate::ast::EaslCond::And(..))
+        ));
+    }
+
+    #[test]
+    fn jdbc_matches_fig4_structure() {
+        let spec = jdbc();
+        let conn = spec.class("Connection").unwrap();
+        assert_eq!(
+            conn.field("statements"),
+            Some(&FieldKind::Set("Statement".into()))
+        );
+        let stmt = spec.class("Statement").unwrap();
+        assert_eq!(
+            stmt.field("myResultSet"),
+            Some(&FieldKind::Ref("ResultSet".into()))
+        );
+        assert_eq!(
+            stmt.field("myConnection"),
+            Some(&FieldKind::Ref("Connection".into()))
+        );
+        let rs = spec.class("ResultSet").unwrap();
+        assert_eq!(rs.field("ownerStmt"), Some(&FieldKind::Ref("Statement".into())));
+        assert_eq!(rs.method("next").unwrap().ret, RetKind::Bool);
+        // executeQuery implicitly closes the previous ResultSet (an if
+        // before the allocation).
+        let eq = stmt.method("executeQuery").unwrap();
+        assert!(matches!(eq.body[1], EaslStmt::If { .. }));
+        assert!(matches!(eq.body[2], EaslStmt::Alloc { .. }));
+    }
+
+    #[test]
+    fn cmp_iterator_invalidated_by_add() {
+        let spec = cmp();
+        let coll = spec.class("Collection").unwrap();
+        let add = coll.method("add").unwrap();
+        assert!(matches!(&add.body[0], EaslStmt::Foreach { field, .. } if field == "iters"));
+    }
+
+    #[test]
+    fn manager_facade_present() {
+        let spec = jdbc();
+        let cm = spec.class("ConnectionManager").unwrap();
+        assert!(cm.method("getConnection").is_some());
+        assert!(cm.method("createStatement").is_some());
+    }
+}

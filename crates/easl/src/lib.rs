@@ -1,0 +1,30 @@
+//! # hetsep-easl
+//!
+//! Easl (paper §2, citing Ramalingam et al.) is a procedural language for
+//! specifying the *abstract semantics* of a component library together with
+//! the correct-usage constraints (`requires` clauses) it imposes on clients.
+//! Fig. 4 of the paper gives an Easl specification of a simplified JDBC API;
+//! [`builtin`] ships that specification plus the IO-stream and
+//! collection/iterator specifications used by the paper's benchmarks.
+//!
+//! The crate parses Easl source ([`parser`]), validates it, and
+//! *symbolically compiles* constructor and method bodies into first-order
+//! predicate-update formulas over the `hetsep-tvl` vocabulary
+//! ([`compile`]). Compilation happens per call site: the caller provides
+//! denotations for the receiver and arguments (the unary predicates of the
+//! client's program variables), and receives a [`compile::CallSemantics`]
+//! with `requires` checks, simultaneous predicate updates, and allocation /
+//! return-value information — ready to be wrapped into an
+//! [`hetsep_tvl::Action`].
+
+pub mod ast;
+pub mod builtin;
+pub mod compile;
+pub mod parser;
+
+pub use ast::{EaslClass, EaslMethod, FieldKind, RetKind, Spec};
+pub use compile::{
+    compile_call, AllocInfo, CallSemantics, Callable, CompileError, Denotation, PredResolver,
+    RetEffect,
+};
+pub use parser::{parse_spec, SpecParseError};

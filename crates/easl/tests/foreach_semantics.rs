@@ -1,0 +1,242 @@
+//! Integration tests of the Easl compiler's relational `foreach` semantics:
+//! per-element conditions must stay correlated with the element the effect
+//! applies to (the compiler refines the iterated variable's denotation
+//! rather than hoisting the condition out of the loop).
+
+use hetsep_easl::compile::{compile_call, Callable, Denotation};
+use hetsep_easl::parse_spec;
+use hetsep_tvl::action::{apply, Action};
+use hetsep_tvl::focus::DEFAULT_FOCUS_LIMIT;
+use hetsep_tvl::pred::{PredFlags, PredId, PredTable};
+use hetsep_tvl::structure::Structure;
+use hetsep_tvl::Kleene;
+
+use std::collections::HashMap;
+
+struct MapResolver {
+    map: HashMap<String, PredId>,
+    isnew: PredId,
+}
+
+impl hetsep_easl::compile::PredResolver for MapResolver {
+    fn type_pred(&self, class: &str) -> PredId {
+        self.map[&format!("type:{class}")]
+    }
+    fn bool_field(&self, class: &str, field: &str) -> PredId {
+        self.map[&format!("bool:{class}.{field}")]
+    }
+    fn ref_field(&self, class: &str, field: &str) -> PredId {
+        self.map[&format!("ref:{class}.{field}")]
+    }
+    fn set_field(&self, class: &str, field: &str) -> PredId {
+        self.map[&format!("set:{class}.{field}")]
+    }
+    fn isnew_pred(&self) -> PredId {
+        self.isnew
+    }
+}
+
+const SPEC: &str = r#"
+spec S;
+
+class Group {
+    set<Member> members;
+
+    Group() {
+        this.members = {};
+    }
+
+    void retireMarked() {
+        foreach (m in this.members) {
+            if (m.marked) {
+                m.retired = true;
+            }
+        }
+    }
+
+    void retireAll() {
+        foreach (m in this.members) {
+            m.retired = true;
+        }
+    }
+}
+
+class Member {
+    boolean marked;
+    boolean retired;
+
+    Member(Group g) {
+        this.marked = false;
+        this.retired = false;
+        g.members += this;
+    }
+}
+"#;
+
+fn setup() -> (PredTable, MapResolver, PredId) {
+    let mut t = PredTable::new();
+    let mut map = HashMap::new();
+    map.insert(
+        "type:Group".to_owned(),
+        t.add_unary("type$Group", PredFlags::site()),
+    );
+    map.insert(
+        "type:Member".to_owned(),
+        t.add_unary("type$Member", PredFlags::site()),
+    );
+    map.insert(
+        "set:Group.members".to_owned(),
+        t.add_binary("Group.members", PredFlags::default()),
+    );
+    map.insert(
+        "bool:Member.marked".to_owned(),
+        t.add_unary("Member.marked", PredFlags::boolean_field()),
+    );
+    map.insert(
+        "bool:Member.retired".to_owned(),
+        t.add_unary("Member.retired", PredFlags::boolean_field()),
+    );
+    let g = t.add_unary("g", PredFlags::reference_variable());
+    let isnew = t.isnew();
+    (t, MapResolver { map, isnew }, g)
+}
+
+/// Builds: group g with two members, the first marked.
+fn group_with_two_members(
+    t: &PredTable,
+    r: &MapResolver,
+    g: PredId,
+) -> (
+    Structure,
+    hetsep_tvl::structure::NodeId,
+    hetsep_tvl::structure::NodeId,
+) {
+    let mut s = Structure::new(t);
+    let gn = s.add_node(t);
+    let m1 = s.add_node(t);
+    let m2 = s.add_node(t);
+    s.set_unary(t, g, gn, Kleene::True);
+    s.set_unary(t, r.map["type:Group"], gn, Kleene::True);
+    for m in [m1, m2] {
+        s.set_unary(t, r.map["type:Member"], m, Kleene::True);
+        s.set_binary(t, r.map["set:Group.members"], gn, m, Kleene::True);
+    }
+    s.set_unary(t, r.map["bool:Member.marked"], m1, Kleene::True);
+    (s, m1, m2)
+}
+
+fn to_action(sem: &hetsep_easl::CallSemantics) -> Action {
+    let mut a = Action::named("call");
+    a.updates = sem.updates.clone();
+    a
+}
+
+#[test]
+fn per_element_condition_stays_correlated() {
+    let spec = parse_spec(SPEC).unwrap();
+    let (t, r, g) = setup();
+    let (s, marked, unmarked) = group_with_two_members(&t, &r, g);
+    let sem = compile_call(
+        &spec,
+        "Group",
+        Callable::Method("retireMarked"),
+        Some(&Denotation::Var(g)),
+        &[],
+        &r,
+    )
+    .unwrap();
+    let post = apply(&to_action(&sem), &s, &t, DEFAULT_FOCUS_LIMIT)
+        .results
+        .remove(0);
+    let retired = r.map["bool:Member.retired"];
+    assert_eq!(post.unary(&t, retired, marked), Kleene::True);
+    assert_eq!(
+        post.unary(&t, retired, unmarked),
+        Kleene::False,
+        "unmarked member must NOT be retired — the condition is per element"
+    );
+}
+
+#[test]
+fn unconditional_foreach_hits_all_elements() {
+    let spec = parse_spec(SPEC).unwrap();
+    let (t, r, g) = setup();
+    let (s, m1, m2) = group_with_two_members(&t, &r, g);
+    let sem = compile_call(
+        &spec,
+        "Group",
+        Callable::Method("retireAll"),
+        Some(&Denotation::Var(g)),
+        &[],
+        &r,
+    )
+    .unwrap();
+    let post = apply(&to_action(&sem), &s, &t, DEFAULT_FOCUS_LIMIT)
+        .results
+        .remove(0);
+    let retired = r.map["bool:Member.retired"];
+    assert_eq!(post.unary(&t, retired, m1), Kleene::True);
+    assert_eq!(post.unary(&t, retired, m2), Kleene::True);
+}
+
+#[test]
+fn foreach_only_touches_the_receivers_members() {
+    let spec = parse_spec(SPEC).unwrap();
+    let (mut t, r, g) = setup();
+    let h = t.add_unary("h", PredFlags::reference_variable());
+    // Two groups; only g's members retire.
+    let mut s = Structure::new(&t);
+    let gn = s.add_node(&t);
+    let hn = s.add_node(&t);
+    let gm = s.add_node(&t);
+    let hm = s.add_node(&t);
+    s.set_unary(&t, g, gn, Kleene::True);
+    s.set_unary(&t, h, hn, Kleene::True);
+    s.set_binary(&t, r.map["set:Group.members"], gn, gm, Kleene::True);
+    s.set_binary(&t, r.map["set:Group.members"], hn, hm, Kleene::True);
+    let sem = compile_call(
+        &spec,
+        "Group",
+        Callable::Method("retireAll"),
+        Some(&Denotation::Var(g)),
+        &[],
+        &r,
+    )
+    .unwrap();
+    let post = apply(&to_action(&sem), &s, &t, DEFAULT_FOCUS_LIMIT)
+        .results
+        .remove(0);
+    let retired = r.map["bool:Member.retired"];
+    assert_eq!(post.unary(&t, retired, gm), Kleene::True);
+    assert_eq!(post.unary(&t, retired, hm), Kleene::False);
+}
+
+#[test]
+fn ctor_set_add_registers_membership() {
+    let spec = parse_spec(SPEC).unwrap();
+    let (t, r, g) = setup();
+    let mut s = Structure::new(&t);
+    let gn = s.add_node(&t);
+    s.set_unary(&t, g, gn, Kleene::True);
+    let sem = compile_call(
+        &spec,
+        "Member",
+        Callable::Ctor,
+        None,
+        &[Denotation::Var(g)],
+        &r,
+    )
+    .unwrap();
+    let mut a = to_action(&sem);
+    a.new_node = Some(hetsep_tvl::action::NewNodeSpec::default());
+    let post = apply(&a, &s, &t, DEFAULT_FOCUS_LIMIT).results.remove(0);
+    let member = post
+        .nodes()
+        .find(|&u| post.unary(&t, r.map["type:Member"], u) == Kleene::True)
+        .expect("member allocated");
+    assert_eq!(
+        post.binary(&t, r.map["set:Group.members"], gn, member),
+        Kleene::True,
+        "constructor's `g.members += this` must register the new member"
+    );
+}

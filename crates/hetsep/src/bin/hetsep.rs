@@ -1,0 +1,272 @@
+//! `hetsep` — command-line front end of the verifier.
+//!
+//! ```text
+//! hetsep verify <program> [--spec <file>] [--strategy <file>]
+//!                         [--mode vanilla|sep|sim|inc] [--no-hetero]
+//!                         [--max-visits N] [--quiet]
+//! hetsep baseline <program> [--spec <file>]
+//! hetsep check <program>
+//! hetsep heap <program> --line N [--strategy <file>] [--dot]
+//! ```
+//!
+//! `<program>` is a client-language source file; the specification defaults
+//! to the built-in spec named by the program's `uses` clause, and may be
+//! overridden with an Easl source file. Without `--strategy`, `verify` runs
+//! in vanilla mode. Exit code: 0 verified, 1 errors reported, 2 usage or
+//! translation failure.
+
+use std::process::ExitCode;
+
+use hetsep::core::engine::EngineConfig;
+use hetsep::core::{verify, Mode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    program_path: String,
+    spec_path: Option<String>,
+    strategy_path: Option<String>,
+    mode: String,
+    heterogeneous: bool,
+    max_visits: u64,
+    quiet: bool,
+    line: Option<u32>,
+    dot: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        program_path: String::new(),
+        spec_path: None,
+        strategy_path: None,
+        mode: "auto".into(),
+        heterogeneous: true,
+        max_visits: 2_000_000,
+        quiet: false,
+        line: None,
+        dot: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => o.spec_path = Some(next(&mut it, "--spec")?),
+            "--strategy" => o.strategy_path = Some(next(&mut it, "--strategy")?),
+            "--mode" => o.mode = next(&mut it, "--mode")?,
+            "--no-hetero" => o.heterogeneous = false,
+            "--max-visits" => {
+                o.max_visits = next(&mut it, "--max-visits")?
+                    .parse()
+                    .map_err(|e| format!("--max-visits: {e}"))?
+            }
+            "--line" => {
+                o.line = Some(
+                    next(&mut it, "--line")?
+                        .parse()
+                        .map_err(|e| format!("--line: {e}"))?,
+                )
+            }
+            "--dot" => o.dot = true,
+            "--quiet" | "-q" => o.quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path if o.program_path.is_empty() => o.program_path = path.to_owned(),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if o.program_path.is_empty() {
+        return Err("missing <program> path".into());
+    }
+    Ok(o)
+}
+
+fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn load_program(path: &str) -> Result<hetsep::ir::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    hetsep::ir::parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_spec(program: &hetsep::ir::Program, o: &Options) -> Result<hetsep::easl::Spec, String> {
+    match &o.spec_path {
+        Some(path) => {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            hetsep::easl::parse_spec(&src).map_err(|e| format!("{path}: {e}"))
+        }
+        None => hetsep::easl::builtin::by_name(&program.uses).ok_or_else(|| {
+            format!(
+                "program uses `{}`, which is not a built-in spec; pass --spec <file>",
+                program.uses
+            )
+        }),
+    }
+}
+
+fn load_strategy(o: &Options) -> Result<Option<hetsep::strategy::Strategy>, String> {
+    match &o.strategy_path {
+        None => Ok(None),
+        Some(path) => {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            hetsep::strategy::parse_strategy(&src)
+                .map(Some)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "verify" => cmd_verify(&parse_options(rest)?),
+        "baseline" => cmd_baseline(&parse_options(rest)?),
+        "check" => cmd_check(&parse_options(rest)?),
+        "heap" => cmd_heap(&parse_options(rest)?),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     hetsep verify   <program> [--spec <file>] [--strategy <file>] \
+     [--mode vanilla|sep|sim|inc] [--no-hetero] [--max-visits N] [--quiet]\n  \
+     hetsep baseline <program> [--spec <file>]\n  \
+     hetsep check    <program>\n  \
+     hetsep heap     <program> --line N [--strategy <file>] [--dot]"
+        .to_owned()
+}
+
+fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
+    let program = load_program(&o.program_path)?;
+    let spec = load_spec(&program, o)?;
+    let strategy = load_strategy(o)?;
+    let mode = match (o.mode.as_str(), strategy) {
+        ("vanilla", _) | ("auto", None) => Mode::Vanilla,
+        ("auto" | "sep", Some(s)) => Mode::Separation {
+            simultaneous: false,
+            heterogeneous: o.heterogeneous,
+            strategy: s,
+        },
+        ("sim", Some(s)) => Mode::Separation {
+            simultaneous: true,
+            heterogeneous: o.heterogeneous,
+            strategy: s,
+        },
+        ("inc", Some(s)) => Mode::Incremental {
+            heterogeneous: o.heterogeneous,
+            strategy: s,
+        },
+        (m, None) => return Err(format!("--mode {m} needs --strategy")),
+        (m, _) => return Err(format!("unknown mode `{m}`")),
+    };
+    let config = EngineConfig {
+        max_visits: o.max_visits,
+        ..EngineConfig::default()
+    };
+    let report = verify(&program, &spec, &mode, &config).map_err(|e| e.to_string())?;
+    for e in &report.errors {
+        println!("{}:{}", o.program_path, e);
+    }
+    if !o.quiet {
+        eprintln!(
+            "mode {}: {} subproblem(s), peak {} structures, {} visits, {:?}{}",
+            mode.label(),
+            report.subproblems.len(),
+            report.max_space,
+            report.total_visits,
+            report.total_wall,
+            if report.complete { "" } else { " (budget exceeded)" }
+        );
+    }
+    Ok(if report.verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_baseline(o: &Options) -> Result<ExitCode, String> {
+    let program = load_program(&o.program_path)?;
+    let spec = load_spec(&program, o)?;
+    let report = hetsep::baseline::verify(&program, &spec).map_err(|e| e.to_string())?;
+    for e in &report.errors {
+        println!("{}:{}", o.program_path, e);
+    }
+    if !o.quiet {
+        eprintln!(
+            "baseline: {} site(s), {} iterations",
+            report.sites, report.iterations
+        );
+    }
+    Ok(if report.verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_check(o: &Options) -> Result<ExitCode, String> {
+    let program = load_program(&o.program_path)?;
+    let errors = hetsep::ir::check::check_program(&program);
+    for e in &errors {
+        println!("{}:{}", o.program_path, e);
+    }
+    // Also make sure the CFG builds (catches recursion etc.).
+    if errors.is_empty() {
+        hetsep::ir::cfg::Cfg::build(&program, "main").map_err(|e| e.to_string())?;
+        if !o.quiet {
+            eprintln!("ok");
+        }
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn cmd_heap(o: &Options) -> Result<ExitCode, String> {
+    let line = o.line.ok_or("heap needs --line N")?;
+    let program = load_program(&o.program_path)?;
+    let spec = load_spec(&program, o)?;
+    let strategy = load_strategy(o)?;
+    let mut options = hetsep::core::translate::TranslateOptions::default();
+    if let Some(s) = strategy {
+        options.stage = Some(s.stages[0].clone());
+        options.heterogeneous = o.heterogeneous;
+    }
+    let inst =
+        hetsep::core::translate::translate(&program, &spec, &options).map_err(|e| e.to_string())?;
+    let table = &inst.vocab.table;
+    let states =
+        hetsep::core::concrete::states_at_line(&inst, line, &EngineConfig::default());
+    if states.is_empty() {
+        eprintln!("no states reach line {line} (within budget)");
+        return Ok(ExitCode::from(1));
+    }
+    for (ix, s) in states.iter().enumerate() {
+        if o.dot {
+            println!(
+                "{}",
+                hetsep::tvl::display::to_dot(s, table, &format!("state{ix}"))
+            );
+        } else {
+            println!("{}", hetsep::tvl::display::to_text(s, table));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,161 @@
+//! Drivers that regenerate the paper's evaluation rows.
+//!
+//! [`run_mode`] executes one benchmark under one Table 3 mode and returns a
+//! [`ModeRow`] with the measurements the paper reports: space (peak
+//! structures of a single run), time (wall clock and the deterministic
+//! visit-count proxy), reported errors, and whether the run finished within
+//! budget (`-` rows).
+
+use std::time::Duration;
+
+use hetsep_core::{verify, EngineConfig, Mode, VerifyError};
+use hetsep_strategy::parse_strategy;
+use hetsep_suite::{Benchmark, TableMode};
+
+/// One measured cell block of Table 3.
+#[derive(Debug, Clone)]
+pub struct ModeRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Mode label (`vanilla`, `single`, `sim`, `multi`, `inc`).
+    pub mode: &'static str,
+    /// Peak structures stored by a single engine run (the paper's "space":
+    /// the maximal footprint of analyzing one set of subproblems).
+    pub space: usize,
+    /// Accumulated wall-clock time over all subproblems.
+    pub time: Duration,
+    /// Total action applications (deterministic time proxy).
+    pub visits: u64,
+    /// Number of subproblems analyzed.
+    pub subproblems: usize,
+    /// Average visits per subproblem.
+    pub avg_visits_per_subproblem: f64,
+    /// Reported errors (per-line), or `None` when the run exceeded its
+    /// budget (the paper's `-`).
+    pub reported: Option<usize>,
+    /// Ground truth.
+    pub actual: usize,
+}
+
+impl ModeRow {
+    /// Formats the reported-error cell (`-` for budget-exceeded runs).
+    pub fn reported_cell(&self) -> String {
+        match self.reported {
+            Some(n) => n.to_string(),
+            None => "-".to_owned(),
+        }
+    }
+}
+
+/// Budget used for Table 3 runs: generous enough for every separation mode,
+/// small enough that the two deliberately explosive vanilla rows
+/// (`KernelBench3`, `SQLExecutor`) hit it, mirroring the paper's
+/// non-terminating vanilla runs.
+pub fn table3_config() -> EngineConfig {
+    EngineConfig {
+        max_visits: 400_000,
+        max_structures: 120_000,
+        ..EngineConfig::default()
+    }
+}
+
+/// Builds the `hetsep-core` mode for a benchmark's Table 3 mode.
+///
+/// # Errors
+///
+/// Fails when the benchmark lacks the strategy the mode needs.
+pub fn core_mode(bench: &Benchmark, mode: TableMode) -> Result<Mode, VerifyError> {
+    let parse = |src: &str| {
+        parse_strategy(src).map_err(|e| VerifyError::Strategy(e.to_string()))
+    };
+    Ok(match mode {
+        TableMode::Vanilla => Mode::Vanilla,
+        TableMode::Single => Mode::separation(parse(bench.single_strategy)?),
+        TableMode::Sim => Mode::simultaneous(parse(bench.single_strategy)?),
+        TableMode::Multi => {
+            let src = bench.multi_strategy.ok_or_else(|| {
+                VerifyError::Strategy(format!("{} has no multi strategy", bench.name))
+            })?;
+            Mode::separation(parse(src)?)
+        }
+        TableMode::Inc => {
+            let src = bench.incremental_strategy.ok_or_else(|| {
+                VerifyError::Strategy(format!("{} has no incremental strategy", bench.name))
+            })?;
+            Mode::incremental(parse(src)?)
+        }
+    })
+}
+
+/// Runs one benchmark under one mode.
+///
+/// # Errors
+///
+/// Propagates translation/strategy failures; budget exhaustion is reported
+/// in the row (`reported = None`), not as an error.
+pub fn run_mode(
+    bench: &Benchmark,
+    mode: TableMode,
+    config: &EngineConfig,
+) -> Result<ModeRow, VerifyError> {
+    let program = bench.program();
+    let spec = bench.spec();
+    let core = core_mode(bench, mode)?;
+    let report = verify(&program, &spec, &core, config)?;
+    // `complete` is mode-aware: for incremental verification the deciding
+    // stage's completeness is what matters.
+    let finished = report.complete;
+    Ok(ModeRow {
+        benchmark: bench.name,
+        mode: mode.label(),
+        space: report.max_space,
+        time: report.total_wall,
+        visits: report.total_visits,
+        subproblems: report.subproblems.len(),
+        avg_visits_per_subproblem: report.avg_visits_per_subproblem(),
+        reported: finished.then_some(report.errors.len()),
+        actual: bench.actual_errors,
+    })
+}
+
+/// Runs every mode of one benchmark.
+///
+/// # Errors
+///
+/// See [`run_mode`].
+pub fn run_benchmark(
+    bench: &Benchmark,
+    config: &EngineConfig,
+) -> Result<Vec<ModeRow>, VerifyError> {
+    bench
+        .modes
+        .iter()
+        .map(|&m| run_mode(bench, m, config))
+        .collect()
+}
+
+/// Renders rows in the paper's Table 3 layout.
+pub fn format_rows(rows: &[ModeRow], line_count: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (ix, r) in rows.iter().enumerate() {
+        let name = if ix == 0 { r.benchmark } else { "" };
+        let lines = if ix == 0 {
+            line_count.to_string()
+        } else {
+            String::new()
+        };
+        writeln!(
+            out,
+            "{name:<18} {mode:<8} {lines:>5} {space:>9} {time:>9.2?} {visits:>10} {rep:>4} {act:>4}",
+            mode = r.mode,
+            space = r.space,
+            time = r.time,
+            visits = r.visits,
+            rep = r.reported_cell(),
+            act = r.actual,
+        )
+        .unwrap();
+    }
+    out
+}

@@ -1,0 +1,47 @@
+//! # hetsep
+//!
+//! Verifying safety properties using **separation** and **heterogeneous
+//! abstractions** — a Rust reproduction of Yahav & Ramalingam (PLDI 2004).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`tvl`] — the three-valued-logic engine (structures, canonical
+//!   abstraction, focus/coerce),
+//! * [`ir`] — the mini-Java client-program language,
+//! * [`easl`] — the Easl component-specification language and built-in
+//!   JDBC / IO-stream / collections specifications,
+//! * [`strategy`] — the separation-strategy language,
+//! * [`core`] — the verification engine ([`verify`], [`Mode`]),
+//! * [`baseline`] — the ESP-style two-phase comparator,
+//! * [`suite`] — the Table 3 benchmark programs,
+//! * [`harness`] — drivers that regenerate the paper's table rows.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hetsep::{verify, Mode, EngineConfig};
+//!
+//! let program = hetsep::ir::parse_program(
+//!     "program Quick uses IOStreams; void main() {\n\
+//!        InputStream f = new InputStream();\n\
+//!        f.read();\n\
+//!        f.close();\n\
+//!      }",
+//! )?;
+//! let spec = hetsep::easl::builtin::iostreams();
+//! let report = verify(&program, &spec, &Mode::Vanilla, &EngineConfig::default())?;
+//! assert!(report.verified());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use hetsep_baseline as baseline;
+pub use hetsep_core as core;
+pub use hetsep_easl as easl;
+pub use hetsep_ir as ir;
+pub use hetsep_strategy as strategy;
+pub use hetsep_suite as suite;
+pub use hetsep_tvl as tvl;
+
+pub use hetsep_core::{verify, EngineConfig, Mode, VerificationReport};
+
+pub mod harness;

@@ -1,0 +1,269 @@
+//! Abstract syntax of the client-program language.
+//!
+//! A [`Program`] names the Easl specification it `uses`, declares
+//! program-local classes (plain records with reference fields, used to build
+//! heap shapes such as the "holder" objects of the `InputStream5` benchmark),
+//! and defines procedures. Library types and their methods are opaque here.
+
+/// A complete client program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (`program <Name> uses <Spec>;`).
+    pub name: String,
+    /// Name of the Easl specification the program is verified against.
+    pub uses: String,
+    /// Program-local record classes.
+    pub classes: Vec<ClassDecl>,
+    /// Procedures; execution starts at `main`.
+    pub methods: Vec<MethodDecl>,
+}
+
+impl Program {
+    /// Looks up a program-local class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a procedure by name.
+    pub fn method(&self, name: &str) -> Option<&MethodDecl> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// A program-local class: a record with typed fields and no methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Field declarations `(name, type)`. `boolean` fields are allowed.
+    pub fields: Vec<(String, String)>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// Procedure name.
+    pub name: String,
+    /// Return type name, or `None` for `void`.
+    pub ret: Option<String>,
+    /// Parameters `(name, type)`.
+    pub params: Vec<(String, String)>,
+    /// Body.
+    pub body: Block,
+    /// Source line of the header.
+    pub line: u32,
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `Type x;` or `Type x = <expr>;`
+    VarDecl {
+        /// Declared type name (`boolean` or a class name).
+        ty: String,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `place = <expr>;`
+    Assign {
+        /// Assignment target.
+        target: Place,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect (a call).
+    ExprStmt {
+        /// The call expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) { .. } else { .. }` — the else block may be empty.
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Then branch.
+        then_branch: Block,
+        /// Else branch.
+        else_branch: Block,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Loop body.
+        body: Block,
+        /// Source line.
+        line: u32,
+    },
+    /// `return;` or `return x;`
+    Return {
+        /// Returned variable, if any.
+        value: Option<String>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// Source line of the statement.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::VarDecl { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::ExprStmt { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Return { line, .. } => *line,
+        }
+    }
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Place {
+    /// A local variable.
+    Var(String),
+    /// A field of the object a variable points to: `x.f`.
+    Field(String, String),
+}
+
+/// An expression (right-hand sides and call statements).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `?` — non-deterministic boolean.
+    Nondet,
+    /// A variable read.
+    Var(String),
+    /// A field read `x.f`.
+    FieldAccess(String, String),
+    /// `new T(args)`.
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Arg>,
+    },
+    /// `x.m(args)` (library call) or `m(args)` (program procedure call).
+    Call {
+        /// Receiver variable for library calls; `None` for procedure calls.
+        recv: Option<String>,
+        /// Method/procedure name.
+        method: String,
+        /// Arguments.
+        args: Vec<Arg>,
+    },
+}
+
+/// A call or constructor argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arg {
+    /// A variable.
+    Var(String),
+    /// `null`.
+    Null,
+    /// A string literal — semantically inert (e.g. SQL query text), kept for
+    /// readability of benchmark sources.
+    Str(String),
+}
+
+/// A branch/loop condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `?` — non-deterministic choice.
+    Nondet,
+    /// `x == y` (or `x != y` when `negated`).
+    RefEq {
+        /// Left variable.
+        lhs: String,
+        /// Right variable.
+        rhs: String,
+        /// Whether the comparison is `!=`.
+        negated: bool,
+    },
+    /// `x == null` (or `x != null` when `negated`).
+    NullCheck {
+        /// Tested variable.
+        var: String,
+        /// Whether the comparison is `!= null`.
+        negated: bool,
+    },
+    /// A boolean variable `b` (or `!b` when `negated`).
+    BoolVar {
+        /// Variable name.
+        var: String,
+        /// Whether the condition is negated.
+        negated: bool,
+    },
+    /// A boolean-returning library call used as a condition, e.g.
+    /// `rs.next()`. The call's side effects and `requires` checks apply;
+    /// its return value is treated as non-deterministic.
+    CallBool {
+        /// Receiver variable.
+        recv: String,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Whether the condition is negated.
+        negated: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_lookup_helpers() {
+        let p = Program {
+            name: "P".into(),
+            uses: "Spec".into(),
+            classes: vec![ClassDecl {
+                name: "Holder".into(),
+                fields: vec![("s".into(), "InputStream".into())],
+                line: 1,
+            }],
+            methods: vec![MethodDecl {
+                name: "main".into(),
+                ret: None,
+                params: vec![],
+                body: Block::default(),
+                line: 2,
+            }],
+        };
+        assert!(p.class("Holder").is_some());
+        assert!(p.class("Nope").is_none());
+        assert!(p.method("main").is_some());
+        assert!(p.method("helper").is_none());
+    }
+
+    #[test]
+    fn stmt_line_accessor() {
+        let s = Stmt::Return { value: None, line: 42 };
+        assert_eq!(s.line(), 42);
+    }
+}

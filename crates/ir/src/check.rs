@@ -1,0 +1,386 @@
+//! Semantic validation of parsed programs.
+//!
+//! Checks performed here are those that do not require the library
+//! specification: duplicate declarations, use-before-declaration, field
+//! access on *program-local* classes, and boolean/reference mode mismatches
+//! where the types are known. Library types are opaque (any method call and
+//! field type is deferred to translation).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::{Arg, Block, Cond, Expr, Place, Program, Stmt};
+
+/// A semantic error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Explanation of the error.
+    pub message: String,
+    /// 1-based source line (0 when not attributable).
+    pub line: u32,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Validates a program, returning all errors found.
+pub fn check_program(p: &Program) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    let mut class_names = HashSet::new();
+    for c in &p.classes {
+        if !class_names.insert(c.name.clone()) {
+            errors.push(CheckError {
+                message: format!("duplicate class `{}`", c.name),
+                line: c.line,
+            });
+        }
+        let mut fields = HashSet::new();
+        for (fname, _) in &c.fields {
+            if !fields.insert(fname.clone()) {
+                errors.push(CheckError {
+                    message: format!("duplicate field `{}` in class `{}`", fname, c.name),
+                    line: c.line,
+                });
+            }
+        }
+    }
+    let mut method_names = HashSet::new();
+    for m in &p.methods {
+        if !method_names.insert(m.name.clone()) {
+            errors.push(CheckError {
+                message: format!("duplicate method `{}`", m.name),
+                line: m.line,
+            });
+        }
+    }
+    match p.method("main") {
+        None => errors.push(CheckError {
+            message: "program has no `main` method".into(),
+            line: 0,
+        }),
+        Some(m) if !m.params.is_empty() => errors.push(CheckError {
+            message: "`main` must not take parameters".into(),
+            line: m.line,
+        }),
+        Some(_) => {}
+    }
+    for m in &p.methods {
+        let mut scope: HashMap<String, String> = m.params.iter().cloned().collect();
+        check_block(p, &m.body, &mut scope, &mut errors, m.ret.as_deref(), m.line);
+    }
+    errors
+}
+
+fn check_block(
+    p: &Program,
+    block: &Block,
+    scope: &mut HashMap<String, String>,
+    errors: &mut Vec<CheckError>,
+    ret: Option<&str>,
+    _line: u32,
+) {
+    for stmt in &block.stmts {
+        check_stmt(p, stmt, scope, errors, ret);
+    }
+}
+
+fn check_stmt(
+    p: &Program,
+    stmt: &Stmt,
+    scope: &mut HashMap<String, String>,
+    errors: &mut Vec<CheckError>,
+    ret: Option<&str>,
+) {
+    match stmt {
+        Stmt::VarDecl { ty, name, init, line } => {
+            if scope.contains_key(name) {
+                errors.push(CheckError {
+                    message: format!("variable `{name}` redeclared"),
+                    line: *line,
+                });
+            }
+            if let Some(init) = init {
+                check_expr(p, init, scope, errors, *line);
+            }
+            scope.insert(name.clone(), ty.clone());
+        }
+        Stmt::Assign { target, value, line } => {
+            check_expr(p, value, scope, errors, *line);
+            match target {
+                Place::Var(v) => require_declared(v, scope, errors, *line),
+                Place::Field(v, f) => {
+                    require_declared(v, scope, errors, *line);
+                    check_program_field(p, scope.get(v), f, errors, *line);
+                }
+            }
+        }
+        Stmt::ExprStmt { expr, line } => check_expr(p, expr, scope, errors, *line),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            line,
+        } => {
+            check_cond(p, cond, scope, errors, *line);
+            // Blocks share the enclosing flat scope (as in the benchmarks).
+            let mut s1 = scope.clone();
+            check_block(p, then_branch, &mut s1, errors, ret, *line);
+            let mut s2 = scope.clone();
+            check_block(p, else_branch, &mut s2, errors, ret, *line);
+        }
+        Stmt::While { cond, body, line } => {
+            check_cond(p, cond, scope, errors, *line);
+            let mut s = scope.clone();
+            check_block(p, body, &mut s, errors, ret, *line);
+        }
+        Stmt::Return { value, line } => match (value, ret) {
+            (Some(_), None) => errors.push(CheckError {
+                message: "`return <value>` in a void method".into(),
+                line: *line,
+            }),
+            (None, Some(_)) => errors.push(CheckError {
+                message: "missing return value".into(),
+                line: *line,
+            }),
+            (Some(v), Some(_)) => require_declared(v, scope, errors, *line),
+            (None, None) => {}
+        },
+    }
+}
+
+fn check_expr(
+    p: &Program,
+    expr: &Expr,
+    scope: &HashMap<String, String>,
+    errors: &mut Vec<CheckError>,
+    line: u32,
+) {
+    match expr {
+        Expr::Null | Expr::True | Expr::False | Expr::Nondet => {}
+        Expr::Var(v) => require_declared(v, scope, errors, line),
+        Expr::FieldAccess(v, f) => {
+            require_declared(v, scope, errors, line);
+            check_program_field(p, scope.get(v), f, errors, line);
+        }
+        Expr::New { args, .. } => check_args(args, scope, errors, line),
+        Expr::Call { recv, method, args } => {
+            if let Some(r) = recv {
+                require_declared(r, scope, errors, line);
+            } else if p.method(method).is_none() {
+                errors.push(CheckError {
+                    message: format!("call to undefined procedure `{method}`"),
+                    line,
+                });
+            }
+            check_args(args, scope, errors, line);
+        }
+    }
+}
+
+fn check_cond(
+    p: &Program,
+    cond: &Cond,
+    scope: &HashMap<String, String>,
+    errors: &mut Vec<CheckError>,
+    line: u32,
+) {
+    match cond {
+        Cond::Nondet => {}
+        Cond::RefEq { lhs, rhs, .. } => {
+            require_declared(lhs, scope, errors, line);
+            require_declared(rhs, scope, errors, line);
+        }
+        Cond::NullCheck { var, .. } => require_declared(var, scope, errors, line),
+        Cond::BoolVar { var, .. } => {
+            require_declared(var, scope, errors, line);
+            if let Some(ty) = scope.get(var) {
+                if ty != "boolean" {
+                    errors.push(CheckError {
+                        message: format!("`{var}` used as a boolean but has type `{ty}`"),
+                        line,
+                    });
+                }
+            }
+        }
+        Cond::CallBool { recv, args, .. } => {
+            require_declared(recv, scope, errors, line);
+            check_args(args, scope, errors, line);
+        }
+    }
+    let _ = p;
+}
+
+fn check_args(
+    args: &[Arg],
+    scope: &HashMap<String, String>,
+    errors: &mut Vec<CheckError>,
+    line: u32,
+) {
+    for a in args {
+        if let Arg::Var(v) = a {
+            require_declared(v, scope, errors, line);
+        }
+    }
+}
+
+fn require_declared(
+    var: &str,
+    scope: &HashMap<String, String>,
+    errors: &mut Vec<CheckError>,
+    line: u32,
+) {
+    if !scope.contains_key(var) {
+        errors.push(CheckError {
+            message: format!("use of undeclared variable `{var}`"),
+            line,
+        });
+    }
+}
+
+fn check_program_field(
+    p: &Program,
+    var_ty: Option<&String>,
+    field: &str,
+    errors: &mut Vec<CheckError>,
+    line: u32,
+) {
+    if let Some(ty) = var_ty {
+        if let Some(class) = p.class(ty) {
+            if !class.fields.iter().any(|(f, _)| f == field) {
+                errors.push(CheckError {
+                    message: format!("class `{ty}` has no field `{field}`"),
+                    line,
+                });
+            }
+        }
+        // Library classes: field validity deferred to translation.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn errs(src: &str) -> Vec<String> {
+        check_program(&parse_program(src).unwrap())
+            .into_iter()
+            .map(|e| e.message)
+            .collect()
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        let e = errs(
+            r#"
+program P uses IOStreams;
+class Holder { InputStream s; }
+void main() {
+    Holder h = new Holder();
+    InputStream f = new InputStream();
+    h.s = f;
+    InputStream g = h.s;
+    g.read();
+}
+"#,
+        );
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let e = errs("program P uses X; void helper() { }");
+        assert!(e.iter().any(|m| m.contains("no `main`")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = errs("program P uses X; void main() { a = null; }");
+        assert!(e.iter().any(|m| m.contains("undeclared variable `a`")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_redeclaration() {
+        let e = errs(
+            "program P uses X; void main() { InputStream a = null; InputStream a = null; }",
+        );
+        assert!(e.iter().any(|m| m.contains("redeclared")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_unknown_program_field() {
+        let e = errs(
+            r#"
+program P uses X;
+class Holder { InputStream s; }
+void main() { Holder h = new Holder(); h.bogus = null; }
+"#,
+        );
+        assert!(e.iter().any(|m| m.contains("no field `bogus`")), "{e:?}");
+    }
+
+    #[test]
+    fn library_fields_deferred() {
+        // InputStream is a library class: unknown fields pass this phase.
+        let e = errs(
+            "program P uses X; void main() { InputStream f = new InputStream(); f.anything = null; }",
+        );
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_undefined_procedure() {
+        let e = errs("program P uses X; void main() { frob(); }");
+        assert!(e.iter().any(|m| m.contains("undefined procedure")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_return_mismatches() {
+        let e = errs(
+            r#"
+program P uses X;
+void v() { InputStream a = new InputStream(); return a; }
+InputStream r() { return; }
+void main() { }
+"#,
+        );
+        assert!(e.iter().any(|m| m.contains("void method")), "{e:?}");
+        assert!(e.iter().any(|m| m.contains("missing return value")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_bool_condition_on_reference() {
+        let e = errs(
+            "program P uses X; void main() { InputStream a = new InputStream(); if (a) { } }",
+        );
+        assert!(e.iter().any(|m| m.contains("used as a boolean")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let e = errs(
+            r#"
+program P uses X;
+class C { InputStream s; InputStream s; }
+class C { }
+void m() { }
+void m() { }
+void main() { }
+"#,
+        );
+        assert!(e.iter().any(|m| m.contains("duplicate field")), "{e:?}");
+        assert!(e.iter().any(|m| m.contains("duplicate class")), "{e:?}");
+        assert!(e.iter().any(|m| m.contains("duplicate method")), "{e:?}");
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        let e = errs("program P uses X; void main(InputStream s) { }");
+        assert!(e.iter().any(|m| m.contains("must not take parameters")), "{e:?}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Hand-written lexer for the client-program language.
+
+use std::fmt;
+
+use crate::token::{keyword, Token, TokenKind};
+
+/// A lexical error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of the error.
+    pub message: String,
+    /// 1-based line of the offending character.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src` into a vector of tokens ending with [`TokenKind::Eof`].
+///
+/// Supports `//` line comments and `/* ... */` block comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings/comments or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line: start_line,
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut content = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None | Some('\n') => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                line: start_line,
+                            })
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            content.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(content),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = bytes[start..i].iter().collect();
+                let kind = keyword(&ident).unwrap_or(TokenKind::Ident(ident));
+                tokens.push(Token { kind, line });
+            }
+            '=' if bytes.get(i + 1) == Some(&'=') => {
+                tokens.push(Token {
+                    kind: TokenKind::EqEq,
+                    line,
+                });
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ';' => TokenKind::Semi,
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    '=' => TokenKind::Assign,
+                    '!' => TokenKind::Bang,
+                    '?' => TokenKind::Question,
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character {other:?}"),
+                            line,
+                        })
+                    }
+                };
+                tokens.push(Token { kind, line });
+                i += 1;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_statement() {
+        let k = kinds("InputStream f = new InputStream();");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("InputStream".into()),
+                TokenKind::Ident("f".into()),
+                TokenKind::Assign,
+                TokenKind::KwNew,
+                TokenKind::Ident("InputStream".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators_and_conditions() {
+        let k = kinds("if (x == null) { } else { } while (?) { y != z; !b; }");
+        assert!(k.contains(&TokenKind::EqEq));
+        assert!(k.contains(&TokenKind::Question));
+        assert!(k.contains(&TokenKind::NotEq));
+        assert!(k.contains(&TokenKind::Bang));
+    }
+
+    #[test]
+    fn lex_tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        let k = kinds("a // comment\nb /* multi\nline */ c");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_literals() {
+        let k = kinds(r#"stmt.executeQuery("SELECT max");"#);
+        assert!(k.contains(&TokenKind::Str("SELECT max".into())));
+    }
+
+    #[test]
+    fn lex_error_unterminated_string() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn lex_error_unterminated_comment() {
+        let err = lex("/* oops").unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn lex_error_unexpected_char() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # hetsep-ir
+//!
+//! The client-program language of the verifier: a small Java-like imperative
+//! language sufficient to express the benchmark programs of the paper
+//! (JDBC clients, IO-stream manipulations, collection/iterator kernels).
+//!
+//! The pipeline is:
+//!
+//! 1. [`lexer`] — tokenize source text,
+//! 2. [`parser`] — build an [`ast::Program`],
+//! 3. [`check`] — resolve names and validate program-local classes,
+//! 4. [`mod@cfg`] — lower to a control-flow graph with one primitive operation
+//!    per edge, inlining program-level procedures.
+//!
+//! Library types (e.g. `Connection`, `InputStream`) are *opaque* at this
+//! level: their constructors and method semantics come from an Easl
+//! specification (`hetsep-easl`) and are attached during translation in
+//! `hetsep-core`.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! program Tiny uses IOStreams;
+//! void main() {
+//!     InputStream f = new InputStream();
+//!     f.read();
+//!     f.close();
+//! }
+//! "#;
+//! let program = hetsep_ir::parse_program(src).unwrap();
+//! let cfg = hetsep_ir::cfg::Cfg::build(&program, "main").unwrap();
+//! assert!(cfg.node_count() > 0);
+//! ```
+
+pub mod ast;
+pub mod cfg;
+pub mod check;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{Arg, Block, ClassDecl, Cond, Expr, MethodDecl, Place, Program, Stmt};
+pub use cfg::{Cfg, CfgEdge, CfgOp};
+pub use parser::{parse_program, ParseError};

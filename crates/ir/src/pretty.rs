@@ -1,0 +1,260 @@
+//! Pretty-printing of programs and CFGs.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Arg, Block, Cond, Expr, Place, Program, Stmt};
+use crate::cfg::{Cfg, CfgOp};
+
+/// Renders a program back to (normalized) source text.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "program {} uses {};", p.name, p.uses).unwrap();
+    for c in &p.classes {
+        writeln!(out, "class {} {{", c.name).unwrap();
+        for (f, ty) in &c.fields {
+            writeln!(out, "    {ty} {f};").unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+    }
+    for m in &p.methods {
+        let ret = m.ret.as_deref().unwrap_or("void");
+        let params: Vec<String> = m.params.iter().map(|(n, t)| format!("{t} {n}")).collect();
+        writeln!(out, "{ret} {}({}) {{", m.name, params.join(", ")).unwrap();
+        write_block(&mut out, &m.body, 1);
+        writeln!(out, "}}").unwrap();
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_block(out: &mut String, b: &Block, depth: usize) {
+    for s in &b.stmts {
+        write_stmt(out, s, depth);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::VarDecl { ty, name, init, .. } => match init {
+            Some(e) => writeln!(out, "{ty} {name} = {};", expr_to_string(e)).unwrap(),
+            None => writeln!(out, "{ty} {name};").unwrap(),
+        },
+        Stmt::Assign { target, value, .. } => {
+            let t = match target {
+                Place::Var(v) => v.clone(),
+                Place::Field(v, f) => format!("{v}.{f}"),
+            };
+            writeln!(out, "{t} = {};", expr_to_string(value)).unwrap();
+        }
+        Stmt::ExprStmt { expr, .. } => writeln!(out, "{};", expr_to_string(expr)).unwrap(),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            writeln!(out, "if ({}) {{", cond_to_string(cond)).unwrap();
+            write_block(out, then_branch, depth + 1);
+            if else_branch.stmts.is_empty() {
+                indent(out, depth);
+                writeln!(out, "}}").unwrap();
+            } else {
+                indent(out, depth);
+                writeln!(out, "}} else {{").unwrap();
+                write_block(out, else_branch, depth + 1);
+                indent(out, depth);
+                writeln!(out, "}}").unwrap();
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            writeln!(out, "while ({}) {{", cond_to_string(cond)).unwrap();
+            write_block(out, body, depth + 1);
+            indent(out, depth);
+            writeln!(out, "}}").unwrap();
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => writeln!(out, "return {v};").unwrap(),
+            None => writeln!(out, "return;").unwrap(),
+        },
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Null => "null".into(),
+        Expr::True => "true".into(),
+        Expr::False => "false".into(),
+        Expr::Nondet => "?".into(),
+        Expr::Var(v) => v.clone(),
+        Expr::FieldAccess(v, f) => format!("{v}.{f}"),
+        Expr::New { class, args } => format!("new {class}({})", args_to_string(args)),
+        Expr::Call { recv, method, args } => match recv {
+            Some(r) => format!("{r}.{method}({})", args_to_string(args)),
+            None => format!("{method}({})", args_to_string(args)),
+        },
+    }
+}
+
+/// Renders a condition.
+pub fn cond_to_string(c: &Cond) -> String {
+    match c {
+        Cond::Nondet => "?".into(),
+        Cond::RefEq { lhs, rhs, negated } => {
+            format!("{lhs} {} {rhs}", if *negated { "!=" } else { "==" })
+        }
+        Cond::NullCheck { var, negated } => {
+            format!("{var} {} null", if *negated { "!=" } else { "==" })
+        }
+        Cond::BoolVar { var, negated } => {
+            if *negated {
+                format!("!{var}")
+            } else {
+                var.clone()
+            }
+        }
+        Cond::CallBool {
+            recv,
+            method,
+            args,
+            negated,
+        } => {
+            let call = format!("{recv}.{method}({})", args_to_string(args));
+            if *negated {
+                format!("!{call}")
+            } else {
+                call
+            }
+        }
+    }
+}
+
+fn args_to_string(args: &[Arg]) -> String {
+    args.iter()
+        .map(|a| match a {
+            Arg::Var(v) => v.clone(),
+            Arg::Null => "null".into(),
+            Arg::Str(s) => format!("{s:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a CFG edge operation.
+pub fn op_to_string(op: &CfgOp) -> String {
+    match op {
+        CfgOp::Nop => "nop".into(),
+        CfgOp::AssignNull { dst } => format!("{dst} = null"),
+        CfgOp::AssignVar { dst, src } => format!("{dst} = {src}"),
+        CfgOp::LoadField { dst, src, field } => format!("{dst} = {src}.{field}"),
+        CfgOp::StoreField { dst, field, src } => match src {
+            Some(s) => format!("{dst}.{field} = {s}"),
+            None => format!("{dst}.{field} = null"),
+        },
+        CfgOp::LoadBoolField { dst, src, field } => format!("{dst} = {src}.{field}"),
+        CfgOp::StoreBoolField { dst, field, value } => {
+            format!("{dst}.{field} = {}", bool_rhs_to_string(value))
+        }
+        CfgOp::New { dst, class, args } => match dst {
+            Some(d) => format!("{d} = new {class}({})", args_to_string(args)),
+            None => format!("new {class}({})", args_to_string(args)),
+        },
+        CfgOp::CallLib {
+            result,
+            recv,
+            method,
+            args,
+        } => match result {
+            Some(r) => format!("{r} = {recv}.{method}({})", args_to_string(args)),
+            None => format!("{recv}.{method}({})", args_to_string(args)),
+        },
+        CfgOp::AssignBool { dst, value } => format!("{dst} = {}", bool_rhs_to_string(value)),
+        CfgOp::Assume { cond, polarity } => {
+            let c = cond_to_string(cond);
+            if *polarity {
+                format!("assume({c})")
+            } else {
+                format!("assume(!({c}))")
+            }
+        }
+    }
+}
+
+fn bool_rhs_to_string(b: &crate::cfg::BoolRhs) -> String {
+    match b {
+        crate::cfg::BoolRhs::Const(v) => v.to_string(),
+        crate::cfg::BoolRhs::Nondet => "?".into(),
+        crate::cfg::BoolRhs::Var(v) => v.clone(),
+    }
+}
+
+/// Renders a whole CFG, one edge per line.
+pub fn cfg_to_string(cfg: &Cfg) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "cfg: {} nodes, entry={}, exit={}",
+        cfg.node_count(),
+        cfg.entry(),
+        cfg.exit()
+    )
+    .unwrap();
+    for e in cfg.edges() {
+        writeln!(out, "  n{} -> n{}: {} (line {})", e.from, e.to, op_to_string(&e.op), e.line)
+            .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_parse_print_parse() {
+        let src = r#"
+program P uses IOStreams;
+class Holder { InputStream s; }
+InputStream open() {
+    InputStream f = new InputStream();
+    return f;
+}
+void main() {
+    Holder h = new Holder();
+    h.s = open();
+    InputStream g = h.s;
+    if (g != null) {
+        g.read();
+    } else {
+    }
+    while (?) {
+        boolean b = ?;
+    }
+}
+"#;
+        let p1 = parse_program(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        let printed2 = program_to_string(&p2);
+        assert_eq!(printed, printed2, "pretty-printing is stable");
+    }
+
+    #[test]
+    fn cfg_rendering_mentions_ops() {
+        let p = parse_program(
+            "program P uses X; void main() { InputStream f = new InputStream(); f.read(); }",
+        )
+        .unwrap();
+        let cfg = crate::cfg::Cfg::build(&p, "main").unwrap();
+        let s = cfg_to_string(&cfg);
+        assert!(s.contains("new InputStream"), "{s}");
+        assert!(s.contains("f.read()"), "{s}");
+    }
+}

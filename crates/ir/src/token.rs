@@ -1,0 +1,145 @@
+//! Tokens of the client-program language.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line on which the token starts.
+    pub line: u32,
+}
+
+/// Kinds of tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword-free name.
+    Ident(String),
+    /// String literal (content without quotes).
+    Str(String),
+    /// `program`
+    KwProgram,
+    /// `uses`
+    KwUses,
+    /// `class`
+    KwClass,
+    /// `void`
+    KwVoid,
+    /// `boolean`
+    KwBoolean,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `new`
+    KwNew,
+    /// `null`
+    KwNull,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `return`
+    KwReturn,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `!`
+    Bang,
+    /// `?` (non-deterministic condition)
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string literal {s:?}"),
+            TokenKind::KwProgram => write!(f, "`program`"),
+            TokenKind::KwUses => write!(f, "`uses`"),
+            TokenKind::KwClass => write!(f, "`class`"),
+            TokenKind::KwVoid => write!(f, "`void`"),
+            TokenKind::KwBoolean => write!(f, "`boolean`"),
+            TokenKind::KwIf => write!(f, "`if`"),
+            TokenKind::KwElse => write!(f, "`else`"),
+            TokenKind::KwWhile => write!(f, "`while`"),
+            TokenKind::KwNew => write!(f, "`new`"),
+            TokenKind::KwNull => write!(f, "`null`"),
+            TokenKind::KwTrue => write!(f, "`true`"),
+            TokenKind::KwFalse => write!(f, "`false`"),
+            TokenKind::KwReturn => write!(f, "`return`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Maps an identifier to its keyword kind, if it is a keyword.
+pub fn keyword(ident: &str) -> Option<TokenKind> {
+    Some(match ident {
+        "program" => TokenKind::KwProgram,
+        "uses" => TokenKind::KwUses,
+        "class" => TokenKind::KwClass,
+        "void" => TokenKind::KwVoid,
+        "boolean" => TokenKind::KwBoolean,
+        "if" => TokenKind::KwIf,
+        "else" => TokenKind::KwElse,
+        "while" => TokenKind::KwWhile,
+        "new" => TokenKind::KwNew,
+        "null" => TokenKind::KwNull,
+        "true" => TokenKind::KwTrue,
+        "false" => TokenKind::KwFalse,
+        "return" => TokenKind::KwReturn,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::EqEq.to_string(), "`==`");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based round-trip tests: pretty-printing a generated program and
+//! re-parsing it yields the same pretty-printed form, and CFG construction
+//! is deterministic.
+
+use proptest::prelude::*;
+
+use hetsep_ir::ast::{Arg, Block, ClassDecl, Cond, Expr, MethodDecl, Place, Program, Stmt};
+use hetsep_ir::cfg::Cfg;
+use hetsep_ir::pretty::{cfg_to_string, program_to_string};
+
+const CLASSES: &[&str] = &["Holder", "Box"];
+const LIB: &[&str] = &["InputStream", "File"];
+const METHODS: &[&str] = &["read", "close"];
+
+fn var_name() -> impl Strategy<Value = String> {
+    (0..4u8).prop_map(|i| format!("v{i}"))
+}
+
+fn arg_strategy() -> impl Strategy<Value = Arg> {
+    prop_oneof![
+        var_name().prop_map(Arg::Var),
+        Just(Arg::Null),
+        Just(Arg::Str("lit".to_owned())),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Null),
+        Just(Expr::True),
+        Just(Expr::False),
+        Just(Expr::Nondet),
+        var_name().prop_map(Expr::Var),
+        (var_name(), Just("s".to_owned())).prop_map(|(v, f)| Expr::FieldAccess(v, f)),
+        (0..LIB.len(), prop::collection::vec(arg_strategy(), 0..2)).prop_map(|(c, args)| {
+            Expr::New {
+                class: LIB[c].to_owned(),
+                args,
+            }
+        }),
+        (var_name(), 0..METHODS.len()).prop_map(|(r, m)| Expr::Call {
+            recv: Some(r),
+            method: METHODS[m].to_owned(),
+            args: vec![],
+        }),
+    ]
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Nondet),
+        (var_name(), var_name(), any::<bool>()).prop_map(|(lhs, rhs, negated)| Cond::RefEq {
+            lhs,
+            rhs,
+            negated
+        }),
+        (var_name(), any::<bool>()).prop_map(|(var, negated)| Cond::NullCheck { var, negated }),
+        (var_name(), any::<bool>()).prop_map(|(var, negated)| Cond::BoolVar { var, negated }),
+    ]
+}
+
+fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0..LIB.len(), var_name(), prop::option::of(expr_strategy())).prop_map(
+            |(t, name, init)| Stmt::VarDecl {
+                ty: LIB[t].to_owned(),
+                name,
+                init,
+                line: 0,
+            }
+        ),
+        (var_name(), expr_strategy()).prop_map(|(v, value)| Stmt::Assign {
+            target: Place::Var(v),
+            value,
+            line: 0,
+        }),
+        // Field stores are reference-valued (the `s` field holds a stream).
+        (var_name(), prop_oneof![
+            Just(Expr::Null),
+            var_name().prop_map(Expr::Var),
+            (var_name(), Just("s".to_owned())).prop_map(|(v, f)| Expr::FieldAccess(v, f)),
+        ])
+        .prop_map(|(v, value)| Stmt::Assign {
+            target: Place::Field(v, "s".to_owned()),
+            value,
+            line: 0,
+        }),
+        (var_name(), 0..METHODS.len()).prop_map(|(r, m)| Stmt::ExprStmt {
+            expr: Expr::Call {
+                recv: Some(r),
+                method: METHODS[m].to_owned(),
+                args: vec![],
+            },
+            line: 0,
+        }),
+    ];
+    leaf.prop_recursive(depth, 12, 3, |inner| {
+        prop_oneof![
+            (cond_strategy(), prop::collection::vec(inner.clone(), 0..3),
+             prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(cond, t, e)| Stmt::If {
+                    cond,
+                    then_branch: Block { stmts: t },
+                    else_branch: Block { stmts: e },
+                    line: 0,
+                }),
+            (cond_strategy(), prop::collection::vec(inner, 0..3)).prop_map(|(cond, b)| {
+                Stmt::While {
+                    cond,
+                    body: Block { stmts: b },
+                    line: 0,
+                }
+            }),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(stmt_strategy(2), 0..8).prop_map(|stmts| Program {
+        name: "Gen".to_owned(),
+        uses: "IOStreams".to_owned(),
+        classes: CLASSES
+            .iter()
+            .map(|c| ClassDecl {
+                name: (*c).to_owned(),
+                fields: vec![("s".to_owned(), "InputStream".to_owned())],
+                line: 0,
+            })
+            .collect(),
+        methods: vec![MethodDecl {
+            name: "main".to_owned(),
+            ret: None,
+            params: vec![],
+            body: Block { stmts },
+            line: 0,
+        }],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse ∘ print = print (pretty-printing reaches a fixpoint
+    /// after one parse).
+    #[test]
+    fn pretty_print_parse_roundtrip(p in program_strategy()) {
+        let printed = program_to_string(&p);
+        let reparsed = hetsep_ir::parse_program(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        let reprinted = program_to_string(&reparsed);
+        prop_assert_eq!(&printed, &reprinted, "unstable pretty-print:\n{}", printed);
+    }
+
+    /// CFG construction is deterministic over re-parsed programs.
+    #[test]
+    fn cfg_construction_deterministic(p in program_strategy()) {
+        let printed = program_to_string(&p);
+        let reparsed = hetsep_ir::parse_program(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        let c1 = Cfg::build(&reparsed, "main")
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        let c2 = Cfg::build(&reparsed, "main").unwrap();
+        prop_assert_eq!(cfg_to_string(&c1), cfg_to_string(&c2));
+    }
+}

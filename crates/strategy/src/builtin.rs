@@ -1,0 +1,128 @@
+//! Built-in strategies for the shipped specifications (paper §3).
+
+use crate::ast::Strategy;
+use crate::parser::parse_strategy;
+
+/// The *single choice* JDBC strategy: separation at the level of a
+/// `Connection` (one subproblem per connection, with all of its statements
+/// and result sets).
+pub const JDBC_SINGLE: &str = r#"
+strategy JdbcSingle {
+    choose some c : Connection();
+    choose all s : Statement(x) / x == c;
+    choose all r : ResultSet(y) / y == s;
+}
+"#;
+
+/// The *multiple choice* JDBC strategy: one subproblem per matching
+/// (connection, statement, result-set) triple.
+pub const JDBC_MULTI: &str = r#"
+strategy JdbcMulti {
+    choose some c : Connection();
+    choose some s : Statement(x) / x == c;
+    choose some r : ResultSet(y) / y == s;
+}
+"#;
+
+/// The *incremental* JDBC strategy of paper §3: first verify each ResultSet
+/// in isolation, then with its Statement, then with the full context.
+pub const JDBC_INCREMENTAL: &str = r#"
+strategy JdbcIncremental {
+    choose some r : ResultSet(y);
+}
+on failure {
+    choose some s : Statement(x);
+    choose some failing r : ResultSet(y) / y == s;
+}
+on failure {
+    choose some c : Connection();
+    choose some failing s : Statement(x) / x == c;
+    choose some failing r : ResultSet(y) / y == s;
+}
+"#;
+
+/// Per-stream separation for the IO-streams property.
+pub const IOSTREAM_SINGLE: &str = r#"
+strategy StreamSingle {
+    choose some f : InputStream();
+}
+"#;
+
+/// Per-file separation for the Fig. 3 example.
+pub const FILE_SINGLE: &str = r#"
+strategy FileSingle {
+    choose some f : File();
+}
+"#;
+
+/// Per-iterator separation for the concurrent-modification property,
+/// tracking the iterator's collection.
+pub const CMP_SINGLE: &str = r#"
+strategy CmpSingle {
+    choose some c : Collection();
+    choose all i : Iterator(x) / x == c;
+}
+"#;
+
+/// Finer CMP separation: one subproblem per (collection, iterator) pair.
+pub const CMP_MULTI: &str = r#"
+strategy CmpMulti {
+    choose some c : Collection();
+    choose some i : Iterator(x) / x == c;
+}
+"#;
+
+/// Incremental CMP strategy: iterators alone, then with their collection.
+pub const CMP_INCREMENTAL: &str = r#"
+strategy CmpIncremental {
+    choose some i : Iterator(x);
+}
+on failure {
+    choose some c : Collection();
+    choose some failing i : Iterator(x) / x == c;
+}
+"#;
+
+/// Parses one of the built-in strategy sources.
+///
+/// # Panics
+///
+/// Never panics for the shipped sources (covered by tests).
+pub fn parse_builtin(src: &str) -> Strategy {
+    parse_strategy(src).expect("builtin strategy parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::{covered_classes, incremental_covers};
+
+    #[test]
+    fn all_builtins_parse() {
+        for src in [
+            JDBC_SINGLE,
+            JDBC_MULTI,
+            JDBC_INCREMENTAL,
+            IOSTREAM_SINGLE,
+            FILE_SINGLE,
+            CMP_SINGLE,
+            CMP_MULTI,
+            CMP_INCREMENTAL,
+        ] {
+            let s = parse_builtin(src);
+            assert!(!s.stages.is_empty());
+        }
+    }
+
+    #[test]
+    fn builtin_strategies_cover_their_checked_types() {
+        let single = parse_builtin(JDBC_SINGLE);
+        assert!(covered_classes(&single.stages[0]).contains("ResultSet"));
+        let multi = parse_builtin(JDBC_MULTI);
+        assert!(covered_classes(&multi.stages[0]).contains("ResultSet"));
+        let inc = parse_builtin(JDBC_INCREMENTAL);
+        assert!(incremental_covers(&inc.stages, "ResultSet"));
+        let cmp = parse_builtin(CMP_SINGLE);
+        assert!(covered_classes(&cmp.stages[0]).contains("Iterator"));
+    }
+}

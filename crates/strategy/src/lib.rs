@@ -1,0 +1,49 @@
+//! # hetsep-strategy
+//!
+//! The separation-strategy specification language of paper §3. A strategy is
+//! a method for choosing a set of objects; a set of chosen objects identifies
+//! a verification subproblem in which checking is restricted to the chosen
+//! objects.
+//!
+//! An *atomic* strategy is a sequence of choice operations
+//!
+//! ```text
+//! choose (some|all) [failing] <var> : <Type>(<params>) [/ <param> == <var> && ...];
+//! ```
+//!
+//! evaluated on entry to the named constructor: `choose some` selects at most
+//! one eligible object non-deterministically; `choose all` selects every
+//! eligible object. An *incremental* strategy is a sequence of atomic
+//! strategies separated by `on failure`, each of which may restrict
+//! attention to objects allocated at sites that failed the previous stage
+//! (`failing`).
+//!
+//! The crate provides the [`parser`], the Theorem-1 [`coverage`] check, the
+//! [`instrument`]ation plan consumed by the verification engine, and
+//! [`builtin`] strategies for the shipped specifications.
+//!
+//! # Example
+//!
+//! ```
+//! let s = hetsep_strategy::parse_strategy(
+//!     "strategy Single {\n\
+//!        choose some c : Connection();\n\
+//!        choose all s : Statement(x) / x == c;\n\
+//!        choose all r : ResultSet(y) / y == s;\n\
+//!      }",
+//! )
+//! .unwrap();
+//! assert_eq!(s.stages.len(), 1);
+//! assert_eq!(s.stages[0].choices.len(), 3);
+//! ```
+
+pub mod ast;
+pub mod builtin;
+pub mod coverage;
+pub mod instrument;
+pub mod parser;
+
+pub use ast::{AtomicStrategy, ChoiceMode, ChoiceOp, Strategy};
+pub use coverage::{covered_classes, theorem1_applies};
+pub use instrument::{ChoicePlan, InstrumentPlan};
+pub use parser::{parse_strategy, StrategyParseError};

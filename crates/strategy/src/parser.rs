@@ -1,0 +1,412 @@
+//! Parser for the strategy specification language.
+
+use std::fmt;
+
+use crate::ast::{AtomicStrategy, ChoiceMode, ChoiceOp, Strategy};
+
+/// A parse or validation error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for StrategyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "strategy error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for StrategyParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+    Slash,
+    EqEq,
+    AndAnd,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, StrategyParseError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(chars[start..i].iter().collect()), line));
+            }
+            '=' if chars.get(i + 1) == Some(&'=') => {
+                out.push((Tok::EqEq, line));
+                i += 2;
+            }
+            '&' if chars.get(i + 1) == Some(&'&') => {
+                out.push((Tok::AndAnd, line));
+                i += 2;
+            }
+            _ => {
+                let t = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ':' => Tok::Colon,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '/' => Tok::Slash,
+                    other => {
+                        return Err(StrategyParseError {
+                            message: format!("unexpected character {other:?}"),
+                            line,
+                        })
+                    }
+                };
+                out.push((t, line));
+                i += 1;
+            }
+        }
+    }
+    out.push((Tok::Eof, line));
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, StrategyParseError> {
+        Err(StrategyParseError {
+            message: m.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), StrategyParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, StrategyParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn kw(&mut self, w: &str) -> Result<(), StrategyParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == w => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{w}`, found {other}")),
+        }
+    }
+
+    fn strategy(&mut self) -> Result<Strategy, StrategyParseError> {
+        self.kw("strategy")?;
+        let name = self.ident()?;
+        let mut stages = vec![self.stage()?];
+        while matches!(self.peek(), Tok::Ident(s) if s == "on") {
+            self.bump();
+            self.kw("failure")?;
+            stages.push(self.stage()?);
+        }
+        if *self.peek() != Tok::Eof {
+            return self.err(format!("unexpected {} after strategy", self.peek()));
+        }
+        Ok(Strategy { name, stages })
+    }
+
+    fn stage(&mut self) -> Result<AtomicStrategy, StrategyParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut choices = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            choices.push(self.choice()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(AtomicStrategy { choices })
+    }
+
+    fn choice(&mut self) -> Result<ChoiceOp, StrategyParseError> {
+        self.kw("choose")?;
+        let mode = match self.ident()?.as_str() {
+            "some" => ChoiceMode::Some,
+            "all" => ChoiceMode::All,
+            other => return self.err(format!("expected `some` or `all`, found `{other}`")),
+        };
+        let mut failing = false;
+        let mut var = self.ident()?;
+        if var == "failing" {
+            failing = true;
+            var = self.ident()?;
+        }
+        self.expect(Tok::Colon)?;
+        let class = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.ident()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let mut equations = Vec::new();
+        if *self.peek() == Tok::Slash {
+            self.bump();
+            loop {
+                let lhs = self.ident()?;
+                self.expect(Tok::EqEq)?;
+                let rhs = self.ident()?;
+                equations.push((lhs, rhs));
+                if *self.peek() == Tok::AndAnd {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(ChoiceOp {
+            mode,
+            failing,
+            var,
+            class,
+            params,
+            equations,
+        })
+    }
+}
+
+/// Parses and validates a strategy.
+///
+/// Validation rules: strategy variables are unique per stage; each equation's
+/// left side is a parameter of its own choice and its right side is a
+/// variable bound by an *earlier* choice of the same stage; `failing` only
+/// appears in stages after the first.
+///
+/// # Errors
+///
+/// Returns the first syntactic or validation error encountered.
+pub fn parse_strategy(src: &str) -> Result<Strategy, StrategyParseError> {
+    let toks = lex(src)?;
+    let strategy = P { toks, pos: 0 }.strategy()?;
+    for (stage_ix, stage) in strategy.stages.iter().enumerate() {
+        let mut bound: Vec<&str> = Vec::new();
+        for op in &stage.choices {
+            if bound.contains(&op.var.as_str()) {
+                return Err(StrategyParseError {
+                    message: format!("strategy variable `{}` bound twice", op.var),
+                    line: 0,
+                });
+            }
+            if op.failing && stage_ix == 0 {
+                return Err(StrategyParseError {
+                    message: format!(
+                        "`failing` on `{}` is meaningless in the first stage",
+                        op.var
+                    ),
+                    line: 0,
+                });
+            }
+            for (param, zvar) in &op.equations {
+                if !op.params.contains(param) {
+                    return Err(StrategyParseError {
+                        message: format!(
+                            "equation references `{param}`, which is not a parameter of `{}`",
+                            op.var
+                        ),
+                        line: 0,
+                    });
+                }
+                if !bound.contains(&zvar.as_str()) {
+                    return Err(StrategyParseError {
+                        message: format!(
+                            "equation references `{zvar}`, which is not bound by an earlier choice"
+                        ),
+                        line: 0,
+                    });
+                }
+            }
+            bound.push(&op.var);
+        }
+    }
+    Ok(strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_choice_strategy() {
+        let s = parse_strategy(
+            r#"
+strategy Single {
+    choose some c : Connection();
+    choose all s : Statement(x) / x == c;
+    choose all r : ResultSet(y) / y == s;
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(s.name, "Single");
+        assert!(!s.is_incremental());
+        let ops = &s.stages[0].choices;
+        assert_eq!(ops[0].mode, ChoiceMode::Some);
+        assert_eq!(ops[1].mode, ChoiceMode::All);
+        assert_eq!(ops[1].equations, vec![("x".into(), "c".into())]);
+    }
+
+    #[test]
+    fn parses_incremental_strategy_with_failing() {
+        let s = parse_strategy(
+            r#"
+strategy Inc {
+    choose some r : ResultSet(y);
+}
+on failure {
+    choose some s : Statement(x);
+    choose some failing r : ResultSet(y) / y == s;
+}
+on failure {
+    choose some c : Connection();
+    choose some failing s : Statement(x) / x == c;
+    choose some failing r : ResultSet(y) / y == s;
+}
+"#,
+        )
+        .unwrap();
+        assert!(s.is_incremental());
+        assert_eq!(s.stages.len(), 3);
+        assert!(s.stages[1].choices[1].failing);
+        assert!(!s.stages[1].choices[0].failing);
+    }
+
+    #[test]
+    fn rejects_duplicate_variable() {
+        let err = parse_strategy(
+            "strategy S { choose some c : A(); choose some c : B(); }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("bound twice"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_unknown_equation_param() {
+        let err = parse_strategy(
+            "strategy S { choose some c : A(); choose all s : B(x) / w == c; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not a parameter"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let err = parse_strategy(
+            "strategy S { choose all s : B(x) / x == c; choose some c : A(); }",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("not bound by an earlier choice"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn rejects_failing_in_first_stage() {
+        let err = parse_strategy("strategy S { choose some failing c : A(); }").unwrap_err();
+        assert!(err.message.contains("meaningless"), "{}", err.message);
+    }
+
+    #[test]
+    fn conjunction_equations_parse() {
+        let s = parse_strategy(
+            "strategy S { choose some a : A(); choose some b : B(); choose all c : C(x, y) / x == a && y == b; }",
+        )
+        .unwrap();
+        assert_eq!(s.stages[0].choices[2].equations.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_strategy("strategy S { choose maybe c : A(); }").unwrap_err();
+        assert!(err.message.contains("expected `some` or `all`"), "{}", err.message);
+    }
+}

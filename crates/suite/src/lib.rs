@@ -1,0 +1,171 @@
+//! # hetsep-suite
+//!
+//! The benchmark programs of the paper's Table 3, written in the client
+//! language of `hetsep-ir` as faithful analogs of the originals:
+//!
+//! | Benchmark        | Original                                  | Here |
+//! |------------------|-------------------------------------------|------|
+//! | `ISPath`         | simple correct input-stream program       | static source |
+//! | `InputStream5`   | streams in holders at arbitrary heap depth | static source (vanilla false-alarms, separation verifies) |
+//! | `InputStream5b`  | erroneous variant                         | static source (1 real error) |
+//! | `InputStream6`   | variation defeating even separation       | static source (persistent false alarm) |
+//! | `JDBCExample`    | extended Fig. 1 example, 7 overlapping connections | generated |
+//! | `JDBCExampleFixed` | corrected variant                       | generated |
+//! | `db`             | SpecJVM98 `db` (memory-resident database) | generated analog: stream-driven table scans |
+//! | `KernelBench1`   | collections/iterators kernel \[14\]         | static source (1 real error) |
+//! | `KernelBench3`   | larger kernel — vanilla does not finish   | generated |
+//! | `SQLExecutor`    | open-source JDBC framework — vanilla does not finish | generated |
+//!
+//! The originals (SpecJVM98, SQLExecutor) are proprietary or unavailable;
+//! the analogs preserve the *verification-relevant* structure: how many
+//! independent component families exist, where allocations sit relative to
+//! loops, and where the usage bugs are (see DESIGN.md).
+
+pub mod generators;
+pub mod programs;
+
+use hetsep_ir::Program;
+
+/// Which Table 3 analysis modes a benchmark row carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableMode {
+    /// No separation.
+    Vanilla,
+    /// Single-choice strategy, non-simultaneous subproblems.
+    Single,
+    /// Single-choice strategy, all subproblems simultaneously.
+    Sim,
+    /// Multiple-choice strategy.
+    Multi,
+    /// Incremental strategy.
+    Inc,
+}
+
+impl TableMode {
+    /// Table 3's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableMode::Vanilla => "vanilla",
+            TableMode::Single => "single",
+            TableMode::Sim => "sim",
+            TableMode::Multi => "multi",
+            TableMode::Inc => "inc",
+        }
+    }
+}
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (Table 3's first column).
+    pub name: &'static str,
+    /// Short description (Table 3's second column).
+    pub description: &'static str,
+    /// Client program source.
+    pub source: String,
+    /// Strategy source for `single`/`sim` modes.
+    pub single_strategy: &'static str,
+    /// Strategy source for `multi` mode (if the row has one).
+    pub multi_strategy: Option<&'static str>,
+    /// Strategy source for `inc` mode (if the row has one).
+    pub incremental_strategy: Option<&'static str>,
+    /// Modes this benchmark is measured under (the paper's rows).
+    pub modes: Vec<TableMode>,
+    /// Ground-truth error count (Table 3's "Act. Err.").
+    pub actual_errors: usize,
+    /// Expected *reported* errors per mode (Table 3's "Rep. Err."); `None`
+    /// marks the paper's `-` entries (run does not finish in budget).
+    pub expected_reported: Vec<Option<usize>>,
+}
+
+impl Benchmark {
+    /// Parses the benchmark's program.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the shipped benchmarks (covered by tests).
+    pub fn program(&self) -> Program {
+        hetsep_ir::parse_program(&self.source)
+            .unwrap_or_else(|e| panic!("benchmark {} does not parse: {e}", self.name))
+    }
+
+    /// Source line count (Table 3's "Line No." column analog).
+    pub fn line_count(&self) -> usize {
+        self.source.lines().count()
+    }
+
+    /// The Easl specification this benchmark is verified against.
+    pub fn spec(&self) -> hetsep_easl::Spec {
+        let program = self.program();
+        hetsep_easl::builtin::by_name(&program.uses)
+            .unwrap_or_else(|| panic!("benchmark {} uses unknown spec", self.name))
+    }
+}
+
+/// All benchmarks, in Table 3 order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        programs::is_path(),
+        programs::input_stream5(),
+        programs::input_stream5b(),
+        programs::input_stream6(),
+        programs::jdbc_example(),
+        programs::jdbc_example_fixed(),
+        programs::db(),
+        programs::kernel_bench1(),
+        programs::kernel_bench3(),
+        programs::sql_executor(),
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_parse_and_check() {
+        for b in all() {
+            let program = b.program();
+            let errors = hetsep_ir::check::check_program(&program);
+            assert!(errors.is_empty(), "{}: {errors:?}", b.name);
+            assert_eq!(
+                b.modes.len(),
+                b.expected_reported.len(),
+                "{}: expectations per mode",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("ISPath").is_some());
+        assert!(by_name("SQLExecutor").is_some());
+        assert!(by_name("Nope").is_none());
+    }
+
+    #[test]
+    fn strategies_parse() {
+        for b in all() {
+            hetsep_strategy_check(b.single_strategy);
+            if let Some(s) = b.multi_strategy {
+                hetsep_strategy_check(s);
+            }
+            if let Some(s) = b.incremental_strategy {
+                hetsep_strategy_check(s);
+            }
+        }
+    }
+
+    fn hetsep_strategy_check(src: &str) {
+        // The suite crate does not depend on hetsep-strategy; strategies are
+        // plain text validated end-to-end in the integration tests. Here we
+        // only sanity-check shape.
+        assert!(src.contains("choose"), "strategy text: {src}");
+    }
+}

@@ -1,0 +1,508 @@
+//! Actions: the operational semantics of a first-order transition system.
+//!
+//! A program statement is modelled as an [`Action`] that transforms incoming
+//! structures into outgoing structures (paper §4.2, "Operational Semantics").
+//! Applying an action performs, in order:
+//!
+//! 1. **focus** on the action's [`FocusSpec`]s (materialization),
+//! 2. **coerce** (discard infeasible variants, sharpen),
+//! 3. **assume** filtering (branch conditions),
+//! 4. **checks** — the `requires` preconditions of the safety property; a
+//!    check that is not definitely satisfied produces a [`CheckViolation`],
+//! 5. **allocation** of a fresh individual (marked by the built-in `isnew`
+//!    predicate) if the action allocates,
+//! 6. simultaneous **core updates** — each updated predicate's new value is
+//!    its update formula evaluated over the *pre*-state,
+//! 7. sequential **derived updates** — instrumentation predicates recomputed
+//!    over the evolving *post*-state (in dependency order),
+//! 8. clearing of `isnew` and a final **coerce**.
+//!
+//! Canonical abstraction (blur) is *not* performed here; the analysis engine
+//! blurs when joining into a program location.
+
+use crate::coerce::coerce;
+use crate::eval::{eval, eval_closed, Assignment};
+use crate::focus::{focus_all, FocusSpec};
+use crate::formula::{Formula, Var};
+use crate::kleene::Kleene;
+use crate::pred::{Arity, PredId, PredTable};
+use crate::structure::Structure;
+
+/// An update `p(args) := rhs`, where `args` are the free variables of `rhs`
+/// that range over the universe (one for unary, two for binary predicates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredUpdate {
+    /// The predicate being updated.
+    pub pred: PredId,
+    /// Formal parameters: `[]` (nullary), `[v]` (unary) or `[v, w]` (binary).
+    pub args: Vec<Var>,
+    /// New value of the predicate, as a formula over the pre-state (core
+    /// updates) or the evolving post-state (derived updates).
+    pub rhs: Formula,
+    /// When `true`, the update *refines*: an indefinite (`1/2`) evaluation
+    /// keeps the previously stored value instead of overwriting it. Used for
+    /// abstraction-directing predicates (e.g. `relevant`) whose re-evaluated
+    /// formula loses definiteness on blurred structures — the stored value
+    /// only directs individual merging, so retaining it is sound (it plays
+    /// the role of the finite-differencing maintenance of Reps et al. in the
+    /// paper's implementation).
+    pub refine: bool,
+    /// When `true`, the update is re-applied to a fixpoint (bounded by the
+    /// universe size): each round evaluates `rhs` against the previous
+    /// round's values. Used for closure-style predicates whose defining
+    /// formula references the predicate itself one step away (e.g.
+    /// `relevant(v) = chosen(v) ∨ ∃w. edge(v,w) ∧ relevant(w)`).
+    pub iterate: bool,
+}
+
+impl PredUpdate {
+    /// An update of a nullary predicate.
+    pub fn nullary(pred: PredId, rhs: Formula) -> PredUpdate {
+        PredUpdate { pred, args: Vec::new(), rhs, refine: false, iterate: false }
+    }
+
+    /// An update of a unary predicate with formal parameter `v`.
+    pub fn unary(pred: PredId, v: Var, rhs: Formula) -> PredUpdate {
+        PredUpdate { pred, args: vec![v], rhs, refine: false, iterate: false }
+    }
+
+    /// A refining update of a unary predicate (see [`PredUpdate::refine`]).
+    pub fn unary_refine(pred: PredId, v: Var, rhs: Formula) -> PredUpdate {
+        PredUpdate { pred, args: vec![v], rhs, refine: true, iterate: false }
+    }
+
+    /// A refining, iterated-to-fixpoint update of a unary predicate (see
+    /// [`PredUpdate::refine`] and [`PredUpdate::iterate`]).
+    pub fn unary_closure(pred: PredId, v: Var, rhs: Formula) -> PredUpdate {
+        PredUpdate { pred, args: vec![v], rhs, refine: true, iterate: true }
+    }
+
+    /// An update of a binary predicate with formal parameters `v`, `w`.
+    pub fn binary(pred: PredId, v: Var, w: Var, rhs: Formula) -> PredUpdate {
+        PredUpdate { pred, args: vec![v, w], rhs, refine: false, iterate: false }
+    }
+}
+
+/// Allocation request: create one fresh individual. While the updates run it
+/// is identified by the built-in `isnew` predicate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NewNodeSpec {
+    /// Whether the freshly created node starts as a non-summary individual
+    /// (always true in this crate; present for future extensions).
+    pub singleton: bool,
+}
+
+/// A `requires` precondition check carried by an action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// The condition required to hold (closed formula).
+    pub cond: Formula,
+    /// Optional guard: the check applies only when this formula may hold
+    /// (used to restrict checking to *chosen* objects, paper §4.2).
+    pub guard: Option<Formula>,
+    /// Identifier used in error reports (e.g. "read after close").
+    pub label: String,
+}
+
+/// A possibly-failed check, produced when `cond` is not definitely true on a
+/// structure whose guard may hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckViolation {
+    /// Index of the violated check within [`Action::checks`].
+    pub check_index: usize,
+    /// The check's label.
+    pub label: String,
+    /// Value the condition evaluated to (`False` = definite violation,
+    /// `Unknown` = possible violation).
+    pub value: Kleene,
+}
+
+/// A structure transformer modelling one program statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Action {
+    /// Human-readable name (statement text), used in traces and reports.
+    pub name: String,
+    /// Materialization requests executed before everything else.
+    pub focus: Vec<FocusSpec>,
+    /// Branch condition: structures on which it is definitely false are
+    /// dropped; `None` keeps all structures.
+    pub assume: Option<Formula>,
+    /// `requires` checks evaluated on the (focused, assumed) pre-state.
+    pub checks: Vec<Check>,
+    /// Allocation of a fresh individual.
+    pub new_node: Option<NewNodeSpec>,
+    /// Simultaneous core updates evaluated over the pre-state.
+    pub updates: Vec<PredUpdate>,
+    /// Sequential derived updates (instrumentation predicates) evaluated over
+    /// the evolving post-state.
+    pub derived: Vec<PredUpdate>,
+}
+
+impl Action {
+    /// Creates an action with the given display name and no effect.
+    pub fn named(name: impl Into<String>) -> Action {
+        Action {
+            name: name.into(),
+            ..Action::default()
+        }
+    }
+
+    /// Whether the action is a pure no-op (no focus, filter, check, or update).
+    pub fn is_identity(&self) -> bool {
+        self.focus.is_empty()
+            && self.assume.is_none()
+            && self.checks.is_empty()
+            && self.new_node.is_none()
+            && self.updates.is_empty()
+            && self.derived.is_empty()
+    }
+}
+
+/// The outcome of applying an action to one structure.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyOutcome {
+    /// Post-states (not blurred).
+    pub results: Vec<Structure>,
+    /// Checks that were possibly violated on some focused variant.
+    pub violations: Vec<CheckViolation>,
+}
+
+/// Applies `action` to `s`, with a focus expansion budget of `focus_limit`
+/// (use [`crate::focus::DEFAULT_FOCUS_LIMIT`] unless tuning).
+pub fn apply(action: &Action, s: &Structure, table: &PredTable, focus_limit: usize) -> ApplyOutcome {
+    let mut outcome = ApplyOutcome::default();
+    let focused = focus_all(s, table, &action.focus, focus_limit);
+    for f in focused {
+        let Some(f) = coerce(&f, table).feasible() else {
+            continue;
+        };
+        // Branch condition.
+        if let Some(cond) = &action.assume {
+            if eval_closed(&f, table, cond) == Kleene::False {
+                continue;
+            }
+        }
+        // Requires checks on the pre-state.
+        for (ix, check) in action.checks.iter().enumerate() {
+            let applicable = match &check.guard {
+                Some(g) => eval_closed(&f, table, g).maybe_true(),
+                None => true,
+            };
+            if !applicable {
+                continue;
+            }
+            let v = eval_closed(&f, table, &check.cond);
+            if v.maybe_false() {
+                outcome.violations.push(CheckViolation {
+                    check_index: ix,
+                    label: check.label.clone(),
+                    value: v,
+                });
+            }
+        }
+        // Allocation + updates.
+        let post = transform(action, &f, table);
+        if let Some(post) = coerce(&post, table).feasible() {
+            outcome.results.push(post);
+        }
+    }
+    outcome
+}
+
+/// Applies allocation and updates (steps 5–8) without focus/checks.
+fn transform(action: &Action, pre: &Structure, table: &PredTable) -> Structure {
+    let mut staged = pre.clone();
+    if action.new_node.is_some() {
+        let fresh = staged.add_node(table);
+        staged.set_unary(table, table.isnew(), fresh, Kleene::True);
+    }
+    // Core updates: all RHS evaluated over `staged` (the pre-state plus the
+    // fresh node), results written into `post`.
+    let mut post = staged.clone();
+    for up in &action.updates {
+        write_update(&staged, &mut post, table, up);
+    }
+    // Derived updates: evaluated sequentially over the evolving post-state.
+    for up in &action.derived {
+        let rounds = if up.iterate {
+            post.node_count() + 1
+        } else {
+            1
+        };
+        for _ in 0..rounds {
+            let snapshot = post.clone();
+            write_update(&snapshot, &mut post, table, up);
+            if post == snapshot {
+                break;
+            }
+        }
+    }
+    // Clear the allocation marker.
+    if action.new_node.is_some() {
+        for u in post.nodes() {
+            post.set_unary(table, table.isnew(), u, Kleene::False);
+        }
+    }
+    post
+}
+
+fn write_update(src: &Structure, dst: &mut Structure, table: &PredTable, up: &PredUpdate) {
+    match table.arity(up.pred) {
+        Arity::Nullary => {
+            assert!(up.args.is_empty(), "nullary update takes no args");
+            let mut v = eval_closed(src, table, &up.rhs);
+            if up.refine && !v.is_definite() {
+                v = src.nullary(table, up.pred);
+            }
+            dst.set_nullary(table, up.pred, v);
+        }
+        Arity::Unary => {
+            let [v] = up.args.as_slice() else {
+                panic!("unary update needs exactly one formal arg");
+            };
+            let mut asg = Assignment::new();
+            for u in src.nodes() {
+                asg.bind(*v, u);
+                let mut val = eval(src, table, &up.rhs, &mut asg);
+                if up.refine && !val.is_definite() {
+                    val = src.unary(table, up.pred, u);
+                }
+                dst.set_unary(table, up.pred, u, val);
+            }
+        }
+        Arity::Binary => {
+            let [v, w] = up.args.as_slice() else {
+                panic!("binary update needs exactly two formal args");
+            };
+            let mut asg = Assignment::new();
+            for a in src.nodes() {
+                for b in src.nodes() {
+                    asg.bind(*v, a);
+                    asg.bind(*w, b);
+                    let val = eval(src, table, &up.rhs, &mut asg);
+                    dst.set_binary(table, up.pred, a, b, val);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::focus::DEFAULT_FOCUS_LIMIT;
+    use crate::pred::PredFlags;
+    use crate::structure::NodeId;
+
+    fn table() -> (PredTable, PredId, PredId, PredId) {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let y = t.add_unary("y", PredFlags::reference_variable());
+        let f = t.add_binary("f", PredFlags::reference_field());
+        (t, x, y, f)
+    }
+
+    /// `x = new T()`: allocate, x points to the new node.
+    fn alloc_action(t: &PredTable, x: PredId) -> Action {
+        let v = Var(0);
+        Action {
+            name: "x = new T()".into(),
+            new_node: Some(NewNodeSpec::default()),
+            updates: vec![PredUpdate::unary(x, v, Formula::unary(t.isnew(), v))],
+            ..Action::default()
+        }
+    }
+
+    #[test]
+    fn allocation_creates_marked_then_cleared_node() {
+        let (t, x, _y, _f) = table();
+        let s = Structure::new(&t);
+        let out = apply(&alloc_action(&t, x), &s, &t, DEFAULT_FOCUS_LIMIT);
+        assert_eq!(out.results.len(), 1);
+        let post = &out.results[0];
+        assert_eq!(post.node_count(), 1);
+        let u = NodeId::from_index(0);
+        assert_eq!(post.unary(&t, x, u), Kleene::True);
+        assert_eq!(post.unary(&t, t.isnew(), u), Kleene::False);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn copy_assignment_is_strong_update() {
+        let (t, x, y, _f) = table();
+        // y = x where x points to u.
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let w = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::True);
+        s.set_unary(&t, y, w, Kleene::True);
+        let v = Var(0);
+        let action = Action {
+            name: "y = x".into(),
+            updates: vec![PredUpdate::unary(y, v, Formula::unary(x, v))],
+            ..Action::default()
+        };
+        let out = apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT);
+        assert_eq!(out.results.len(), 1);
+        let post = &out.results[0];
+        assert_eq!(post.unary(&t, y, u), Kleene::True);
+        assert_eq!(post.unary(&t, y, w), Kleene::False, "old target dropped");
+    }
+
+    #[test]
+    fn updates_are_simultaneous_over_pre_state() {
+        let (t, x, y, _f) = table();
+        // swap: x := y, y := x — must read both from the pre-state.
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let w = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::True);
+        s.set_unary(&t, y, w, Kleene::True);
+        let v = Var(0);
+        let action = Action {
+            name: "swap".into(),
+            updates: vec![
+                PredUpdate::unary(x, v, Formula::unary(y, v)),
+                PredUpdate::unary(y, v, Formula::unary(x, v)),
+            ],
+            ..Action::default()
+        };
+        let post = &apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT).results[0];
+        assert_eq!(post.unary(&t, x, w), Kleene::True);
+        assert_eq!(post.unary(&t, y, u), Kleene::True);
+    }
+
+    #[test]
+    fn derived_updates_see_post_state() {
+        let (t, x, y, _f) = table();
+        // core: x := y; derived: d := x  (must observe the new x).
+        let mut t = t;
+        let d = t.add_unary("d", PredFlags::default());
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, y, u, Kleene::True);
+        let v = Var(0);
+        let action = Action {
+            name: "derived".into(),
+            updates: vec![PredUpdate::unary(x, v, Formula::unary(y, v))],
+            derived: vec![PredUpdate::unary(d, v, Formula::unary(x, v))],
+            ..Action::default()
+        };
+        let post = &apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT).results[0];
+        assert_eq!(post.unary(&t, d, u), Kleene::True);
+    }
+
+    #[test]
+    fn assume_filters_definitely_false() {
+        let (t, x, _y, _f) = table();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::False);
+        let v = Var(0);
+        let action = Action {
+            name: "assume exists x".into(),
+            assume: Some(Formula::exists(v, Formula::unary(x, v))),
+            ..Action::default()
+        };
+        let out = apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn assume_with_focus_refines_unknown() {
+        let (t, x, _y, _f) = table();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::Unknown);
+        let v = Var(0);
+        let action = Action {
+            name: "assume x != null".into(),
+            focus: vec![FocusSpec::Unary(x)],
+            assume: Some(Formula::exists(v, Formula::unary(x, v))),
+            ..Action::default()
+        };
+        let out = apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT);
+        // Only the variant where x(u)=1 survives.
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].unary(&t, x, u), Kleene::True);
+    }
+
+    #[test]
+    fn violated_check_is_reported_with_value() {
+        let (t, x, _y, _f) = table();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::Unknown);
+        let v = Var(0);
+        let action = Action {
+            name: "requires x".into(),
+            checks: vec![Check {
+                cond: Formula::exists(v, Formula::unary(x, v)),
+                guard: None,
+                label: "x must be set".into(),
+            }],
+            ..Action::default()
+        };
+        let out = apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].value, Kleene::Unknown);
+        assert_eq!(out.violations[0].label, "x must be set");
+    }
+
+    #[test]
+    fn guarded_check_skipped_when_guard_false() {
+        let (t, x, y, _f) = table();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::False); // condition would fail
+        s.set_unary(&t, y, u, Kleene::False); // but guard is definitely false
+        let v = Var(0);
+        let action = Action {
+            name: "guarded requires".into(),
+            checks: vec![Check {
+                cond: Formula::exists(v, Formula::unary(x, v)),
+                guard: Some(Formula::exists(v, Formula::unary(y, v))),
+                label: "guarded".into(),
+            }],
+            ..Action::default()
+        };
+        let out = apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn field_update_via_formula() {
+        let (t, x, y, f) = table();
+        // x.f = y  ==>  f'(a,b) = (f(a,b) ∧ ¬x(a)) ∨ (x(a) ∧ y(b))
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let w = s.add_node(&t);
+        let old = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::True);
+        s.set_unary(&t, y, w, Kleene::True);
+        s.set_binary(&t, f, u, old, Kleene::True);
+        let (a, b) = (Var(0), Var(1));
+        let rhs = Formula::binary(f, a, b)
+            .and(Formula::unary(x, a).not())
+            .or(Formula::unary(x, a).and(Formula::unary(y, b)));
+        let action = Action {
+            name: "x.f = y".into(),
+            updates: vec![PredUpdate::binary(f, a, b, rhs)],
+            ..Action::default()
+        };
+        let post = &apply(&action, &s, &t, DEFAULT_FOCUS_LIMIT).results[0];
+        assert_eq!(post.binary(&t, f, u, w), Kleene::True);
+        assert_eq!(post.binary(&t, f, u, old), Kleene::False, "strong update");
+    }
+
+    #[test]
+    fn identity_action_detection() {
+        let a = Action::named("skip");
+        assert!(a.is_identity());
+        let (t, x, ..) = table();
+        let _ = t;
+        let mut b = Action::named("not-skip");
+        b.updates.push(PredUpdate::unary(x, Var(0), Formula::ff()));
+        assert!(!b.is_identity());
+    }
+}

@@ -1,0 +1,289 @@
+//! Canonical abstraction (individual merging).
+//!
+//! The basic abstraction primitive of the parametric framework (paper §5):
+//! individuals that agree on the values of all *abstraction predicates* are
+//! merged into one (summary) individual, with remaining predicate values
+//! joined in the information order. The paper's heterogeneous abstraction is
+//! obtained by choosing the abstraction-predicate set per relevance class —
+//! realized here exactly as in the paper's prototype, by registering combined
+//! predicates `p_r(o) = p(o) ∧ relevant(o)` as the abstraction predicates
+//! (see `hetsep-core`).
+
+use std::collections::HashMap;
+
+use crate::kleene::Kleene;
+use crate::pred::{PredId, PredTable};
+use crate::structure::{NodeId, Structure};
+
+/// The *canonical name* of an individual: its vector of abstraction-predicate
+/// values.
+pub fn canonical_name(s: &Structure, table: &PredTable, abs: &[PredId], u: NodeId) -> Vec<Kleene> {
+    abs.iter().map(|&p| s.unary(table, p, u)).collect()
+}
+
+/// Merges all individuals that share a canonical name (the `s/≃` quotient of
+/// paper §5), using the currently-flagged abstraction predicates of `table`.
+///
+/// Returns the blurred structure together with the map from old node ids to
+/// the merged node ids.
+pub fn blur_with_map(s: &Structure, table: &PredTable) -> (Structure, Vec<NodeId>) {
+    let abs = table.abstraction_preds();
+    blur_by(s, table, &abs)
+}
+
+/// Like [`blur_with_map`] but drops the node map.
+pub fn blur(s: &Structure, table: &PredTable) -> Structure {
+    blur_with_map(s, table).0
+}
+
+/// Merges individuals by canonical name computed over an explicit abstraction
+/// predicate set `abs` (all must be unary).
+///
+/// The merged structure's nodes are ordered by ascending canonical name, so
+/// blurred structures are directly comparable with `==` and hashable — two
+/// blurred structures over the same table are isomorphic iff they are equal.
+pub fn blur_by(s: &Structure, table: &PredTable, abs: &[PredId]) -> (Structure, Vec<NodeId>) {
+    // Group nodes by canonical name.
+    let mut groups: HashMap<Vec<Kleene>, Vec<NodeId>> = HashMap::new();
+    for u in s.nodes() {
+        groups
+            .entry(canonical_name(s, table, abs, u))
+            .or_default()
+            .push(u);
+    }
+    let mut named: Vec<(Vec<Kleene>, Vec<NodeId>)> = groups.into_iter().collect();
+    named.sort();
+
+    let n_new = named.len();
+    let n_old = s.node_count();
+    let mut map = vec![NodeId::from_index(0); n_old];
+    for (new_ix, (_, members)) in named.iter().enumerate() {
+        for &m in members {
+            map[m.index()] = NodeId::from_index(new_ix);
+        }
+    }
+
+    let mut out = Structure::new(table);
+    for _ in 0..n_new {
+        out.add_node(table);
+    }
+    // Nullary predicates carry over unchanged.
+    for p in table.iter_arity(crate::pred::Arity::Nullary) {
+        out.set_nullary(table, p, s.nullary(table, p));
+    }
+    // Unary: join across members; sm additionally reflects merging.
+    let sm = table.sm();
+    for p in table.iter_arity(crate::pred::Arity::Unary) {
+        for (new_ix, (_, members)) in named.iter().enumerate() {
+            let mut acc: Option<Kleene> = None;
+            for &m in members {
+                let v = s.unary(table, p, m);
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => a.join(v),
+                });
+            }
+            let mut v = acc.expect("group is nonempty");
+            if p == sm && members.len() > 1 {
+                v = Kleene::Unknown;
+            }
+            out.set_unary(table, p, NodeId::from_index(new_ix), v);
+        }
+    }
+    // Binary: join across all member pairs.
+    for p in table.iter_arity(crate::pred::Arity::Binary) {
+        for (si, (_, src_members)) in named.iter().enumerate() {
+            for (di, (_, dst_members)) in named.iter().enumerate() {
+                let mut acc: Option<Kleene> = None;
+                for &sm_ in src_members {
+                    for &dm in dst_members {
+                        let v = s.binary(table, p, sm_, dm);
+                        acc = Some(match acc {
+                            None => v,
+                            Some(a) => a.join(v),
+                        });
+                    }
+                }
+                out.set_binary(
+                    table,
+                    p,
+                    NodeId::from_index(si),
+                    NodeId::from_index(di),
+                    acc.expect("groups are nonempty"),
+                );
+            }
+        }
+    }
+    (out, map)
+}
+
+/// A hash-/equality-ready canonical key for a blurred structure.
+///
+/// Obtained from [`canonical_key`]; two structures over the same table get
+/// equal keys iff their blurred forms are isomorphic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalKey(Structure);
+
+impl CanonicalKey {
+    /// The canonically-ordered structure underlying this key.
+    pub fn structure(&self) -> &Structure {
+        &self.0
+    }
+
+    /// Extracts the canonically-ordered structure.
+    pub fn into_structure(self) -> Structure {
+        self.0
+    }
+}
+
+/// Canonicalizes an *already blurred* structure into a key: nodes are sorted
+/// by canonical name (which is unique per node after blurring).
+///
+/// For structures that are not blurred the key is still deterministic, but
+/// two isomorphic non-blurred structures with duplicate canonical names may
+/// receive different keys; callers in the analysis engine always key blurred
+/// structures, where keys coincide exactly with isomorphism classes.
+pub fn canonical_key(s: &Structure, table: &PredTable) -> CanonicalKey {
+    let abs = table.abstraction_preds();
+    // Sort nodes by (canonical name, full unary row) for determinism.
+    let mut order: Vec<NodeId> = s.nodes().collect();
+    let full_row = |u: NodeId| -> Vec<Kleene> {
+        table
+            .iter_arity(crate::pred::Arity::Unary)
+            .map(|p| s.unary(table, p, u))
+            .collect()
+    };
+    order.sort_by_key(|&u| (canonical_name(s, table, &abs, u), full_row(u)));
+    CanonicalKey(s.permute(&order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredFlags;
+
+    fn table() -> (PredTable, PredId, PredId, PredId) {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let c = t.add_unary("closed", PredFlags::boolean_field());
+        let f = t.add_binary("f", PredFlags::reference_field());
+        (t, x, c, f)
+    }
+
+    #[test]
+    fn blur_merges_same_named_nodes() {
+        let (t, x, c, f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t); // x=1
+        let b = s.add_node(&t); // plain
+        let d = s.add_node(&t); // plain
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        let (blurred, map) = blur_with_map(&s, &t);
+        assert_eq!(blurred.node_count(), 2);
+        let na = map[a.index()];
+        let nb = map[b.index()];
+        assert_eq!(map[d.index()], nb, "b and d share a canonical name");
+        assert_ne!(na, nb);
+        assert_eq!(blurred.unary(&t, x, na), Kleene::True);
+        // b had an incoming f edge, d did not: joined to Unknown.
+        assert_eq!(blurred.binary(&t, f, na, nb), Kleene::Unknown);
+        // Merged node is summary; singleton stays non-summary.
+        assert!(blurred.is_summary(&t, nb));
+        assert!(!blurred.is_summary(&t, na));
+        let _ = c;
+    }
+
+    #[test]
+    fn blur_is_idempotent() {
+        let (t, x, _c, f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        let d = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        s.set_binary(&t, f, b, d, Kleene::Unknown);
+        let once = blur(&s, &t);
+        let twice = blur(&once, &t);
+        assert_eq!(
+            canonical_key(&once, &t),
+            canonical_key(&twice, &t),
+            "blur must be idempotent up to node order"
+        );
+    }
+
+    #[test]
+    fn blur_distinguishes_abstraction_values() {
+        let (t, _x, c, _f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        s.set_unary(&t, c, a, Kleene::True);
+        s.set_unary(&t, c, b, Kleene::False);
+        let blurred = blur(&s, &t);
+        assert_eq!(blurred.node_count(), 2, "different closed values stay apart");
+    }
+
+    #[test]
+    fn canonical_key_identifies_isomorphic() {
+        let (t, x, _c, f) = table();
+        // s1: node0=x-node → node1
+        let mut s1 = Structure::new(&t);
+        let a = s1.add_node(&t);
+        let b = s1.add_node(&t);
+        s1.set_unary(&t, x, a, Kleene::True);
+        s1.set_binary(&t, f, a, b, Kleene::True);
+        // s2: same but with nodes created in opposite order
+        let mut s2 = Structure::new(&t);
+        let b2 = s2.add_node(&t);
+        let a2 = s2.add_node(&t);
+        s2.set_unary(&t, x, a2, Kleene::True);
+        s2.set_binary(&t, f, a2, b2, Kleene::True);
+        assert_ne!(s1, s2, "raw structures differ in node order");
+        assert_eq!(canonical_key(&s1, &t), canonical_key(&s2, &t));
+    }
+
+    #[test]
+    fn canonical_key_separates_nonisomorphic() {
+        let (t, x, _c, f) = table();
+        let mut s1 = Structure::new(&t);
+        let a = s1.add_node(&t);
+        let b = s1.add_node(&t);
+        s1.set_unary(&t, x, a, Kleene::True);
+        s1.set_binary(&t, f, a, b, Kleene::True);
+        let mut s2 = s1.clone();
+        s2.set_binary(&t, f, b, a, Kleene::True);
+        assert_ne!(canonical_key(&s1, &t), canonical_key(&s2, &t));
+    }
+
+    #[test]
+    fn blur_preserves_nullary() {
+        let mut t = PredTable::new();
+        let g = t.add_nullary("g", PredFlags::default());
+        let mut s = Structure::new(&t);
+        s.add_node(&t);
+        s.add_node(&t);
+        s.set_nullary(&t, g, Kleene::True);
+        let blurred = blur(&s, &t);
+        assert_eq!(blurred.nullary(&t, g), Kleene::True);
+        assert_eq!(blurred.node_count(), 1);
+    }
+
+    #[test]
+    fn blur_with_no_abstraction_preds_collapses_all() {
+        let mut t = PredTable::new();
+        let f = t.add_binary("f", PredFlags::reference_field());
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        let c = s.add_node(&t);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        s.set_binary(&t, f, b, c, Kleene::True);
+        let blurred = blur(&s, &t);
+        assert_eq!(blurred.node_count(), 1);
+        let u = NodeId::from_index(0);
+        assert!(blurred.is_summary(&t, u));
+        assert_eq!(blurred.binary(&t, f, u, u), Kleene::Unknown);
+    }
+}

@@ -1,0 +1,385 @@
+//! Coerce: constraint-driven sharpening.
+//!
+//! After focus and predicate update, a structure may contain indefinite
+//! values that are incompatible with the integrity constraints of the
+//! vocabulary — e.g. a reference variable (a *unique* predicate) cannot point
+//! to two individuals, and a reference field (a *functional* predicate)
+//! leaves each individual along at most one edge. The coerce operation
+//! (paper §5, following TVLA) repeatedly:
+//!
+//! * sharpens `1/2` values whose definite value is forced by a constraint,
+//! * shrinks summary nodes (`sm := 0`) that are forced to represent exactly
+//!   one individual,
+//! * discards structures whose definite values contradict a constraint
+//!   (infeasible states).
+//!
+//! Constraints come from three sources: `unique` unary predicates,
+//! `function` binary predicates, and the defining formulas of
+//! instrumentation predicates.
+
+use crate::eval::{eval, eval_closed, Assignment};
+use crate::formula::Var;
+use crate::kleene::Kleene;
+use crate::pred::{Arity, PredTable};
+use crate::structure::Structure;
+
+/// Result of coercing a structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoerceOutcome {
+    /// The structure is consistent; the payload is the (possibly sharpened)
+    /// structure.
+    Feasible(Structure),
+    /// The structure's definite values contradict an integrity constraint;
+    /// it represents no concrete state and must be discarded.
+    Infeasible,
+}
+
+impl CoerceOutcome {
+    /// Extracts the feasible structure, if any.
+    pub fn feasible(self) -> Option<Structure> {
+        match self {
+            CoerceOutcome::Feasible(s) => Some(s),
+            CoerceOutcome::Infeasible => None,
+        }
+    }
+}
+
+/// Applies all integrity constraints to fixpoint.
+pub fn coerce(s: &Structure, table: &PredTable) -> CoerceOutcome {
+    let mut cur = s.clone();
+    loop {
+        let mut changed = false;
+        if !apply_unique(&mut cur, table, &mut changed) {
+            return CoerceOutcome::Infeasible;
+        }
+        if !apply_function(&mut cur, table, &mut changed) {
+            return CoerceOutcome::Infeasible;
+        }
+        if !apply_instrumentation(&mut cur, table, &mut changed) {
+            return CoerceOutcome::Infeasible;
+        }
+        if !changed {
+            return CoerceOutcome::Feasible(cur);
+        }
+    }
+}
+
+/// `unique` unary predicates hold for at most one concrete individual.
+fn apply_unique(s: &mut Structure, table: &PredTable, changed: &mut bool) -> bool {
+    for p in table.unique_preds() {
+        let definite: Vec<_> = s
+            .nodes()
+            .filter(|&u| s.unary(table, p, u) == Kleene::True)
+            .collect();
+        if definite.len() >= 2 {
+            // Two distinct nodes each definitely carry p: since every node
+            // denotes at least one individual, p holds for ≥ 2 individuals.
+            return false;
+        }
+        if let [holder] = definite.as_slice() {
+            let holder = *holder;
+            // No other node may carry p.
+            for u in s.nodes() {
+                if u != holder && s.unary(table, p, u) == Kleene::Unknown {
+                    s.set_unary(table, p, u, Kleene::False);
+                    *changed = true;
+                }
+            }
+            // A summary node on which p definitely holds represents nodes
+            // that all carry p; uniqueness forces it to be a single
+            // individual.
+            if s.is_summary(table, holder) {
+                s.set_summary(table, holder, false);
+                *changed = true;
+            }
+        }
+    }
+    true
+}
+
+/// `function` binary predicates relate each source individual to at most one
+/// target.
+fn apply_function(s: &mut Structure, table: &PredTable, changed: &mut bool) -> bool {
+    for f in table.function_preds() {
+        for src in s.nodes() {
+            if s.is_summary(table, src) {
+                // Distinct members of a summary source may have distinct
+                // targets; no sharpening is possible.
+                continue;
+            }
+            let definite: Vec<_> = s
+                .nodes()
+                .filter(|&d| s.binary(table, f, src, d) == Kleene::True)
+                .collect();
+            if definite.len() >= 2 {
+                return false;
+            }
+            if let [target] = definite.as_slice() {
+                let target = *target;
+                for d in s.nodes() {
+                    if d != target && s.binary(table, f, src, d) == Kleene::Unknown {
+                        s.set_binary(table, f, src, d, Kleene::False);
+                        *changed = true;
+                    }
+                }
+                // A definite edge into a summary target means the single
+                // source individual points to *every* member: functionality
+                // forces the target to be a single individual.
+                if s.is_summary(table, target) {
+                    s.set_summary(table, target, false);
+                    *changed = true;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Stored instrumentation-predicate values must be consistent with their
+/// defining formulas; definite evaluations sharpen stored `1/2`s, and
+/// definite disagreements make the structure infeasible.
+fn apply_instrumentation(s: &mut Structure, table: &PredTable, changed: &mut bool) -> bool {
+    for p in table.instrumentation_preds() {
+        let defining = table
+            .flags(p)
+            .defining
+            .clone()
+            .expect("instrumentation_preds filtered on defining");
+        match table.arity(p) {
+            Arity::Nullary => {
+                let stored = s.nullary(table, p);
+                let evaled = eval_closed(s, table, &defining);
+                match reconcile(stored, evaled) {
+                    Reconciled::Conflict => return false,
+                    Reconciled::Sharpen(v) => {
+                        s.set_nullary(table, p, v);
+                        *changed = true;
+                    }
+                    Reconciled::Keep => {}
+                }
+            }
+            Arity::Unary => {
+                let free = defining.free_vars();
+                debug_assert!(free.len() <= 1, "unary instrumentation formula arity");
+                let var = free.first().copied().unwrap_or(Var(0));
+                for u in s.nodes() {
+                    let stored = s.unary(table, p, u);
+                    let mut asg = Assignment::of([(var, u)]);
+                    let evaled = eval(s, table, &defining, &mut asg);
+                    match reconcile(stored, evaled) {
+                        Reconciled::Conflict => return false,
+                        Reconciled::Sharpen(v) => {
+                            s.set_unary(table, p, u, v);
+                            *changed = true;
+                        }
+                        Reconciled::Keep => {}
+                    }
+                }
+            }
+            Arity::Binary => {
+                let free = defining.free_vars();
+                debug_assert!(free.len() <= 2, "binary instrumentation formula arity");
+                let (va, vb) = match free.as_slice() {
+                    [a, b] => (*a, *b),
+                    [a] => (*a, Var(a.0 + 1)),
+                    [] => (Var(0), Var(1)),
+                    _ => unreachable!(),
+                };
+                for src in s.nodes() {
+                    for dst in s.nodes() {
+                        let stored = s.binary(table, p, src, dst);
+                        let mut asg = Assignment::of([(va, src), (vb, dst)]);
+                        let evaled = eval(s, table, &defining, &mut asg);
+                        match reconcile(stored, evaled) {
+                            Reconciled::Conflict => return false,
+                            Reconciled::Sharpen(v) => {
+                                s.set_binary(table, p, src, dst, v);
+                                *changed = true;
+                            }
+                            Reconciled::Keep => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+enum Reconciled {
+    Conflict,
+    Sharpen(Kleene),
+    Keep,
+}
+
+fn reconcile(stored: Kleene, evaled: Kleene) -> Reconciled {
+    match (stored, evaled) {
+        (a, b) if a == b => Reconciled::Keep,
+        (Kleene::Unknown, v) if v.is_definite() => Reconciled::Sharpen(v),
+        (_, Kleene::Unknown) => Reconciled::Keep,
+        _ => Reconciled::Conflict, // both definite and different
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::pred::{PredFlags, PredId};
+
+    fn table() -> (PredTable, PredId, PredId) {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let f = t.add_binary("f", PredFlags::reference_field());
+        (t, x, f)
+    }
+
+    #[test]
+    fn unique_two_definite_holders_is_infeasible() {
+        let (t, x, _f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_unary(&t, x, b, Kleene::True);
+        assert_eq!(coerce(&s, &t), CoerceOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unique_sharpens_other_candidates() {
+        let (t, x, _f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_unary(&t, x, b, Kleene::Unknown);
+        let out = coerce(&s, &t).feasible().unwrap();
+        assert_eq!(out.unary(&t, x, b), Kleene::False);
+    }
+
+    #[test]
+    fn unique_shrinks_summary_holder() {
+        let (t, x, _f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        s.set_summary(&t, a, true);
+        s.set_unary(&t, x, a, Kleene::True);
+        let out = coerce(&s, &t).feasible().unwrap();
+        assert!(!out.is_summary(&t, a), "x unique forces |a| = 1");
+    }
+
+    #[test]
+    fn function_conflicting_targets_infeasible() {
+        let (t, _x, f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        let c = s.add_node(&t);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        s.set_binary(&t, f, a, c, Kleene::True);
+        assert_eq!(coerce(&s, &t), CoerceOutcome::Infeasible);
+    }
+
+    #[test]
+    fn function_sharpens_alternatives_and_target_summary() {
+        let (t, _x, f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        let c = s.add_node(&t);
+        s.set_summary(&t, b, true);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        s.set_binary(&t, f, a, c, Kleene::Unknown);
+        let out = coerce(&s, &t).feasible().unwrap();
+        assert_eq!(out.binary(&t, f, a, c), Kleene::False);
+        assert!(!out.is_summary(&t, b), "definite edge into summary shrinks it");
+    }
+
+    #[test]
+    fn function_does_not_sharpen_from_summary_source() {
+        let (t, _x, f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        let c = s.add_node(&t);
+        s.set_summary(&t, a, true);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        s.set_binary(&t, f, a, c, Kleene::Unknown);
+        let out = coerce(&s, &t).feasible().unwrap();
+        assert_eq!(out.binary(&t, f, a, c), Kleene::Unknown);
+    }
+
+    #[test]
+    fn instrumentation_sharpened_from_definition() {
+        let (mut t, x, _f) = table();
+        // inst(v) defined as x(v)
+        let inst = t.add_unary(
+            "inst",
+            PredFlags {
+                defining: Some(Formula::unary(x, Var(0))),
+                ..PredFlags::default()
+            },
+        );
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_unary(&t, inst, a, Kleene::Unknown);
+        let out = coerce(&s, &t).feasible().unwrap();
+        assert_eq!(out.unary(&t, inst, a), Kleene::True);
+    }
+
+    #[test]
+    fn instrumentation_conflict_is_infeasible() {
+        let (mut t, x, _f) = table();
+        let inst = t.add_unary(
+            "inst",
+            PredFlags {
+                defining: Some(Formula::unary(x, Var(0))),
+                ..PredFlags::default()
+            },
+        );
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_unary(&t, inst, a, Kleene::False);
+        assert_eq!(coerce(&s, &t), CoerceOutcome::Infeasible);
+    }
+
+    #[test]
+    fn instrumentation_sharpening_feeds_uniqueness() {
+        // Sharpening from one rule can enable another: inst := x (definite)
+        // then inst unique removes candidates elsewhere.
+        let (mut t, x, _f) = table();
+        let inst = t.add_unary(
+            "inst",
+            PredFlags {
+                unique: true,
+                defining: Some(Formula::unary(x, Var(0))),
+                ..PredFlags::default()
+            },
+        );
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_unary(&t, inst, a, Kleene::Unknown);
+        s.set_unary(&t, inst, b, Kleene::Unknown);
+        // x(b) = False so inst(b) sharpens to False via the definition; and
+        // inst(a) sharpens to True via the definition.
+        let out = coerce(&s, &t).feasible().unwrap();
+        assert_eq!(out.unary(&t, inst, a), Kleene::True);
+        assert_eq!(out.unary(&t, inst, b), Kleene::False);
+    }
+
+    #[test]
+    fn consistent_structure_is_fixpoint() {
+        let (t, x, f) = table();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        let out = coerce(&s, &t).feasible().unwrap();
+        assert_eq!(out, s);
+    }
+}

@@ -1,0 +1,162 @@
+//! Rendering of structures as text and Graphviz DOT.
+//!
+//! The renderings mirror the paper's figures: each individual is a node
+//! annotated with the unary predicates that hold (or may hold) on it, summary
+//! nodes get a double border, definite edges are solid and `1/2` edges are
+//! dashed (Figures 2, 5, 7).
+
+use std::fmt::Write as _;
+
+use crate::kleene::Kleene;
+use crate::pred::{Arity, PredTable};
+use crate::structure::Structure;
+
+/// Renders a structure as indented text.
+///
+/// Nodes are listed with their non-`False` unary predicates; then edges, then
+/// nullary predicates. The format is stable, making it usable in golden
+/// tests.
+pub fn to_text(s: &Structure, table: &PredTable) -> String {
+    let mut out = String::new();
+    let isnew = table.isnew();
+    writeln!(out, "structure ({} nodes)", s.node_count()).unwrap();
+    for u in s.nodes() {
+        let mut props: Vec<String> = Vec::new();
+        for p in table.iter_arity(Arity::Unary) {
+            if p == table.sm() || p == isnew {
+                continue;
+            }
+            match s.unary(table, p, u) {
+                Kleene::True => props.push(table.name(p).to_owned()),
+                Kleene::Unknown => props.push(format!("{}=1/2", table.name(p))),
+                Kleene::False => {}
+            }
+        }
+        let marker = if s.is_summary(table, u) { "**" } else { "" };
+        writeln!(out, "  {u}{marker}: [{}]", props.join(", ")).unwrap();
+    }
+    for p in table.iter_arity(Arity::Binary) {
+        for a in s.nodes() {
+            for b in s.nodes() {
+                match s.binary(table, p, a, b) {
+                    Kleene::True => writeln!(out, "  {a} -{}-> {b}", table.name(p)).unwrap(),
+                    Kleene::Unknown => {
+                        writeln!(out, "  {a} -{}?-> {b}", table.name(p)).unwrap()
+                    }
+                    Kleene::False => {}
+                }
+            }
+        }
+    }
+    for p in table.iter_arity(Arity::Nullary) {
+        let v = s.nullary(table, p);
+        if v != Kleene::False {
+            writeln!(out, "  {}() = {v}", table.name(p)).unwrap();
+        }
+    }
+    out
+}
+
+/// Renders a structure as a Graphviz DOT digraph.
+///
+/// Summary nodes use `peripheries=2` (the paper's double-line boundary);
+/// indefinite predicate values and edges are rendered dashed.
+pub fn to_dot(s: &Structure, table: &PredTable, graph_name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{graph_name}\" {{").unwrap();
+    writeln!(out, "  node [shape=ellipse];").unwrap();
+    for u in s.nodes() {
+        let mut label: Vec<String> = vec![format!("{u}")];
+        for p in table.iter_arity(Arity::Unary) {
+            if p == table.sm() || p == table.isnew() {
+                continue;
+            }
+            match s.unary(table, p, u) {
+                Kleene::True => label.push(table.name(p).to_owned()),
+                Kleene::Unknown => label.push(format!("{}=1/2", table.name(p))),
+                Kleene::False => {}
+            }
+        }
+        let peripheries = if s.is_summary(table, u) { 2 } else { 1 };
+        writeln!(
+            out,
+            "  \"{u}\" [label=\"{}\", peripheries={peripheries}];",
+            label.join("\\n")
+        )
+        .unwrap();
+    }
+    for p in table.iter_arity(Arity::Binary) {
+        for a in s.nodes() {
+            for b in s.nodes() {
+                match s.binary(table, p, a, b) {
+                    Kleene::True => writeln!(
+                        out,
+                        "  \"{a}\" -> \"{b}\" [label=\"{}\"];",
+                        table.name(p)
+                    )
+                    .unwrap(),
+                    Kleene::Unknown => writeln!(
+                        out,
+                        "  \"{a}\" -> \"{b}\" [label=\"{}\", style=dashed];",
+                        table.name(p)
+                    )
+                    .unwrap(),
+                    Kleene::False => {}
+                }
+            }
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredFlags;
+
+    #[test]
+    fn text_rendering_lists_nodes_edges() {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let f = t.add_binary("f", PredFlags::reference_field());
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_binary(&t, f, a, b, Kleene::Unknown);
+        s.set_summary(&t, b, true);
+        let text = to_text(&s, &t);
+        assert!(text.contains("u0: [x]"), "{text}");
+        assert!(text.contains("u1**"), "{text}");
+        assert!(text.contains("u0 -f?-> u1"), "{text}");
+    }
+
+    #[test]
+    fn dot_rendering_is_valid_ish() {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let f = t.add_binary("f", PredFlags::reference_field());
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let b = s.add_node(&t);
+        s.set_unary(&t, x, a, Kleene::True);
+        s.set_binary(&t, f, a, b, Kleene::True);
+        s.set_summary(&t, b, true);
+        let dot = to_dot(&s, &t, "g");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("peripheries=2"), "{dot}");
+        assert!(dot.contains("->"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn nullary_values_rendered() {
+        let mut t = PredTable::new();
+        let g = t.add_nullary("closedFlag", PredFlags::default());
+        let mut s = Structure::new(&t);
+        s.set_nullary(&t, g, Kleene::Unknown);
+        let text = to_text(&s, &t);
+        assert!(text.contains("closedFlag() = 1/2"), "{text}");
+    }
+}

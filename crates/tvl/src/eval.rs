@@ -1,0 +1,390 @@
+//! Three-valued evaluation of formulas over structures.
+//!
+//! Evaluation follows the standard 3-valued Kleene semantics of the
+//! parametric framework: quantifiers fold their connective over the universe,
+//! equality on a summary node yields `1/2`, and transitive closure is computed
+//! as a relational fixpoint. The result is a *conservative* approximation: if
+//! the structure embeds a concrete state, the concrete truth value is always
+//! `⊑`-below the abstract one (soundness — see the embedding tests in
+//! [`crate::embed`]).
+
+use crate::formula::{Formula, Var};
+use crate::kleene::Kleene;
+use crate::pred::PredTable;
+use crate::structure::{NodeId, Structure};
+
+/// A partial assignment of individuals to logical variables.
+#[derive(Debug, Default, Clone)]
+pub struct Assignment {
+    slots: Vec<Option<NodeId>>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Creates an assignment binding each `(var, node)` pair.
+    pub fn of(bindings: impl IntoIterator<Item = (Var, NodeId)>) -> Assignment {
+        let mut a = Assignment::new();
+        for (v, n) in bindings {
+            a.bind(v, n);
+        }
+        a
+    }
+
+    /// Binds `v` to `node`, growing the assignment as needed.
+    pub fn bind(&mut self, v: Var, node: NodeId) {
+        let ix = v.0 as usize;
+        if self.slots.len() <= ix {
+            self.slots.resize(ix + 1, None);
+        }
+        self.slots[ix] = Some(node);
+    }
+
+    /// Removes the binding of `v`, if any.
+    pub fn unbind(&mut self, v: Var) {
+        if let Some(slot) = self.slots.get_mut(v.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Current binding of `v`.
+    pub fn get(&self, v: Var) -> Option<NodeId> {
+        self.slots.get(v.0 as usize).copied().flatten()
+    }
+
+    fn lookup(&self, v: Var) -> NodeId {
+        self.get(v)
+            .unwrap_or_else(|| panic!("unbound variable {v} during evaluation"))
+    }
+}
+
+/// Evaluates `formula` over `s` under `asg`.
+///
+/// # Panics
+///
+/// Panics if a free variable of `formula` is unbound in `asg`, or if a
+/// predicate is applied at the wrong arity.
+pub fn eval(s: &Structure, table: &PredTable, formula: &Formula, asg: &mut Assignment) -> Kleene {
+    match formula {
+        Formula::Const(k) => *k,
+        Formula::Nullary(p) => s.nullary(table, *p),
+        Formula::Unary(p, v) => s.unary(table, *p, asg.lookup(*v)),
+        Formula::Binary(p, a, b) => s.binary(table, *p, asg.lookup(*a), asg.lookup(*b)),
+        Formula::Eq(a, b) => {
+            let (u, v) = (asg.lookup(*a), asg.lookup(*b));
+            if u != v {
+                Kleene::False
+            } else if s.is_summary(table, u) {
+                // A summary node may represent several distinct individuals.
+                Kleene::Unknown
+            } else {
+                Kleene::True
+            }
+        }
+        Formula::Not(f) => !eval(s, table, f, asg),
+        Formula::And(l, r) => {
+            let lv = eval(s, table, l, asg);
+            if lv == Kleene::False {
+                return Kleene::False;
+            }
+            lv & eval(s, table, r, asg)
+        }
+        Formula::Or(l, r) => {
+            let lv = eval(s, table, l, asg);
+            if lv == Kleene::True {
+                return Kleene::True;
+            }
+            lv | eval(s, table, r, asg)
+        }
+        Formula::Exists(v, f) => {
+            let saved = asg.get(*v);
+            let mut acc = Kleene::False;
+            for u in s.nodes() {
+                asg.bind(*v, u);
+                acc = acc | eval(s, table, f, asg);
+                if acc == Kleene::True {
+                    break;
+                }
+            }
+            restore(asg, *v, saved);
+            acc
+        }
+        Formula::Forall(v, f) => {
+            let saved = asg.get(*v);
+            let mut acc = Kleene::True;
+            for u in s.nodes() {
+                asg.bind(*v, u);
+                acc = acc & eval(s, table, f, asg);
+                if acc == Kleene::False {
+                    break;
+                }
+            }
+            restore(asg, *v, saved);
+            acc
+        }
+        Formula::Tc { lhs, rhs, a, b, body } => {
+            let closure = tc_closure(s, table, *a, *b, body, asg);
+            let n = s.node_count();
+            let (u, v) = (asg.lookup(*lhs), asg.lookup(*rhs));
+            closure[u.index() * n + v.index()]
+        }
+    }
+}
+
+fn restore(asg: &mut Assignment, v: Var, saved: Option<NodeId>) {
+    match saved {
+        Some(node) => asg.bind(v, node),
+        None => asg.unbind(v),
+    }
+}
+
+/// Computes the 3-valued transitive closure matrix of the step relation
+/// `body(a, b)` under the current outer assignment.
+///
+/// Paths of length ≥ 1 are considered; traversal *through* a summary node is
+/// handled implicitly (a step into and out of the same summary node composes
+/// its possibly-many members).
+fn tc_closure(
+    s: &Structure,
+    table: &PredTable,
+    a: Var,
+    b: Var,
+    body: &Formula,
+    asg: &mut Assignment,
+) -> Vec<Kleene> {
+    let n = s.node_count();
+    let mut step = vec![Kleene::False; n * n];
+    let (saved_a, saved_b) = (asg.get(a), asg.get(b));
+    for u in s.nodes() {
+        asg.bind(a, u);
+        for v in s.nodes() {
+            asg.bind(b, v);
+            step[u.index() * n + v.index()] = eval(s, table, body, asg);
+        }
+    }
+    restore(asg, a, saved_a);
+    restore(asg, b, saved_b);
+
+    // Kleene-valued Floyd-Warshall style saturation:
+    // closure = step ∨ (closure ∘ step), to fixpoint.
+    let mut closure = step.clone();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = closure[i * n + j];
+                if acc == Kleene::True {
+                    continue;
+                }
+                for k in 0..n {
+                    acc = acc | (closure[i * n + k] & step[k * n + j]);
+                    if acc == Kleene::True {
+                        break;
+                    }
+                }
+                if acc != closure[i * n + j] {
+                    // Values only grow in the truth order False→Unknown→True,
+                    // so the loop terminates.
+                    closure[i * n + j] = acc;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// Evaluates a closed formula (no free variables).
+///
+/// # Panics
+///
+/// Panics if the formula has free variables.
+pub fn eval_closed(s: &Structure, table: &PredTable, formula: &Formula) -> Kleene {
+    debug_assert!(
+        formula.free_vars().is_empty(),
+        "eval_closed on open formula {formula}"
+    );
+    eval(s, table, formula, &mut Assignment::new())
+}
+
+/// Evaluates a formula with exactly one free variable at each node, returning
+/// the vector of values indexed by node.
+pub fn eval_unary_at_all(
+    s: &Structure,
+    table: &PredTable,
+    formula: &Formula,
+    var: Var,
+) -> Vec<Kleene> {
+    let mut asg = Assignment::new();
+    s.nodes()
+        .map(|u| {
+            asg.bind(var, u);
+            eval(s, table, formula, &mut asg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{PredFlags, PredId};
+
+    fn setup() -> (PredTable, PredId, PredId, PredId) {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let f = t.add_binary("f", PredFlags::reference_field());
+        let g = t.add_nullary("g", PredFlags::default());
+        (t, x, f, g)
+    }
+
+    /// x → u0 → u1 → u2 (chain via f), x(u0)=1.
+    fn chain(t: &PredTable, x: PredId, f: PredId) -> Structure {
+        let mut s = Structure::new(t);
+        let nodes: Vec<NodeId> = (0..3).map(|_| s.add_node(t)).collect();
+        s.set_unary(t, x, nodes[0], Kleene::True);
+        s.set_binary(t, f, nodes[0], nodes[1], Kleene::True);
+        s.set_binary(t, f, nodes[1], nodes[2], Kleene::True);
+        s
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let (t, x, f, g) = setup();
+        let s = chain(&t, x, f);
+        let (v0, v1) = (Var(0), Var(1));
+        let mut asg = Assignment::of([(v0, NodeId(0)), (v1, NodeId(1))]);
+        assert_eq!(eval(&s, &t, &Formula::unary(x, v0), &mut asg), Kleene::True);
+        assert_eq!(eval(&s, &t, &Formula::unary(x, v1), &mut asg), Kleene::False);
+        assert_eq!(eval(&s, &t, &Formula::binary(f, v0, v1), &mut asg), Kleene::True);
+        assert_eq!(eval(&s, &t, &Formula::nullary(g), &mut asg), Kleene::False);
+        assert_eq!(
+            eval(&s, &t, &Formula::unary(x, v0).and(Formula::unary(x, v1).not()), &mut asg),
+            Kleene::True
+        );
+    }
+
+    #[test]
+    fn equality_on_summary_is_unknown() {
+        let (t, x, f, _g) = setup();
+        let mut s = chain(&t, x, f);
+        let v0 = Var(0);
+        let mut asg = Assignment::of([(v0, NodeId(1)), (Var(1), NodeId(1))]);
+        assert_eq!(eval(&s, &t, &Formula::eq(v0, Var(1)), &mut asg), Kleene::True);
+        s.set_summary(&t, NodeId(1), true);
+        assert_eq!(eval(&s, &t, &Formula::eq(v0, Var(1)), &mut asg), Kleene::Unknown);
+        let mut asg2 = Assignment::of([(v0, NodeId(0)), (Var(1), NodeId(1))]);
+        assert_eq!(eval(&s, &t, &Formula::eq(v0, Var(1)), &mut asg2), Kleene::False);
+    }
+
+    #[test]
+    fn quantifiers() {
+        let (t, x, f, _g) = setup();
+        let s = chain(&t, x, f);
+        let v = Var(0);
+        // ∃v. x(v) = 1; ∀v. x(v) = 0
+        assert_eq!(
+            eval_closed(&s, &t, &Formula::exists(v, Formula::unary(x, v))),
+            Kleene::True
+        );
+        assert_eq!(
+            eval_closed(&s, &t, &Formula::forall(v, Formula::unary(x, v))),
+            Kleene::False
+        );
+    }
+
+    #[test]
+    fn quantifier_over_unknown_value() {
+        let (t, x, _f, _g) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::Unknown);
+        let v = Var(0);
+        assert_eq!(
+            eval_closed(&s, &t, &Formula::exists(v, Formula::unary(x, v))),
+            Kleene::Unknown
+        );
+        assert_eq!(
+            eval_closed(&s, &t, &Formula::forall(v, Formula::unary(x, v))),
+            Kleene::Unknown
+        );
+    }
+
+    #[test]
+    fn transitive_closure_on_chain() {
+        let (t, x, f, _g) = setup();
+        let s = chain(&t, x, f);
+        let (l, r, a, b) = (Var(0), Var(1), Var(2), Var(3));
+        let tc = Formula::tc(l, r, a, b, Formula::binary(f, a, b));
+        let mut asg = Assignment::of([(l, NodeId(0)), (r, NodeId(2))]);
+        assert_eq!(eval(&s, &t, &tc, &mut asg), Kleene::True);
+        // No backward path.
+        let mut asg_back = Assignment::of([(l, NodeId(2)), (r, NodeId(0))]);
+        assert_eq!(eval(&s, &t, &tc, &mut asg_back), Kleene::False);
+        // Non-reflexive: u0 to u0 has no cycle.
+        let mut asg_self = Assignment::of([(l, NodeId(0)), (r, NodeId(0))]);
+        assert_eq!(eval(&s, &t, &tc, &mut asg_self), Kleene::False);
+    }
+
+    #[test]
+    fn transitive_closure_through_unknown_edge() {
+        let (t, _x, f, _g) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        let w = s.add_node(&t);
+        s.set_binary(&t, f, u, v, Kleene::True);
+        s.set_binary(&t, f, v, w, Kleene::Unknown);
+        let (l, r, a, b) = (Var(0), Var(1), Var(2), Var(3));
+        let tc = Formula::tc(l, r, a, b, Formula::binary(f, a, b));
+        let mut asg = Assignment::of([(l, u), (r, w)]);
+        assert_eq!(eval(&s, &t, &tc, &mut asg), Kleene::Unknown);
+    }
+
+    #[test]
+    fn tc_cycle_terminates() {
+        let (t, _x, f, _g) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        s.set_binary(&t, f, u, v, Kleene::True);
+        s.set_binary(&t, f, v, u, Kleene::True);
+        let (l, r, a, b) = (Var(0), Var(1), Var(2), Var(3));
+        let tc = Formula::tc(l, r, a, b, Formula::binary(f, a, b));
+        let mut asg = Assignment::of([(l, u), (r, u)]);
+        assert_eq!(eval(&s, &t, &tc, &mut asg), Kleene::True);
+    }
+
+    #[test]
+    fn ite_desugaring_behaves() {
+        let (t, x, _f, g) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::True);
+        s.set_nullary(&t, g, Kleene::True);
+        let phi = Formula::ite(Formula::nullary(g), Formula::unary(x, Var(0)), Formula::ff());
+        let mut asg = Assignment::of([(Var(0), u)]);
+        assert_eq!(eval(&s, &t, &phi, &mut asg), Kleene::True);
+    }
+
+    #[test]
+    fn eval_unary_at_all_nodes() {
+        let (t, x, f, _g) = setup();
+        let s = chain(&t, x, f);
+        let vals = eval_unary_at_all(&s, &t, &Formula::unary(x, Var(0)), Var(0));
+        assert_eq!(vals, vec![Kleene::True, Kleene::False, Kleene::False]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics() {
+        let (t, x, _f, _g) = setup();
+        let mut s = Structure::new(&t);
+        s.add_node(&t);
+        let _ = eval(&s, &t, &Formula::unary(x, Var(0)), &mut Assignment::new());
+    }
+}

@@ -1,0 +1,231 @@
+//! Structure-merging policies.
+//!
+//! After individual merging (blur), an analysis may additionally merge whole
+//! *structures* that arrive at the same program location (paper §5,
+//! "Structure Merging"). The paper lists three equivalence relations `≈`
+//! used by TVLA, and contributes a *heterogeneous* relation `≈_c`: merge two
+//! structures iff their substructures of `c`-individuals (the relevant parts)
+//! are isomorphic — allowing the irrelevant parts of different states to be
+//! collapsed together while the relevant parts stay separate.
+
+use std::collections::HashMap;
+
+use crate::canon::{blur, canonical_key, CanonicalKey};
+use crate::kleene::Kleene;
+use crate::pred::{Arity, PredId, PredTable};
+use crate::structure::Structure;
+
+/// Policy deciding which structures at a program location are merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Keep every isomorphism class separate (TVLA's default powerset
+    /// representation; relation (a) in the paper).
+    Powerset,
+    /// Merge structures that agree on all nullary predicate values
+    /// (relation (b) in the paper).
+    NullaryJoin,
+    /// Merge all structures at the location into a single structure
+    /// (the coarsest instance, relation (c) with a trivial universe match).
+    SingleStructure,
+    /// Heterogeneous merging `≈_c`: merge structures whose substructures of
+    /// individuals with `c = 1` are isomorphic (paper §5). `c` is typically
+    /// the `relevant` predicate.
+    RelevantIso(PredId),
+}
+
+/// Merges a batch of structures under `policy`. Every output structure is
+/// blurred and canonically ordered; outputs are pairwise non-equal.
+pub fn merge_all(structures: &[Structure], table: &PredTable, policy: &MergePolicy) -> Vec<Structure> {
+    let blurred: Vec<Structure> = structures
+        .iter()
+        .map(|s| canonical_key(&blur(s, table), table).into_structure())
+        .collect();
+    match policy {
+        MergePolicy::Powerset => dedup(blurred),
+        MergePolicy::NullaryJoin => merge_classes(blurred, table, |s| nullary_vector(s, table)),
+        MergePolicy::SingleStructure => merge_classes(blurred, table, |_| 0u8),
+        MergePolicy::RelevantIso(c) => {
+            let c = *c;
+            merge_classes(blurred, table, |s| relevant_key(s, table, c))
+        }
+    }
+}
+
+fn dedup(structures: Vec<Structure>) -> Vec<Structure> {
+    let mut seen: HashMap<Structure, ()> = HashMap::new();
+    let mut out = Vec::new();
+    for s in structures {
+        if seen.insert(s.clone(), ()).is_none() {
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn merge_classes<K: std::hash::Hash + Eq>(
+    structures: Vec<Structure>,
+    table: &PredTable,
+    mut key: impl FnMut(&Structure) -> K,
+) -> Vec<Structure> {
+    let mut classes: Vec<(K, Structure)> = Vec::new();
+    let mut index: HashMap<K, usize> = HashMap::new();
+    for s in structures {
+        let k = key(&s);
+        match index.get(&k) {
+            Some(&ix) => {
+                let merged = weaken_union_conflicts(&classes[ix].1.union(&s), table);
+                classes[ix].1 = canonical_key(&blur(&merged, table), table).into_structure();
+            }
+            None => {
+                index.insert(k, classes.len());
+                let k2 = key(&s);
+                classes.push((k2, s));
+            }
+        }
+    }
+    dedup(classes.into_iter().map(|(_, s)| s).collect())
+}
+
+/// Repairs a unioned structure so it soundly represents the *union* of the
+/// merged states: a `unique` predicate definitely held by two distinct
+/// individuals (one per merged state) is weakened to `1/2` on each, and a
+/// functional field leaving one non-summary individual toward two definite
+/// targets is likewise weakened. Without this, coerce would (correctly)
+/// judge the union structure infeasible and silently drop the represented
+/// states.
+pub fn weaken_union_conflicts(s: &Structure, table: &PredTable) -> Structure {
+    let mut out = s.clone();
+    for p in table.unique_preds() {
+        let holders: Vec<_> = out
+            .nodes()
+            .filter(|&u| out.unary(table, p, u) == Kleene::True)
+            .collect();
+        if holders.len() >= 2 {
+            for u in holders {
+                out.set_unary(table, p, u, Kleene::Unknown);
+            }
+        }
+    }
+    for f in table.function_preds() {
+        for src in out.nodes() {
+            if out.is_summary(table, src) {
+                continue;
+            }
+            let targets: Vec<_> = out
+                .nodes()
+                .filter(|&d| out.binary(table, f, src, d) == Kleene::True)
+                .collect();
+            if targets.len() >= 2 {
+                for d in targets {
+                    out.set_binary(table, f, src, d, Kleene::Unknown);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn nullary_vector(s: &Structure, table: &PredTable) -> Vec<Kleene> {
+    table
+        .iter_arity(Arity::Nullary)
+        .map(|p| s.nullary(table, p))
+        .collect()
+}
+
+/// Canonical key of the substructure induced by individuals on which `c`
+/// definitely holds.
+fn relevant_key(s: &Structure, table: &PredTable, c: PredId) -> CanonicalKey {
+    let (sub, _) = s.retain_nodes(table, |u| s.unary(table, c, u) == Kleene::True);
+    canonical_key(&sub, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredFlags;
+
+    fn table() -> (PredTable, PredId, PredId, PredId) {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let rel = t.add_unary("relevant", PredFlags::default());
+        let g = t.add_nullary("g", PredFlags::default());
+        (t, x, rel, g)
+    }
+
+    fn one_node(t: &PredTable, x: PredId, xval: Kleene, g: PredId, gval: Kleene) -> Structure {
+        let mut s = Structure::new(t);
+        let u = s.add_node(t);
+        s.set_unary(t, x, u, xval);
+        s.set_nullary(t, g, gval);
+        s
+    }
+
+    #[test]
+    fn powerset_dedups_isomorphic() {
+        let (t, x, _rel, g) = table();
+        let s1 = one_node(&t, x, Kleene::True, g, Kleene::False);
+        let s2 = one_node(&t, x, Kleene::True, g, Kleene::False);
+        let s3 = one_node(&t, x, Kleene::False, g, Kleene::False);
+        let out = merge_all(&[s1, s2, s3], &t, &MergePolicy::Powerset);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn nullary_join_groups_by_nullary() {
+        let (t, x, _rel, g) = table();
+        // Same nullary value, different unary: merged into one structure.
+        let s1 = one_node(&t, x, Kleene::True, g, Kleene::True);
+        let s2 = one_node(&t, x, Kleene::False, g, Kleene::True);
+        // Different nullary value: kept separate.
+        let s3 = one_node(&t, x, Kleene::True, g, Kleene::False);
+        let out = merge_all(&[s1, s2, s3], &t, &MergePolicy::NullaryJoin);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn single_structure_merges_everything() {
+        let (t, x, _rel, g) = table();
+        let s1 = one_node(&t, x, Kleene::True, g, Kleene::True);
+        let s2 = one_node(&t, x, Kleene::False, g, Kleene::False);
+        let out = merge_all(&[s1, s2], &t, &MergePolicy::SingleStructure);
+        assert_eq!(out.len(), 1);
+        // The merged structure must conservatively cover both: g is unknown.
+        assert_eq!(out[0].nullary(&t, g), Kleene::Unknown);
+    }
+
+    #[test]
+    fn relevant_iso_merges_only_matching_relevant_parts() {
+        let (t, x, rel, _g) = table();
+        let mk = |relevant_x: Kleene, irrelevant_nodes: usize| {
+            let mut s = Structure::new(&t);
+            let u = s.add_node(&t); // relevant node
+            s.set_unary(&t, rel, u, Kleene::True);
+            s.set_unary(&t, x, u, relevant_x);
+            for _ in 0..irrelevant_nodes {
+                s.add_node(&t);
+            }
+            s
+        };
+        // Same relevant part, different irrelevant heap parts (1 node vs a
+        // summary of 2) → merged into one structure.
+        let a = mk(Kleene::True, 1);
+        let b = mk(Kleene::True, 2);
+        // Different relevant part → kept separate.
+        let c = mk(Kleene::False, 1);
+        let out = merge_all(&[a, b, c], &t, &MergePolicy::RelevantIso(rel));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn outputs_are_blurred_and_unique() {
+        let (t, x, _rel, g) = table();
+        let mut s = Structure::new(&t);
+        // two indistinguishable nodes → blur collapses them
+        s.add_node(&t);
+        s.add_node(&t);
+        let out = merge_all(&[s], &t, &MergePolicy::Powerset);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].node_count(), 1);
+        let _ = (x, g);
+    }
+}

@@ -1,0 +1,527 @@
+//! Three-valued logical structures.
+//!
+//! A [`Structure`] is the pair `⟨U, ι⟩` of paper Definitions 1 and 2: a
+//! universe of individuals (each modelling one or more heap objects) plus an
+//! interpretation mapping each predicate of a [`PredTable`] to a truth-valued
+//! function over individuals. Two-valued (concrete) structures are the special
+//! case in which every predicate value is definite and `sm` is `False`
+//! everywhere.
+//!
+//! Structures are plain values: transformers produce new structures rather
+//! than mutating shared state, which keeps the abstract-interpretation engine
+//! simple and makes structures usable as hash keys via
+//! [`crate::canon::canonical_key`].
+
+use std::fmt;
+
+use crate::kleene::Kleene;
+use crate::pred::{Arity, PredId, PredTable};
+
+/// Index of an individual in a structure's universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of the node within its structure.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node id from a raw index.
+    ///
+    /// Callers must ensure the index is within the universe of the structure
+    /// the id will be used with; out-of-range ids cause panics on access.
+    pub fn from_index(ix: usize) -> NodeId {
+        NodeId(ix as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A three-valued logical structure.
+///
+/// # Example
+///
+/// ```
+/// use hetsep_tvl::{PredTable, PredFlags, Structure, Kleene};
+/// let mut t = PredTable::new();
+/// let x = t.add_unary("x", PredFlags::reference_variable());
+/// let f = t.add_binary("f", PredFlags::reference_field());
+/// let mut s = Structure::new(&t);
+/// let a = s.add_node(&t);
+/// let b = s.add_node(&t);
+/// s.set_unary(&t, x, a, Kleene::True);
+/// s.set_binary(&t, f, a, b, Kleene::True);
+/// assert_eq!(s.unary(&t, x, a), Kleene::True);
+/// assert_eq!(s.binary(&t, f, a, b), Kleene::True);
+/// assert_eq!(s.binary(&t, f, b, a), Kleene::False);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Structure {
+    n: u32,
+    nullary: Vec<Kleene>,
+    /// `unary[slot][node]`
+    unary: Vec<Vec<Kleene>>,
+    /// `binary[slot][src * n + dst]`
+    binary: Vec<Vec<Kleene>>,
+}
+
+impl Structure {
+    /// Creates a structure with an empty universe; all nullary predicates are
+    /// `False`.
+    pub fn new(table: &PredTable) -> Structure {
+        Structure {
+            n: 0,
+            nullary: vec![Kleene::False; table.nullary_count()],
+            unary: vec![Vec::new(); table.unary_count()],
+            binary: vec![Vec::new(); table.binary_count()],
+        }
+    }
+
+    /// Number of individuals in the universe.
+    pub fn node_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterates over all individuals.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId)
+    }
+
+    /// Adds a fresh individual with all predicate values `False` and returns
+    /// its id.
+    pub fn add_node(&mut self, table: &PredTable) -> NodeId {
+        debug_assert_eq!(self.unary.len(), table.unary_count());
+        let old = self.n as usize;
+        let new = old + 1;
+        for col in &mut self.unary {
+            col.push(Kleene::False);
+        }
+        for mat in &mut self.binary {
+            let mut grown = vec![Kleene::False; new * new];
+            for s in 0..old {
+                for d in 0..old {
+                    grown[s * new + d] = mat[s * old + d];
+                }
+            }
+            *mat = grown;
+        }
+        self.n = new as u32;
+        NodeId(old as u32)
+    }
+
+    #[inline]
+    fn check_node(&self, u: NodeId) {
+        assert!(u.0 < self.n, "node {u} out of range (n={})", self.n);
+    }
+
+    /// Value of a nullary predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not nullary.
+    pub fn nullary(&self, table: &PredTable, p: PredId) -> Kleene {
+        assert_eq!(table.arity(p), Arity::Nullary);
+        self.nullary[table.slot(p)]
+    }
+
+    /// Sets a nullary predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not nullary.
+    pub fn set_nullary(&mut self, table: &PredTable, p: PredId, v: Kleene) {
+        assert_eq!(table.arity(p), Arity::Nullary);
+        let slot = table.slot(p);
+        self.nullary[slot] = v;
+    }
+
+    /// Value of a unary predicate on an individual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not unary or `u` is out of range.
+    pub fn unary(&self, table: &PredTable, p: PredId, u: NodeId) -> Kleene {
+        assert_eq!(table.arity(p), Arity::Unary);
+        self.check_node(u);
+        self.unary[table.slot(p)][u.index()]
+    }
+
+    /// Sets a unary predicate on an individual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not unary or `u` is out of range.
+    pub fn set_unary(&mut self, table: &PredTable, p: PredId, u: NodeId, v: Kleene) {
+        assert_eq!(table.arity(p), Arity::Unary);
+        self.check_node(u);
+        let slot = table.slot(p);
+        self.unary[slot][u.index()] = v;
+    }
+
+    /// Value of a binary predicate on a pair of individuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not binary or a node is out of range.
+    pub fn binary(&self, table: &PredTable, p: PredId, src: NodeId, dst: NodeId) -> Kleene {
+        assert_eq!(table.arity(p), Arity::Binary);
+        self.check_node(src);
+        self.check_node(dst);
+        self.binary[table.slot(p)][src.index() * self.n as usize + dst.index()]
+    }
+
+    /// Sets a binary predicate on a pair of individuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not binary or a node is out of range.
+    pub fn set_binary(&mut self, table: &PredTable, p: PredId, src: NodeId, dst: NodeId, v: Kleene) {
+        assert_eq!(table.arity(p), Arity::Binary);
+        self.check_node(src);
+        self.check_node(dst);
+        let n = self.n as usize;
+        let slot = table.slot(p);
+        self.binary[slot][src.index() * n + dst.index()] = v;
+    }
+
+    /// Whether `u` is a summary node (`sm(u) = 1/2`), i.e. may represent more
+    /// than one concrete individual.
+    pub fn is_summary(&self, table: &PredTable, u: NodeId) -> bool {
+        self.unary(table, table.sm(), u) == Kleene::Unknown
+    }
+
+    /// Marks or unmarks `u` as a summary node.
+    pub fn set_summary(&mut self, table: &PredTable, u: NodeId, summary: bool) {
+        let v = if summary { Kleene::Unknown } else { Kleene::False };
+        self.set_unary(table, table.sm(), u, v);
+    }
+
+    /// Individuals on which unary predicate `p` may hold (value `≠ False`).
+    pub fn nodes_where(&self, table: &PredTable, p: PredId) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&u| self.unary(table, p, u).maybe_true())
+            .collect()
+    }
+
+    /// The single individual on which `p` definitely holds, if there is
+    /// exactly one candidate and its value is `True`.
+    ///
+    /// This is the common lookup for reference-variable predicates.
+    pub fn definite_node(&self, table: &PredTable, p: PredId) -> Option<NodeId> {
+        let cands = self.nodes_where(table, p);
+        match cands.as_slice() {
+            [u] if self.unary(table, p, *u) == Kleene::True => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Builds a new structure containing only the individuals for which
+    /// `keep` returns `true`, preserving order. Returns the structure and the
+    /// mapping from old node ids to new ones.
+    pub fn retain_nodes(
+        &self,
+        table: &PredTable,
+        mut keep: impl FnMut(NodeId) -> bool,
+    ) -> (Structure, Vec<Option<NodeId>>) {
+        let n = self.n as usize;
+        let mut map: Vec<Option<NodeId>> = vec![None; n];
+        let mut kept: Vec<NodeId> = Vec::new();
+        for u in self.nodes() {
+            if keep(u) {
+                map[u.index()] = Some(NodeId(kept.len() as u32));
+                kept.push(u);
+            }
+        }
+        let m = kept.len();
+        let mut out = Structure {
+            n: m as u32,
+            nullary: self.nullary.clone(),
+            unary: vec![vec![Kleene::False; m]; self.unary.len()],
+            binary: vec![vec![Kleene::False; m * m]; self.binary.len()],
+        };
+        for (slot, col) in self.unary.iter().enumerate() {
+            for (new_ix, old) in kept.iter().enumerate() {
+                out.unary[slot][new_ix] = col[old.index()];
+            }
+        }
+        for (slot, mat) in self.binary.iter().enumerate() {
+            for (si, s_old) in kept.iter().enumerate() {
+                for (di, d_old) in kept.iter().enumerate() {
+                    out.binary[slot][si * m + di] = mat[s_old.index() * n + d_old.index()];
+                }
+            }
+        }
+        let _ = table;
+        (out, map)
+    }
+
+    /// Reorders the universe according to `perm`, where `perm[new] = old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of the universe.
+    pub fn permute(&self, perm: &[NodeId]) -> Structure {
+        let n = self.n as usize;
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for u in perm {
+            assert!(!seen[u.index()], "not a permutation");
+            seen[u.index()] = true;
+        }
+        let mut out = Structure {
+            n: self.n,
+            nullary: self.nullary.clone(),
+            unary: vec![vec![Kleene::False; n]; self.unary.len()],
+            binary: vec![vec![Kleene::False; n * n]; self.binary.len()],
+        };
+        for (slot, col) in self.unary.iter().enumerate() {
+            for (new_ix, old) in perm.iter().enumerate() {
+                out.unary[slot][new_ix] = col[old.index()];
+            }
+        }
+        for (slot, mat) in self.binary.iter().enumerate() {
+            for (si, s_old) in perm.iter().enumerate() {
+                for (di, d_old) in perm.iter().enumerate() {
+                    out.binary[slot][si * n + di] = mat[s_old.index() * n + d_old.index()];
+                }
+            }
+        }
+        out
+    }
+
+    /// Disjoint union of two structures over the same table: the universe is
+    /// the concatenation of both universes and nullary predicates are joined
+    /// pointwise. Cross edges between the two halves are `False`.
+    pub fn union(&self, other: &Structure) -> Structure {
+        assert_eq!(self.nullary.len(), other.nullary.len());
+        assert_eq!(self.unary.len(), other.unary.len());
+        assert_eq!(self.binary.len(), other.binary.len());
+        let n1 = self.n as usize;
+        let n2 = other.n as usize;
+        let n = n1 + n2;
+        let mut out = Structure {
+            n: n as u32,
+            nullary: self
+                .nullary
+                .iter()
+                .zip(&other.nullary)
+                .map(|(&a, &b)| a.join(b))
+                .collect(),
+            unary: vec![vec![Kleene::False; n]; self.unary.len()],
+            binary: vec![vec![Kleene::False; n * n]; self.binary.len()],
+        };
+        for (slot, col) in self.unary.iter().enumerate() {
+            out.unary[slot][..n1].copy_from_slice(col);
+            out.unary[slot][n1..].copy_from_slice(&other.unary[slot]);
+        }
+        for (slot, mat) in self.binary.iter().enumerate() {
+            for s in 0..n1 {
+                for d in 0..n1 {
+                    out.binary[slot][s * n + d] = mat[s * n1 + d];
+                }
+            }
+            let omat = &other.binary[slot];
+            for s in 0..n2 {
+                for d in 0..n2 {
+                    out.binary[slot][(n1 + s) * n + (n1 + d)] = omat[s * n2 + d];
+                }
+            }
+        }
+        out
+    }
+
+    /// Duplicates node `u` (including its unary values and all incident binary
+    /// edges, and the self-loop pattern) and returns the new node's id.
+    ///
+    /// Used by [`crate::focus()`] when bifurcating a summary node.
+    pub fn duplicate_node(&mut self, table: &PredTable, u: NodeId) -> NodeId {
+        self.check_node(u);
+        let v = self.add_node(table);
+        let n = self.n as usize;
+        for col in &mut self.unary {
+            col[v.index()] = col[u.index()];
+        }
+        for mat in &mut self.binary {
+            // Copy row and column, and map the self loop of u to all four
+            // pair combinations of {u, v}.
+            let self_loop = mat[u.index() * n + u.index()];
+            for d in 0..n {
+                mat[v.index() * n + d] = mat[u.index() * n + d];
+            }
+            for s in 0..n {
+                mat[s * n + v.index()] = mat[s * n + u.index()];
+            }
+            mat[v.index() * n + v.index()] = self_loop;
+            mat[u.index() * n + v.index()] = self_loop;
+            mat[v.index() * n + u.index()] = self_loop;
+        }
+        v
+    }
+
+    /// Returns `true` when every predicate value is definite and no node is a
+    /// summary node — i.e. the structure is a concrete (2-valued) state.
+    pub fn is_concrete(&self) -> bool {
+        self.nullary.iter().all(|v| v.is_definite())
+            && self.unary.iter().all(|col| col.iter().all(|v| v.is_definite()))
+            && self.binary.iter().all(|m| m.iter().all(|v| v.is_definite()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredFlags;
+
+    fn setup() -> (PredTable, PredId, PredId, PredId) {
+        let mut t = PredTable::new();
+        let x = t.add_unary("x", PredFlags::reference_variable());
+        let f = t.add_binary("f", PredFlags::reference_field());
+        let b = t.add_nullary("b", PredFlags::default());
+        (t, x, f, b)
+    }
+
+    #[test]
+    fn empty_structure() {
+        let (t, ..) = setup();
+        let s = Structure::new(&t);
+        assert_eq!(s.node_count(), 0);
+        assert!(s.is_empty());
+        assert!(s.is_concrete());
+    }
+
+    #[test]
+    fn add_node_defaults_false() {
+        let (t, x, f, b) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.unary(&t, x, u), Kleene::False);
+        assert_eq!(s.binary(&t, f, u, v), Kleene::False);
+        assert_eq!(s.nullary(&t, b), Kleene::False);
+        assert!(!s.is_summary(&t, u));
+    }
+
+    #[test]
+    fn binary_matrix_survives_growth() {
+        let (t, _x, f, _b) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        s.set_binary(&t, f, u, v, Kleene::True);
+        s.set_binary(&t, f, v, u, Kleene::Unknown);
+        let w = s.add_node(&t);
+        assert_eq!(s.binary(&t, f, u, v), Kleene::True);
+        assert_eq!(s.binary(&t, f, v, u), Kleene::Unknown);
+        assert_eq!(s.binary(&t, f, u, w), Kleene::False);
+        assert_eq!(s.binary(&t, f, w, v), Kleene::False);
+    }
+
+    #[test]
+    fn summary_marking() {
+        let (t, ..) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_summary(&t, u, true);
+        assert!(s.is_summary(&t, u));
+        assert!(!s.is_concrete());
+        s.set_summary(&t, u, false);
+        assert!(!s.is_summary(&t, u));
+    }
+
+    #[test]
+    fn definite_node_lookup() {
+        let (t, x, ..) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        assert_eq!(s.definite_node(&t, x), None);
+        s.set_unary(&t, x, u, Kleene::True);
+        assert_eq!(s.definite_node(&t, x), Some(u));
+        s.set_unary(&t, x, v, Kleene::Unknown);
+        assert_eq!(s.definite_node(&t, x), None); // ambiguous
+    }
+
+    #[test]
+    fn retain_nodes_rebuilds_edges() {
+        let (t, x, f, _b) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        let w = s.add_node(&t);
+        s.set_unary(&t, x, w, Kleene::True);
+        s.set_binary(&t, f, u, w, Kleene::True);
+        s.set_binary(&t, f, w, w, Kleene::Unknown);
+        let (r, map) = s.retain_nodes(&t, |n| n != v);
+        assert_eq!(r.node_count(), 2);
+        let nu = map[u.index()].unwrap();
+        let nw = map[w.index()].unwrap();
+        assert!(map[v.index()].is_none());
+        assert_eq!(r.unary(&t, x, nw), Kleene::True);
+        assert_eq!(r.binary(&t, f, nu, nw), Kleene::True);
+        assert_eq!(r.binary(&t, f, nw, nw), Kleene::Unknown);
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let (t, x, f, _b) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::True);
+        s.set_binary(&t, f, u, v, Kleene::Unknown);
+        let p = s.permute(&[v, u]);
+        assert_eq!(p.unary(&t, x, NodeId(1)), Kleene::True);
+        assert_eq!(p.binary(&t, f, NodeId(1), NodeId(0)), Kleene::Unknown);
+        let back = p.permute(&[NodeId(1), NodeId(0)]);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn union_is_disjoint() {
+        let (t, x, f, b) = setup();
+        let mut s1 = Structure::new(&t);
+        let u = s1.add_node(&t);
+        s1.set_unary(&t, x, u, Kleene::True);
+        s1.set_nullary(&t, b, Kleene::True);
+        let mut s2 = Structure::new(&t);
+        let v = s2.add_node(&t);
+        s2.set_binary(&t, f, v, v, Kleene::True);
+        let un = s1.union(&s2);
+        assert_eq!(un.node_count(), 2);
+        assert_eq!(un.unary(&t, x, NodeId(0)), Kleene::True);
+        assert_eq!(un.unary(&t, x, NodeId(1)), Kleene::False);
+        assert_eq!(un.binary(&t, f, NodeId(1), NodeId(1)), Kleene::True);
+        assert_eq!(un.binary(&t, f, NodeId(0), NodeId(1)), Kleene::False);
+        // nullary b: True join False = Unknown
+        assert_eq!(un.nullary(&t, b), Kleene::Unknown);
+    }
+
+    #[test]
+    fn duplicate_node_copies_incident_edges() {
+        let (t, x, f, _b) = setup();
+        let mut s = Structure::new(&t);
+        let a = s.add_node(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::Unknown);
+        s.set_binary(&t, f, a, u, Kleene::Unknown);
+        s.set_binary(&t, f, u, u, Kleene::Unknown);
+        let v = s.duplicate_node(&t, u);
+        assert_eq!(s.unary(&t, x, v), Kleene::Unknown);
+        assert_eq!(s.binary(&t, f, a, v), Kleene::Unknown);
+        // self loop distributes over all pairs
+        assert_eq!(s.binary(&t, f, u, v), Kleene::Unknown);
+        assert_eq!(s.binary(&t, f, v, u), Kleene::Unknown);
+        assert_eq!(s.binary(&t, f, v, v), Kleene::Unknown);
+    }
+}

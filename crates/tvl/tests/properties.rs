@@ -1,0 +1,250 @@
+//! Property-based tests of the three-valued-logic engine's soundness
+//! obligations (the embedding theorem instances the analysis relies on):
+//!
+//! * canonical abstraction embeds the original structure;
+//! * the canonical key is invariant under node permutation;
+//! * focus outputs cover the input (some output embeds each represented
+//!   concrete state);
+//! * coerce never discards a consistent concrete structure and never
+//!   changes one;
+//! * formula evaluation is monotone along blurring: the value on the
+//!   blurred structure conservatively approximates the concrete value.
+
+use proptest::prelude::*;
+
+use hetsep_tvl::canon::{blur, canonical_key};
+use hetsep_tvl::coerce::{coerce, CoerceOutcome};
+use hetsep_tvl::embed::embeds;
+use hetsep_tvl::eval::eval_closed;
+use hetsep_tvl::focus::{focus, FocusSpec, DEFAULT_FOCUS_LIMIT};
+use hetsep_tvl::formula::{Formula, Var};
+use hetsep_tvl::pred::{PredFlags, PredId, PredTable};
+use hetsep_tvl::structure::{NodeId, Structure};
+use hetsep_tvl::Kleene;
+
+const N_VARS: usize = 2;
+const N_BOOLS: usize = 2;
+const N_FIELDS: usize = 2;
+
+struct Vocab {
+    table: PredTable,
+    vars: Vec<PredId>,
+    bools: Vec<PredId>,
+    fields: Vec<PredId>,
+}
+
+fn vocab() -> Vocab {
+    let mut table = PredTable::new();
+    let vars = (0..N_VARS)
+        .map(|i| table.add_unary(&format!("x{i}"), PredFlags::reference_variable()))
+        .collect();
+    let bools = (0..N_BOOLS)
+        .map(|i| table.add_unary(&format!("b{i}"), PredFlags::boolean_field()))
+        .collect();
+    let fields = (0..N_FIELDS)
+        .map(|i| table.add_binary(&format!("f{i}"), PredFlags::reference_field()))
+        .collect();
+    Vocab {
+        table,
+        vars,
+        bools,
+        fields,
+    }
+}
+
+/// A concrete heap description: per variable an optional target, per node a
+/// bool-field bitmap, per (field, node) an optional target.
+#[derive(Debug, Clone)]
+struct ConcreteHeap {
+    nodes: usize,
+    var_targets: Vec<Option<usize>>,
+    bools: Vec<Vec<bool>>,
+    field_targets: Vec<Vec<Option<usize>>>,
+}
+
+fn heap_strategy() -> impl Strategy<Value = ConcreteHeap> {
+    (1usize..5)
+        .prop_flat_map(|nodes| {
+            (
+                Just(nodes),
+                prop::collection::vec(prop::option::of(0..nodes), N_VARS),
+                prop::collection::vec(prop::collection::vec(any::<bool>(), nodes), N_BOOLS),
+                prop::collection::vec(
+                    prop::collection::vec(prop::option::of(0..nodes), nodes),
+                    N_FIELDS,
+                ),
+            )
+        })
+        .prop_map(|(nodes, var_targets, bools, field_targets)| ConcreteHeap {
+            nodes,
+            var_targets,
+            bools,
+            field_targets,
+        })
+}
+
+fn build(v: &Vocab, h: &ConcreteHeap) -> Structure {
+    let mut s = Structure::new(&v.table);
+    let ids: Vec<NodeId> = (0..h.nodes).map(|_| s.add_node(&v.table)).collect();
+    for (p, t) in v.vars.iter().zip(&h.var_targets) {
+        if let Some(t) = t {
+            s.set_unary(&v.table, *p, ids[*t], Kleene::True);
+        }
+    }
+    for (p, col) in v.bools.iter().zip(&h.bools) {
+        for (n, &b) in col.iter().enumerate() {
+            s.set_unary(&v.table, *p, ids[n], Kleene::from_bool(b));
+        }
+    }
+    for (p, col) in v.fields.iter().zip(&h.field_targets) {
+        for (src, t) in col.iter().enumerate() {
+            if let Some(t) = t {
+                s.set_binary(&v.table, *p, ids[src], ids[*t], Kleene::True);
+            }
+        }
+    }
+    s
+}
+
+/// Random closed formulas over the vocabulary.
+fn formula_strategy(v: &Vocab) -> impl Strategy<Value = Formula> {
+    let vars = v.vars.clone();
+    let bools = v.bools.clone();
+    let fields = v.fields.clone();
+    let atom = {
+        let vars = vars.clone();
+        let bools = bools.clone();
+        let fields = fields.clone();
+        prop_oneof![
+            (0..vars.len()).prop_map(move |i| Formula::unary(vars[i], Var(0))),
+            (0..bools.len()).prop_map(move |i| Formula::unary(bools[i], Var(0))),
+            (0..fields.len()).prop_map(move |i| Formula::binary(fields[i], Var(0), Var(1))),
+            Just(Formula::eq(Var(0), Var(1))),
+        ]
+    };
+    atom.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+    .prop_map(|body| {
+        // Close over both variables.
+        Formula::exists(Var(0), Formula::exists(Var(1), body))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// blur(s) embeds s for every concrete structure.
+    #[test]
+    fn blur_embeds_concrete(h in heap_strategy()) {
+        let v = vocab();
+        let s = build(&v, &h);
+        let b = blur(&s, &v.table);
+        prop_assert!(embeds(&s, &b, &v.table));
+    }
+
+    /// Blur is idempotent up to canonical ordering.
+    #[test]
+    fn blur_idempotent(h in heap_strategy()) {
+        let v = vocab();
+        let s = build(&v, &h);
+        let once = blur(&s, &v.table);
+        let twice = blur(&once, &v.table);
+        prop_assert_eq!(
+            canonical_key(&once, &v.table),
+            canonical_key(&twice, &v.table)
+        );
+    }
+
+    /// The canonical key is invariant under permutations of the universe.
+    #[test]
+    fn canonical_key_permutation_invariant(h in heap_strategy(), seed in any::<u64>()) {
+        let v = vocab();
+        let s = blur(&build(&v, &h), &v.table);
+        // Deterministic pseudo-permutation from the seed.
+        let n = s.node_count();
+        let mut perm: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let p = s.permute(&perm);
+        prop_assert_eq!(canonical_key(&s, &v.table), canonical_key(&p, &v.table));
+    }
+
+    /// Focus on a variable covers the blurred structure: for the concrete
+    /// state, some focused output still embeds it.
+    #[test]
+    fn focus_covers(h in heap_strategy(), var_ix in 0..N_VARS) {
+        let v = vocab();
+        let s = build(&v, &h);
+        let b = blur(&s, &v.table);
+        let out = focus(&b, &v.table, &FocusSpec::Unary(v.vars[var_ix]), DEFAULT_FOCUS_LIMIT);
+        prop_assert!(
+            out.iter().any(|o| embeds(&s, o, &v.table)),
+            "no focused output embeds the concrete state"
+        );
+    }
+
+    /// Focus + coerce still covers: coercion may sharpen or discard focused
+    /// variants, but some surviving variant embeds the concrete state.
+    #[test]
+    fn focus_then_coerce_covers(h in heap_strategy(), var_ix in 0..N_VARS) {
+        let v = vocab();
+        let s = build(&v, &h);
+        let b = blur(&s, &v.table);
+        let out = focus(&b, &v.table, &FocusSpec::Unary(v.vars[var_ix]), DEFAULT_FOCUS_LIMIT);
+        let survivors: Vec<_> = out
+            .iter()
+            .filter_map(|o| coerce(o, &v.table).feasible())
+            .collect();
+        prop_assert!(
+            survivors.iter().any(|o| embeds(&s, o, &v.table)),
+            "no coerced output embeds the concrete state"
+        );
+    }
+
+    /// Coerce is the identity on consistent concrete structures.
+    #[test]
+    fn coerce_fixes_concrete(h in heap_strategy()) {
+        let v = vocab();
+        let s = build(&v, &h);
+        match coerce(&s, &v.table) {
+            CoerceOutcome::Feasible(out) => prop_assert_eq!(out, s),
+            CoerceOutcome::Infeasible => prop_assert!(false, "concrete structure discarded"),
+        }
+    }
+
+    /// Evaluation is conservative along blurring: the blurred value
+    /// information-approximates the concrete value.
+    #[test]
+    fn eval_monotone_under_blur(h in heap_strategy(), f in formula_strategy(&vocab())) {
+        let v = vocab();
+        let s = build(&v, &h);
+        let b = blur(&s, &v.table);
+        let cv = eval_closed(&s, &v.table, &f);
+        let av = eval_closed(&b, &v.table, &f);
+        prop_assert!(
+            cv.le_info(av),
+            "concrete {cv} not approximated by abstract {av} for {f}"
+        );
+    }
+
+    /// Structure equality after canonicalization coincides with isomorphism
+    /// on blurred structures.
+    #[test]
+    fn canonical_equality_is_isomorphism(h in heap_strategy()) {
+        let v = vocab();
+        let s = blur(&build(&v, &h), &v.table);
+        let reversed: Vec<NodeId> = (0..s.node_count()).rev().map(NodeId::from_index).collect();
+        let p = s.permute(&reversed);
+        prop_assert!(hetsep_tvl::embed::is_isomorphic(&s, &p, &v.table));
+        prop_assert_eq!(canonical_key(&s, &v.table), canonical_key(&p, &v.table));
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based soundness tests: on randomly generated loop-free stream
+//! programs, every error that *concretely* occurs on some execution path
+//! must be reported by the verifier — in vanilla mode and under separation.
+//!
+//! The oracle enumerates all non-deterministic paths of the generated
+//! program and simulates the IOStreams semantics directly.
+
+use std::collections::{BTreeSet, HashMap};
+
+use proptest::prelude::*;
+
+use hetsep::core::{verify, EngineConfig, Mode};
+use hetsep::strategy::parse_strategy;
+
+/// One generated statement over a fixed set of stream variables.
+#[derive(Debug, Clone)]
+enum Op {
+    New(usize),
+    Read(usize),
+    Close(usize),
+    Copy(usize, usize),
+    /// Non-deterministic branch over two sub-sequences.
+    Branch(Vec<Op>, Vec<Op>),
+}
+
+const VARS: usize = 3;
+
+fn op_strategy(depth: u32) -> impl Strategy<Value = Op> {
+    let leaf = prop_oneof![
+        (0..VARS).prop_map(Op::New),
+        (0..VARS).prop_map(Op::Read),
+        (0..VARS).prop_map(Op::Close),
+        (0..VARS, 0..VARS).prop_map(|(a, b)| Op::Copy(a, b)),
+    ];
+    leaf.prop_recursive(depth, 16, 4, |inner| {
+        (
+            prop::collection::vec(inner.clone(), 0..4),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(a, b)| Op::Branch(a, b))
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op_strategy(2), 1..10)
+}
+
+/// Renders the op sequence as client-language source (one op per line).
+fn render(ops: &[Op]) -> String {
+    let mut out = String::from("program Gen uses IOStreams;\nvoid main() {\n");
+    for v in 0..VARS {
+        out.push_str(&format!("    InputStream v{v} = null;\n"));
+    }
+    fn emit(ops: &[Op], out: &mut String, indent: usize) {
+        let pad = "    ".repeat(indent);
+        for op in ops {
+            match op {
+                Op::New(v) => out.push_str(&format!("{pad}v{v} = new InputStream();\n")),
+                Op::Read(v) => out.push_str(&format!("{pad}v{v}.read();\n")),
+                Op::Close(v) => out.push_str(&format!("{pad}v{v}.close();\n")),
+                Op::Copy(a, b) => out.push_str(&format!("{pad}v{a} = v{b};\n")),
+                Op::Branch(t, e) => {
+                    out.push_str(&format!("{pad}if (?) {{\n"));
+                    emit(t, out, indent + 1);
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    emit(e, out, indent + 1);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+        }
+    }
+    emit(ops, &mut out, 1);
+    out.push_str("}\n");
+    out
+}
+
+#[derive(Clone)]
+struct ConcState {
+    vars: HashMap<String, Option<usize>>,
+    closed: Vec<bool>,
+}
+
+fn step(t: &str, line_no: u32, st: &mut ConcState, errors: &mut BTreeSet<u32>) {
+    if let Some(rest) = t.strip_suffix(" = new InputStream();") {
+        st.closed.push(false);
+        let id = st.closed.len() - 1;
+        st.vars.insert(rest.trim().to_owned(), Some(id));
+    } else if let Some(var) = t.strip_suffix(".read();") {
+        if let Some(Some(obj)) = st.vars.get(var.trim()) {
+            if st.closed[*obj] {
+                errors.insert(line_no);
+            }
+        }
+    } else if let Some(var) = t.strip_suffix(".close();") {
+        if let Some(Some(obj)) = st.vars.get(var.trim()).cloned() {
+            st.closed[obj] = true;
+        }
+    } else if t.starts_with("InputStream ") {
+        // declaration with null initializer
+        let var = t.split(' ').nth(1).unwrap().to_owned();
+        st.vars.insert(var, None);
+    } else if t.contains(" = v") && t.ends_with(';') {
+        let mut parts = t.trim_end_matches(';').split(" = ");
+        let dst = parts.next().unwrap().trim().to_owned();
+        let src = parts.next().unwrap().trim().to_owned();
+        let val = st.vars.get(&src).cloned().flatten();
+        st.vars.insert(dst, val);
+    }
+}
+
+fn indent_of(s: &str) -> usize {
+    s.len() - s.trim_start().len()
+}
+
+/// For the `if` at `if_ix`, returns (index of its `} else {`, index of its
+/// closing `}`).
+fn find_branch(lines: &[(u32, String)], if_ix: usize) -> (usize, usize) {
+    let base_indent = indent_of(&lines[if_ix].1);
+    let mut then_end = None;
+    for (k, (_, text)) in lines.iter().enumerate().skip(if_ix + 1) {
+        if indent_of(text) == base_indent {
+            let t = text.trim();
+            if t.starts_with("} else {") && then_end.is_none() {
+                then_end = Some(k);
+            } else if t == "}" {
+                return (then_end.expect("else before end"), k);
+            }
+        }
+    }
+    panic!("unterminated branch");
+}
+
+/// Interprets `lines[ix..end]`, forking at branches; accumulates error
+/// lines and returns the possible final states.
+fn interp(
+    lines: &[(u32, String)],
+    mut ix: usize,
+    end: usize,
+    st: ConcState,
+    errors: &mut BTreeSet<u32>,
+) -> Vec<ConcState> {
+    let mut states = vec![st];
+    while ix < end {
+        let (line_no, text) = &lines[ix];
+        let t = text.trim();
+        if t.starts_with("if (?) {") {
+            let (then_end, else_end) = find_branch(lines, ix);
+            let mut next = Vec::new();
+            for s in states {
+                next.extend(interp(lines, ix + 1, then_end, s.clone(), errors));
+                next.extend(interp(lines, then_end + 1, else_end, s, errors));
+            }
+            states = next;
+            ix = else_end + 1;
+            continue;
+        }
+        for s in &mut states {
+            step(t, *line_no, s, errors);
+        }
+        ix += 1;
+    }
+    states
+}
+
+/// Enumerates every path of the rendered program; returns the set of source
+/// lines at which a closed stream is read.
+fn oracle(source: &str) -> BTreeSet<u32> {
+    let lines: Vec<(u32, String)> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i as u32 + 1, l.to_owned()))
+        .collect();
+    let mut errors = BTreeSet::new();
+    let body_start = lines
+        .iter()
+        .position(|(_, l)| l.contains("void main()"))
+        .unwrap()
+        + 1;
+    let body_end = lines.len() - 1; // final "}"
+    let st = ConcState {
+        vars: HashMap::new(),
+        closed: Vec::new(),
+    };
+    interp(&lines, body_start, body_end, st, &mut errors);
+    errors
+}
+
+fn reported_lines(source: &str, mode: &Mode) -> BTreeSet<u32> {
+    let program = hetsep::ir::parse_program(source).unwrap();
+    let spec = hetsep::easl::builtin::iostreams();
+    let report = verify(&program, &spec, mode, &EngineConfig::default()).unwrap();
+    report.errors.iter().map(|e| e.line).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness: every concretely occurring error line is reported.
+    #[test]
+    fn vanilla_reports_every_concrete_error(ops in program_strategy()) {
+        let source = render(&ops);
+        let truth = oracle(&source);
+        let reported = reported_lines(&source, &Mode::Vanilla);
+        prop_assert!(
+            truth.is_subset(&reported),
+            "missed errors {truth:?} vs reported {reported:?} in:\n{source}"
+        );
+    }
+
+    /// Separation with a covering strategy is equally sound.
+    #[test]
+    fn separation_reports_every_concrete_error(ops in program_strategy()) {
+        let source = render(&ops);
+        let truth = oracle(&source);
+        let strategy = parse_strategy(
+            hetsep::strategy::builtin::IOSTREAM_SINGLE
+        ).unwrap();
+        let reported = reported_lines(&source, &Mode::simultaneous(strategy));
+        prop_assert!(
+            truth.is_subset(&reported),
+            "missed errors {truth:?} vs reported {reported:?} in:\n{source}"
+        );
+    }
+
+    /// On branch-free programs the verifier is exact: reported = truth.
+    #[test]
+    fn vanilla_is_exact_on_straightline(ops in prop::collection::vec(op_strategy(0), 1..12)) {
+        let source = render(&ops);
+        let truth = oracle(&source);
+        let reported = reported_lines(&source, &Mode::Vanilla);
+        prop_assert_eq!(
+            &truth, &reported,
+            "straight-line mismatch in:\n{}", source
+        );
+    }
+}
