@@ -1,19 +1,24 @@
-//! Criterion ablation benches: cost of the heterogeneous-abstraction design
-//! choices as the workload scales (connection count sweep), plus the
-//! figure-level micro-comparisons (engine vs ESP-style baseline on Fig. 3).
+//! Ablation benches: cost of the heterogeneous-abstraction design choices as
+//! the workload scales (connection count sweep), plus the figure-level
+//! micro-comparisons (engine vs ESP-style baseline on Fig. 3).
 //!
 //! The structure-merging policies (`NullaryJoin`, `RelevantIso`) are *not*
 //! timed here: our union-based realization of the paper's §5 merging
 //! relations is sound but converges slowly (the capped `ablation` binary
 //! reports their space shape instead).
+//!
+//! Plain `harness = false` timing mains (median of a few samples after a
+//! warmup) — the workspace builds offline and cannot depend on criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use hetsep::core::engine::{run, EngineConfig, StructureMerge};
 use hetsep::core::translate::{translate, TranslateOptions};
 use hetsep::core::{verify, Mode};
 use hetsep::strategy::parse_strategy;
 use hetsep::suite::generators::{jdbc_client, JdbcWorkload};
+
+const SAMPLES: usize = 5;
 
 fn config(merge: StructureMerge) -> EngineConfig {
     EngineConfig {
@@ -24,11 +29,23 @@ fn config(merge: StructureMerge) -> EngineConfig {
     }
 }
 
+/// Median wall-clock of `SAMPLES` runs after one warmup run.
+fn time_median<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
 /// Vanilla vs separation as the number of overlapping connections grows —
 /// the scaling law behind Table 3's `-` rows.
-fn scaling_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/scaling");
-    g.sample_size(10);
+fn scaling_sweep() {
     for n in [2usize, 3, 4] {
         let source = jdbc_client(
             "Sweep",
@@ -42,35 +59,32 @@ fn scaling_sweep(c: &mut Criterion) {
         );
         let program = hetsep::ir::parse_program(&source).unwrap();
         let spec = hetsep::easl::builtin::jdbc();
-        g.bench_with_input(BenchmarkId::new("vanilla", n), &n, |b, _| {
-            b.iter(|| {
-                verify(
-                    &program,
-                    &spec,
-                    &Mode::Vanilla,
-                    &config(StructureMerge::Powerset),
-                )
-                .unwrap()
-            });
+        let ms = time_median(|| {
+            verify(
+                &program,
+                &spec,
+                &Mode::Vanilla,
+                &config(StructureMerge::Powerset),
+            )
+            .unwrap();
         });
+        println!("ablation/scaling/vanilla/{n}: {ms:.2} ms");
         let strategy = parse_strategy(hetsep::strategy::builtin::JDBC_SINGLE).unwrap();
-        g.bench_with_input(BenchmarkId::new("separation-sim", n), &n, |b, _| {
-            b.iter(|| {
-                verify(
-                    &program,
-                    &spec,
-                    &Mode::simultaneous(strategy.clone()),
-                    &config(StructureMerge::Powerset),
-                )
-                .unwrap()
-            });
+        let ms = time_median(|| {
+            verify(
+                &program,
+                &spec,
+                &Mode::simultaneous(strategy.clone()),
+                &config(StructureMerge::Powerset),
+            )
+            .unwrap();
         });
+        println!("ablation/scaling/separation-sim/{n}: {ms:.2} ms");
     }
-    g.finish();
 }
 
 /// Heterogeneous abstraction on/off under the same strategy.
-fn heterogeneous_ablation(c: &mut Criterion) {
+fn heterogeneous_ablation() {
     let source = jdbc_client(
         "Hetero",
         &JdbcWorkload {
@@ -84,8 +98,6 @@ fn heterogeneous_ablation(c: &mut Criterion) {
     let program = hetsep::ir::parse_program(&source).unwrap();
     let spec = hetsep::easl::builtin::jdbc();
     let strategy = parse_strategy(hetsep::strategy::builtin::JDBC_SINGLE).unwrap();
-    let mut g = c.benchmark_group("ablation/heterogeneous");
-    g.sample_size(10);
     for (label, hetero) in [("on", true), ("off", false)] {
         let options = TranslateOptions {
             stage: Some(strategy.stages[0].clone()),
@@ -93,15 +105,15 @@ fn heterogeneous_ablation(c: &mut Criterion) {
             ..TranslateOptions::default()
         };
         let inst = translate(&program, &spec, &options).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
-            b.iter(|| run(inst, &config(StructureMerge::Powerset)));
+        let ms = time_median(|| {
+            run(&inst, &config(StructureMerge::Powerset));
         });
+        println!("ablation/heterogeneous/{label}: {ms:.2} ms");
     }
-    g.finish();
 }
 
 /// Fig. 3 micro-comparison: engine vs ESP-style baseline.
-fn fig3_comparison(c: &mut Criterion) {
+fn fig3_comparison() {
     let source = "program Fig3 uses IOStreams; void main() {\n\
                   while (?) {\n\
                   File f = new File();\n\
@@ -110,29 +122,25 @@ fn fig3_comparison(c: &mut Criterion) {
                   }\n}";
     let program = hetsep::ir::parse_program(source).unwrap();
     let spec = hetsep::easl::builtin::iostreams();
-    let mut g = c.benchmark_group("fig3");
-    g.bench_function("baseline", |b| {
-        b.iter(|| hetsep::baseline::verify(&program, &spec).unwrap());
+    let ms = time_median(|| {
+        hetsep::baseline::verify(&program, &spec).unwrap();
     });
+    println!("fig3/baseline: {ms:.2} ms");
     let strategy = parse_strategy(hetsep::strategy::builtin::FILE_SINGLE).unwrap();
-    g.bench_function("separation", |b| {
-        b.iter(|| {
-            verify(
-                &program,
-                &spec,
-                &Mode::simultaneous(strategy.clone()),
-                &config(StructureMerge::Powerset),
-            )
-            .unwrap()
-        });
+    let ms = time_median(|| {
+        verify(
+            &program,
+            &spec,
+            &Mode::simultaneous(strategy.clone()),
+            &config(StructureMerge::Powerset),
+        )
+        .unwrap();
     });
-    g.finish();
+    println!("fig3/separation: {ms:.2} ms");
 }
 
-criterion_group!(
-    benches,
-    scaling_sweep,
-    heterogeneous_ablation,
-    fig3_comparison
-);
-criterion_main!(benches);
+fn main() {
+    scaling_sweep();
+    heterogeneous_ablation();
+    fig3_comparison();
+}

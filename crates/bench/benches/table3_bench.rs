@@ -1,14 +1,19 @@
-//! Criterion benchmarks over the Table 3 modes, on reduced workloads so a
-//! full `cargo bench` stays tractable. One group per benchmark family; each
-//! group benches the analysis modes the paper's table reports for it.
+//! Timing benchmarks over the Table 3 modes, on reduced workloads so a full
+//! `cargo bench` stays tractable. One group per benchmark family; each group
+//! benches the analysis modes the paper's table reports for it.
+//!
+//! Plain `harness = false` timing mains (median of a few samples after a
+//! warmup) — the workspace builds offline and cannot depend on criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use hetsep::core::{verify, EngineConfig, Mode};
 use hetsep::strategy::builtin as strategies;
 use hetsep::strategy::parse_strategy;
 use hetsep::suite;
 use hetsep::suite::generators::{jdbc_client, kernel, JdbcWorkload, KernelWorkload};
+
+const SAMPLES: usize = 5;
 
 fn config() -> EngineConfig {
     EngineConfig {
@@ -18,17 +23,25 @@ fn config() -> EngineConfig {
     }
 }
 
+/// Median wall-clock of `SAMPLES` runs after one warmup run.
+fn time_median<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
 fn modes_for(single: &str, multi: Option<&str>, inc: Option<&str>) -> Vec<(&'static str, Mode)> {
     let mut out = vec![
         ("vanilla", Mode::Vanilla),
-        (
-            "single",
-            Mode::separation(parse_strategy(single).unwrap()),
-        ),
-        (
-            "sim",
-            Mode::simultaneous(parse_strategy(single).unwrap()),
-        ),
+        ("single", Mode::separation(parse_strategy(single).unwrap())),
+        ("sim", Mode::simultaneous(parse_strategy(single).unwrap())),
     ];
     if let Some(m) = multi {
         out.push(("multi", Mode::separation(parse_strategy(m).unwrap())));
@@ -39,40 +52,36 @@ fn modes_for(single: &str, multi: Option<&str>, inc: Option<&str>) -> Vec<(&'sta
     out
 }
 
-fn bench_source(c: &mut Criterion, group: &str, source: &str, modes: Vec<(&'static str, Mode)>) {
+fn bench_source(group: &str, source: &str, modes: Vec<(&'static str, Mode)>) {
     let program = hetsep::ir::parse_program(source).unwrap();
     let spec = hetsep::easl::builtin::by_name(&program.uses).unwrap();
-    let mut g = c.benchmark_group(group);
-    g.sample_size(10);
     for (label, mode) in modes {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
-            b.iter(|| verify(&program, &spec, mode, &config()).unwrap());
+        let ms = time_median(|| {
+            verify(&program, &spec, &mode, &config()).unwrap();
         });
+        println!("{group}/{label}: {ms:.2} ms");
     }
-    g.finish();
 }
 
-fn table3_ispath(c: &mut Criterion) {
+fn table3_ispath() {
     let bench = suite::by_name("ISPath").unwrap();
     bench_source(
-        c,
         "table3/ISPath",
         &bench.source,
         modes_for(strategies::IOSTREAM_SINGLE, None, None),
     );
 }
 
-fn table3_input_stream5(c: &mut Criterion) {
+fn table3_input_stream5() {
     let bench = suite::by_name("InputStream5").unwrap();
     bench_source(
-        c,
         "table3/InputStream5",
         &bench.source,
         modes_for(strategies::IOSTREAM_SINGLE, None, None),
     );
 }
 
-fn table3_jdbc(c: &mut Criterion) {
+fn table3_jdbc() {
     // Reduced JDBCExample: 3 overlapping connections.
     let source = jdbc_client(
         "Bench",
@@ -85,7 +94,6 @@ fn table3_jdbc(c: &mut Criterion) {
         },
     );
     bench_source(
-        c,
         "table3/JDBCExample(reduced)",
         &source,
         modes_for(
@@ -96,7 +104,7 @@ fn table3_jdbc(c: &mut Criterion) {
     );
 }
 
-fn table3_kernel(c: &mut Criterion) {
+fn table3_kernel() {
     // Reduced KernelBench3: 3 interleaved collections.
     let source = kernel(
         "Bench",
@@ -107,7 +115,6 @@ fn table3_kernel(c: &mut Criterion) {
         },
     );
     bench_source(
-        c,
         "table3/KernelBench(reduced)",
         &source,
         modes_for(
@@ -118,22 +125,19 @@ fn table3_kernel(c: &mut Criterion) {
     );
 }
 
-fn table3_db(c: &mut Criterion) {
+fn table3_db() {
     let bench = suite::by_name("db").unwrap();
     bench_source(
-        c,
         "table3/db",
         &bench.source,
         modes_for(strategies::IOSTREAM_SINGLE, None, None),
     );
 }
 
-criterion_group!(
-    benches,
-    table3_ispath,
-    table3_input_stream5,
-    table3_jdbc,
-    table3_kernel,
-    table3_db
-);
-criterion_main!(benches);
+fn main() {
+    table3_ispath();
+    table3_input_stream5();
+    table3_jdbc();
+    table3_kernel();
+    table3_db();
+}

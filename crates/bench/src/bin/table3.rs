@@ -1,17 +1,40 @@
 //! Regenerates the paper's Table 3: analysis results and cost for the
 //! benchmark programs, per verification mode.
 //!
-//! Usage: `table3 [benchmark-name …]` (default: all benchmarks).
+//! Usage: `table3 [--threads N] [--json PATH] [benchmark-name …]`
+//! (default: all benchmarks, auto thread count, JSON written to
+//! `BENCH_table3.json` in the working directory).
+//!
+//! `--threads` controls the parallel subproblem scheduler (0 = auto:
+//! `HETSEP_THREADS`, then available parallelism); results are identical
+//! across thread counts for runs that finish within budget.
 
-use hetsep::harness::{format_rows, run_benchmark, table3_config};
+use hetsep::core::ParallelConfig;
+use hetsep::harness::{format_rows, rows_to_json, run_benchmark, table3_config, ModeRow};
 use hetsep::suite;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let benches: Vec<suite::Benchmark> = if args.is_empty() {
+    let mut threads: usize = 0;
+    let mut json_path = String::from("BENCH_table3.json");
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads = v.parse().expect("--threads needs an integer");
+            }
+            "--json" => {
+                json_path = args.next().expect("--json needs a path");
+            }
+            _ => names.push(arg),
+        }
+    }
+    let benches: Vec<suite::Benchmark> = if names.is_empty() {
         suite::all()
     } else {
-        args.iter()
+        names
+            .iter()
             .map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark `{n}`")))
             .collect()
     };
@@ -20,12 +43,23 @@ fn main() {
         "Program", "Mode", "Lines", "Space", "Time", "Visits", "Rep", "Act"
     );
     println!("{}", "-".repeat(75));
-    let config = table3_config();
+    let mut config = table3_config();
+    config.parallel = ParallelConfig { threads };
+    let mut all_rows: Vec<ModeRow> = Vec::new();
     for bench in &benches {
         match run_benchmark(bench, &config) {
-            Ok(rows) => print!("{}", format_rows(&rows, bench.line_count())),
+            Ok(rows) => {
+                print!("{}", format_rows(&rows, bench.line_count()));
+                all_rows.extend(rows);
+            }
             Err(e) => println!("{:<18} failed: {e}", bench.name),
         }
         println!();
+    }
+    let effective = config.parallel.effective_threads();
+    let json = rows_to_json(&all_rows, effective);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path} ({} rows, {effective} threads)", all_rows.len()),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 }

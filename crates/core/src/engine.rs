@@ -7,13 +7,24 @@
 //! `requires` violations are collected as error reports; for incremental
 //! strategies, the allocation sites of the chosen objects in violating
 //! states are recorded as *failing sites*.
+//!
+//! Structures are hash-consed through a per-run [`StructureInterner`]:
+//! location sets, merge maps and the worklist store compact [`StructureId`]s
+//! instead of cloned [`Structure`]s, and map probes hash a 4-byte id rather
+//! than a full predicate interpretation. The worklist is prioritized by
+//! reverse postorder of the CFG so loop bodies stabilize before their exits
+//! are re-examined, which cuts revisits on nested-loop benchmarks.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use hetsep_ir::cfg::Cfg;
 use hetsep_tvl::action::apply;
 use hetsep_tvl::canon::{blur, canonical_key};
 use hetsep_tvl::focus::DEFAULT_FOCUS_LIMIT;
+use hetsep_tvl::intern::{StructureId, StructureInterner};
 use hetsep_tvl::kleene::Kleene;
 use hetsep_tvl::pred::Arity;
 use hetsep_tvl::structure::Structure;
@@ -21,6 +32,9 @@ use hetsep_tvl::structure::Structure;
 use crate::report::{dedup_reports, ErrorReport};
 use crate::translate::AnalysisInstance;
 use crate::vocab::SiteId;
+
+/// How often (in action applications) a run polls its cancellation flag.
+const CANCEL_CHECK_INTERVAL: u64 = 64;
 
 /// How structures arriving at one program location are merged (paper §5,
 /// "Structure Merging").
@@ -37,6 +51,36 @@ pub enum StructureMerge {
     RelevantIso,
 }
 
+/// Parallel-scheduling knobs for the mode-level drivers (see
+/// [`crate::modes::verify`]). The engine itself is single-threaded; these
+/// settings control how many independent subproblems run concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelConfig {
+    /// Worker threads for per-site subproblem scheduling. `0` means auto:
+    /// the `HETSEP_THREADS` environment variable if set to a positive
+    /// integer, else the machine's available parallelism, else 1.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// Resolves the configured thread count to a concrete positive number.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("HETSEP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -49,6 +93,8 @@ pub struct EngineConfig {
     pub max_structures: usize,
     /// Structure-merging policy at program locations.
     pub merge: StructureMerge,
+    /// Subproblem scheduling (used by mode drivers, not by `run` itself).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +104,7 @@ impl Default for EngineConfig {
             max_visits: 2_000_000,
             max_structures: 400_000,
             merge: StructureMerge::Powerset,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -77,9 +124,15 @@ pub enum AnalysisOutcome {
 pub struct RunStats {
     /// Action applications performed.
     pub visits: u64,
-    /// Structures stored across all locations at fixpoint (the peak, since
-    /// location sets only grow).
+    /// Peak number of structures stored across all locations at any point
+    /// during the run. Tracked explicitly at every insertion: merging
+    /// policies replace stored representatives rather than only adding, so
+    /// "location sets only grow" does not hold in general and the final
+    /// count is not a reliable peak.
     pub structures: usize,
+    /// Distinct structures materialized by the run's interner (canonical
+    /// forms plus merge-key substructures) — a proxy for arena memory.
+    pub distinct_structures: usize,
     /// Largest universe size among visited structures.
     pub peak_nodes: usize,
     /// Wall-clock duration.
@@ -109,66 +162,146 @@ impl RunResult {
 }
 
 /// The key under which a structure is merged at a location.
+///
+/// Structure-valued variants hold interned ids, not structures: interning
+/// guarantees id equality ⇔ structure equality (fingerprint collisions are
+/// resolved inside the interner with full comparisons), so keying on the id
+/// is exact while hashing only 4 bytes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum MergeKey {
-    Whole(Structure),
+    Whole(StructureId),
     Nullary(Vec<Kleene>),
-    Relevant(Structure),
+    Relevant(StructureId),
 }
 
+/// Computes the merge key of the (already interned) structure `id`.
 fn merge_key(
-    s: &Structure,
+    interner: &mut StructureInterner,
+    id: StructureId,
     instance: &AnalysisInstance,
     policy: StructureMerge,
 ) -> MergeKey {
     let table = &instance.vocab.table;
     match (policy, instance.vocab.relevant) {
-        (StructureMerge::Powerset, _) | (StructureMerge::RelevantIso, None) => {
-            MergeKey::Whole(s.clone())
+        (StructureMerge::Powerset, _) | (StructureMerge::RelevantIso, None) => MergeKey::Whole(id),
+        (StructureMerge::NullaryJoin, _) => {
+            let s = interner.resolve(id);
+            MergeKey::Nullary(
+                table
+                    .iter_arity(Arity::Nullary)
+                    .map(|p| s.nullary(table, p))
+                    .collect(),
+            )
         }
-        (StructureMerge::NullaryJoin, _) => MergeKey::Nullary(
-            table
-                .iter_arity(Arity::Nullary)
-                .map(|p| s.nullary(table, p))
-                .collect(),
-        ),
         (StructureMerge::RelevantIso, Some(rel)) => {
+            let s = interner.resolve(id);
             let (sub, _) = s.retain_nodes(table, |u| s.unary(table, rel, u) == Kleene::True);
-            MergeKey::Relevant(canonical_key(&sub, table).into_structure())
+            let sub = canonical_key(&sub, table).into_structure();
+            MergeKey::Relevant(interner.intern(sub))
         }
     }
 }
 
+/// Reverse-postorder rank of every CFG node (entry = 0). Nodes unreachable
+/// from the entry get the largest rank; ties in the worklist are broken by
+/// insertion order, so their relative processing order is still
+/// deterministic.
+fn rpo_ranks(cfg: &Cfg) -> Vec<u32> {
+    let n = cfg.node_count();
+    let mut visited = vec![false; n];
+    let mut post_ix = vec![0usize; n];
+    let mut counter = 0usize;
+    let mut stack: Vec<(usize, usize)> = vec![(cfg.entry(), 0)];
+    visited[cfg.entry()] = true;
+    while let Some((node, child)) = stack.pop() {
+        let succs = cfg.out_edges(node);
+        if child < succs.len() {
+            stack.push((node, child + 1));
+            let next = cfg.edges()[succs[child]].to;
+            if !visited[next] {
+                visited[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            post_ix[node] = counter;
+            counter += 1;
+        }
+    }
+    let mut ranks = vec![n as u32; n];
+    for v in 0..n {
+        if visited[v] {
+            ranks[v] = (counter - 1 - post_ix[v]) as u32;
+        }
+    }
+    ranks
+}
+
 /// Runs the worklist analysis on a translated instance.
 pub fn run(instance: &AnalysisInstance, config: &EngineConfig) -> RunResult {
+    run_cancellable(instance, config, None)
+}
+
+/// Runs the worklist analysis with an optional cross-run cancellation flag.
+///
+/// Used by the parallel subproblem scheduler: a run that exhausts its own
+/// budget *sets* the flag (once one subproblem is inconclusive the whole
+/// verification is, so sibling runs can stop early), and every run polls the
+/// flag periodically and aborts with [`AnalysisOutcome::BudgetExceeded`]
+/// when it is raised.
+pub fn run_cancellable(
+    instance: &AnalysisInstance,
+    config: &EngineConfig,
+    cancel: Option<&AtomicBool>,
+) -> RunResult {
     let start = Instant::now();
     let table = &instance.vocab.table;
     let cfg = &instance.cfg;
     let n_nodes = cfg.node_count();
+    let rpo = rpo_ranks(cfg);
 
-    let mut states: Vec<HashMap<MergeKey, Structure>> = vec![HashMap::new(); n_nodes];
-    let mut worklist: VecDeque<(usize, Structure)> = VecDeque::new();
+    let mut interner = StructureInterner::new();
+    let mut states: Vec<HashMap<MergeKey, StructureId>> = vec![HashMap::new(); n_nodes];
+    // Min-heap on (rpo rank, insertion sequence): lower-ranked locations
+    // first, FIFO among equal ranks — a deterministic priority worklist.
+    let mut worklist: BinaryHeap<Reverse<(u32, u64, usize, StructureId)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
 
     let init = canonical_key(&blur(&Structure::new(table), table), table).into_structure();
-    states[cfg.entry()].insert(merge_key(&init, instance, config.merge), init.clone());
-    worklist.push_back((cfg.entry(), init));
+    let init_id = interner.intern(init);
+    let init_key = merge_key(&mut interner, init_id, instance, config.merge);
+    states[cfg.entry()].insert(init_key, init_id);
+    worklist.push(Reverse((rpo[cfg.entry()], seq, cfg.entry(), init_id)));
+    seq += 1;
 
     let mut visits: u64 = 0;
-    let mut total_structures: usize = 1;
+    let mut live_structures: usize = 1;
+    let mut peak_structures: usize = 1;
     let mut peak_nodes: usize = 0;
     let mut outcome = AnalysisOutcome::Complete;
     // (line, label) → definite?
     let mut errors: HashMap<(u32, String), bool> = HashMap::new();
     let mut failing_sites: HashSet<SiteId> = HashSet::new();
 
-    'outer: while let Some((node, s)) = worklist.pop_front() {
+    'outer: while let Some(Reverse((_, _, node, sid))) = worklist.pop() {
+        let s = interner.resolve(sid).clone();
         for &edge_ix in cfg.out_edges(node) {
             let edge = &cfg.edges()[edge_ix];
             for action in &instance.actions[edge_ix] {
                 visits += 1;
-                if visits > config.max_visits || total_structures > config.max_structures {
+                if visits > config.max_visits || live_structures > config.max_structures {
                     outcome = AnalysisOutcome::BudgetExceeded;
+                    if let Some(flag) = cancel {
+                        flag.store(true, Ordering::Relaxed);
+                    }
                     break 'outer;
+                }
+                if visits.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                    if let Some(flag) = cancel {
+                        if flag.load(Ordering::Relaxed) {
+                            outcome = AnalysisOutcome::BudgetExceeded;
+                            break 'outer;
+                        }
+                    }
                 }
                 let out = apply(action, &s, table, config.focus_limit);
                 if !out.violations.is_empty() {
@@ -184,34 +317,43 @@ pub fn run(instance: &AnalysisInstance, config: &EngineConfig) -> RunResult {
                 for post in out.results {
                     peak_nodes = peak_nodes.max(post.node_count());
                     let keyed = canonical_key(&blur(&post, table), table).into_structure();
-                    let key = merge_key(&keyed, instance, config.merge);
+                    let keyed_id = interner.intern(keyed);
+                    let key = merge_key(&mut interner, keyed_id, instance, config.merge);
                     match states[edge.to].get(&key) {
                         None => {
-                            total_structures += 1;
-                            states[edge.to].insert(key, keyed.clone());
-                            worklist.push_back((edge.to, keyed));
+                            live_structures += 1;
+                            peak_structures = peak_structures.max(live_structures);
+                            states[edge.to].insert(key, keyed_id);
+                            worklist.push(Reverse((rpo[edge.to], seq, edge.to, keyed_id)));
+                            seq += 1;
                         }
-                        Some(existing) if *existing == keyed => {}
-                        Some(existing) => {
+                        Some(&existing) if existing == keyed_id => {}
+                        Some(&existing) => {
                             // Join into the existing representative. The raw
                             // union may violate uniqueness/functionality
                             // constraints across the merged states; weaken
                             // those conflicts to 1/2 so coerce does not
                             // discard the join.
-                            let merged = canonical_key(
-                                &blur(
-                                    &hetsep_tvl::merge::weaken_union_conflicts(
-                                        &existing.union(&keyed),
+                            let merged = {
+                                let ex = interner.resolve(existing);
+                                let ky = interner.resolve(keyed_id);
+                                canonical_key(
+                                    &blur(
+                                        &hetsep_tvl::merge::weaken_union_conflicts(
+                                            &ex.union(ky),
+                                            table,
+                                        ),
                                         table,
                                     ),
                                     table,
-                                ),
-                                table,
-                            )
-                            .into_structure();
-                            if merged != *existing {
-                                states[edge.to].insert(key, merged.clone());
-                                worklist.push_back((edge.to, merged));
+                                )
+                                .into_structure()
+                            };
+                            let merged_id = interner.intern(merged);
+                            if merged_id != existing {
+                                states[edge.to].insert(key, merged_id);
+                                worklist.push(Reverse((rpo[edge.to], seq, edge.to, merged_id)));
+                                seq += 1;
                             }
                         }
                     }
@@ -234,7 +376,8 @@ pub fn run(instance: &AnalysisInstance, config: &EngineConfig) -> RunResult {
         failing_sites,
         stats: RunStats {
             visits,
-            structures: total_structures,
+            structures: peak_structures,
+            distinct_structures: interner.len(),
             peak_nodes,
             wall: start.elapsed(),
             locations: n_nodes,

@@ -46,7 +46,7 @@ pub mod semantics;
 pub mod translate;
 pub mod vocab;
 
-pub use engine::{AnalysisOutcome, EngineConfig, RunStats};
+pub use engine::{AnalysisOutcome, EngineConfig, ParallelConfig, RunStats};
 pub use modes::{verify, Mode, VerificationReport};
 pub use report::{ErrorReport, VerifyError};
 pub use translate::{translate, AnalysisInstance, TranslateOptions};

@@ -8,15 +8,25 @@
 //!   paper's default measurement mode);
 //! * `inc` — incremental strategies: stages tried in order, later stages
 //!   restricted to the allocation sites that failed earlier ones.
+//!
+//! Non-simultaneous separation subproblems are independent engine runs, so
+//! they are fanned out across a scoped worker pool (see
+//! [`crate::engine::ParallelConfig`]). Each worker owns its engine state and
+//! interner; results are merged in allocation-site order, so reports are
+//! identical to a serial run whenever every subproblem stays within budget.
+//! Incremental stages stay sequential by design: each stage's site set
+//! depends on the previous stage's failing sites.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use hetsep_easl::ast::Spec;
 use hetsep_ir::Program;
 use hetsep_strategy::ast::{ChoiceMode, Strategy};
 
-use crate::engine::{run, AnalysisOutcome, EngineConfig, RunStats};
+use crate::engine::{run, run_cancellable, AnalysisOutcome, EngineConfig, RunResult, RunStats};
 use crate::report::{dedup_reports, ErrorReport, VerifyError};
 use crate::translate::{translate, TranslateOptions};
 use crate::vocab::SiteId;
@@ -114,7 +124,13 @@ pub struct VerificationReport {
     /// Total action applications across all runs (deterministic time proxy).
     pub total_visits: u64,
     /// Accumulated wall-clock time across all runs (the paper's "time").
+    /// With parallel scheduling this is CPU-like time; see
+    /// [`VerificationReport::elapsed_wall`] for real elapsed time.
     pub total_wall: Duration,
+    /// Real elapsed wall-clock time of the whole verification, including
+    /// translation and scheduling. Under parallel scheduling this is smaller
+    /// than [`VerificationReport::total_wall`].
+    pub elapsed_wall: Duration,
     /// Largest universe encountered.
     pub peak_nodes: usize,
     /// Per-subproblem statistics.
@@ -146,6 +162,7 @@ impl VerificationReport {
             max_space: 0,
             total_visits: 0,
             total_wall: Duration::ZERO,
+            elapsed_wall: Duration::ZERO,
             peak_nodes: 0,
             subproblems: Vec::new(),
             stages_run: 0,
@@ -173,6 +190,75 @@ impl VerificationReport {
     }
 }
 
+/// Translate options restricting `choice_ix` to the single site `site`.
+fn site_options(base: &TranslateOptions, choice_ix: usize, site: SiteId) -> TranslateOptions {
+    let mut options = base.clone();
+    options.site_constraints = HashMap::from([(choice_ix, HashSet::from([site]))]);
+    options
+}
+
+/// Runs one subproblem per allocation site, on a scoped worker pool when
+/// more than one thread is configured.
+///
+/// Results come back in `sites` order regardless of completion order, so
+/// downstream merging is deterministic. A subproblem that exhausts its
+/// budget raises a shared cancellation flag: no new subproblems are started
+/// (on any path, including single-threaded), and in-flight runs abort at
+/// their next poll — the verification is inconclusive at that point either
+/// way, so the remaining work only refines an already-incomplete report.
+fn run_sites(
+    program: &Program,
+    spec: &Spec,
+    base: &TranslateOptions,
+    choice_ix: usize,
+    sites: &[SiteId],
+    config: &EngineConfig,
+) -> Result<Vec<(SiteId, RunResult)>, VerifyError> {
+    let threads = config.parallel.effective_threads().clamp(1, sites.len().max(1));
+    let cancel = AtomicBool::new(false);
+    if threads == 1 {
+        let mut out = Vec::with_capacity(sites.len());
+        for &site in sites {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let inst = translate(program, spec, &site_options(base, choice_ix, site))?;
+            out.push((site, run_cancellable(&inst, config, Some(&cancel))));
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RunResult, VerifyError>>>> =
+        sites.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= sites.len() || cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let result = translate(program, spec, &site_options(base, choice_ix, sites[ix]))
+                    .map(|inst| run_cancellable(&inst, config, Some(&cancel)));
+                if result.is_err() {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                *slots[ix].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(sites.len());
+    for (ix, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap() {
+            Some(Ok(result)) => out.push((sites[ix], result)),
+            Some(Err(e)) => return Err(e),
+            // Never started: a sibling run raised the cancellation flag.
+            None => {}
+        }
+    }
+    Ok(out)
+}
+
 /// Verifies `program` against `spec` under `mode`.
 ///
 /// # Errors
@@ -180,6 +266,18 @@ impl VerificationReport {
 /// Propagates translation failures; property violations are *results*
 /// (see [`VerificationReport::errors`]), not errors.
 pub fn verify(
+    program: &Program,
+    spec: &Spec,
+    mode: &Mode,
+    config: &EngineConfig,
+) -> Result<VerificationReport, VerifyError> {
+    let start = Instant::now();
+    let mut report = verify_inner(program, spec, mode, config)?;
+    report.elapsed_wall = start.elapsed();
+    Ok(report)
+}
+
+fn verify_inner(
     program: &Program,
     spec: &Spec,
     mode: &Mode,
@@ -233,12 +331,10 @@ pub fn verify(
                         // single (cheap) run covers the empty family.
                         report.absorb(None, run(&probe, config));
                     }
-                    for site in sites {
-                        let mut options = base.clone();
-                        options.site_constraints =
-                            HashMap::from([(choice_ix, HashSet::from([site]))]);
-                        let inst = translate(program, spec, &options)?;
-                        report.absorb(Some(site), run(&inst, config));
+                    for (site, result) in
+                        run_sites(program, spec, &base, choice_ix, &sites, config)?
+                    {
+                        report.absorb(Some(site), result);
                     }
                 }
             }

@@ -12,6 +12,21 @@ use hetsep_core::{verify, EngineConfig, Mode, VerifyError};
 use hetsep_strategy::parse_strategy;
 use hetsep_suite::{Benchmark, TableMode};
 
+/// One subproblem measurement of a mode run (one engine run).
+#[derive(Debug, Clone)]
+pub struct SubRow {
+    /// Allocation site the subproblem was restricted to, if any.
+    pub site: Option<usize>,
+    /// Action applications of this run.
+    pub visits: u64,
+    /// Peak structures stored by this run.
+    pub structures: usize,
+    /// Largest universe encountered by this run.
+    pub peak_nodes: usize,
+    /// Wall-clock of this run.
+    pub wall: Duration,
+}
+
 /// One measured cell block of Table 3.
 #[derive(Debug, Clone)]
 pub struct ModeRow {
@@ -22,14 +37,21 @@ pub struct ModeRow {
     /// Peak structures stored by a single engine run (the paper's "space":
     /// the maximal footprint of analyzing one set of subproblems).
     pub space: usize,
-    /// Accumulated wall-clock time over all subproblems.
+    /// Accumulated wall-clock time over all subproblems (CPU-like under
+    /// parallel scheduling).
     pub time: Duration,
+    /// Real elapsed wall-clock of the whole verification.
+    pub elapsed: Duration,
     /// Total action applications (deterministic time proxy).
     pub visits: u64,
+    /// Largest universe encountered by any run.
+    pub peak_nodes: usize,
     /// Number of subproblems analyzed.
     pub subproblems: usize,
     /// Average visits per subproblem.
     pub avg_visits_per_subproblem: f64,
+    /// Per-subproblem measurements, in deterministic site order.
+    pub subproblem_rows: Vec<SubRow>,
     /// Reported errors (per-line), or `None` when the run exceeded its
     /// budget (the paper's `-`).
     pub reported: Option<usize>,
@@ -110,9 +132,22 @@ pub fn run_mode(
         mode: mode.label(),
         space: report.max_space,
         time: report.total_wall,
+        elapsed: report.elapsed_wall,
         visits: report.total_visits,
+        peak_nodes: report.peak_nodes,
         subproblems: report.subproblems.len(),
         avg_visits_per_subproblem: report.avg_visits_per_subproblem(),
+        subproblem_rows: report
+            .subproblems
+            .iter()
+            .map(|s| SubRow {
+                site: s.site,
+                visits: s.stats.visits,
+                structures: s.stats.structures,
+                peak_nodes: s.stats.peak_nodes,
+                wall: s.stats.wall,
+            })
+            .collect(),
         reported: finished.then_some(report.errors.len()),
         actual: bench.actual_errors,
     })
@@ -132,6 +167,61 @@ pub fn run_benchmark(
         .iter()
         .map(|&m| run_mode(bench, m, config))
         .collect()
+}
+
+/// Renders rows as machine-readable JSON for downstream tooling
+/// (`BENCH_table3.json`): one record per (benchmark, mode) with aggregate
+/// measurements plus one nested record per subproblem.
+///
+/// Hand-rolled serialization: every emitted value is a number, a `null`, or
+/// one of the fixed benchmark/mode identifiers (no characters needing
+/// escapes), and the workspace builds offline without serde.
+pub fn rows_to_json(rows: &[ModeRow], threads: usize) -> String {
+    use std::fmt::Write as _;
+    fn ms(d: Duration) -> f64 {
+        d.as_secs_f64() * 1e3
+    }
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    out.push_str("  \"rows\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let reported = r
+            .reported
+            .map_or_else(|| "null".to_owned(), |n| n.to_string());
+        let _ = write!(
+            out,
+            "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"space\": {}, \
+             \"visits\": {}, \"peak_nodes\": {}, \"wall_ms\": {:.3}, \
+             \"elapsed_ms\": {:.3}, \"reported\": {}, \"actual\": {}, \
+             \"subproblems\": [",
+            r.benchmark,
+            r.mode,
+            r.space,
+            r.visits,
+            r.peak_nodes,
+            ms(r.time),
+            ms(r.elapsed),
+            reported,
+            r.actual,
+        );
+        for (six, s) in r.subproblem_rows.iter().enumerate() {
+            let site = s.site.map_or_else(|| "null".to_owned(), |n| n.to_string());
+            let _ = write!(
+                out,
+                "{}{{\"site\": {}, \"visits\": {}, \"structures\": {}, \
+                 \"peak_nodes\": {}, \"wall_ms\": {:.3}}}",
+                if six == 0 { "" } else { ", " },
+                site,
+                s.visits,
+                s.structures,
+                s.peak_nodes,
+                ms(s.wall),
+            );
+        }
+        let _ = writeln!(out, "]}}{}", if ix + 1 == rows.len() { "" } else { "," });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders rows in the paper's Table 3 layout.

@@ -1,0 +1,157 @@
+//! # hetsep-prng
+//!
+//! A tiny, dependency-free, deterministic pseudo-random number generator.
+//!
+//! The workspace must build and test with no network access, so it cannot
+//! depend on `rand` or `proptest`. This crate provides the minimal surface
+//! those uses need: a seedable 64-bit generator ([`XorShift`], the
+//! `xorshift64*` variant of Marsaglia's generators), uniform range
+//! sampling, Fisher–Yates shuffling, and a few convenience samplers used by
+//! the property tests.
+//!
+//! The generator is *stable by construction*: the sequence for a given seed
+//! is part of this crate's contract, since benchmark programs generated
+//! from seeds must not drift between versions.
+//!
+//! # Example
+//!
+//! ```
+//! use hetsep_prng::XorShift;
+//! let mut rng = XorShift::new(7);
+//! let a = rng.next_u64();
+//! let b = XorShift::new(7).next_u64();
+//! assert_eq!(a, b, "same seed, same sequence");
+//! assert!(rng.gen_range(10) < 10);
+//! ```
+
+/// A seedable `xorshift64*` pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator from a seed. Any seed is valid; zero is remapped
+    /// internally (an all-zero xorshift state would be a fixed point).
+    pub fn new(seed: u64) -> XorShift {
+        // SplitMix64 scrambling of the seed decorrelates nearby seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_range(0)");
+        // The modulo bias is < 2^-40 for any n this workspace uses.
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A boolean that is `true` with probability `num / denom`.
+    pub fn gen_ratio(&mut self, num: usize, denom: usize) -> bool {
+        self.gen_range(denom) < num
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.gen_range(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8).map(|_| XorShift::new(42).next_u64()).collect();
+        assert!(a.iter().all(|&v| v == a[0]));
+        let mut r1 = XorShift::new(42);
+        let mut r2 = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(99);
+        let sa: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = XorShift::new(0);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(v.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = XorShift::new(3);
+        for n in 1..20 {
+            for _ in 0..50 {
+                assert!(r.gen_range(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = XorShift::new(5);
+        let mut xs: Vec<usize> = (0..10).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_differs_across_seeds() {
+        // The suite generators rely on seeds 7 and 99 producing different
+        // interleavings of 5 elements.
+        let mut xs: Vec<usize> = (0..5).collect();
+        let mut ys: Vec<usize> = (0..5).collect();
+        XorShift::new(7).shuffle(&mut xs);
+        XorShift::new(99).shuffle(&mut ys);
+        assert_ne!(xs, ys);
+    }
+}

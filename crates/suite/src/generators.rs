@@ -9,9 +9,7 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hetsep_prng::XorShift;
 
 /// Parameters for JDBC client generation.
 #[derive(Debug, Clone)]
@@ -58,8 +56,7 @@ pub fn jdbc_client(name: &str, w: &JdbcWorkload) -> String {
             writeln!(out, "    Statement st{i} = cm.createStatement(con{i});").unwrap();
         }
         let mut order: Vec<usize> = (0..w.connections).collect();
-        let mut rng = StdRng::seed_from_u64(w.seed);
-        order.shuffle(&mut rng);
+        XorShift::new(w.seed).shuffle(&mut order);
         for &i in &order {
             if w.buggy_connection == Some(i) {
                 // The Fig. 1 defect inside an overlapping lifetime.

@@ -134,6 +134,13 @@ impl CanonicalKey {
     pub fn into_structure(self) -> Structure {
         self.0
     }
+
+    /// A 64-bit fingerprint of the canonical form (see
+    /// [`Structure::fingerprint`]). Because the underlying structure is
+    /// canonically ordered, isomorphic structures get equal fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        self.0.fingerprint()
+    }
 }
 
 /// Canonicalizes an *already blurred* structure into a key: nodes are sorted

@@ -43,6 +43,7 @@ pub mod embed;
 pub mod eval;
 pub mod focus;
 pub mod formula;
+pub mod intern;
 pub mod kleene;
 pub mod merge;
 pub mod pred;
@@ -54,6 +55,7 @@ pub use coerce::{coerce, CoerceOutcome};
 pub use eval::{eval, eval_closed, Assignment};
 pub use focus::{focus, focus_all, FocusSpec, DEFAULT_FOCUS_LIMIT};
 pub use formula::{Formula, Var};
+pub use intern::{StructureId, StructureInterner};
 pub use kleene::Kleene;
 pub use merge::{merge_all, MergePolicy};
 pub use pred::{Arity, PredFlags, PredId, PredTable};

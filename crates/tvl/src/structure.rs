@@ -124,6 +124,41 @@ impl Structure {
         assert!(u.0 < self.n, "node {u} out of range (n={})", self.n);
     }
 
+    /// A 64-bit fingerprint of the structure's full contents (FNV-1a over
+    /// the universe size and every predicate value).
+    ///
+    /// Equal structures always have equal fingerprints; distinct structures
+    /// collide with probability ~2⁻⁶⁴. Callers that use fingerprints as map
+    /// keys (e.g. the interner) must verify candidates with full `==`.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn mix(h: u64, byte: u8) -> u64 {
+            (h ^ byte as u64).wrapping_mul(PRIME)
+        }
+        let mut h = OFFSET;
+        for b in self.n.to_le_bytes() {
+            h = mix(h, b);
+        }
+        for &v in &self.nullary {
+            h = mix(h, v as u8);
+        }
+        // Column/matrix boundaries are implied by `n` and the (fixed)
+        // predicate table, so no separators are needed between slots.
+        for col in &self.unary {
+            for &v in col {
+                h = mix(h, v as u8);
+            }
+        }
+        for mat in &self.binary {
+            for &v in mat {
+                h = mix(h, v as u8);
+            }
+        }
+        h
+    }
+
     /// Value of a nullary predicate.
     ///
     /// # Panics
