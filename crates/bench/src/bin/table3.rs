@@ -1,21 +1,34 @@
 //! Regenerates the paper's Table 3: analysis results and cost for the
 //! benchmark programs, per verification mode.
 //!
-//! Usage: `table3 [--threads N] [--json PATH] [benchmark-name …]`
-//! (default: all benchmarks, auto thread count, JSON written to
-//! `BENCH_table3.json` in the working directory).
+//! Usage: `table3 [--threads N] [--json PATH] [--metrics] [--trace PATH]
+//! [benchmark-name …]` (default: all benchmarks, auto thread count, JSON
+//! written to `BENCH_table3.json` in the working directory).
 //!
 //! `--threads` controls the parallel subproblem scheduler (0 = auto:
 //! `HETSEP_THREADS`, then available parallelism); results are identical
 //! across thread counts for runs that finish within budget.
+//!
+//! `--metrics` enables per-phase wall-clock sampling, adds a per-phase
+//! `phases`/`counters` breakdown to every JSON row and subproblem, and
+//! prints a suite-wide breakdown to stderr. `--trace PATH` streams every
+//! run's typed events as NDJSON to `PATH`. Both are observation-only: the
+//! `visits`/`reported` columns are byte-identical with and without them.
+
+use std::io::Write as _;
 
 use hetsep::core::ParallelConfig;
-use hetsep::harness::{format_rows, rows_to_json, run_benchmark, table3_config, ModeRow};
+use hetsep::harness::{
+    format_metrics, format_rows, rows_to_json, run_benchmark_with_sink, table3_config, ModeRow,
+};
 use hetsep::suite;
+use hetsep::{EventSink, NullSink, RunMetrics, TraceWriter};
 
 fn main() {
     let mut threads: usize = 0;
     let mut json_path = String::from("BENCH_table3.json");
+    let mut metrics = false;
+    let mut trace_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,6 +39,10 @@ fn main() {
             }
             "--json" => {
                 json_path = args.next().expect("--json needs a path");
+            }
+            "--metrics" => metrics = true,
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace needs a path"));
             }
             _ => names.push(arg),
         }
@@ -45,9 +62,20 @@ fn main() {
     println!("{}", "-".repeat(75));
     let mut config = table3_config();
     config.parallel = ParallelConfig { threads };
+    config.phase_timings = metrics;
+    let mut null = NullSink;
+    let mut trace = trace_path.as_ref().map(|path| {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("could not create {path}: {e}"));
+        TraceWriter::new(std::io::BufWriter::new(file))
+    });
     let mut all_rows: Vec<ModeRow> = Vec::new();
     for bench in &benches {
-        match run_benchmark(bench, &config) {
+        let sink: &mut dyn EventSink = match &mut trace {
+            Some(t) => t,
+            None => &mut null,
+        };
+        match run_benchmark_with_sink(bench, &config, sink) {
             Ok(rows) => {
                 print!("{}", format_rows(&rows, bench.line_count()));
                 all_rows.extend(rows);
@@ -56,8 +84,21 @@ fn main() {
         }
         println!();
     }
+    if let (Some(t), Some(path)) = (trace, &trace_path) {
+        match t.finish().and_then(|mut w| w.flush()) {
+            Ok(()) => println!("trace written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if metrics {
+        let mut suite_metrics = RunMetrics::default();
+        for r in &all_rows {
+            suite_metrics.merge(&r.metrics);
+        }
+        eprint!("{}", format_metrics(&suite_metrics));
+    }
     let effective = config.parallel.effective_threads();
-    let json = rows_to_json(&all_rows, effective);
+    let json = rows_to_json(&all_rows, effective, metrics);
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("wrote {json_path} ({} rows, {effective} threads)", all_rows.len()),
         Err(e) => eprintln!("could not write {json_path}: {e}"),

@@ -21,13 +21,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use hetsep_ir::cfg::Cfg;
-use hetsep_tvl::action::apply;
+use hetsep_tvl::action::apply_traced;
 use hetsep_tvl::canon::{blur, canonical_key};
 use hetsep_tvl::focus::DEFAULT_FOCUS_LIMIT;
 use hetsep_tvl::intern::{StructureId, StructureInterner};
 use hetsep_tvl::kleene::Kleene;
 use hetsep_tvl::pred::Arity;
 use hetsep_tvl::structure::Structure;
+use hetsep_tvl::telemetry::{Counter, Phase, RunMetrics};
 
 use crate::report::{dedup_reports, ErrorReport};
 use crate::translate::AnalysisInstance;
@@ -95,6 +96,13 @@ pub struct EngineConfig {
     pub merge: StructureMerge,
     /// Subproblem scheduling (used by mode drivers, not by `run` itself).
     pub parallel: ParallelConfig,
+    /// Sample wall-clock durations per engine phase (focus, coerce, update,
+    /// canonical abstraction, merge) into [`RunStats::metrics`]. Off by
+    /// default: phase *counts* and counters are always collected (integer
+    /// increments), but duration sampling reads the clock twice per phase
+    /// application. Observation-only either way — exploration order and
+    /// results never depend on this flag.
+    pub phase_timings: bool,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +113,7 @@ impl Default for EngineConfig {
             max_structures: 400_000,
             merge: StructureMerge::Powerset,
             parallel: ParallelConfig::default(),
+            phase_timings: false,
         }
     }
 }
@@ -139,6 +148,9 @@ pub struct RunStats {
     pub wall: Duration,
     /// CFG locations.
     pub locations: usize,
+    /// Per-phase timings/counts, scalar counters, and per-location structure
+    /// counts collected by this run (see [`hetsep_tvl::telemetry`]).
+    pub metrics: RunMetrics,
 }
 
 /// The result of one engine run.
@@ -259,6 +271,7 @@ pub fn run_cancellable(
     let n_nodes = cfg.node_count();
     let rpo = rpo_ranks(cfg);
 
+    let mut metrics = RunMetrics::new(config.phase_timings);
     let mut interner = StructureInterner::new();
     let mut states: Vec<HashMap<MergeKey, StructureId>> = vec![HashMap::new(); n_nodes];
     // Min-heap on (rpo rank, insertion sequence): lower-ranked locations
@@ -266,12 +279,20 @@ pub fn run_cancellable(
     let mut worklist: BinaryHeap<Reverse<(u32, u64, usize, StructureId)>> = BinaryHeap::new();
     let mut seq: u64 = 0;
 
-    let init = canonical_key(&blur(&Structure::new(table), table), table).into_structure();
+    let init = metrics.time(Phase::Canon, || {
+        canonical_key(&blur(&Structure::new(table), table), table).into_structure()
+    });
     let init_id = interner.intern(init);
-    let init_key = merge_key(&mut interner, init_id, instance, config.merge);
+    let init_key = metrics.time(Phase::Merge, || {
+        merge_key(&mut interner, init_id, instance, config.merge)
+    });
     states[cfg.entry()].insert(init_key, init_id);
     worklist.push(Reverse((rpo[cfg.entry()], seq, cfg.entry(), init_id)));
     seq += 1;
+    metrics.counters.add(Counter::WorklistPushes, 1);
+    metrics
+        .counters
+        .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
 
     let mut visits: u64 = 0;
     let mut live_structures: usize = 1;
@@ -290,6 +311,7 @@ pub fn run_cancellable(
                 visits += 1;
                 if visits > config.max_visits || live_structures > config.max_structures {
                     outcome = AnalysisOutcome::BudgetExceeded;
+                    metrics.counters.add(Counter::BudgetExhausted, 1);
                     if let Some(flag) = cancel {
                         flag.store(true, Ordering::Relaxed);
                     }
@@ -299,11 +321,12 @@ pub fn run_cancellable(
                     if let Some(flag) = cancel {
                         if flag.load(Ordering::Relaxed) {
                             outcome = AnalysisOutcome::BudgetExceeded;
+                            metrics.counters.add(Counter::Cancelled, 1);
                             break 'outer;
                         }
                     }
                 }
-                let out = apply(action, &s, table, config.focus_limit);
+                let out = apply_traced(action, &s, table, config.focus_limit, &mut metrics);
                 if !out.violations.is_empty() {
                     for v in &out.violations {
                         let definite = v.value == hetsep_tvl::Kleene::False;
@@ -316,9 +339,13 @@ pub fn run_cancellable(
                 }
                 for post in out.results {
                     peak_nodes = peak_nodes.max(post.node_count());
-                    let keyed = canonical_key(&blur(&post, table), table).into_structure();
+                    let keyed = metrics.time(Phase::Canon, || {
+                        canonical_key(&blur(&post, table), table).into_structure()
+                    });
                     let keyed_id = interner.intern(keyed);
-                    let key = merge_key(&mut interner, keyed_id, instance, config.merge);
+                    let key = metrics.time(Phase::Merge, || {
+                        merge_key(&mut interner, keyed_id, instance, config.merge)
+                    });
                     match states[edge.to].get(&key) {
                         None => {
                             live_structures += 1;
@@ -326,6 +353,10 @@ pub fn run_cancellable(
                             states[edge.to].insert(key, keyed_id);
                             worklist.push(Reverse((rpo[edge.to], seq, edge.to, keyed_id)));
                             seq += 1;
+                            metrics.counters.add(Counter::WorklistPushes, 1);
+                            metrics
+                                .counters
+                                .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
                         }
                         Some(&existing) if existing == keyed_id => {}
                         Some(&existing) => {
@@ -334,7 +365,8 @@ pub fn run_cancellable(
                             // constraints across the merged states; weaken
                             // those conflicts to 1/2 so coerce does not
                             // discard the join.
-                            let merged = {
+                            metrics.counters.add(Counter::MergeJoins, 1);
+                            let merged = metrics.time(Phase::Merge, || {
                                 let ex = interner.resolve(existing);
                                 let ky = interner.resolve(keyed_id);
                                 canonical_key(
@@ -348,12 +380,16 @@ pub fn run_cancellable(
                                     table,
                                 )
                                 .into_structure()
-                            };
+                            });
                             let merged_id = interner.intern(merged);
                             if merged_id != existing {
                                 states[edge.to].insert(key, merged_id);
                                 worklist.push(Reverse((rpo[edge.to], seq, edge.to, merged_id)));
                                 seq += 1;
+                                metrics.counters.add(Counter::WorklistPushes, 1);
+                                metrics
+                                    .counters
+                                    .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
                             }
                         }
                     }
@@ -371,6 +407,15 @@ pub fn run_cancellable(
         })
         .collect();
 
+    metrics.counters.add(Counter::InternHits, interner.hits());
+    metrics
+        .counters
+        .add(Counter::InternMisses, interner.misses());
+    metrics.per_location = states
+        .iter()
+        .map(|m| u32::try_from(m.len()).unwrap_or(u32::MAX))
+        .collect();
+
     RunResult {
         errors: dedup_reports(reports),
         failing_sites,
@@ -381,6 +426,7 @@ pub fn run_cancellable(
             peak_nodes,
             wall: start.elapsed(),
             locations: n_nodes,
+            metrics,
         },
         outcome,
     }
@@ -544,6 +590,62 @@ mod tests {
     }
 
     #[test]
+    fn metrics_collection_is_observation_only() {
+        let src = "program P uses IOStreams; void main() {\n\
+                   InputStream f = new InputStream();\n\
+                   if (?) {\n\
+                   f.close();\n\
+                   }\n\
+                   f.read();\n}";
+        let program = hetsep_ir::parse_program(src).unwrap();
+        let spec = hetsep_easl::builtin::iostreams();
+        let inst = translate(&program, &spec, &TranslateOptions::default()).unwrap();
+        let plain = run(&inst, &EngineConfig::default());
+        let timed = run(
+            &inst,
+            &EngineConfig {
+                phase_timings: true,
+                ..EngineConfig::default()
+            },
+        );
+        // Identical results and identical *counts* either way; only the
+        // sampled durations may differ.
+        assert_eq!(plain.errors, timed.errors);
+        assert_eq!(plain.stats.visits, timed.stats.visits);
+        assert_eq!(plain.stats.structures, timed.stats.structures);
+        assert_eq!(
+            plain.stats.metrics.counters, timed.stats.metrics.counters,
+            "counters must not depend on the timing flag"
+        );
+        for phase in hetsep_tvl::telemetry::Phase::ALL {
+            assert_eq!(
+                plain.stats.metrics.phases.get(phase).count,
+                timed.stats.metrics.phases.get(phase).count,
+                "phase {phase} count must not depend on the timing flag"
+            );
+            assert_eq!(plain.stats.metrics.phases.get(phase).nanos, 0);
+        }
+
+        let m = &plain.stats.metrics;
+        use hetsep_tvl::telemetry::{Counter, Phase};
+        assert!(m.phases.get(Phase::Focus).count >= plain.stats.visits);
+        assert!(m.phases.get(Phase::Canon).count > 0);
+        assert!(m.counters.get(Counter::PostStructures) > 0);
+        assert!(m.counters.get(Counter::WorklistPushes) > 0);
+        assert!(m.counters.get(Counter::WorklistPeakDepth) > 0);
+        assert_eq!(
+            m.counters.get(Counter::InternMisses),
+            plain.stats.distinct_structures as u64,
+            "every interner miss materializes one distinct structure"
+        );
+        assert_eq!(m.per_location.len(), plain.stats.locations);
+        assert_eq!(
+            m.counters.get(Counter::BudgetExhausted) + m.counters.get(Counter::Cancelled),
+            0
+        );
+    }
+
+    #[test]
     fn budget_exhaustion_reported() {
         let program = hetsep_ir::parse_program(
             "program P uses IOStreams; void main() {\n\
@@ -565,5 +667,12 @@ mod tests {
         );
         assert_eq!(r.outcome, AnalysisOutcome::BudgetExceeded);
         assert!(!r.verified());
+        assert_eq!(
+            r.stats
+                .metrics
+                .counters
+                .get(hetsep_tvl::telemetry::Counter::BudgetExhausted),
+            1
+        );
     }
 }

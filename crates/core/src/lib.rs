@@ -7,7 +7,8 @@
 //! abstraction* — relevant objects abstracted precisely, irrelevant objects
 //! collapsed.
 //!
-//! Entry point: [`verify`] with a [`Mode`]:
+//! Entry point: the [`Verifier`] builder (the [`verify`] free function is a
+//! backward-compatible thin wrapper over it) with a [`Mode`]:
 //!
 //! * [`Mode::Vanilla`] — TVLA-style verification without separation,
 //! * [`Mode::Separation`] — one strategy stage; either *simultaneous* (all
@@ -20,7 +21,7 @@
 //! # Example
 //!
 //! ```
-//! use hetsep_core::{verify, Mode, EngineConfig};
+//! use hetsep_core::{Verifier, Mode};
 //!
 //! let program = hetsep_ir::parse_program(
 //!     "program P uses IOStreams; void main() {\n\
@@ -31,7 +32,7 @@
 //! )
 //! .unwrap();
 //! let spec = hetsep_easl::builtin::iostreams();
-//! let report = verify(&program, &spec, &Mode::Vanilla, &EngineConfig::default()).unwrap();
+//! let report = Verifier::new(&program, &spec).mode(Mode::Vanilla).run().unwrap();
 //! assert!(report.errors.is_empty());
 //! ```
 
@@ -47,7 +48,11 @@ pub mod translate;
 pub mod vocab;
 
 pub use engine::{AnalysisOutcome, EngineConfig, ParallelConfig, RunStats};
-pub use modes::{verify, Mode, VerificationReport};
+pub use hetsep_tvl::telemetry::{
+    Counter, Counters, Event, EventSink, MetricsSink, NullSink, Phase, PhaseStats, PhaseTimings,
+    RunMetrics, TraceWriter,
+};
+pub use modes::{verify, verify_with_sink, Mode, SubproblemStats, VerificationReport, Verifier};
 pub use report::{ErrorReport, VerifyError};
 pub use translate::{translate, AnalysisInstance, TranslateOptions};
 pub use vocab::Vocabulary;

@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use hetsep_easl::ast::Spec;
 use hetsep_ir::Program;
 use hetsep_strategy::ast::{ChoiceMode, Strategy};
+use hetsep_tvl::telemetry::{Counter, Event, EventSink, NullSink, Phase, RunMetrics};
 
 use crate::engine::{run, run_cancellable, AnalysisOutcome, EngineConfig, RunResult, RunStats};
 use crate::report::{dedup_reports, ErrorReport, VerifyError};
@@ -85,14 +86,32 @@ impl Mode {
         }
     }
 
-    /// Short mode label as used in Table 3.
+    /// Short mode label, exactly as used in Table 3 output: `vanilla`,
+    /// `sim`, `single` (non-simultaneous separation with one `choose`),
+    /// `multi` (more than one `choose`), or `inc`. This is the one naming
+    /// scheme that flows from [`Mode`] through the harness to
+    /// `BENCH_table3.json`.
     pub fn label(&self) -> &'static str {
         match self {
             Mode::Vanilla => "vanilla",
             Mode::Separation {
                 simultaneous: true, ..
             } => "sim",
-            Mode::Separation { .. } => "sep",
+            Mode::Separation { strategy, .. } => {
+                // Single vs. multiple choice is about how many `choose some`
+                // clauses the stage has (`choose all` clauses ride along with
+                // the chosen object and do not multiply subproblem families).
+                let somes = strategy.stages.first().map(|s| {
+                    s.choices
+                        .iter()
+                        .filter(|c| c.mode == ChoiceMode::Some)
+                        .count()
+                });
+                match somes {
+                    Some(n) if n > 1 => "multi",
+                    _ => "single",
+                }
+            }
             Mode::Incremental { .. } => "inc",
         }
     }
@@ -137,6 +156,11 @@ pub struct VerificationReport {
     pub subproblems: Vec<SubproblemStats>,
     /// Number of incremental stages executed (1 for other modes).
     pub stages_run: usize,
+    /// Verification-wide metrics: per-phase timings/counts and counters
+    /// merged across subproblems in deterministic site order (per-run
+    /// metrics stay available under each subproblem's
+    /// [`RunStats::metrics`]).
+    pub metrics: RunMetrics,
 }
 
 impl VerificationReport {
@@ -166,6 +190,7 @@ impl VerificationReport {
             peak_nodes: 0,
             subproblems: Vec::new(),
             stages_run: 0,
+            metrics: RunMetrics::default(),
         }
     }
 
@@ -175,6 +200,7 @@ impl VerificationReport {
         self.total_visits += result.stats.visits;
         self.total_wall += result.stats.wall;
         self.peak_nodes = self.peak_nodes.max(result.stats.peak_nodes);
+        self.metrics.merge(&result.stats.metrics);
         self.subproblems.push(SubproblemStats {
             site,
             stats: result.stats.clone(),
@@ -259,7 +285,117 @@ fn run_sites(
     Ok(out)
 }
 
+/// Builder-style front door of the verification engine.
+///
+/// Collects the program, specification, [`Mode`], [`EngineConfig`], and an
+/// optional observability [`EventSink`], then [`Verifier::run`]s:
+///
+/// ```
+/// use hetsep_core::{Verifier, Mode, EngineConfig};
+/// use hetsep_tvl::telemetry::MetricsSink;
+///
+/// let program = hetsep_ir::parse_program(
+///     "program P uses IOStreams; void main() {\n\
+///        InputStream f = new InputStream();\n\
+///        f.read();\n\
+///        f.close();\n\
+///      }",
+/// )
+/// .unwrap();
+/// let spec = hetsep_easl::builtin::iostreams();
+/// let mut sink = MetricsSink::new();
+/// let report = Verifier::new(&program, &spec)
+///     .mode(Mode::Vanilla)
+///     .config(EngineConfig::default())
+///     .sink(&mut sink)
+///     .run()
+///     .unwrap();
+/// assert!(report.verified());
+/// assert_eq!(sink.subproblems(), 1);
+/// ```
+///
+/// Defaults: [`Mode::Vanilla`], `EngineConfig::default()`, no sink.
+#[must_use = "a Verifier does nothing until .run()"]
+pub struct Verifier<'a> {
+    program: &'a Program,
+    spec: &'a Spec,
+    mode: Mode,
+    config: EngineConfig,
+    sink: Option<&'a mut dyn EventSink>,
+}
+
+impl<'a> Verifier<'a> {
+    /// Starts a verification of `program` against `spec` (vanilla mode,
+    /// default engine configuration, no sink).
+    pub fn new(program: &'a Program, spec: &'a Spec) -> Verifier<'a> {
+        Verifier {
+            program,
+            spec,
+            mode: Mode::Vanilla,
+            config: EngineConfig::default(),
+            sink: None,
+        }
+    }
+
+    /// Sets the verification [`Mode`].
+    pub fn mode(mut self, mode: Mode) -> Verifier<'a> {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the [`EngineConfig`].
+    pub fn config(mut self, config: EngineConfig) -> Verifier<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an observability sink. Events are delivered after the
+    /// verification completes, in deterministic subproblem (site) order;
+    /// a sink whose `enabled()` is `false` receives nothing.
+    pub fn sink(mut self, sink: &'a mut dyn EventSink) -> Verifier<'a> {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Enables wall-clock sampling of per-phase durations (see
+    /// [`EngineConfig::phase_timings`]); counts are collected regardless.
+    pub fn phase_timings(mut self, on: bool) -> Verifier<'a> {
+        self.config.phase_timings = on;
+        self
+    }
+
+    /// Runs the verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures; property violations are *results*
+    /// (see [`VerificationReport::errors`]), not errors.
+    pub fn run(self) -> Result<VerificationReport, VerifyError> {
+        let Verifier {
+            program,
+            spec,
+            mode,
+            config,
+            sink,
+        } = self;
+        let mut null = NullSink;
+        let sink: &mut dyn EventSink = match sink {
+            Some(s) => s,
+            None => &mut null,
+        };
+        verify_with_sink(program, spec, &mode, &config, sink)
+    }
+}
+
 /// Verifies `program` against `spec` under `mode`.
+///
+/// A thin wrapper over [`Verifier`] kept for backward compatibility; new
+/// code should prefer the builder, which also carries the observability
+/// sink:
+///
+/// ```ignore
+/// Verifier::new(&program, &spec).mode(mode).config(cfg).sink(&mut sink).run()
+/// ```
 ///
 /// # Errors
 ///
@@ -271,10 +407,97 @@ pub fn verify(
     mode: &Mode,
     config: &EngineConfig,
 ) -> Result<VerificationReport, VerifyError> {
+    Verifier::new(program, spec)
+        .mode(mode.clone())
+        .config(config.clone())
+        .run()
+}
+
+/// [`verify`] with an observability sink: after the subproblems complete,
+/// the merged per-subproblem metrics are replayed into `sink` as typed
+/// [`Event`]s in deterministic site order (see
+/// [`hetsep_tvl::telemetry`]). Skipped entirely when `sink.enabled()` is
+/// `false`, so a [`NullSink`] costs nothing.
+///
+/// # Errors
+///
+/// See [`verify`].
+pub fn verify_with_sink(
+    program: &Program,
+    spec: &Spec,
+    mode: &Mode,
+    config: &EngineConfig,
+    sink: &mut dyn EventSink,
+) -> Result<VerificationReport, VerifyError> {
     let start = Instant::now();
     let mut report = verify_inner(program, spec, mode, config)?;
     report.elapsed_wall = start.elapsed();
+    if sink.enabled() {
+        emit_report(&report, sink);
+    }
     Ok(report)
+}
+
+/// Replays a finished report's per-subproblem metrics as events, in the
+/// deterministic order the subproblems were merged.
+fn emit_report(report: &VerificationReport, sink: &mut dyn EventSink) {
+    for (index, sub) in report.subproblems.iter().enumerate() {
+        let m = &sub.stats.metrics;
+        sink.record(&Event::SubproblemStart {
+            index,
+            site: sub.site,
+        });
+        for phase in Phase::ALL {
+            let s = m.phases.get(phase);
+            if s.count > 0 || s.nanos > 0 {
+                sink.record(&Event::PhaseSample {
+                    index,
+                    phase,
+                    count: s.count,
+                    nanos: s.nanos,
+                });
+            }
+        }
+        for counter in Counter::ALL {
+            let value = m.counters.get(counter);
+            if value > 0 {
+                sink.record(&Event::CounterSample {
+                    index,
+                    counter,
+                    value,
+                });
+            }
+        }
+        for (location, &structures) in m.per_location.iter().enumerate() {
+            if structures > 0 {
+                sink.record(&Event::LocationStructures {
+                    index,
+                    location,
+                    structures: structures as usize,
+                });
+            }
+        }
+        if m.counters.get(Counter::BudgetExhausted) > 0 {
+            sink.record(&Event::BudgetExhausted {
+                index,
+                visits: sub.stats.visits,
+            });
+        }
+        if m.counters.get(Counter::Cancelled) > 0 {
+            sink.record(&Event::Cancelled {
+                index,
+                visits: sub.stats.visits,
+            });
+        }
+        sink.record(&Event::SubproblemFinish {
+            index,
+            site: sub.site,
+            visits: sub.stats.visits,
+            structures: sub.stats.structures,
+            errors: sub.errors,
+            complete: sub.outcome == AnalysisOutcome::Complete,
+        });
+    }
 }
 
 fn verify_inner(
@@ -497,6 +720,120 @@ void main() {
         .unwrap();
         assert_eq!(r.errors.len(), 1, "{:?}", r.errors);
         assert!(r.stages_run >= 1);
+    }
+
+    #[test]
+    fn one_naming_scheme_from_mode_to_table3() {
+        assert_eq!(Mode::Vanilla.label(), "vanilla");
+        assert_eq!(
+            Mode::separation(parse_builtin(JDBC_SINGLE)).label(),
+            "single"
+        );
+        assert_eq!(Mode::separation(parse_builtin(JDBC_MULTI)).label(), "multi");
+        assert_eq!(
+            Mode::simultaneous(parse_builtin(JDBC_SINGLE)).label(),
+            "sim"
+        );
+        assert_eq!(
+            Mode::incremental(parse_builtin(JDBC_INCREMENTAL)).label(),
+            "inc"
+        );
+    }
+
+    #[test]
+    fn sink_receives_per_subproblem_events_in_site_order() {
+        use hetsep_tvl::telemetry::MetricsSink;
+
+        struct Recorder(Vec<Event>);
+        impl EventSink for Recorder {
+            fn record(&mut self, event: &Event) {
+                self.0.push(event.clone());
+            }
+        }
+
+        let src = "program P uses IOStreams; void main() {\n\
+                   InputStream a = new InputStream();\n\
+                   InputStream b = new InputStream();\n\
+                   a.close();\n\
+                   a.read();\n\
+                   b.close();\n}";
+        let program = program(src);
+        let spec = hetsep_easl::builtin::iostreams();
+        let mode = Mode::separation(parse_builtin(
+            hetsep_strategy::builtin::IOSTREAM_SINGLE,
+        ));
+        let mut rec = Recorder(Vec::new());
+        let report = Verifier::new(&program, &spec)
+            .mode(mode.clone())
+            .sink(&mut rec)
+            .run()
+            .unwrap();
+        assert_eq!(report.subproblems.len(), 2);
+
+        // Starts and finishes pair up per subproblem, sites in merge order.
+        let starts: Vec<(usize, Option<usize>)> = rec
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                Event::SubproblemStart { index, site } => Some((*index, *site)),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<(usize, Option<usize>)> = report
+            .subproblems
+            .iter()
+            .enumerate()
+            .map(|(ix, s)| (ix, s.site))
+            .collect();
+        assert_eq!(starts, expected);
+        assert!(rec.0.iter().any(|e| matches!(e, Event::PhaseSample { .. })));
+        assert!(rec
+            .0
+            .iter()
+            .any(|e| matches!(e, Event::CounterSample { .. })));
+        assert!(rec
+            .0
+            .iter()
+            .any(|e| matches!(e, Event::LocationStructures { .. })));
+
+        // A MetricsSink replaying the same report reproduces the report's
+        // merged totals.
+        let mut sink = MetricsSink::new();
+        let report2 = verify_with_sink(
+            &program,
+            &spec,
+            &mode,
+            &EngineConfig::default(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(sink.subproblems(), report2.subproblems.len());
+        assert_eq!(sink.total_visits(), report2.total_visits);
+        assert_eq!(sink.phases(), &report2.metrics.phases);
+        assert_eq!(sink.counters(), &report2.metrics.counters);
+    }
+
+    #[test]
+    fn report_metrics_aggregate_subproblem_metrics() {
+        let strategy = parse_builtin(JDBC_SINGLE);
+        let r = verify(
+            &program(JDBC_OK),
+            &hetsep_easl::builtin::jdbc(),
+            &Mode::separation(strategy),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let summed: u64 = r
+            .subproblems
+            .iter()
+            .map(|s| s.stats.metrics.phases.get(Phase::Focus).count)
+            .sum();
+        assert_eq!(r.metrics.phases.get(Phase::Focus).count, summed);
+        assert!(r.metrics.counters.get(Counter::InternMisses) > 0);
+        assert!(
+            r.metrics.per_location.is_empty(),
+            "location counts are per-run, not aggregated"
+        );
     }
 
     #[test]

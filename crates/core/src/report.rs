@@ -27,6 +27,12 @@ impl fmt::Display for ErrorReport {
 
 /// Errors surfaced by verification (distinct from property violations, which
 /// are results).
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm, so
+/// new failure classes can be added without a breaking release. Implements
+/// [`std::error::Error`] and is `Send + Sync + 'static`, so it composes
+/// with `Box<dyn Error + Send + Sync>` and `anyhow`-style callers.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
     /// The client program failed semantic checking.
@@ -47,6 +53,8 @@ impl fmt::Display for VerifyError {
             VerifyError::Cfg(m) => write!(f, "cfg construction failed: {m}"),
             VerifyError::Translate(m) => write!(f, "translation failed: {m}"),
             VerifyError::Strategy(m) => write!(f, "strategy error: {m}"),
+            #[allow(unreachable_patterns)]
+            _ => write!(f, "verification error"),
         }
     }
 }
@@ -66,6 +74,15 @@ pub fn dedup_reports(mut reports: Vec<ErrorReport>) -> Vec<ErrorReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verify_error_is_a_full_citizen_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<VerifyError>();
+        let boxed: Box<dyn std::error::Error + Send + Sync> =
+            Box::new(VerifyError::Strategy("no stages".into()));
+        assert!(boxed.to_string().contains("no stages"));
+    }
 
     #[test]
     fn dedup_keeps_one_per_line() {

@@ -3,12 +3,17 @@
 //! For every benchmark exercised by the scenario suite (and the larger
 //! generated workloads), a parallel run must be indistinguishable from a
 //! serial run: byte-identical error reports, the same verified/complete
-//! flags, and the same structure counts. Visit counts may only differ when
-//! a run exceeds its budget (cancellation timing is scheduling-dependent);
-//! every workload here completes within budget, so full equality is
-//! asserted.
+//! flags, the same structure counts, and — since the observability layer —
+//! identical merged telemetry (phase counts and counters; wall-clock
+//! sampling stays off, so every duration is 0 and `RunMetrics` equality is
+//! exact). Visit counts may only differ when a run exceeds its budget
+//! (cancellation timing is scheduling-dependent); every workload here
+//! completes within budget, so full equality is asserted.
 
-use hetsep_core::{verify, EngineConfig, Mode, ParallelConfig, VerificationReport};
+use hetsep_core::{
+    verify, verify_with_sink, EngineConfig, MetricsSink, Mode, ParallelConfig,
+    VerificationReport,
+};
 use hetsep_strategy::builtin as strategies;
 use hetsep_strategy::parse_strategy;
 use hetsep_suite::generators::{jdbc_client, kernel, JdbcWorkload, KernelWorkload};
@@ -70,11 +75,16 @@ fn assert_deterministic(name: &str, src: &str, mode: Mode) {
                     s.stats.peak_nodes,
                     s.errors,
                     s.outcome,
+                    s.stats.metrics.clone(),
                 )
             })
             .collect::<Vec<_>>()
     };
     assert_eq!(key(&serial), key(&parallel), "{name}: subproblem stats differ");
+    assert_eq!(
+        serial.metrics, parallel.metrics,
+        "{name}: merged telemetry differs between serial and parallel runs"
+    );
 }
 
 fn sep(strategy: &str) -> Mode {
@@ -237,6 +247,35 @@ fn generated_workloads_are_schedule_independent() {
     for (name, src, mode) in cases {
         assert_deterministic(name, &src, mode);
     }
+}
+
+/// The replayed event stream is schedule-independent too: a sink attached
+/// to a serial run and one attached to a parallel run end up in identical
+/// states (events are delivered post-hoc in site order, never live from the
+/// workers).
+#[test]
+fn sink_state_is_schedule_independent() {
+    let src = "program P uses IOStreams; void main() {\n\
+               InputStream a = new InputStream();\n\
+               InputStream b = new InputStream();\n\
+               a.read();\n\
+               b.read();\n\
+               a.close();\n\
+               b.read();\n\
+               b.close();\n}";
+    let mode = sep(strategies::IOSTREAM_SINGLE);
+    let program = hetsep_ir::parse_program(src).unwrap();
+    let spec = hetsep_easl::builtin::by_name(&program.uses).unwrap();
+    let sink_for = |threads: usize| {
+        let mut sink = MetricsSink::new();
+        verify_with_sink(&program, &spec, &mode, &config_with_threads(threads), &mut sink)
+            .unwrap();
+        sink
+    };
+    let serial = sink_for(1);
+    let parallel = sink_for(4);
+    assert!(serial.subproblems() > 1, "workload should split");
+    assert_eq!(serial, parallel, "sink states differ between schedules");
 }
 
 /// `threads = 0` (auto) must agree with an explicit serial run too — this is

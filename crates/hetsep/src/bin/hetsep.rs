@@ -3,7 +3,8 @@
 //! ```text
 //! hetsep verify <program> [--spec <file>] [--strategy <file>]
 //!                         [--mode vanilla|sep|sim|inc] [--no-hetero]
-//!                         [--max-visits N] [--quiet]
+//!                         [--max-visits N] [--metrics] [--trace <path>]
+//!                         [--quiet]
 //! hetsep baseline <program> [--spec <file>]
 //! hetsep check <program>
 //! hetsep heap <program> --line N [--strategy <file>] [--dot]
@@ -12,13 +13,21 @@
 //! `<program>` is a client-language source file; the specification defaults
 //! to the built-in spec named by the program's `uses` clause, and may be
 //! overridden with an Easl source file. Without `--strategy`, `verify` runs
-//! in vanilla mode. Exit code: 0 verified, 1 errors reported, 2 usage or
-//! translation failure.
+//! in vanilla mode.
+//!
+//! Observability: `--metrics` enables per-phase wall-clock sampling and
+//! prints a phase/counter breakdown to stderr; `--trace <path>` streams the
+//! run's typed events as NDJSON (one JSON object per line) to `<path>`.
+//! Both are observation-only — verification results are unchanged.
+//!
+//! Exit code: 0 verified, 1 errors reported, 2 usage or translation failure.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use hetsep::core::engine::EngineConfig;
-use hetsep::core::{verify, Mode};
+use hetsep::core::{Mode, NullSink, TraceWriter, Verifier};
+use hetsep::harness::format_metrics;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +47,8 @@ struct Options {
     mode: String,
     heterogeneous: bool,
     max_visits: u64,
+    metrics: bool,
+    trace_path: Option<String>,
     quiet: bool,
     line: Option<u32>,
     dot: bool,
@@ -51,6 +62,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         mode: "auto".into(),
         heterogeneous: true,
         max_visits: 2_000_000,
+        metrics: false,
+        trace_path: None,
         quiet: false,
         line: None,
         dot: false,
@@ -74,6 +87,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--line: {e}"))?,
                 )
             }
+            "--metrics" => o.metrics = true,
+            "--trace" => o.trace_path = Some(next(&mut it, "--trace")?),
             "--dot" => o.dot = true,
             "--quiet" | "-q" => o.quiet = true,
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
@@ -145,7 +160,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage:\n  \
      hetsep verify   <program> [--spec <file>] [--strategy <file>] \
-     [--mode vanilla|sep|sim|inc] [--no-hetero] [--max-visits N] [--quiet]\n  \
+     [--mode vanilla|sep|sim|inc] [--no-hetero] [--max-visits N] \
+     [--metrics] [--trace <path>] [--quiet]\n  \
      hetsep baseline <program> [--spec <file>]\n  \
      hetsep check    <program>\n  \
      hetsep heap     <program> --line N [--strategy <file>] [--dot]"
@@ -177,11 +193,40 @@ fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
     };
     let config = EngineConfig {
         max_visits: o.max_visits,
+        phase_timings: o.metrics,
         ..EngineConfig::default()
     };
-    let report = verify(&program, &spec, &mode, &config).map_err(|e| e.to_string())?;
+    // The trace sink outlives the builder; NullSink when --trace is absent.
+    let mut null = NullSink;
+    let mut trace = match &o.trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(TraceWriter::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let sink: &mut dyn hetsep::core::EventSink = match &mut trace {
+        Some(t) => t,
+        None => &mut null,
+    };
+    let report = Verifier::new(&program, &spec)
+        .mode(mode.clone())
+        .config(config)
+        .sink(sink)
+        .run()
+        .map_err(|e| e.to_string())?;
+    if let (Some(t), Some(path)) = (trace, &o.trace_path) {
+        let mut w = t.finish().map_err(|e| format!("{path}: {e}"))?;
+        w.flush().map_err(|e| format!("{path}: {e}"))?;
+        if !o.quiet {
+            eprintln!("trace written to {path}");
+        }
+    }
     for e in &report.errors {
         println!("{}:{}", o.program_path, e);
+    }
+    if o.metrics {
+        eprint!("{}", format_metrics(&report.metrics));
     }
     if !o.quiet {
         eprintln!(

@@ -4,35 +4,28 @@
 //! [`ModeRow`] with the measurements the paper reports: space (peak
 //! structures of a single run), time (wall clock and the deterministic
 //! visit-count proxy), reported errors, and whether the run finished within
-//! budget (`-` rows).
+//! budget (`-` rows). Per-subproblem measurements are the engine's own
+//! [`SubproblemStats`] (metrics included); [`run_mode_with_sink`] addition-
+//! ally streams observability events (see [`hetsep_core::EventSink`]) for
+//! `--trace`-style consumers.
 
 use std::time::Duration;
 
-use hetsep_core::{verify, EngineConfig, Mode, VerifyError};
+use hetsep_core::{
+    Counter, EngineConfig, EventSink, Mode, NullSink, Phase, RunMetrics, SubproblemStats,
+    Verifier, VerifyError,
+};
 use hetsep_strategy::parse_strategy;
 use hetsep_suite::{Benchmark, TableMode};
-
-/// One subproblem measurement of a mode run (one engine run).
-#[derive(Debug, Clone)]
-pub struct SubRow {
-    /// Allocation site the subproblem was restricted to, if any.
-    pub site: Option<usize>,
-    /// Action applications of this run.
-    pub visits: u64,
-    /// Peak structures stored by this run.
-    pub structures: usize,
-    /// Largest universe encountered by this run.
-    pub peak_nodes: usize,
-    /// Wall-clock of this run.
-    pub wall: Duration,
-}
 
 /// One measured cell block of Table 3.
 #[derive(Debug, Clone)]
 pub struct ModeRow {
     /// Benchmark name.
     pub benchmark: &'static str,
-    /// Mode label (`vanilla`, `single`, `sim`, `multi`, `inc`).
+    /// Mode label (`vanilla`, `single`, `sim`, `multi`, `inc`) — taken from
+    /// [`Mode::label`], so the same naming scheme flows from the engine API
+    /// to Table 3 output.
     pub mode: &'static str,
     /// Peak structures stored by a single engine run (the paper's "space":
     /// the maximal footprint of analyzing one set of subproblems).
@@ -50,8 +43,11 @@ pub struct ModeRow {
     pub subproblems: usize,
     /// Average visits per subproblem.
     pub avg_visits_per_subproblem: f64,
-    /// Per-subproblem measurements, in deterministic site order.
-    pub subproblem_rows: Vec<SubRow>,
+    /// Per-subproblem engine statistics, in deterministic site order.
+    pub subproblem_rows: Vec<SubproblemStats>,
+    /// Verification-wide metrics (phase timings/counters merged across
+    /// subproblems in site order).
+    pub metrics: RunMetrics,
     /// Reported errors (per-line), or `None` when the run exceeded its
     /// budget (the paper's `-`).
     pub reported: Option<usize>,
@@ -120,16 +116,35 @@ pub fn run_mode(
     mode: TableMode,
     config: &EngineConfig,
 ) -> Result<ModeRow, VerifyError> {
+    run_mode_with_sink(bench, mode, config, &mut NullSink)
+}
+
+/// [`run_mode`] with an observability sink receiving the run's events.
+///
+/// # Errors
+///
+/// See [`run_mode`].
+pub fn run_mode_with_sink(
+    bench: &Benchmark,
+    mode: TableMode,
+    config: &EngineConfig,
+    sink: &mut dyn EventSink,
+) -> Result<ModeRow, VerifyError> {
     let program = bench.program();
     let spec = bench.spec();
     let core = core_mode(bench, mode)?;
-    let report = verify(&program, &spec, &core, config)?;
+    let label = core.label();
+    let report = Verifier::new(&program, &spec)
+        .mode(core)
+        .config(config.clone())
+        .sink(sink)
+        .run()?;
     // `complete` is mode-aware: for incremental verification the deciding
     // stage's completeness is what matters.
     let finished = report.complete;
     Ok(ModeRow {
         benchmark: bench.name,
-        mode: mode.label(),
+        mode: label,
         space: report.max_space,
         time: report.total_wall,
         elapsed: report.elapsed_wall,
@@ -137,17 +152,8 @@ pub fn run_mode(
         peak_nodes: report.peak_nodes,
         subproblems: report.subproblems.len(),
         avg_visits_per_subproblem: report.avg_visits_per_subproblem(),
-        subproblem_rows: report
-            .subproblems
-            .iter()
-            .map(|s| SubRow {
-                site: s.site,
-                visits: s.stats.visits,
-                structures: s.stats.structures,
-                peak_nodes: s.stats.peak_nodes,
-                wall: s.stats.wall,
-            })
-            .collect(),
+        subproblem_rows: report.subproblems.clone(),
+        metrics: report.metrics.clone(),
         reported: finished.then_some(report.errors.len()),
         actual: bench.actual_errors,
     })
@@ -162,24 +168,65 @@ pub fn run_benchmark(
     bench: &Benchmark,
     config: &EngineConfig,
 ) -> Result<Vec<ModeRow>, VerifyError> {
+    run_benchmark_with_sink(bench, config, &mut NullSink)
+}
+
+/// [`run_benchmark`] with an observability sink shared across the modes.
+///
+/// # Errors
+///
+/// See [`run_mode`].
+pub fn run_benchmark_with_sink(
+    bench: &Benchmark,
+    config: &EngineConfig,
+    sink: &mut dyn EventSink,
+) -> Result<Vec<ModeRow>, VerifyError> {
     bench
         .modes
         .iter()
-        .map(|&m| run_mode(bench, m, config))
+        .map(|&m| run_mode_with_sink(bench, m, config, sink))
         .collect()
 }
 
 /// Renders rows as machine-readable JSON for downstream tooling
 /// (`BENCH_table3.json`): one record per (benchmark, mode) with aggregate
-/// measurements plus one nested record per subproblem.
+/// measurements plus one nested record per subproblem. With
+/// `include_metrics`, each row and subproblem also carries its per-phase
+/// timings (`count`/`ms` per phase) and counters, so perf PRs can claim
+/// "focus got 2× faster" instead of "visits went down".
 ///
 /// Hand-rolled serialization: every emitted value is a number, a `null`, or
-/// one of the fixed benchmark/mode identifiers (no characters needing
-/// escapes), and the workspace builds offline without serde.
-pub fn rows_to_json(rows: &[ModeRow], threads: usize) -> String {
+/// one of the fixed benchmark/mode/phase/counter identifiers (no characters
+/// needing escapes), and the workspace builds offline without serde.
+pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> String {
     use std::fmt::Write as _;
     fn ms(d: Duration) -> f64 {
         d.as_secs_f64() * 1e3
+    }
+    fn metrics_json(out: &mut String, m: &RunMetrics) {
+        let _ = write!(out, ", \"phases\": {{");
+        for (ix, phase) in Phase::ALL.iter().enumerate() {
+            let s = m.phases.get(*phase);
+            let _ = write!(
+                out,
+                "{}\"{}\": {{\"count\": {}, \"ms\": {:.3}}}",
+                if ix == 0 { "" } else { ", " },
+                phase.label(),
+                s.count,
+                s.nanos as f64 / 1e6,
+            );
+        }
+        let _ = write!(out, "}}, \"counters\": {{");
+        for (ix, counter) in Counter::ALL.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\": {}",
+                if ix == 0 { "" } else { ", " },
+                counter.label(),
+                m.counters.get(*counter),
+            );
+        }
+        let _ = write!(out, "}}");
     }
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"threads\": {threads},");
@@ -192,8 +239,7 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize) -> String {
             out,
             "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"space\": {}, \
              \"visits\": {}, \"peak_nodes\": {}, \"wall_ms\": {:.3}, \
-             \"elapsed_ms\": {:.3}, \"reported\": {}, \"actual\": {}, \
-             \"subproblems\": [",
+             \"elapsed_ms\": {:.3}, \"reported\": {}, \"actual\": {}",
             r.benchmark,
             r.mode,
             r.space,
@@ -204,19 +250,27 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize) -> String {
             reported,
             r.actual,
         );
+        if include_metrics {
+            metrics_json(&mut out, &r.metrics);
+        }
+        let _ = write!(out, ", \"subproblems\": [");
         for (six, s) in r.subproblem_rows.iter().enumerate() {
             let site = s.site.map_or_else(|| "null".to_owned(), |n| n.to_string());
             let _ = write!(
                 out,
                 "{}{{\"site\": {}, \"visits\": {}, \"structures\": {}, \
-                 \"peak_nodes\": {}, \"wall_ms\": {:.3}}}",
+                 \"peak_nodes\": {}, \"wall_ms\": {:.3}",
                 if six == 0 { "" } else { ", " },
                 site,
-                s.visits,
-                s.structures,
-                s.peak_nodes,
-                ms(s.wall),
+                s.stats.visits,
+                s.stats.structures,
+                s.stats.peak_nodes,
+                ms(s.stats.wall),
             );
+            if include_metrics {
+                metrics_json(&mut out, &s.stats.metrics);
+            }
+            let _ = write!(out, "}}");
         }
         let _ = writeln!(out, "]}}{}", if ix + 1 == rows.len() { "" } else { "," });
     }
@@ -246,6 +300,34 @@ pub fn format_rows(rows: &[ModeRow], line_count: usize) -> String {
             act = r.actual,
         )
         .unwrap();
+    }
+    out
+}
+
+/// Renders a verification-wide phase/counter breakdown as an aligned text
+/// block (used by `hetsep verify --metrics` and `table3 --metrics`).
+pub fn format_metrics(metrics: &RunMetrics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<22} {:>12} {:>12}", "phase", "count", "ms");
+    for phase in Phase::ALL {
+        let s = metrics.phases.get(phase);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12.3}",
+            phase.label(),
+            s.count,
+            s.nanos as f64 / 1e6
+        );
+    }
+    let _ = writeln!(out, "{:<22} {:>12}", "counter", "value");
+    for counter in Counter::ALL {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12}",
+            counter.label(),
+            metrics.counters.get(counter)
+        );
     }
     out
 }

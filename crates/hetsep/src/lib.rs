@@ -11,15 +11,18 @@
 //! * [`easl`] — the Easl component-specification language and built-in
 //!   JDBC / IO-stream / collections specifications,
 //! * [`strategy`] — the separation-strategy language,
-//! * [`core`] — the verification engine ([`verify`], [`Mode`]),
+//! * [`core`] — the verification engine ([`Verifier`], [`Mode`]),
 //! * [`baseline`] — the ESP-style two-phase comparator,
 //! * [`suite`] — the Table 3 benchmark programs,
 //! * [`harness`] — drivers that regenerate the paper's table rows.
 //!
 //! # Quickstart
 //!
+//! The front door is the [`Verifier`] builder; attach a [`MetricsSink`] (or
+//! an NDJSON [`TraceWriter`]) to see where the engine spends its effort:
+//!
 //! ```
-//! use hetsep::{verify, Mode, EngineConfig};
+//! use hetsep::{Verifier, Mode, MetricsSink};
 //!
 //! let program = hetsep::ir::parse_program(
 //!     "program Quick uses IOStreams; void main() {\n\
@@ -29,10 +32,18 @@
 //!      }",
 //! )?;
 //! let spec = hetsep::easl::builtin::iostreams();
-//! let report = verify(&program, &spec, &Mode::Vanilla, &EngineConfig::default())?;
+//! let mut sink = MetricsSink::new();
+//! let report = Verifier::new(&program, &spec)
+//!     .mode(Mode::Vanilla)
+//!     .sink(&mut sink)
+//!     .run()?;
 //! assert!(report.verified());
+//! assert!(sink.total_visits() > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The [`verify`] free function remains as a thin wrapper over the builder
+//! for callers that predate the observability layer.
 
 pub use hetsep_baseline as baseline;
 pub use hetsep_core as core;
@@ -42,6 +53,10 @@ pub use hetsep_strategy as strategy;
 pub use hetsep_suite as suite;
 pub use hetsep_tvl as tvl;
 
-pub use hetsep_core::{verify, EngineConfig, Mode, VerificationReport};
+pub use hetsep_core::{
+    verify, verify_with_sink, Counter, Counters, EngineConfig, Event, EventSink, MetricsSink,
+    Mode, NullSink, Phase, PhaseStats, PhaseTimings, RunMetrics, SubproblemStats, TraceWriter,
+    VerificationReport, Verifier, VerifyError,
+};
 
 pub mod harness;

@@ -27,6 +27,7 @@ use crate::formula::{Formula, Var};
 use crate::kleene::Kleene;
 use crate::pred::{Arity, PredId, PredTable};
 use crate::structure::Structure;
+use crate::telemetry::{Counter, Phase, RunMetrics};
 
 /// An update `p(args) := rhs`, where `args` are the free variables of `rhs`
 /// that range over the universe (one for unary, two for binary predicates).
@@ -170,10 +171,31 @@ pub struct ApplyOutcome {
 /// Applies `action` to `s`, with a focus expansion budget of `focus_limit`
 /// (use [`crate::focus::DEFAULT_FOCUS_LIMIT`] unless tuning).
 pub fn apply(action: &Action, s: &Structure, table: &PredTable, focus_limit: usize) -> ApplyOutcome {
+    apply_traced(action, s, table, focus_limit, &mut RunMetrics::disabled())
+}
+
+/// [`apply`] with observability: per-phase invocation counts (and durations,
+/// when `metrics` was created timed) for focus, coerce, and the update
+/// transform, plus [`Counter::FocusVariants`] / [`Counter::CoerceInfeasible`]
+/// / [`Counter::PostStructures`]. Results are identical to [`apply`] —
+/// metrics collection is observation-only.
+pub fn apply_traced(
+    action: &Action,
+    s: &Structure,
+    table: &PredTable,
+    focus_limit: usize,
+    metrics: &mut RunMetrics,
+) -> ApplyOutcome {
     let mut outcome = ApplyOutcome::default();
-    let focused = focus_all(s, table, &action.focus, focus_limit);
+    let focused = metrics.time(Phase::Focus, || {
+        focus_all(s, table, &action.focus, focus_limit)
+    });
+    metrics
+        .counters
+        .add(Counter::FocusVariants, focused.len() as u64);
     for f in focused {
-        let Some(f) = coerce(&f, table).feasible() else {
+        let Some(f) = metrics.time(Phase::Coerce, || coerce(&f, table).feasible()) else {
+            metrics.counters.add(Counter::CoerceInfeasible, 1);
             continue;
         };
         // Branch condition.
@@ -201,9 +223,13 @@ pub fn apply(action: &Action, s: &Structure, table: &PredTable, focus_limit: usi
             }
         }
         // Allocation + updates.
-        let post = transform(action, &f, table);
-        if let Some(post) = coerce(&post, table).feasible() {
-            outcome.results.push(post);
+        let post = metrics.time(Phase::Update, || transform(action, &f, table));
+        match metrics.time(Phase::Coerce, || coerce(&post, table).feasible()) {
+            Some(post) => {
+                metrics.counters.add(Counter::PostStructures, 1);
+                outcome.results.push(post);
+            }
+            None => metrics.counters.add(Counter::CoerceInfeasible, 1),
         }
     }
     outcome

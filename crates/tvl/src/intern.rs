@@ -50,6 +50,10 @@ pub struct StructureInterner {
     arena: Vec<Structure>,
     /// fingerprint → candidate ids with that fingerprint.
     buckets: HashMap<u64, Vec<StructureId>>,
+    /// Probes answered from the arena (structure already interned).
+    hits: u64,
+    /// Probes that materialized a new arena entry.
+    misses: u64,
 }
 
 impl StructureInterner {
@@ -69,9 +73,11 @@ impl StructureInterner {
         let bucket = self.buckets.entry(fp).or_default();
         for &id in bucket.iter() {
             if self.arena[id.index()] == s {
+                self.hits += 1;
                 return id;
             }
         }
+        self.misses += 1;
         let id = StructureId(u32::try_from(self.arena.len()).expect("interner overflow"));
         self.arena.push(s);
         bucket.push(id);
@@ -86,6 +92,16 @@ impl StructureInterner {
     /// Number of distinct structures interned.
     pub fn len(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Probes answered by an existing arena entry (hash-consing savings).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that materialized a new arena entry (`misses() == len()`).
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// Whether the interner is empty.
@@ -131,6 +147,20 @@ mod tests {
         let idb = interner.intern(a);
         assert_ne!(ida, idb);
         assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_probes() {
+        let t = vocab();
+        let mut interner = StructureInterner::new();
+        let mut a = Structure::new(&t);
+        a.add_node(&t);
+        interner.intern(a.clone());
+        interner.intern(a.clone());
+        interner.intern(Structure::new(&t));
+        assert_eq!(interner.hits(), 1);
+        assert_eq!(interner.misses(), 2);
+        assert_eq!(interner.misses(), interner.len() as u64);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   *heterogeneous* merge keyed on the relevant substructure,
 //! * [`action`] — predicate-update transformers (the operational semantics of
 //!   a first-order transition system),
-//! * [`display`] — text/DOT rendering of structures (paper Figures 2, 5, 7).
+//! * [`display`] — text/DOT rendering of structures (paper Figures 2, 5, 7),
+//! * [`telemetry`] — the observability layer: per-phase timings and counters
+//!   ([`RunMetrics`]), typed [`Event`]s, and the [`EventSink`] contract with
+//!   [`NullSink`] / [`MetricsSink`] / [`TraceWriter`] implementations.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod kleene;
 pub mod merge;
 pub mod pred;
 pub mod structure;
+pub mod telemetry;
 
 pub use action::{apply, Action, ApplyOutcome, Check, CheckViolation, NewNodeSpec, PredUpdate};
 pub use canon::{blur, canonical_key, CanonicalKey};
@@ -60,3 +64,7 @@ pub use kleene::Kleene;
 pub use merge::{merge_all, MergePolicy};
 pub use pred::{Arity, PredFlags, PredId, PredTable};
 pub use structure::{NodeId, Structure};
+pub use telemetry::{
+    Counter, Counters, Event, EventSink, MetricsSink, NullSink, Phase, PhaseStats, PhaseTimings,
+    RunMetrics, TraceWriter,
+};

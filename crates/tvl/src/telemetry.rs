@@ -1,0 +1,792 @@
+//! Engine observability: phase timings, counters, and typed events.
+//!
+//! The verification engine reports *what* it concluded through
+//! `RunResult`/`VerificationReport`; this module is the seam through which it
+//! reports *where the effort went*. Three layers:
+//!
+//! 1. **[`RunMetrics`]** — a per-run accumulator of per-phase invocation
+//!    counts and (optionally) wall-clock nanoseconds, plus scalar
+//!    [`Counter`]s and per-location structure counts. Each engine run (and
+//!    therefore each worker thread of the parallel subproblem scheduler)
+//!    owns its accumulator exclusively, so collection is lock-free; the mode
+//!    drivers merge accumulators deterministically in allocation-site order.
+//! 2. **[`Event`]** — the typed event vocabulary derived from merged
+//!    metrics: subproblem start/finish with site ids, per-phase samples,
+//!    counter samples, per-location structure counts, budget exhaustion and
+//!    cancellation.
+//! 3. **[`EventSink`]** — the consumer contract. [`NullSink`] discards
+//!    everything and reports itself disabled (callers skip event
+//!    construction entirely, so an unobserved run pays nothing for this
+//!    layer); [`MetricsSink`] aggregates events back into totals;
+//!    [`TraceWriter`] serializes each event as one NDJSON line.
+//!
+//! Instrumentation is **observation-only**: no sink and no metrics level may
+//! change which structures the engine explores, in which order, or what it
+//! reports. Phase *counts* are always collected (plain integer increments);
+//! phase *durations* are only sampled when a run is created with
+//! `RunMetrics::new(true)` (two `Instant` reads per phase application), so
+//! the default configuration never touches the clock in the hot loop.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+/// The engine phases broken out by the observability layer (the cost
+/// centers of the TVLA-style analysis loop).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Materialization: `focus_all` over an action's focus specs.
+    Focus,
+    /// Constraint sharpening: `coerce` on focused variants and post-states.
+    Coerce,
+    /// Action update: allocation + core + derived predicate updates.
+    Update,
+    /// Canonical abstraction: `blur` + `canonical_key` of post-states.
+    Canon,
+    /// Structure merging: merge-key computation and location joins.
+    Merge,
+}
+
+impl Phase {
+    /// Every phase, in fixed reporting order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Focus,
+        Phase::Coerce,
+        Phase::Update,
+        Phase::Canon,
+        Phase::Merge,
+    ];
+
+    /// Stable lower-case label used in traces and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Focus => "focus",
+            Phase::Coerce => "coerce",
+            Phase::Update => "update",
+            Phase::Canon => "canon",
+            Phase::Merge => "merge",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Focus => 0,
+            Phase::Coerce => 1,
+            Phase::Update => 2,
+            Phase::Canon => 3,
+            Phase::Merge => 4,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Scalar counters collected alongside phase timings.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Interner probes answered from the arena (structure already known).
+    InternHits,
+    /// Interner probes that materialized a new arena entry.
+    InternMisses,
+    /// Structures pushed onto the engine worklist.
+    WorklistPushes,
+    /// Peak worklist depth (merged across runs by `max`, not `+`).
+    WorklistPeakDepth,
+    /// Structure variants produced by focus (materialization fan-out).
+    FocusVariants,
+    /// Focused variants discarded as infeasible by coerce.
+    CoerceInfeasible,
+    /// Post-states produced by action application.
+    PostStructures,
+    /// Non-trivial location joins (two distinct structures merged).
+    MergeJoins,
+    /// Runs that exhausted their own visit/structure budget.
+    BudgetExhausted,
+    /// Runs aborted by a sibling subproblem's cancellation flag.
+    Cancelled,
+}
+
+impl Counter {
+    /// Every counter, in fixed reporting order.
+    pub const ALL: [Counter; 10] = [
+        Counter::InternHits,
+        Counter::InternMisses,
+        Counter::WorklistPushes,
+        Counter::WorklistPeakDepth,
+        Counter::FocusVariants,
+        Counter::CoerceInfeasible,
+        Counter::PostStructures,
+        Counter::MergeJoins,
+        Counter::BudgetExhausted,
+        Counter::Cancelled,
+    ];
+
+    /// Stable snake_case label used in traces and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::InternHits => "intern_hits",
+            Counter::InternMisses => "intern_misses",
+            Counter::WorklistPushes => "worklist_pushes",
+            Counter::WorklistPeakDepth => "worklist_peak_depth",
+            Counter::FocusVariants => "focus_variants",
+            Counter::CoerceInfeasible => "coerce_infeasible",
+            Counter::PostStructures => "post_structures",
+            Counter::MergeJoins => "merge_joins",
+            Counter::BudgetExhausted => "budget_exhausted",
+            Counter::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether merging two runs' values takes the maximum instead of the
+    /// sum (true for high-water marks like the worklist depth).
+    pub fn merges_by_max(self) -> bool {
+        matches!(self, Counter::WorklistPeakDepth)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::InternHits => 0,
+            Counter::InternMisses => 1,
+            Counter::WorklistPushes => 2,
+            Counter::WorklistPeakDepth => 3,
+            Counter::FocusVariants => 4,
+            Counter::CoerceInfeasible => 5,
+            Counter::PostStructures => 6,
+            Counter::MergeJoins => 7,
+            Counter::BudgetExhausted => 8,
+            Counter::Cancelled => 9,
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Invocation count and accumulated wall time of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of phase applications.
+    pub count: u64,
+    /// Accumulated wall-clock nanoseconds (0 unless timing was enabled).
+    pub nanos: u64,
+}
+
+/// Per-phase invocation counts and durations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    stats: [PhaseStats; Phase::ALL.len()],
+}
+
+impl PhaseTimings {
+    /// Adds `count` applications totalling `nanos` to `phase`.
+    pub fn add(&mut self, phase: Phase, count: u64, nanos: u64) {
+        let s = &mut self.stats[phase.index()];
+        s.count += count;
+        s.nanos += nanos;
+    }
+
+    /// The stats of one phase.
+    pub fn get(&self, phase: Phase) -> PhaseStats {
+        self.stats[phase.index()]
+    }
+
+    /// Accumulated duration of one phase.
+    pub fn duration(&self, phase: Phase) -> Duration {
+        Duration::from_nanos(self.get(phase).nanos)
+    }
+
+    /// Sums another run's timings into this one.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        for p in Phase::ALL {
+            let o = other.get(p);
+            self.add(p, o.count, o.nanos);
+        }
+    }
+
+    /// Whether no phase was ever applied.
+    pub fn is_zero(&self) -> bool {
+        self.stats.iter().all(|s| s.count == 0 && s.nanos == 0)
+    }
+}
+
+/// Scalar counter values, indexable by [`Counter`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: [u64; Counter::ALL.len()],
+}
+
+impl Counters {
+    /// Adds `v` to `counter`.
+    pub fn add(&mut self, counter: Counter, v: u64) {
+        self.values[counter.index()] += v;
+    }
+
+    /// Raises `counter` to at least `v` (for high-water marks).
+    pub fn raise(&mut self, counter: Counter, v: u64) {
+        let slot = &mut self.values[counter.index()];
+        *slot = (*slot).max(v);
+    }
+
+    /// Current value of `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter.index()]
+    }
+
+    /// Merges another run's counters: sums, except high-water marks which
+    /// take the maximum (see [`Counter::merges_by_max`]).
+    pub fn merge(&mut self, other: &Counters) {
+        for c in Counter::ALL {
+            if c.merges_by_max() {
+                self.raise(c, other.get(c));
+            } else {
+                self.add(c, other.get(c));
+            }
+        }
+    }
+}
+
+/// The metrics accumulated by one engine run (one subproblem, one worker).
+///
+/// Counts are always collected; durations only when constructed with
+/// `RunMetrics::new(true)`. Aggregates across runs are formed with
+/// [`RunMetrics::merge`], which is applied in deterministic allocation-site
+/// order by the mode drivers — so a parallel verification produces exactly
+/// the metrics of a serial one (modulo wall-clock nanoseconds).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Per-phase invocation counts and durations.
+    pub phases: PhaseTimings,
+    /// Scalar counters.
+    pub counters: Counters,
+    /// Structures stored per CFG location at the end of the run (empty in
+    /// merged aggregates: location indices are not comparable across runs).
+    pub per_location: Vec<u32>,
+    timed: bool,
+}
+
+impl RunMetrics {
+    /// Creates an accumulator; `timed` enables wall-clock phase sampling.
+    pub fn new(timed: bool) -> RunMetrics {
+        RunMetrics {
+            timed,
+            ..RunMetrics::default()
+        }
+    }
+
+    /// An accumulator that counts but never reads the clock.
+    pub fn disabled() -> RunMetrics {
+        RunMetrics::default()
+    }
+
+    /// Whether wall-clock phase sampling is enabled.
+    pub fn timed(&self) -> bool {
+        self.timed
+    }
+
+    /// Runs `f` as one application of `phase`, sampling its duration when
+    /// timing is enabled.
+    #[inline]
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        if self.timed {
+            let t0 = Instant::now();
+            let r = f();
+            self.phases
+                .add(phase, 1, u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            r
+        } else {
+            self.phases.add(phase, 1, 0);
+            f()
+        }
+    }
+
+    /// Merges another run's metrics (phase sums, counter sums/maxima).
+    /// `per_location` is intentionally left untouched: location indices are
+    /// only meaningful within one run.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.phases.merge(&other.phases);
+        self.counters.merge(&other.counters);
+        self.timed |= other.timed;
+    }
+}
+
+/// A typed observability event.
+///
+/// Events are derived from merged per-run metrics *after* subproblems
+/// complete and are delivered in deterministic site order, so an event
+/// stream is a reproducible record of a verification, not a live wire
+/// format (wall-clock nanoseconds excepted).
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A subproblem (one engine run) begins. `site` is the allocation site
+    /// the run was restricted to, if any.
+    SubproblemStart {
+        /// Zero-based subproblem index, in deterministic site order.
+        index: usize,
+        /// Restricting allocation site (`None` for whole-program runs).
+        site: Option<usize>,
+    },
+    /// One phase's accumulated count/duration within a subproblem.
+    PhaseSample {
+        /// Subproblem index.
+        index: usize,
+        /// The phase.
+        phase: Phase,
+        /// Applications of the phase.
+        count: u64,
+        /// Accumulated nanoseconds (0 when timing was disabled).
+        nanos: u64,
+    },
+    /// One counter's value within a subproblem.
+    CounterSample {
+        /// Subproblem index.
+        index: usize,
+        /// The counter.
+        counter: Counter,
+        /// Its value.
+        value: u64,
+    },
+    /// Structures stored at one CFG location at the end of a subproblem.
+    LocationStructures {
+        /// Subproblem index.
+        index: usize,
+        /// CFG node index.
+        location: usize,
+        /// Structures stored there.
+        structures: usize,
+    },
+    /// The subproblem exhausted its own visit/structure budget.
+    BudgetExhausted {
+        /// Subproblem index.
+        index: usize,
+        /// Action applications performed before giving up.
+        visits: u64,
+    },
+    /// The subproblem was aborted by a sibling's cancellation flag.
+    Cancelled {
+        /// Subproblem index.
+        index: usize,
+        /// Action applications performed before aborting.
+        visits: u64,
+    },
+    /// A subproblem finished (its summary row).
+    SubproblemFinish {
+        /// Subproblem index.
+        index: usize,
+        /// Restricting allocation site (`None` for whole-program runs).
+        site: Option<usize>,
+        /// Action applications performed.
+        visits: u64,
+        /// Peak structures stored.
+        structures: usize,
+        /// Per-line errors reported.
+        errors: usize,
+        /// Whether the run reached a fixpoint within budget.
+        complete: bool,
+    },
+}
+
+/// A consumer of observability [`Event`]s.
+///
+/// The contract: `record` must not panic on any event (including variants
+/// added after `#[non_exhaustive]` growth), must tolerate events in any
+/// order, and must not assume it sees a complete stream (a disabled sink
+/// sees nothing). Implementations receive events after the verification's
+/// subproblems complete, in deterministic site order.
+pub trait EventSink {
+    /// Whether the producer should construct and deliver events at all.
+    /// `false` lets instrumented code skip event construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+}
+
+/// The disabled sink: reports `enabled() == false` and discards everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// A sink that aggregates events back into verification-wide totals.
+///
+/// Aggregation is order-independent (sums and maxima), so serial and
+/// parallel verifications that merge subproblems in site order produce
+/// byte-identical `MetricsSink` states whenever timing is disabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSink {
+    phases: PhaseTimings,
+    counters: Counters,
+    subproblems: usize,
+    finished: usize,
+    total_visits: u64,
+    total_errors: usize,
+    budget_exhausted: usize,
+    cancelled: usize,
+}
+
+impl MetricsSink {
+    /// Creates an empty aggregator.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// Aggregated per-phase counts/durations across all subproblems.
+    pub fn phases(&self) -> &PhaseTimings {
+        &self.phases
+    }
+
+    /// Aggregated counters across all subproblems.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Subproblems started.
+    pub fn subproblems(&self) -> usize {
+        self.subproblems
+    }
+
+    /// Subproblems finished.
+    pub fn finished(&self) -> usize {
+        self.finished
+    }
+
+    /// Total action applications across finished subproblems.
+    pub fn total_visits(&self) -> u64 {
+        self.total_visits
+    }
+
+    /// Total per-line errors across finished subproblems.
+    pub fn total_errors(&self) -> usize {
+        self.total_errors
+    }
+
+    /// Subproblems that exhausted their own budget.
+    pub fn budget_exhausted(&self) -> usize {
+        self.budget_exhausted
+    }
+
+    /// Subproblems aborted by a sibling's cancellation.
+    pub fn cancelled(&self) -> usize {
+        self.cancelled
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn record(&mut self, event: &Event) {
+        match event {
+            Event::SubproblemStart { .. } => self.subproblems += 1,
+            Event::PhaseSample {
+                phase, count, nanos, ..
+            } => self.phases.add(*phase, *count, *nanos),
+            Event::CounterSample { counter, value, .. } => {
+                if counter.merges_by_max() {
+                    self.counters.raise(*counter, *value);
+                } else {
+                    self.counters.add(*counter, *value);
+                }
+            }
+            Event::LocationStructures { .. } => {}
+            Event::BudgetExhausted { .. } => self.budget_exhausted += 1,
+            Event::Cancelled { .. } => self.cancelled += 1,
+            Event::SubproblemFinish { visits, errors, .. } => {
+                self.finished += 1;
+                self.total_visits += visits;
+                self.total_errors += errors;
+            }
+            // Forward compatibility: tolerate unknown events.
+            #[allow(unreachable_patterns)]
+            _ => {}
+        }
+    }
+}
+
+/// A sink that serializes every event as one NDJSON line.
+///
+/// The schema is covered by a golden-file test
+/// (`crates/tvl/tests/trace_schema.rs`); extend it additively — downstream
+/// tooling greps these lines. All emitted strings are fixed identifiers
+/// ([`Phase::label`], [`Counter::label`]), so no JSON escaping is needed.
+/// I/O errors are sticky: the first one stops further writes and is
+/// surfaced by [`TraceWriter::finish`].
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a writer (pass a `BufWriter` for file targets).
+    pub fn new(out: W) -> TraceWriter<W> {
+        TraceWriter { out, error: None }
+    }
+
+    /// Flushes and returns the underlying writer, surfacing the first I/O
+    /// error encountered while recording.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Renders one event as its NDJSON line (without the trailing newline).
+pub fn event_to_json(event: &Event) -> String {
+    fn opt(site: Option<usize>) -> String {
+        site.map_or_else(|| "null".to_owned(), |s| s.to_string())
+    }
+    match event {
+        Event::SubproblemStart { index, site } => format!(
+            "{{\"event\":\"subproblem_start\",\"subproblem\":{index},\"site\":{}}}",
+            opt(*site)
+        ),
+        Event::PhaseSample {
+            index,
+            phase,
+            count,
+            nanos,
+        } => format!(
+            "{{\"event\":\"phase\",\"subproblem\":{index},\"phase\":\"{}\",\
+             \"count\":{count},\"nanos\":{nanos}}}",
+            phase.label()
+        ),
+        Event::CounterSample {
+            index,
+            counter,
+            value,
+        } => format!(
+            "{{\"event\":\"counter\",\"subproblem\":{index},\"counter\":\"{}\",\
+             \"value\":{value}}}",
+            counter.label()
+        ),
+        Event::LocationStructures {
+            index,
+            location,
+            structures,
+        } => format!(
+            "{{\"event\":\"location_structures\",\"subproblem\":{index},\
+             \"location\":{location},\"structures\":{structures}}}"
+        ),
+        Event::BudgetExhausted { index, visits } => format!(
+            "{{\"event\":\"budget_exhausted\",\"subproblem\":{index},\"visits\":{visits}}}"
+        ),
+        Event::Cancelled { index, visits } => {
+            format!("{{\"event\":\"cancelled\",\"subproblem\":{index},\"visits\":{visits}}}")
+        }
+        Event::SubproblemFinish {
+            index,
+            site,
+            visits,
+            structures,
+            errors,
+            complete,
+        } => format!(
+            "{{\"event\":\"subproblem_finish\",\"subproblem\":{index},\"site\":{},\
+             \"visits\":{visits},\"structures\":{structures},\"errors\":{errors},\
+             \"complete\":{complete}}}",
+            opt(*site)
+        ),
+        // Forward compatibility: unknown events serialize to a marker line
+        // instead of breaking the stream.
+        #[allow(unreachable_patterns)]
+        _ => "{\"event\":\"unknown\"}".to_owned(),
+    }
+}
+
+impl<W: Write> EventSink for TraceWriter<W> {
+    fn record(&mut self, event: &Event) {
+        let mut line = event_to_json(event);
+        line.push('\n');
+        self.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_timings_add_and_merge() {
+        let mut a = PhaseTimings::default();
+        a.add(Phase::Focus, 3, 300);
+        a.add(Phase::Canon, 1, 50);
+        let mut b = PhaseTimings::default();
+        b.add(Phase::Focus, 2, 100);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Focus), PhaseStats { count: 5, nanos: 400 });
+        assert_eq!(a.get(Phase::Canon), PhaseStats { count: 1, nanos: 50 });
+        assert_eq!(a.get(Phase::Merge), PhaseStats::default());
+        assert!(!a.is_zero());
+        assert!(PhaseTimings::default().is_zero());
+    }
+
+    #[test]
+    fn counters_merge_sums_except_peaks() {
+        let mut a = Counters::default();
+        a.add(Counter::InternHits, 10);
+        a.raise(Counter::WorklistPeakDepth, 7);
+        let mut b = Counters::default();
+        b.add(Counter::InternHits, 5);
+        b.raise(Counter::WorklistPeakDepth, 3);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::InternHits), 15, "sums");
+        assert_eq!(a.get(Counter::WorklistPeakDepth), 7, "max, not sum");
+    }
+
+    #[test]
+    fn untimed_metrics_count_but_never_sample() {
+        let mut m = RunMetrics::disabled();
+        assert!(!m.timed());
+        let v = m.time(Phase::Update, || 42);
+        assert_eq!(v, 42);
+        assert_eq!(m.phases.get(Phase::Update), PhaseStats { count: 1, nanos: 0 });
+    }
+
+    #[test]
+    fn timed_metrics_sample_durations() {
+        let mut m = RunMetrics::new(true);
+        m.time(Phase::Focus, || std::thread::sleep(Duration::from_millis(2)));
+        let s = m.phases.get(Phase::Focus);
+        assert_eq!(s.count, 1);
+        assert!(s.nanos >= 1_000_000, "slept 2ms, sampled {}ns", s.nanos);
+    }
+
+    #[test]
+    fn run_metrics_merge_is_order_independent() {
+        let mk = |hits: u64, depth: u64, focus: u64| {
+            let mut m = RunMetrics::disabled();
+            m.counters.add(Counter::InternHits, hits);
+            m.counters.raise(Counter::WorklistPeakDepth, depth);
+            m.phases.add(Phase::Focus, focus, 0);
+            m
+        };
+        let (a, b, c) = (mk(1, 9, 2), mk(10, 4, 3), mk(100, 6, 5));
+        let mut left = RunMetrics::disabled();
+        for m in [&a, &b, &c] {
+            left.merge(m);
+        }
+        let mut right = RunMetrics::disabled();
+        for m in [&c, &a, &b] {
+            right.merge(m);
+        }
+        assert_eq!(left, right);
+        assert_eq!(left.counters.get(Counter::InternHits), 111);
+        assert_eq!(left.counters.get(Counter::WorklistPeakDepth), 9);
+        assert_eq!(left.phases.get(Phase::Focus).count, 10);
+    }
+
+    #[test]
+    fn metrics_sink_aggregates_events() {
+        let mut sink = MetricsSink::new();
+        assert!(sink.enabled());
+        for (ix, site) in [(0, Some(3)), (1, Some(5))] {
+            sink.record(&Event::SubproblemStart { index: ix, site });
+            sink.record(&Event::PhaseSample {
+                index: ix,
+                phase: Phase::Coerce,
+                count: 4,
+                nanos: 40,
+            });
+            sink.record(&Event::CounterSample {
+                index: ix,
+                counter: Counter::WorklistPeakDepth,
+                value: 10 + ix as u64,
+            });
+            sink.record(&Event::CounterSample {
+                index: ix,
+                counter: Counter::InternMisses,
+                value: 2,
+            });
+            sink.record(&Event::SubproblemFinish {
+                index: ix,
+                site,
+                visits: 100,
+                structures: 7,
+                errors: ix,
+                complete: true,
+            });
+        }
+        sink.record(&Event::BudgetExhausted { index: 1, visits: 100 });
+        assert_eq!(sink.subproblems(), 2);
+        assert_eq!(sink.finished(), 2);
+        assert_eq!(sink.total_visits(), 200);
+        assert_eq!(sink.total_errors(), 1);
+        assert_eq!(sink.budget_exhausted(), 1);
+        assert_eq!(sink.cancelled(), 0);
+        assert_eq!(sink.phases().get(Phase::Coerce), PhaseStats { count: 8, nanos: 80 });
+        assert_eq!(sink.counters().get(Counter::WorklistPeakDepth), 11, "peak is max");
+        assert_eq!(sink.counters().get(Counter::InternMisses), 4, "misses sum");
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record(&Event::SubproblemStart { index: 0, site: None });
+    }
+
+    #[test]
+    fn trace_writer_emits_one_line_per_event() {
+        let mut w = TraceWriter::new(Vec::new());
+        w.record(&Event::SubproblemStart { index: 0, site: None });
+        w.record(&Event::SubproblemFinish {
+            index: 0,
+            site: None,
+            visits: 12,
+            structures: 3,
+            errors: 0,
+            complete: true,
+        });
+        let bytes = w.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"subproblem_start\",\"subproblem\":0,\"site\":null}"
+        );
+        assert!(lines[1].starts_with("{\"event\":\"subproblem_finish\""));
+        assert!(lines[1].ends_with("\"complete\":true}"));
+    }
+
+    #[test]
+    fn labels_are_stable_identifiers() {
+        for p in Phase::ALL {
+            assert!(p.label().chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for c in Counter::ALL {
+            assert!(c
+                .label()
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '_'));
+        }
+    }
+}

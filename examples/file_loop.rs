@@ -8,7 +8,7 @@
 //! cargo run -p hetsep --example file_loop
 //! ```
 
-use hetsep::core::{verify, EngineConfig, Mode};
+use hetsep::core::{Mode, Verifier};
 
 const FIG3: &str = r#"
 program Fig3 uses IOStreams;
@@ -43,12 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Separation-based verification with a per-file strategy.
     let strategy = hetsep::strategy::parse_strategy(hetsep::strategy::builtin::FILE_SINGLE)?;
-    let report = verify(
-        &program,
-        &spec,
-        &Mode::simultaneous(strategy),
-        &EngineConfig::default(),
-    )?;
+    let report = Verifier::new(&program, &spec)
+        .mode(Mode::simultaneous(strategy))
+        .run()?;
     println!("\nseparation engine (choose some f : File()):");
     if report.verified() {
         println!("  verified — strong updates on the materialized chosen file");

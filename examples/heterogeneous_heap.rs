@@ -10,6 +10,7 @@
 use hetsep::core::concrete::states_at_line;
 use hetsep::core::engine::EngineConfig;
 use hetsep::core::translate::{translate, TranslateOptions};
+use hetsep::core::{MetricsSink, Mode, Phase, Verifier};
 use hetsep::strategy::parse_strategy;
 use hetsep::tvl::canon::{blur, canonical_key};
 use hetsep::tvl::display::to_text;
@@ -77,5 +78,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "note: individuals of con1's component carry no chosen/relevant marks\n\
          and collapse into per-type summaries (the paper's `…=1/2` blob)."
     );
+
+    // Where does the engine spend its effort verifying this heap? Run the
+    // per-connection separation mode with a metrics sink and per-phase
+    // wall-clock sampling (observation-only: results are unchanged).
+    let mut sink = MetricsSink::new();
+    let report = Verifier::new(&program, &spec)
+        .mode(Mode::separation(strategy))
+        .phase_timings(true)
+        .sink(&mut sink)
+        .run()?;
+    println!(
+        "\n== engine effort (per-connection separation, {} subproblem(s)) ==\n",
+        report.subproblems.len()
+    );
+    for phase in Phase::ALL {
+        let s = sink.phases().get(phase);
+        println!(
+            "  {:<7} {:>7} applications  {:>8.3} ms",
+            phase.label(),
+            s.count,
+            s.nanos as f64 / 1e6
+        );
+    }
     Ok(())
 }

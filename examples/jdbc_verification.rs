@@ -6,7 +6,7 @@
 //! cargo run -p hetsep --example jdbc_verification
 //! ```
 
-use hetsep::core::{verify, EngineConfig, Mode};
+use hetsep::core::{EngineConfig, Mode, Verifier};
 use hetsep::strategy::builtin as strategies;
 
 const FIG1: &str = r#"
@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?),
         ),
     ] {
-        let report = verify(&program, &spec, &mode, &config)?;
+        let report = Verifier::new(&program, &spec)
+            .mode(mode)
+            .config(config.clone())
+            .run()?;
         println!("{label}:");
         if report.errors.is_empty() {
             println!("  verified (no errors)");

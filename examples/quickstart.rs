@@ -5,7 +5,7 @@
 //! cargo run -p hetsep --example quickstart
 //! ```
 
-use hetsep::core::{verify, EngineConfig, Mode};
+use hetsep::core::{MetricsSink, Mode, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small client of the IO-streams library: the second read happens
@@ -36,8 +36,9 @@ void main() {
         stream.methods.len()
     );
 
-    // Verify without separation first.
-    let report = verify(&program, &spec, &Mode::Vanilla, &EngineConfig::default())?;
+    // Verify without separation first. The `Verifier` builder is the front
+    // door; `Mode::Vanilla` and the default config are its defaults.
+    let report = Verifier::new(&program, &spec).run()?;
     println!("\nvanilla verification:");
     for e in &report.errors {
         println!("  {e}");
@@ -47,16 +48,16 @@ void main() {
         report.max_space, report.total_wall
     );
 
-    // And with a per-stream separation strategy.
+    // And with a per-stream separation strategy, watching the engine
+    // through a metrics sink.
     let strategy =
         hetsep::strategy::parse_strategy(hetsep::strategy::builtin::IOSTREAM_SINGLE)?;
     println!("\nstrategy:\n{}", hetsep::strategy::builtin::IOSTREAM_SINGLE.trim());
-    let report = verify(
-        &program,
-        &spec,
-        &Mode::separation(strategy),
-        &EngineConfig::default(),
-    )?;
+    let mut sink = MetricsSink::new();
+    let report = Verifier::new(&program, &spec)
+        .mode(Mode::separation(strategy))
+        .sink(&mut sink)
+        .run()?;
     println!("separation verification ({} subproblems):", report.subproblems.len());
     for e in &report.errors {
         println!("  {e}");
@@ -65,6 +66,12 @@ void main() {
         "  peak structures per subproblem {}, avg visits per subproblem {:.0}",
         report.max_space,
         report.avg_visits_per_subproblem()
+    );
+    println!(
+        "  observed via sink: {} subproblems, {} visits, {} focus applications",
+        sink.subproblems(),
+        sink.total_visits(),
+        sink.phases().get(hetsep::core::Phase::Focus).count
     );
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! cargo run -p hetsep --example strategies --release
 //! ```
 
-use hetsep::core::{verify, EngineConfig, Mode};
+use hetsep::core::{EngineConfig, Mode, Verifier};
 use hetsep::strategy::{covered_classes, parse_strategy, theorem1_applies};
 use hetsep::suite::generators::{jdbc_client, JdbcWorkload};
 
@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             Mode::separation(strategy)
         };
-        let report = verify(&program, &spec, &mode, &config)?;
+        let report = Verifier::new(&program, &spec)
+            .mode(mode)
+            .config(config.clone())
+            .run()?;
         println!(
             "    result: {} error(s), {} subproblem(s), space {}, {} visits (avg {:.0}/subproblem)\n",
             report.errors.len(),
@@ -68,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Vanilla for comparison.
-    let report = verify(&program, &spec, &Mode::Vanilla, &config)?;
+    let report = Verifier::new(&program, &spec).config(config).run()?;
     println!(
         "== vanilla (no separation) ==\n    result: {} error(s), space {}, {} visits",
         report.errors.len(),

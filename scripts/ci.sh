@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and lint-clean clippy.
+# Tier-1 gate: release build, full test suite, lint-clean clippy,
+# warning-free rustdoc, and a smoke run of the quickstart example.
 # Run from the repository root. Works fully offline (no registry access).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,3 +8,5 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+cargo run -q -p hetsep --example quickstart --release > /dev/null
