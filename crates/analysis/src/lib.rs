@@ -1,0 +1,133 @@
+//! # hetsep-analysis
+//!
+//! The static pre-verification layer: a generic monotone [`dataflow`]
+//! framework over the IR CFG, and lint passes that vet the three inputs of
+//! a verification run *before* the expensive TVLA fixpoint starts:
+//!
+//! * [`lint_program`] — `W101` unreachable code, `W102` dead assignment,
+//!   `W103` definitely-null receiver, `W104` unused variable;
+//! * [`lint_strategy`] — `W111` checked class not covered (per
+//!   `strategy::coverage` / Theorem 1), `W112` unreachable `on failure`
+//!   stage, `W113` duplicate choice;
+//! * [`lint_spec`] — `W121` field never referenced, `W122` `requires`
+//!   clause the program can never trigger.
+//!
+//! All passes report through the unified [`Diagnostic`] type (re-exported
+//! from `hetsep-ir`, the bottom of the crate DAG, so the front-end semantic
+//! checker shares it): a stable `E0xx`/`W1xx` code, severity, message,
+//! line/column span, and optional note, with a human renderer and an NDJSON
+//! emitter mirroring the telemetry trace format.
+//!
+//! # Example
+//!
+//! ```
+//! use hetsep_analysis::{lint_program, Severity};
+//!
+//! let src = "program P uses IOStreams; void main() {\n\
+//!            InputStream f = null;\n\
+//!            f.read();\n\
+//!            }";
+//! let program = hetsep_ir::parse_program(src).unwrap();
+//! let cfg = hetsep_ir::Cfg::build(&program, "main").unwrap();
+//! let diags = lint_program(&program, &cfg);
+//! assert!(diags.iter().any(|d| d.code == "W103"));
+//! assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+//! ```
+
+pub mod dataflow;
+pub mod program_lints;
+pub mod spec_lints;
+pub mod strategy_lints;
+
+pub use dataflow::{solve, DataflowProblem, Direction, Solution};
+pub use hetsep_ir::diag::{sort_diagnostics, Diagnostic, Severity};
+pub use program_lints::lint_program;
+pub use spec_lints::lint_spec;
+pub use strategy_lints::lint_strategy;
+
+use hetsep_easl::Spec;
+use hetsep_ir::{Cfg, Program};
+use hetsep_strategy::Strategy;
+
+/// Convenience driver: semantic checks (`E0xx`) plus every lint family that
+/// applies to the supplied inputs, sorted for presentation and with columns
+/// resolved against `source` when given.
+///
+/// When the semantic checker rejects the program (or the CFG cannot be
+/// built), flow-sensitive lints are skipped — their results would be
+/// meaningless — and only the errors are returned.
+pub fn lint_all(
+    program: &Program,
+    source: Option<&str>,
+    spec: Option<&Spec>,
+    strategy: Option<&Strategy>,
+) -> Vec<Diagnostic> {
+    let mut diags = hetsep_ir::check::check_diagnostics(program);
+    if diags.is_empty() {
+        match Cfg::build(program, "main") {
+            Ok(cfg) => {
+                diags.extend(lint_program(program, &cfg));
+                if let Some(spec) = spec {
+                    diags.extend(lint_spec(spec, &cfg));
+                }
+                if let (Some(strategy), Some(spec)) = (strategy, spec) {
+                    diags.extend(lint_strategy(strategy, &cfg, spec));
+                }
+            }
+            Err(e) => {
+                diags.push(Diagnostic::error("E013", e.message, e.line));
+            }
+        }
+    }
+    if let Some(src) = source {
+        for d in &mut diags {
+            d.locate(src);
+        }
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_all_reports_semantic_errors_first_and_skips_flow_lints() {
+        let src = "program P uses X; void main() { a = null; }";
+        let p = hetsep_ir::parse_program(src).unwrap();
+        let d = lint_all(&p, Some(src), None, None);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "E007");
+        assert!(d[0].col > 0, "columns resolved: {d:?}");
+    }
+
+    #[test]
+    fn lint_all_combines_families() {
+        let src = "program P uses JDBC; void main() {\n\
+                   ConnectionManager cm = new ConnectionManager();\n\
+                   Connection con = cm.getConnection();\n\
+                   Connection unused = null;\n\
+                   Statement st = cm.createStatement(con);\n\
+                   ResultSet rs = st.executeQuery(\"q\");\n\
+                   while (rs.next()) {\n\
+                   }\n}";
+        let p = hetsep_ir::parse_program(src).unwrap();
+        let spec = hetsep_easl::builtin::jdbc();
+        let strategy =
+            hetsep_strategy::parse_strategy("strategy S { choose some c : Connection(); }")
+                .unwrap();
+        let d = lint_all(&p, Some(src), Some(&spec), Some(&strategy));
+        assert!(d.iter().any(|x| x.code == "W104"), "{d:?}"); // unused var
+        assert!(d.iter().any(|x| x.code == "W111"), "{d:?}"); // uncovered classes
+        assert!(d.iter().all(|x| x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn lint_all_reports_cfg_errors_as_e013() {
+        let src = "program P uses X; void loop() { loop(); } void main() { loop(); }";
+        let p = hetsep_ir::parse_program(src).unwrap();
+        let d = lint_all(&p, Some(src), None, None);
+        assert!(d.iter().any(|x| x.code == "E013"), "{d:?}");
+    }
+}

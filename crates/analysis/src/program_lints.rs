@@ -1,0 +1,707 @@
+//! Program lints (`W101`–`W104`).
+//!
+//! | code | lint |
+//! |------|------|
+//! | W101 | unreachable code (statements after `return`, unreachable CFG nodes) |
+//! | W102 | dead assignment (value written by an `=` statement is never read) |
+//! | W103 | use of a definitely-null receiver |
+//! | W104 | variable never used |
+//!
+//! W102 and W103 are instances of the generic dataflow framework (a
+//! backward liveness analysis and a forward nullness analysis); W101 and
+//! W104 combine AST walks with CFG reachability. All four are tuned to be
+//! quiet on idiomatic benchmark code:
+//!
+//! * W102 only fires on assignment *statements* (`x = e;`), never on the
+//!   moves the CFG lowering introduces (declarations, parameter binding,
+//!   return-value plumbing), and only when every inlined copy of the
+//!   statement is dead.
+//! * W104 exempts variables whose every write is a constructor or library
+//!   call — `Element e = it.next();` evaluates `next()` for its effect and
+//!   checks; binding the ignored result is idiomatic.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use hetsep_ir::ast::{Arg, Block, Cond, Expr, Place, Program, Stmt};
+use hetsep_ir::cfg::{Cfg, CfgEdge, CfgOp};
+use hetsep_ir::diag::Diagnostic;
+
+use crate::dataflow::{solve, DataflowProblem, Direction};
+
+/// Runs all program lints. `cfg` must be built from `program` at `main`.
+pub fn lint_program(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    unreachable_code(program, cfg, &mut diags);
+    dead_assignments(program, cfg, &mut diags);
+    null_receivers(cfg, &mut diags);
+    unused_variables(program, &mut diags);
+    hetsep_ir::diag::sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Strips the `proc@N::` inline-frame prefix from a CFG variable name.
+fn display_name(var: &str) -> &str {
+    var.rsplit("::").next().unwrap_or(var)
+}
+
+// ---------------------------------------------------------------- W101 ----
+
+fn unreachable_code(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let mut lines: BTreeSet<u32> = BTreeSet::new();
+
+    // AST side: statements after a definitely-returning statement never
+    // reach the CFG (the lowering drops them), so find them syntactically.
+    for m in &program.methods {
+        block_tail_unreachable(&m.body, &mut lines);
+    }
+
+    // CFG side: nodes unreachable from the entry whose outgoing edges carry
+    // real operations (e.g. code after an `if` whose branches both return).
+    let mut reachable = vec![false; cfg.node_count()];
+    let mut stack = vec![cfg.entry()];
+    reachable[cfg.entry()] = true;
+    while let Some(node) = stack.pop() {
+        for &eix in cfg.out_edges(node) {
+            let to = cfg.edges()[eix].to;
+            if !reachable[to] {
+                reachable[to] = true;
+                stack.push(to);
+            }
+        }
+    }
+    for edge in cfg.edges() {
+        if !reachable[edge.from] && !matches!(edge.op, CfgOp::Nop) && edge.line > 0 {
+            lines.insert(edge.line);
+        }
+    }
+
+    for line in lines {
+        diags.push(
+            Diagnostic::warning("W101", "unreachable code", line)
+                .with_note("no execution path reaches this statement"),
+        );
+    }
+}
+
+/// Whether the block definitely returns on every path, recording the lines
+/// of statements that follow a definitely-returning statement.
+fn block_tail_unreachable(block: &Block, lines: &mut BTreeSet<u32>) -> bool {
+    let mut returned = false;
+    for stmt in &block.stmts {
+        if returned {
+            lines.insert(stmt.line());
+            continue;
+        }
+        returned = match stmt {
+            Stmt::Return { .. } => true,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let t = block_tail_unreachable(then_branch, lines);
+                let e = block_tail_unreachable(else_branch, lines);
+                t && e && !else_branch.stmts.is_empty()
+            }
+            Stmt::While { body, .. } => {
+                // The loop may run zero times; its body never makes the
+                // tail unreachable, but lint inside it.
+                block_tail_unreachable(body, lines);
+                false
+            }
+            _ => false,
+        };
+    }
+    returned
+}
+
+// ---------------------------------------------------------------- W102 ----
+
+/// Classic backward variable liveness over CFG edges.
+struct Liveness;
+
+impl DataflowProblem for Liveness {
+    type Fact = BTreeSet<String>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn transfer(&self, edge: &CfgEdge, fact: &Self::Fact) -> Self::Fact {
+        let mut out = fact.clone();
+        if let Some(def) = def_of(&edge.op) {
+            out.remove(def);
+        }
+        for u in uses_of(&edge.op) {
+            out.insert(u);
+        }
+        out
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let before = into.len();
+        into.extend(from.iter().cloned());
+        into.len() != before
+    }
+}
+
+/// The variable an operation writes, if any.
+fn def_of(op: &CfgOp) -> Option<&str> {
+    match op {
+        CfgOp::AssignNull { dst }
+        | CfgOp::AssignVar { dst, .. }
+        | CfgOp::LoadField { dst, .. }
+        | CfgOp::LoadBoolField { dst, .. }
+        | CfgOp::AssignBool { dst, .. } => Some(dst),
+        CfgOp::New { dst: Some(dst), .. } => Some(dst),
+        CfgOp::CallLib {
+            result: Some(dst), ..
+        } => Some(dst),
+        _ => None,
+    }
+}
+
+/// The variables an operation reads.
+fn uses_of(op: &CfgOp) -> Vec<String> {
+    use hetsep_ir::cfg::BoolRhs;
+    fn args_of(args: &[Arg], uses: &mut Vec<String>) {
+        for a in args {
+            if let Arg::Var(v) = a {
+                uses.push(v.clone());
+            }
+        }
+    }
+    let mut uses = Vec::new();
+    match op {
+        CfgOp::Nop | CfgOp::AssignNull { .. } => {}
+        CfgOp::AssignVar { src, .. }
+        | CfgOp::LoadField { src, .. }
+        | CfgOp::LoadBoolField { src, .. } => uses.push(src.clone()),
+        CfgOp::StoreField { dst, src, .. } => {
+            uses.push(dst.clone());
+            if let Some(s) = src {
+                uses.push(s.clone());
+            }
+        }
+        CfgOp::StoreBoolField { dst, value, .. } => {
+            uses.push(dst.clone());
+            if let BoolRhs::Var(v) = value {
+                uses.push(v.clone());
+            }
+        }
+        CfgOp::New { args, .. } => args_of(args, &mut uses),
+        CfgOp::CallLib { recv, args, .. } => {
+            uses.push(recv.clone());
+            args_of(args, &mut uses);
+        }
+        CfgOp::AssignBool { value, .. } => {
+            if let BoolRhs::Var(v) = value {
+                uses.push(v.clone());
+            }
+        }
+        CfgOp::Assume { cond, .. } => match cond {
+            Cond::Nondet => {}
+            Cond::RefEq { lhs, rhs, .. } => {
+                uses.push(lhs.clone());
+                uses.push(rhs.clone());
+            }
+            Cond::NullCheck { var, .. } | Cond::BoolVar { var, .. } => uses.push(var.clone()),
+            Cond::CallBool { recv, args, .. } => {
+                uses.push(recv.clone());
+                args_of(args, &mut uses);
+            }
+        },
+    }
+    uses
+}
+
+fn dead_assignments(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    // Only `x = e;` assignment statements are candidates; everything else
+    // the lowering emits (declarations, parameter binding, return plumbing)
+    // is compiler-introduced and not the user's to fix.
+    let mut candidates: BTreeSet<(u32, String)> = BTreeSet::new();
+    for m in &program.methods {
+        collect_assign_targets(&m.body, &mut candidates);
+    }
+    if candidates.is_empty() {
+        return;
+    }
+
+    let live = solve(cfg, &Liveness);
+    // line/name → every matching edge must be a dead pure move. A statement
+    // inlined several times only fires when dead in every copy.
+    let mut verdict: BTreeMap<(u32, String), bool> = BTreeMap::new();
+    for edge in cfg.edges() {
+        let Some(def) = def_of(&edge.op) else { continue };
+        let pure = matches!(
+            edge.op,
+            CfgOp::AssignNull { .. }
+                | CfgOp::AssignVar { .. }
+                | CfgOp::AssignBool { .. }
+                | CfgOp::LoadField { .. }
+                | CfgOp::LoadBoolField { .. }
+        );
+        let key = (edge.line, display_name(def).to_owned());
+        if !candidates.contains(&key) {
+            continue;
+        }
+        let dead = pure
+            && live
+                .at(edge.to)
+                .map(|fact| !fact.contains(def))
+                .unwrap_or(false);
+        *verdict.entry(key).or_insert(true) &= dead;
+    }
+    for ((line, name), dead) in verdict {
+        if dead {
+            diags.push(
+                Diagnostic::warning(
+                    "W102",
+                    format!("value assigned to `{name}` is never read"),
+                    line,
+                )
+                .with_snippet(name)
+                .with_note("the assignment can be removed"),
+            );
+        }
+    }
+}
+
+fn collect_assign_targets(block: &Block, out: &mut BTreeSet<(u32, String)>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Assign {
+                target: Place::Var(v),
+                line,
+                ..
+            } => {
+                out.insert((*line, v.clone()));
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_assign_targets(then_branch, out);
+                collect_assign_targets(else_branch, out);
+            }
+            Stmt::While { body, .. } => collect_assign_targets(body, out),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------- W103 ----
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Nullness {
+    Null,
+    NonNull,
+    Top,
+}
+
+impl Nullness {
+    fn join(self, other: Nullness) -> Nullness {
+        if self == other {
+            self
+        } else {
+            Nullness::Top
+        }
+    }
+}
+
+/// Forward nullness with `Assume` refinement on null checks.
+struct NullnessAnalysis;
+
+impl DataflowProblem for NullnessAnalysis {
+    type Fact = BTreeMap<String, Nullness>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn transfer(&self, edge: &CfgEdge, fact: &Self::Fact) -> Self::Fact {
+        let mut out = fact.clone();
+        match &edge.op {
+            CfgOp::AssignNull { dst } => {
+                out.insert(dst.clone(), Nullness::Null);
+            }
+            CfgOp::AssignVar { dst, src } => {
+                let v = fact.get(src).copied().unwrap_or(Nullness::Top);
+                out.insert(dst.clone(), v);
+            }
+            CfgOp::New { dst: Some(dst), .. } => {
+                out.insert(dst.clone(), Nullness::NonNull);
+            }
+            CfgOp::LoadField { dst, .. } => {
+                out.insert(dst.clone(), Nullness::Top);
+            }
+            CfgOp::CallLib {
+                result: Some(dst), ..
+            } => {
+                out.insert(dst.clone(), Nullness::Top);
+            }
+            CfgOp::Assume {
+                cond: Cond::NullCheck { var, negated },
+                polarity,
+            } => {
+                let is_null = if *negated { !*polarity } else { *polarity };
+                out.insert(
+                    var.clone(),
+                    if is_null {
+                        Nullness::Null
+                    } else {
+                        Nullness::NonNull
+                    },
+                );
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let mut changed = false;
+        for (k, v) in from {
+            match into.get(k) {
+                // Absent = not assigned on the other path yet (bottom).
+                None => {
+                    into.insert(k.clone(), *v);
+                    changed = true;
+                }
+                Some(old) => {
+                    let merged = old.join(*v);
+                    if merged != *old {
+                        into.insert(k.clone(), merged);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+fn null_receivers(cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let sol = solve(cfg, &NullnessAnalysis);
+    let mut seen: BTreeSet<(u32, String, String)> = BTreeSet::new();
+    for edge in cfg.edges() {
+        let Some(fact) = sol.at(edge.from) else {
+            continue;
+        };
+        let (base, action): (&str, String) = match &edge.op {
+            CfgOp::CallLib { recv, method, .. } => (recv, format!("call to `{method}`")),
+            CfgOp::LoadField { src, field, .. } | CfgOp::LoadBoolField { src, field, .. } => {
+                (src, format!("read of field `{field}`"))
+            }
+            CfgOp::StoreField { dst, field, .. } | CfgOp::StoreBoolField { dst, field, .. } => {
+                (dst, format!("write to field `{field}`"))
+            }
+            _ => continue,
+        };
+        if fact.get(base) == Some(&Nullness::Null) {
+            let name = display_name(base).to_owned();
+            if seen.insert((edge.line, name.clone(), action.clone())) {
+                diags.push(
+                    Diagnostic::warning(
+                        "W103",
+                        format!("{action} on `{name}`, which is definitely null here"),
+                        edge.line,
+                    )
+                    .with_snippet(name)
+                    .with_note("this operation always fails at run time"),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- W104 ----
+
+#[derive(Default)]
+struct UseCollector {
+    reads: HashSet<String>,
+    effectful_writes: HashSet<String>,
+}
+
+fn unused_variables(program: &Program, diags: &mut Vec<Diagnostic>) {
+    for m in &program.methods {
+        let mut decls: Vec<(String, u32, bool)> = Vec::new(); // name, line, effectful init
+        let mut uses = UseCollector::default();
+        collect_uses(&m.body, &mut decls, &mut uses);
+        for (name, line, effectful) in decls {
+            if uses.reads.contains(&name)
+                || uses.effectful_writes.contains(&name)
+                || effectful
+            {
+                continue;
+            }
+            diags.push(
+                Diagnostic::warning("W104", format!("variable `{name}` is never used"), line)
+                    .with_snippet(name),
+            );
+        }
+    }
+}
+
+fn collect_uses(block: &Block, decls: &mut Vec<(String, u32, bool)>, uses: &mut UseCollector) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::VarDecl { name, init, line, .. } => {
+                let effectful = matches!(init, Some(Expr::New { .. } | Expr::Call { .. }));
+                decls.push((name.clone(), *line, effectful));
+                if let Some(e) = init {
+                    expr_reads(e, uses);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                expr_reads(value, uses);
+                match target {
+                    Place::Var(v) => {
+                        if matches!(value, Expr::New { .. } | Expr::Call { .. }) {
+                            uses.effectful_writes.insert(v.clone());
+                        }
+                    }
+                    Place::Field(v, _) => {
+                        uses.reads.insert(v.clone());
+                    }
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => expr_reads(expr, uses),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                cond_reads(cond, uses);
+                collect_uses(then_branch, decls, uses);
+                collect_uses(else_branch, decls, uses);
+            }
+            Stmt::While { cond, body, .. } => {
+                cond_reads(cond, uses);
+                collect_uses(body, decls, uses);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    uses.reads.insert(v.clone());
+                }
+            }
+        }
+    }
+}
+
+fn expr_reads(expr: &Expr, uses: &mut UseCollector) {
+    match expr {
+        Expr::Null | Expr::True | Expr::False | Expr::Nondet => {}
+        Expr::Var(v) => {
+            uses.reads.insert(v.clone());
+        }
+        Expr::FieldAccess(v, _) => {
+            uses.reads.insert(v.clone());
+        }
+        Expr::New { args, .. } => args_read(args, uses),
+        Expr::Call { recv, args, .. } => {
+            if let Some(r) = recv {
+                uses.reads.insert(r.clone());
+            }
+            args_read(args, uses);
+        }
+    }
+}
+
+fn cond_reads(cond: &Cond, uses: &mut UseCollector) {
+    match cond {
+        Cond::Nondet => {}
+        Cond::RefEq { lhs, rhs, .. } => {
+            uses.reads.insert(lhs.clone());
+            uses.reads.insert(rhs.clone());
+        }
+        Cond::NullCheck { var, .. } | Cond::BoolVar { var, .. } => {
+            uses.reads.insert(var.clone());
+        }
+        Cond::CallBool { recv, args, .. } => {
+            uses.reads.insert(recv.clone());
+            args_read(args, uses);
+        }
+    }
+}
+
+fn args_read(args: &[Arg], uses: &mut UseCollector) {
+    for a in args {
+        if let Arg::Var(v) = a {
+            uses.reads.insert(v.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsep_ir::parse_program;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let p = parse_program(src).unwrap();
+        let cfg = Cfg::build(&p, "main").unwrap();
+        lint_program(&p, &cfg)
+    }
+
+    fn codes_at(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+        diags.iter().map(|d| (d.code, d.line)).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w101_statement_after_return() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             return;\n\
+             f.read();\n}",
+        );
+        assert!(codes_at(&d).contains(&("W101", 4)), "{d:?}");
+    }
+
+    #[test]
+    fn w101_after_if_where_both_branches_return() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             if (?) { return; } else { return; }\n\
+             f.read();\n}",
+        );
+        assert!(codes_at(&d).contains(&("W101", 4)), "{d:?}");
+    }
+
+    #[test]
+    fn w102_dead_assignment() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             InputStream g = new InputStream();\n\
+             f = g;\n\
+             f = g;\n\
+             f.read();\n}",
+        );
+        // Line 4's store is overwritten by line 5 before any read.
+        assert!(codes_at(&d).contains(&("W102", 4)), "{d:?}");
+        assert!(!codes_at(&d).contains(&("W102", 5)), "{d:?}");
+    }
+
+    #[test]
+    fn w102_quiet_on_loop_carried_assignment() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             InputStream g = new InputStream();\n\
+             while (?) {\n\
+             f.read();\n\
+             f = g;\n\
+             }\n}",
+        );
+        assert!(
+            !codes_at(&d).iter().any(|(c, _)| *c == "W102"),
+            "loop-carried store is live: {d:?}"
+        );
+    }
+
+    #[test]
+    fn w103_definitely_null_receiver() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = null;\n\
+             f.read();\n}",
+        );
+        assert!(codes_at(&d).contains(&("W103", 3)), "{d:?}");
+    }
+
+    #[test]
+    fn w103_respects_null_check_refinement() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = null;\n\
+             if (?) { f = new InputStream(); }\n\
+             if (f != null) { f.read(); }\n}",
+        );
+        assert!(
+            !codes_at(&d).iter().any(|(c, _)| *c == "W103"),
+            "guarded use: {d:?}"
+        );
+    }
+
+    #[test]
+    fn w103_quiet_on_maybe_null() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = null;\n\
+             if (?) { f = new InputStream(); }\n\
+             f.read();\n}",
+        );
+        assert!(
+            !codes_at(&d).iter().any(|(c, _)| *c == "W103"),
+            "maybe-null is not definitely-null: {d:?}"
+        );
+    }
+
+    #[test]
+    fn w104_unused_variable() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = null;\n\
+             InputStream g = new InputStream();\n\
+             g.read();\n}",
+        );
+        let w104: Vec<_> = d.iter().filter(|x| x.code == "W104").collect();
+        assert_eq!(w104.len(), 1, "{d:?}");
+        assert_eq!(w104[0].line, 2);
+        assert!(w104[0].message.contains("`f`"));
+    }
+
+    #[test]
+    fn w104_exempts_call_result_binding() {
+        let d = lint(
+            "program P uses CMP; void main() {\n\
+             Collection c = new Collection();\n\
+             Iterator it = c.iterator();\n\
+             while (it.hasNext()) {\n\
+             Element e = it.next();\n\
+             }\n}",
+        );
+        assert!(
+            !codes_at(&d).iter().any(|(c, _)| *c == "W104"),
+            "`e` binds an effectful call result: {d:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_are_position_sorted() {
+        let d = lint(
+            "program P uses IOStreams; void main() {\n\
+             InputStream u = null;\n\
+             InputStream f = null;\n\
+             f.read();\n}",
+        );
+        let lines: Vec<u32> = d.iter().map(|x| x.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "{d:?}");
+    }
+}

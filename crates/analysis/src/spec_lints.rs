@@ -1,0 +1,334 @@
+//! Spec lints (`W121`–`W122`).
+//!
+//! | code | lint |
+//! |------|------|
+//! | W121 | a declared field is never referenced by any method body |
+//! | W122 | a `requires` clause no program statement can trigger |
+//!
+//! Both lints relate a specification to the program under verification, so
+//! they only run when the user supplies a spec explicitly (`hetsep lint
+//! --spec`); the built-in specifications are treated as a trusted standard
+//! library and deliberately model more methods than any one benchmark
+//! calls. Easl sources carry no line information, so diagnostics use line 0
+//! and name the class/field/method in the message.
+
+use std::collections::BTreeSet;
+
+use hetsep_easl::ast::{EaslCond, EaslStmt, Path, ReturnValue, Spec};
+use hetsep_ir::cfg::{Cfg, CfgOp};
+use hetsep_ir::diag::Diagnostic;
+
+/// Runs all spec lints against the program's CFG.
+pub fn lint_spec(spec: &Spec, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    unreferenced_fields(spec, &mut diags);
+    untriggerable_requires(spec, cfg, &mut diags);
+    diags
+}
+
+// ---------------------------------------------------------------- W121 ----
+
+fn unreferenced_fields(spec: &Spec, diags: &mut Vec<Diagnostic>) {
+    // Field names referenced anywhere in the spec (path segments included).
+    // Name-level matching deliberately conflates same-named fields across
+    // classes: a false negative is preferable to a false alarm here.
+    let mut referenced: BTreeSet<&str> = BTreeSet::new();
+    for class in &spec.classes {
+        for method in std::iter::once(&class.ctor).chain(&class.methods) {
+            collect_field_refs(&method.body, &mut referenced);
+        }
+    }
+    for class in &spec.classes {
+        for (field, _) in &class.fields {
+            if !referenced.contains(field.as_str()) {
+                diags.push(
+                    Diagnostic::warning(
+                        "W121",
+                        format!(
+                            "field `{field}` of class `{}` is declared but never referenced",
+                            class.name
+                        ),
+                        0,
+                    )
+                    .with_note("no method reads, writes, or iterates this field"),
+                );
+            }
+        }
+    }
+}
+
+fn path_refs<'a>(path: &'a Path, out: &mut BTreeSet<&'a str>) {
+    for f in &path.fields {
+        out.insert(f);
+    }
+}
+
+fn cond_refs<'a>(cond: &'a EaslCond, out: &mut BTreeSet<&'a str>) {
+    match cond {
+        EaslCond::Read(p) | EaslCond::IsNull(p) | EaslCond::NotNull(p) => path_refs(p, out),
+        EaslCond::Not(inner) => cond_refs(inner, out),
+        EaslCond::And(a, b) => {
+            cond_refs(a, out);
+            cond_refs(b, out);
+        }
+    }
+}
+
+fn collect_field_refs<'a>(body: &'a [EaslStmt], out: &mut BTreeSet<&'a str>) {
+    use hetsep_easl::ast::{BoolRhs, RefRhs};
+    for stmt in body {
+        match stmt {
+            EaslStmt::Requires(cond) => cond_refs(cond, out),
+            EaslStmt::AssignBool { target, field, value } => {
+                path_refs(target, out);
+                out.insert(field);
+                if let BoolRhs::Read(p) = value {
+                    path_refs(p, out);
+                }
+            }
+            EaslStmt::AssignRef { target, field, value } => {
+                path_refs(target, out);
+                out.insert(field);
+                if let RefRhs::Path(p) = value {
+                    path_refs(p, out);
+                }
+            }
+            EaslStmt::SetClear { target, field } => {
+                path_refs(target, out);
+                out.insert(field);
+            }
+            EaslStmt::SetAdd { target, field, elem } => {
+                path_refs(target, out);
+                out.insert(field);
+                path_refs(elem, out);
+            }
+            EaslStmt::Alloc { args, .. } => {
+                for a in args {
+                    path_refs(a, out);
+                }
+            }
+            EaslStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                cond_refs(cond, out);
+                collect_field_refs(then_branch, out);
+                collect_field_refs(else_branch, out);
+            }
+            EaslStmt::Foreach {
+                target,
+                field,
+                body,
+                ..
+            } => {
+                path_refs(target, out);
+                out.insert(field);
+                collect_field_refs(body, out);
+            }
+            EaslStmt::Return(Some(ReturnValue::Path(p))) => path_refs(p, out),
+            EaslStmt::Return(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------- W122 ----
+
+fn untriggerable_requires(spec: &Spec, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    // (class, method) pairs the program can trigger: direct library calls,
+    // direct `new`, and constructors run by allocations inside triggered
+    // methods (transitively).
+    let mut triggered: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut worklist: Vec<(String, String)> = Vec::new();
+    let push = |class: &str,
+                    method: &str,
+                    triggered: &mut BTreeSet<(String, String)>,
+                    worklist: &mut Vec<(String, String)>| {
+        if spec.class(class).is_some()
+            && triggered.insert((class.to_owned(), method.to_owned()))
+        {
+            worklist.push((class.to_owned(), method.to_owned()));
+        }
+    };
+    for edge in cfg.edges() {
+        match &edge.op {
+            CfgOp::New { class, .. } => push(class, class, &mut triggered, &mut worklist),
+            CfgOp::CallLib { recv, method, .. } => {
+                if let Some(ty) = cfg.var_type(recv) {
+                    let ty = ty.to_owned();
+                    push(&ty, method, &mut triggered, &mut worklist);
+                }
+            }
+            _ => {}
+        }
+    }
+    while let Some((class, method)) = worklist.pop() {
+        let Some(c) = spec.class(&class) else { continue };
+        let m = if method == class {
+            Some(&c.ctor)
+        } else {
+            c.method(&method)
+        };
+        let Some(m) = m else { continue };
+        let mut allocs = Vec::new();
+        collect_allocs(&m.body, &mut allocs);
+        for a in allocs {
+            push(&a, &a, &mut triggered, &mut worklist);
+        }
+    }
+
+    for class in &spec.classes {
+        for method in std::iter::once(&class.ctor).chain(&class.methods) {
+            if !has_requires(&method.body) {
+                continue;
+            }
+            if !triggered.contains(&(class.name.clone(), method.name.clone())) {
+                diags.push(
+                    Diagnostic::warning(
+                        "W122",
+                        format!(
+                            "`requires` clause of `{}.{}` can never be triggered: the \
+                             program never calls it",
+                            class.name, method.name
+                        ),
+                        0,
+                    )
+                    .with_note("the check is dead weight for this program"),
+                );
+            }
+        }
+    }
+}
+
+fn collect_allocs(body: &[EaslStmt], out: &mut Vec<String>) {
+    for stmt in body {
+        match stmt {
+            EaslStmt::Alloc { class, .. } => out.push(class.clone()),
+            EaslStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_allocs(then_branch, out);
+                collect_allocs(else_branch, out);
+            }
+            EaslStmt::Foreach { body, .. } => collect_allocs(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn has_requires(body: &[EaslStmt]) -> bool {
+    body.iter().any(|s| match s {
+        EaslStmt::Requires(_) => true,
+        EaslStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => has_requires(then_branch) || has_requires(else_branch),
+        EaslStmt::Foreach { body, .. } => has_requires(body),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsep_easl::parse_spec;
+    use hetsep_ir::parse_program;
+
+    fn cfg_of(src: &str) -> Cfg {
+        Cfg::build(&parse_program(src).unwrap(), "main").unwrap()
+    }
+
+    #[test]
+    fn w121_fires_on_never_referenced_field() {
+        let spec = parse_spec(
+            "spec S;\n\
+             class Gizmo {\n\
+             boolean closed;\n\
+             boolean ghost;\n\
+             Gizmo() { this.closed = false; }\n\
+             void close() { this.closed = true; }\n\
+             }",
+        )
+        .unwrap();
+        let cfg = cfg_of("program P uses S; void main() { Gizmo g = new Gizmo(); }");
+        let d = lint_spec(&spec, &cfg);
+        let w121: Vec<_> = d.iter().filter(|x| x.code == "W121").collect();
+        assert_eq!(w121.len(), 1, "{d:?}");
+        assert!(w121[0].message.contains("`ghost`"), "{d:?}");
+    }
+
+    #[test]
+    fn w122_fires_on_uncalled_requires_method() {
+        let spec = parse_spec(
+            "spec S;\n\
+             class Gizmo {\n\
+             boolean closed;\n\
+             Gizmo() { this.closed = false; }\n\
+             void poke() { requires !this.closed; }\n\
+             }",
+        )
+        .unwrap();
+        let cfg = cfg_of("program P uses S; void main() { Gizmo g = new Gizmo(); }");
+        let d = lint_spec(&spec, &cfg);
+        let w122: Vec<_> = d.iter().filter(|x| x.code == "W122").collect();
+        assert_eq!(w122.len(), 1, "{d:?}");
+        assert!(w122[0].message.contains("`Gizmo.poke`"), "{d:?}");
+    }
+
+    #[test]
+    fn w122_quiet_when_requires_is_triggered() {
+        let spec = parse_spec(
+            "spec S;\n\
+             class Gizmo {\n\
+             boolean closed;\n\
+             Gizmo() { this.closed = false; }\n\
+             void poke() { requires !this.closed; }\n\
+             }",
+        )
+        .unwrap();
+        let cfg = cfg_of("program P uses S; void main() { Gizmo g = new Gizmo(); g.poke(); }");
+        let d = lint_spec(&spec, &cfg);
+        assert!(d.iter().all(|x| x.code != "W122"), "{d:?}");
+    }
+
+    #[test]
+    fn builtin_jdbc_spec_is_w121_clean() {
+        // The built-ins reference every declared field; W121 must be quiet
+        // so `--spec` users can copy them as templates.
+        let spec = hetsep_easl::builtin::jdbc();
+        let cfg = cfg_of(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             Statement st = cm.createStatement(con);\n\
+             ResultSet rs = st.executeQuery(\"q\");\n\
+             while (rs.next()) {\n\
+             }\n}",
+        );
+        let d = lint_spec(&spec, &cfg);
+        assert!(d.iter().all(|x| x.code != "W121"), "{d:?}");
+    }
+
+    #[test]
+    fn factory_allocations_trigger_constructor_requires() {
+        // `cm.getConnection()` allocates a Connection: the Connection
+        // constructor counts as triggered even without a direct `new`.
+        let spec = hetsep_easl::builtin::jdbc();
+        let cfg = cfg_of(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             con.close();\n}",
+        );
+        let mut d = Vec::new();
+        untriggerable_requires(&spec, &cfg, &mut d);
+        // Statement/ResultSet methods are never called here, so their
+        // requires clauses are rightly reported…
+        assert!(d.iter().any(|x| x.message.contains("Statement.")), "{d:?}");
+        // …but nothing about Connection.close (no requires) or ctors.
+        assert!(d.iter().all(|x| !x.message.contains("Connection.close")));
+    }
+}

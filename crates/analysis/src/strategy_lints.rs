@@ -1,0 +1,418 @@
+//! Strategy lints (`W111`–`W113`).
+//!
+//! | code | lint |
+//! |------|------|
+//! | W111 | a checked class the program instantiates is not covered by the strategy (Theorem 1 / `strategy::coverage`) |
+//! | W112 | an `on failure` stage has a `failing` choice no earlier stage can feed |
+//! | W113 | duplicate choice operation within a stage |
+//!
+//! W111 needs the program (which classes are actually instantiated, directly
+//! or through library factory methods) and the spec (which classes carry
+//! `requires` checks); W112/W113 are purely syntactic over the strategy.
+//! Strategy sources carry no line information, so these diagnostics use
+//! line 0 and name the stage/choice in the message.
+
+use std::collections::{BTreeSet, HashSet};
+
+use hetsep_easl::ast::{EaslCond, EaslStmt, Spec};
+use hetsep_ir::cfg::{Cfg, CfgOp};
+use hetsep_ir::diag::Diagnostic;
+use hetsep_strategy::ast::Strategy;
+use hetsep_strategy::coverage::{covered_classes, incremental_covers};
+
+/// Runs all strategy lints. `cfg` must be built from the program the
+/// strategy will verify, `spec` is the specification it runs against.
+pub fn lint_strategy(strategy: &Strategy, cfg: &Cfg, spec: &Spec) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    uncovered_checked_classes(strategy, cfg, spec, &mut diags);
+    unreachable_failing_stages(strategy, &mut diags);
+    duplicate_choices(strategy, &mut diags);
+    diags
+}
+
+// ---------------------------------------------------------------- W111 ----
+
+/// Classes whose objects carry `requires` checks: for every condition in a
+/// `requires`, the classes owning the fields the condition reads.
+pub(crate) fn checked_classes(spec: &Spec) -> BTreeSet<String> {
+    let mut checked = BTreeSet::new();
+    for class in &spec.classes {
+        for method in std::iter::once(&class.ctor).chain(&class.methods) {
+            // Roots resolve to: `this` → the class, parameters → their class.
+            let type_of_root = |root: &str| -> Option<String> {
+                if root == "this" {
+                    Some(class.name.clone())
+                } else {
+                    method
+                        .params
+                        .iter()
+                        .find(|(p, _)| p == root)
+                        .map(|(_, c)| c.clone())
+                }
+            };
+            walk_requires(&method.body, &mut |cond| {
+                collect_cond_owners(cond, spec, &type_of_root, &mut checked)
+            });
+        }
+    }
+    checked
+}
+
+fn walk_requires(body: &[EaslStmt], f: &mut impl FnMut(&EaslCond)) {
+    for stmt in body {
+        match stmt {
+            EaslStmt::Requires(cond) => f(cond),
+            EaslStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk_requires(then_branch, f);
+                walk_requires(else_branch, f);
+            }
+            EaslStmt::Foreach { body, .. } => walk_requires(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// For every path the condition reads, records the class owning the *final*
+/// field (resolving intermediate reference fields through the spec).
+fn collect_cond_owners(
+    cond: &EaslCond,
+    spec: &Spec,
+    type_of_root: &impl Fn(&str) -> Option<String>,
+    out: &mut BTreeSet<String>,
+) {
+    let mut visit_path = |path: &hetsep_easl::ast::Path| {
+        let Some(mut ty) = type_of_root(&path.root) else {
+            return;
+        };
+        // Walk down to the owner of the last field.
+        for field in path.fields.iter().take(path.fields.len().saturating_sub(1)) {
+            let Some(class) = spec.class(&ty) else { return };
+            match class.field(field) {
+                Some(hetsep_easl::ast::FieldKind::Ref(next))
+                | Some(hetsep_easl::ast::FieldKind::Set(next)) => ty = next.clone(),
+                _ => return,
+            }
+        }
+        if !path.fields.is_empty() && spec.class(&ty).is_some() {
+            out.insert(ty);
+        }
+    };
+    match cond {
+        EaslCond::Read(p) | EaslCond::IsNull(p) | EaslCond::NotNull(p) => visit_path(p),
+        EaslCond::Not(inner) => collect_cond_owners(inner, spec, type_of_root, out),
+        EaslCond::And(a, b) => {
+            collect_cond_owners(a, spec, type_of_root, out);
+            collect_cond_owners(b, spec, type_of_root, out);
+        }
+    }
+}
+
+/// Spec classes the program can instantiate: direct `new C()` plus classes
+/// allocated inside spec methods the program (transitively) calls.
+pub(crate) fn instantiated_classes(cfg: &Cfg, spec: &Spec) -> BTreeSet<String> {
+    let mut classes: BTreeSet<String> = BTreeSet::new();
+    let mut worklist: Vec<(String, String)> = Vec::new(); // (class, method)
+    let mut queued: HashSet<(String, String)> = HashSet::new();
+
+    let enqueue_ctor =
+        |c: &str, worklist: &mut Vec<(String, String)>, queued: &mut HashSet<(String, String)>| {
+            if queued.insert((c.to_owned(), c.to_owned())) {
+                worklist.push((c.to_owned(), c.to_owned()));
+            }
+        };
+
+    for edge in cfg.edges() {
+        match &edge.op {
+            CfgOp::New { class, .. } if spec.class(class).is_some() => {
+                classes.insert(class.clone());
+                enqueue_ctor(class, &mut worklist, &mut queued);
+            }
+            CfgOp::CallLib { recv, method, .. } => {
+                if let Some(ty) = cfg.var_type(recv) {
+                    if spec.class(ty).is_some()
+                        && queued.insert((ty.to_owned(), method.clone()))
+                    {
+                        worklist.push((ty.to_owned(), method.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    while let Some((class, method)) = worklist.pop() {
+        let Some(c) = spec.class(&class) else { continue };
+        let m = if method == class {
+            Some(&c.ctor)
+        } else {
+            c.method(&method)
+        };
+        let Some(m) = m else { continue };
+        walk_allocs(&m.body, &mut |alloc_class: &str| {
+            if spec.class(alloc_class).is_some() {
+                classes.insert(alloc_class.to_owned());
+                enqueue_ctor(alloc_class, &mut worklist, &mut queued);
+            }
+        });
+    }
+    classes
+}
+
+fn walk_allocs(body: &[EaslStmt], f: &mut impl FnMut(&str)) {
+    for stmt in body {
+        match stmt {
+            EaslStmt::Alloc { class, .. } => f(class),
+            EaslStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk_allocs(then_branch, f);
+                walk_allocs(else_branch, f);
+            }
+            EaslStmt::Foreach { body, .. } => walk_allocs(body, f),
+            _ => {}
+        }
+    }
+}
+
+fn uncovered_checked_classes(
+    strategy: &Strategy,
+    cfg: &Cfg,
+    spec: &Spec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let checked = checked_classes(spec);
+    let instantiated = instantiated_classes(cfg, spec);
+    for class in checked.intersection(&instantiated) {
+        let any_stage_covers = strategy
+            .stages
+            .iter()
+            .any(|stage| covered_classes(stage).contains(class));
+        if !any_stage_covers {
+            diags.push(
+                Diagnostic::warning(
+                    "W111",
+                    format!(
+                        "class `{class}` has `requires` checks but no stage of strategy \
+                         `{}` covers it",
+                        strategy.name
+                    ),
+                    0,
+                )
+                .with_note(
+                    "objects of this class are never verified; add an unconditioned \
+                     choice or an equation chain per Theorem 1",
+                ),
+            );
+        } else if strategy.is_incremental() && !incremental_covers(&strategy.stages, class) {
+            diags.push(
+                Diagnostic::warning(
+                    "W111",
+                    format!(
+                        "class `{class}` is only partially covered by incremental strategy \
+                         `{}`",
+                        strategy.name
+                    ),
+                    0,
+                )
+                .with_note(
+                    "under early-stop semantics a class must be covered by the first \
+                     stage and re-examined by every later stage to keep full coverage",
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- W112 ----
+
+fn unreachable_failing_stages(strategy: &Strategy, diags: &mut Vec<Diagnostic>) {
+    for (k, stage) in strategy.stages.iter().enumerate() {
+        for op in &stage.choices {
+            if !op.failing {
+                continue;
+            }
+            let fed = strategy.stages[..k]
+                .iter()
+                .any(|prev| prev.choices.iter().any(|p| p.class == op.class));
+            if !fed {
+                diags.push(
+                    Diagnostic::warning(
+                        "W112",
+                        format!(
+                            "`failing` choice on `{}` in stage {} of strategy `{}` can \
+                             never match: no earlier stage chooses `{}`",
+                            op.class, k, strategy.name, op.class
+                        ),
+                        0,
+                    )
+                    .with_note(
+                        "a failing choice selects among sites that failed earlier \
+                         stages; with none, the stage verifies vacuously",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- W113 ----
+
+/// A choice's identity: mode, `failing`, class, sorted equations.
+type ChoiceKey = (String, bool, String, Vec<(String, String)>);
+
+fn duplicate_choices(strategy: &Strategy, diags: &mut Vec<Diagnostic>) {
+    for (k, stage) in strategy.stages.iter().enumerate() {
+        let mut seen: HashSet<ChoiceKey> = HashSet::new();
+        for op in &stage.choices {
+            let mut eqs = op.equations.clone();
+            eqs.sort();
+            let key = (op.mode.to_string(), op.failing, op.class.clone(), eqs);
+            if !seen.insert(key) {
+                diags.push(
+                    Diagnostic::warning(
+                        "W113",
+                        format!(
+                            "duplicate choice on class `{}` in stage {} of strategy `{}`",
+                            op.class, k, strategy.name
+                        ),
+                        0,
+                    )
+                    .with_note("identical choices select the same objects; remove one"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsep_ir::parse_program;
+    use hetsep_strategy::parse_strategy;
+
+    fn jdbc_cfg(src: &str) -> Cfg {
+        Cfg::build(&parse_program(src).unwrap(), "main").unwrap()
+    }
+
+    const JDBC_CLIENT: &str = "program P uses JDBC; void main() {\n\
+        ConnectionManager cm = new ConnectionManager();\n\
+        Connection con = cm.getConnection();\n\
+        Statement st = cm.createStatement(con);\n\
+        ResultSet rs = st.executeQuery(\"q\");\n\
+        while (rs.next()) {\n\
+        }\n}";
+
+    #[test]
+    fn checked_and_instantiated_classes_of_jdbc() {
+        let spec = hetsep_easl::builtin::jdbc();
+        let cfg = jdbc_cfg(JDBC_CLIENT);
+        let checked = checked_classes(&spec);
+        assert!(checked.contains("Connection"), "{checked:?}");
+        assert!(checked.contains("Statement"));
+        assert!(checked.contains("ResultSet"));
+        let inst = instantiated_classes(&cfg, &spec);
+        // Factory methods allocate Connection/Statement/ResultSet even
+        // though the program only `new`s the manager.
+        assert!(inst.contains("ConnectionManager"), "{inst:?}");
+        assert!(inst.contains("Connection"), "{inst:?}");
+        assert!(inst.contains("Statement"));
+        assert!(inst.contains("ResultSet"));
+    }
+
+    #[test]
+    fn w111_fires_when_a_checked_class_is_uncovered() {
+        let spec = hetsep_easl::builtin::jdbc();
+        let cfg = jdbc_cfg(JDBC_CLIENT);
+        let s = parse_strategy(
+            "strategy OnlyConnections {\n\
+             choose some c : Connection();\n}",
+        )
+        .unwrap();
+        let d = lint_strategy(&s, &cfg, &spec);
+        let w111: Vec<_> = d.iter().filter(|x| x.code == "W111").collect();
+        assert_eq!(w111.len(), 2, "{d:?}");
+        assert!(w111.iter().any(|x| x.message.contains("`Statement`")));
+        assert!(w111.iter().any(|x| x.message.contains("`ResultSet`")));
+    }
+
+    #[test]
+    fn w111_quiet_on_builtin_single_strategy() {
+        let spec = hetsep_easl::builtin::jdbc();
+        let cfg = jdbc_cfg(JDBC_CLIENT);
+        let s = parse_strategy(hetsep_strategy::builtin::JDBC_SINGLE).unwrap();
+        let d = lint_strategy(&s, &cfg, &spec);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w111_notes_partial_incremental_coverage() {
+        let spec = hetsep_easl::builtin::jdbc();
+        let cfg = jdbc_cfg(JDBC_CLIENT);
+        let s = parse_strategy(hetsep_strategy::builtin::JDBC_INCREMENTAL).unwrap();
+        let d = lint_strategy(&s, &cfg, &spec);
+        // Statement and Connection are covered only by later stages: the
+        // paper's deliberate scaling trade-off, surfaced as a warning.
+        let partial: Vec<_> = d
+            .iter()
+            .filter(|x| x.message.contains("partially covered"))
+            .collect();
+        assert_eq!(partial.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn w112_fires_on_unfed_failing_choice() {
+        let s = parse_strategy(
+            "strategy S {\n\
+             choose some c : Connection();\n}\n\
+             on failure {\n\
+             choose some failing r : ResultSet(y);\n}",
+        )
+        .unwrap();
+        let mut d = Vec::new();
+        unreachable_failing_stages(&s, &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("never match"), "{d:?}");
+    }
+
+    #[test]
+    fn w112_quiet_when_fed_by_earlier_stage() {
+        let s = parse_strategy(hetsep_strategy::builtin::JDBC_INCREMENTAL).unwrap();
+        let mut d = Vec::new();
+        unreachable_failing_stages(&s, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w113_fires_on_duplicate_choice() {
+        let s = parse_strategy(
+            "strategy S {\n\
+             choose some c : Connection();\n\
+             choose some d : Connection();\n}",
+        )
+        .unwrap();
+        let mut d = Vec::new();
+        duplicate_choices(&s, &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "W113");
+    }
+
+    #[test]
+    fn w113_distinguishes_modes_and_equations() {
+        let s = parse_strategy(
+            "strategy S {\n\
+             choose some c : Connection();\n\
+             choose all s : Statement(x) / x == c;\n\
+             choose some t : Statement(x);\n}",
+        )
+        .unwrap();
+        let mut d = Vec::new();
+        duplicate_choices(&s, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -37,11 +37,14 @@
 pub mod points_to;
 pub mod typestate;
 
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
 use hetsep_easl::ast::Spec;
 use hetsep_ir::cfg::Cfg;
 use hetsep_ir::Program;
+
+pub use points_to::Site;
 
 /// An error reported by the baseline, attributed to a source line.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -98,4 +101,71 @@ pub fn verify(program: &Program, spec: &Spec) -> Result<BaselineReport, Baseline
     let cfg = Cfg::build(program, "main").map_err(|e| BaselineError(e.to_string()))?;
     let pt = points_to::analyze(&cfg, spec, program)?;
     typestate::analyze(&cfg, spec, &pt)
+}
+
+/// The baseline's result refined to per-site verdicts, for use as a sound
+/// pruning pre-pass: a *suspect* site is one the coarse abstraction could
+/// not prove safe; every other site's subproblem is guaranteed error-free
+/// and may be skipped by a precise per-site verifier.
+#[derive(Debug, Clone)]
+pub struct SiteVerdicts {
+    /// The ordinary baseline report (per-line errors, site/iteration counts).
+    pub report: BaselineReport,
+    /// Allocation sites (CFG edge indices — the same numbering the engine's
+    /// separation mode uses) that may be involved in a failing check.
+    pub suspects: BTreeSet<Site>,
+}
+
+impl SiteVerdicts {
+    /// Whether the baseline proved `site` safe (not suspect).
+    pub fn proved_safe(&self, site: Site) -> bool {
+        !self.suspects.contains(&site)
+    }
+}
+
+/// Runs the two-phase baseline and classifies every allocation site as
+/// suspect or proved-safe.
+///
+/// Suspect seeds are the sites in scope at any possibly-failing (or
+/// undecidable) `requires` check; the set is then closed over weakly
+/// connected components of the points-to heap, because a check on one
+/// object can be caused by state reachable from any heap neighbour (e.g.
+/// closing a JDBC connection transitively closes its statements).
+///
+/// # Errors
+///
+/// Fails when the program cannot be lowered to a CFG or references unknown
+/// library members — callers should fall back to treating every site as
+/// suspect (i.e. no pruning).
+pub fn verify_with_suspects(program: &Program, spec: &Spec) -> Result<SiteVerdicts, BaselineError> {
+    let cfg = Cfg::build(program, "main").map_err(|e| BaselineError(e.to_string()))?;
+    let pt = points_to::analyze(&cfg, spec, program)?;
+    let (report, seeds) = typestate::analyze_with_suspects(&cfg, spec, &pt)?;
+    let suspects = close_over_heap(&pt, seeds);
+    Ok(SiteVerdicts { report, suspects })
+}
+
+/// Closes a seed set over the undirected site graph induced by the
+/// points-to heap (`owner --field--> target` connects `owner` and
+/// `target`).
+fn close_over_heap(pt: &points_to::PointsTo, seeds: BTreeSet<Site>) -> BTreeSet<Site> {
+    let mut adj: HashMap<Site, BTreeSet<Site>> = HashMap::new();
+    for ((owner, _field), targets) in &pt.heap {
+        for &t in targets {
+            adj.entry(*owner).or_default().insert(t);
+            adj.entry(t).or_default().insert(*owner);
+        }
+    }
+    let mut closed = seeds.clone();
+    let mut queue: VecDeque<Site> = seeds.into_iter().collect();
+    while let Some(s) = queue.pop_front() {
+        if let Some(ns) = adj.get(&s) {
+            for &n in ns {
+                if closed.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    closed
 }

@@ -49,6 +49,26 @@ impl BoolVal {
 
 type State = HashMap<(Site, String), BoolVal>;
 
+/// What the typestate phase found, beyond the per-line error reports:
+/// the allocation sites that were *involved* in a possibly-failing (or
+/// undecidable) `requires` check. Everything else is provably safe under
+/// the coarse abstraction and eligible for subproblem pruning.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Findings {
+    errors: BTreeSet<(u32, String)>,
+    suspects: BTreeSet<Site>,
+}
+
+impl Findings {
+    /// Marks every site bound in the current environment as suspect: a
+    /// failing check may be about any object the method body can touch.
+    fn suspect_env(&mut self, env: &HashMap<String, BTreeSet<Site>>) {
+        for sites in env.values() {
+            self.suspects.extend(sites.iter().copied());
+        }
+    }
+}
+
 fn join_states(a: &State, b: &State) -> State {
     let mut out = a.clone();
     for (k, &v) in b {
@@ -64,11 +84,22 @@ fn join_states(a: &State, b: &State) -> State {
 ///
 /// Fails on calls to unknown library methods.
 pub fn analyze(cfg: &Cfg, spec: &Spec, pt: &PointsTo) -> Result<BaselineReport, BaselineError> {
+    analyze_with_suspects(cfg, spec, pt).map(|(report, _)| report)
+}
+
+/// Runs the typestate phase, additionally returning the allocation sites
+/// involved in any possibly-failing or undecidable `requires` check (the
+/// *suspect seeds* of the pruning pre-pass).
+pub(crate) fn analyze_with_suspects(
+    cfg: &Cfg,
+    spec: &Spec,
+    pt: &PointsTo,
+) -> Result<(BaselineReport, BTreeSet<Site>), BaselineError> {
     let n = cfg.node_count();
     let mut states: Vec<Option<State>> = vec![None; n];
     states[cfg.entry()] = Some(State::new());
     let mut worklist: VecDeque<usize> = VecDeque::from([cfg.entry()]);
-    let mut errors: BTreeSet<(u32, String)> = BTreeSet::new();
+    let mut findings = Findings::default();
     let mut iterations = 0usize;
 
     while let Some(node) = worklist.pop_front() {
@@ -80,7 +111,7 @@ pub fn analyze(cfg: &Cfg, spec: &Spec, pt: &PointsTo) -> Result<BaselineReport, 
         for &edge_ix in cfg.out_edges(node) {
             let edge = &cfg.edges()[edge_ix];
             let mut next = state.clone();
-            transfer(cfg, spec, pt, edge_ix, &edge.op, edge.line, &mut next, &mut errors)?;
+            transfer(cfg, spec, pt, edge_ix, &edge.op, edge.line, &mut next, &mut findings)?;
             let target = edge.to;
             let joined = match &states[target] {
                 None => next,
@@ -97,14 +128,16 @@ pub fn analyze(cfg: &Cfg, spec: &Spec, pt: &PointsTo) -> Result<BaselineReport, 
         }
     }
 
-    Ok(BaselineReport {
-        errors: errors
+    let report = BaselineReport {
+        errors: findings
+            .errors
             .into_iter()
             .map(|(line, label)| BaselineErrorReport { line, label })
             .collect(),
         sites: pt.site_class.len(),
         iterations,
-    })
+    };
+    Ok((report, findings.suspects))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -116,7 +149,7 @@ fn transfer(
     op: &CfgOp,
     line: u32,
     state: &mut State,
-    errors: &mut BTreeSet<(u32, String)>,
+    findings: &mut Findings,
 ) -> Result<(), BaselineError> {
     let _ = cfg;
     match op {
@@ -127,7 +160,7 @@ fn transfer(
                 bind_params(pt, &mut env, &cls.ctor, args);
                 apply_allocation(spec, pt, edge_ix, state);
                 let body = cls.ctor.body.clone();
-                interpret(spec, pt, &body, &env, edge_ix, line, state, errors);
+                interpret(spec, pt, &body, &env, edge_ix, line, state, findings);
             } else {
                 apply_allocation(spec, pt, edge_ix, state);
             }
@@ -163,7 +196,7 @@ fn transfer(
                     apply_allocation(spec, pt, edge_ix, state);
                 }
                 let body = m.body.clone();
-                interpret(spec, pt, &body, &env, edge_ix, line, state, errors);
+                interpret(spec, pt, &body, &env, edge_ix, line, state, findings);
             }
             Ok(())
         }
@@ -206,13 +239,21 @@ fn interpret(
     alloc_site: Site,
     line: u32,
     state: &mut State,
-    errors: &mut BTreeSet<(u32, String)>,
+    findings: &mut Findings,
 ) {
     for stmt in stmts {
         match stmt {
             EaslStmt::Requires(cond) => {
-                if cond_may_fail(pt, env, cond, state) {
-                    errors.insert((line, "requires violated (baseline)".into()));
+                let failing = cond_may_fail(pt, env, cond, state);
+                if failing {
+                    findings.errors.insert((line, "requires violated (baseline)".into()));
+                }
+                // A failing check implicates every object in scope; an
+                // undecidable one (null-tests, negated compound forms) is
+                // assumed satisfiable for error *reporting* but must not
+                // license pruning — the precise engine may still fail it.
+                if failing || cond_undecidable(cond) {
+                    findings.suspect_env(env);
                 }
             }
             EaslStmt::AssignBool {
@@ -255,7 +296,7 @@ fn interpret(
                         ctor_env.insert(pname.clone(), pt.resolve_path(env, apath));
                     }
                     let body = cls.ctor.body.clone();
-                    interpret(spec, pt, &body, &ctor_env, alloc_site, line, state, errors);
+                    interpret(spec, pt, &body, &ctor_env, alloc_site, line, state, findings);
                 }
             }
             EaslStmt::If {
@@ -267,9 +308,9 @@ fn interpret(
                 // virtue of weak interpretation. Apply both on copies and
                 // join.
                 let mut t = state.clone();
-                interpret(spec, pt, then_branch, env, alloc_site, line, &mut t, errors);
+                interpret(spec, pt, then_branch, env, alloc_site, line, &mut t, findings);
                 let mut e = state.clone();
-                interpret(spec, pt, else_branch, env, alloc_site, line, &mut e, errors);
+                interpret(spec, pt, else_branch, env, alloc_site, line, &mut e, findings);
                 *state = join_states(&t, &e);
             }
             EaslStmt::Foreach {
@@ -282,7 +323,7 @@ fn interpret(
                 let elems = pt.of_field(&owners, field);
                 let mut inner = env.clone();
                 inner.insert(var.clone(), elems);
-                interpret(spec, pt, body, &inner, alloc_site, line, state, errors);
+                interpret(spec, pt, body, &inner, alloc_site, line, state, findings);
             }
             EaslStmt::AssignRef { .. }
             | EaslStmt::SetClear { .. }
@@ -337,6 +378,20 @@ fn cond_may_fail(
         }
         // Null-checks: the site abstraction cannot decide them; assume ok.
         EaslCond::IsNull(_) | EaslCond::NotNull(_) => false,
+    }
+}
+
+/// Whether the site abstraction is unable to evaluate part of the
+/// condition at all. `cond_may_fail` assumes such parts satisfiable, which
+/// keeps the error report small but is exactly the case in which the
+/// precise engine may still find a violation — so pruning must treat every
+/// object in scope as suspect.
+fn cond_undecidable(cond: &EaslCond) -> bool {
+    match cond {
+        EaslCond::IsNull(_) | EaslCond::NotNull(_) => true,
+        EaslCond::Not(inner) => !matches!(inner.as_ref(), EaslCond::Read(_)),
+        EaslCond::And(a, b) => cond_undecidable(a) || cond_undecidable(b),
+        EaslCond::Read(_) => false,
     }
 }
 
@@ -447,6 +502,87 @@ mod tests {
              b.close();\n}",
         );
         assert!(r.verified(), "{:?}", r.errors);
+    }
+
+    fn suspects_of(src: &str) -> crate::SiteVerdicts {
+        let p = parse_program(src).unwrap();
+        let spec = hetsep_easl::builtin::by_name(&p.uses).unwrap();
+        crate::verify_with_suspects(&p, &spec).unwrap()
+    }
+
+    #[test]
+    fn clean_straightline_program_has_no_suspects() {
+        let v = suspects_of(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+        );
+        assert!(v.report.verified());
+        assert!(v.suspects.is_empty(), "{:?}", v.suspects);
+    }
+
+    #[test]
+    fn failing_check_marks_its_site_suspect() {
+        let v = suspects_of(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.close();\n\
+             f.read();\n}",
+        );
+        assert!(!v.report.verified());
+        assert_eq!(v.suspects.len(), 1, "{:?}", v.suspects);
+        assert!(!v.proved_safe(*v.suspects.iter().next().unwrap()));
+    }
+
+    #[test]
+    fn baseline_false_alarm_still_marks_suspect() {
+        // Fig. 3: the engine would verify this, but the baseline cannot —
+        // the site must stay suspect so pruning never hides the difference.
+        let v = suspects_of(
+            "program P uses IOStreams; void main() {\n\
+             while (?) {\n\
+             File f = new File();\n\
+             f.read();\n\
+             f.close();\n\
+             }\n}",
+        );
+        assert!(!v.report.verified());
+        assert!(!v.suspects.is_empty());
+    }
+
+    #[test]
+    fn suspects_close_over_heap_components() {
+        // The implicit-close chain: flagging the statement also implicates
+        // the connection and result sets wired to it through the heap.
+        let v = suspects_of(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             Statement st = cm.createStatement(con);\n\
+             ResultSet rs1 = st.executeQuery(\"a\");\n\
+             ResultSet rs2 = st.executeQuery(\"b\");\n\
+             while (rs1.next()) {\n\
+             }\n}",
+        );
+        assert!(!v.report.verified());
+        // con, st, rs1, rs2 are all one heap component.
+        assert!(v.suspects.len() >= 4, "{:?}", v.suspects);
+    }
+
+    #[test]
+    fn independent_clean_site_pruned_next_to_suspect_one() {
+        let v = suspects_of(
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = new InputStream();\n\
+             a.close();\n\
+             a.read();\n\
+             b.read();\n\
+             b.close();\n}",
+        );
+        assert!(!v.report.verified());
+        assert_eq!(v.suspects.len(), 1, "only `a`'s site: {:?}", v.suspects);
     }
 
     #[test]

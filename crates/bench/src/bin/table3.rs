@@ -2,8 +2,9 @@
 //! benchmark programs, per verification mode.
 //!
 //! Usage: `table3 [--threads N] [--json PATH] [--metrics] [--trace PATH]
-//! [benchmark-name …]` (default: all benchmarks, auto thread count, JSON
-//! written to `BENCH_table3.json` in the working directory).
+//! [--no-preanalysis] [benchmark-name …]` (default: all benchmarks, auto
+//! thread count, JSON written to `BENCH_table3.json` in the working
+//! directory).
 //!
 //! `--threads` controls the parallel subproblem scheduler (0 = auto:
 //! `HETSEP_THREADS`, then available parallelism); results are identical
@@ -14,6 +15,10 @@
 //! prints a suite-wide breakdown to stderr. `--trace PATH` streams every
 //! run's typed events as NDJSON to `PATH`. Both are observation-only: the
 //! `visits`/`reported` columns are byte-identical with and without them.
+//!
+//! `--no-preanalysis` disables the static pruning pre-pass that
+//! `table3_config` turns on. Pruning is observation-equivalent, so only the
+//! `pruned` column (and the effort of pruned subproblems) changes.
 
 use std::io::Write as _;
 
@@ -28,6 +33,7 @@ fn main() {
     let mut threads: usize = 0;
     let mut json_path = String::from("BENCH_table3.json");
     let mut metrics = false;
+    let mut no_preanalysis = false;
     let mut trace_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -41,6 +47,7 @@ fn main() {
                 json_path = args.next().expect("--json needs a path");
             }
             "--metrics" => metrics = true,
+            "--no-preanalysis" => no_preanalysis = true,
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace needs a path"));
             }
@@ -56,13 +63,16 @@ fn main() {
             .collect()
     };
     println!(
-        "{:<18} {:<8} {:>5} {:>9} {:>9} {:>10} {:>4} {:>4}",
-        "Program", "Mode", "Lines", "Space", "Time", "Visits", "Rep", "Act"
+        "{:<18} {:<8} {:>5} {:>9} {:>9} {:>10} {:>4} {:>4} {:>6}",
+        "Program", "Mode", "Lines", "Space", "Time", "Visits", "Rep", "Act", "Pruned"
     );
-    println!("{}", "-".repeat(75));
+    println!("{}", "-".repeat(82));
     let mut config = table3_config();
     config.parallel = ParallelConfig { threads };
     config.phase_timings = metrics;
+    if no_preanalysis {
+        config.preanalysis = false;
+    }
     let mut null = NullSink;
     let mut trace = trace_path.as_ref().map(|path| {
         let file = std::fs::File::create(path)

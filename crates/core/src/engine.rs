@@ -103,6 +103,13 @@ pub struct EngineConfig {
     /// application. Observation-only either way — exploration order and
     /// results never depend on this flag.
     pub phase_timings: bool,
+    /// Run the coarse baseline (points-to + typestate) analysis before
+    /// fanning out non-simultaneous separation subproblems, and skip the
+    /// allocation sites it proves safe (recorded as
+    /// [`AnalysisOutcome::Pruned`]). Sound: pruning never changes the
+    /// verdict or the reported errors, only which subproblems run. Off by
+    /// default; enable via [`crate::Verifier::with_preanalysis`].
+    pub preanalysis: bool,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +121,7 @@ impl Default for EngineConfig {
             merge: StructureMerge::Powerset,
             parallel: ParallelConfig::default(),
             phase_timings: false,
+            preanalysis: false,
         }
     }
 }
@@ -126,6 +134,11 @@ pub enum AnalysisOutcome {
     /// The visit or structure budget was exhausted; results are partial
     /// (sound for errors found, inconclusive for verification).
     BudgetExceeded,
+    /// The subproblem never ran: the static pre-analysis proved its site's
+    /// checks safe under the coarse baseline abstraction (see
+    /// [`EngineConfig::preanalysis`]). Equivalent to `Complete` with zero
+    /// errors for verdict purposes.
+    Pruned,
 }
 
 /// Statistics of one engine run.

@@ -194,6 +194,21 @@ impl VerificationReport {
         }
     }
 
+    /// Records a subproblem the pre-analysis proved safe without running
+    /// it: zero work, zero errors, and — crucially — no effect on
+    /// `complete`, since the baseline's proof stands in for the fixpoint.
+    fn absorb_pruned(&mut self, site: SiteId) {
+        let mut stats = RunStats::default();
+        stats.metrics.counters.add(Counter::SubproblemsPruned, 1);
+        self.metrics.merge(&stats.metrics);
+        self.subproblems.push(SubproblemStats {
+            site: Some(site),
+            stats,
+            errors: 0,
+            outcome: AnalysisOutcome::Pruned,
+        });
+    }
+
     fn absorb(&mut self, site: Option<SiteId>, result: crate::engine::RunResult) {
         self.complete &= result.outcome == AnalysisOutcome::Complete;
         self.max_space = self.max_space.max(result.stats.structures);
@@ -364,6 +379,18 @@ impl<'a> Verifier<'a> {
         self
     }
 
+    /// Enables the static pruning pre-pass (see
+    /// [`EngineConfig::preanalysis`]): before fanning out non-simultaneous
+    /// separation subproblems, the coarse baseline analysis runs once and
+    /// the allocation sites it proves safe are skipped, recorded as
+    /// [`AnalysisOutcome::Pruned`] with a `subproblems_pruned` counter.
+    /// Sound — verdicts and reported errors are identical with pruning on
+    /// or off. Off by default.
+    pub fn with_preanalysis(mut self, on: bool) -> Verifier<'a> {
+        self.config.preanalysis = on;
+        self
+    }
+
     /// Runs the verification.
     ///
     /// # Errors
@@ -495,7 +522,7 @@ fn emit_report(report: &VerificationReport, sink: &mut dyn EventSink) {
             visits: sub.stats.visits,
             structures: sub.stats.structures,
             errors: sub.errors,
-            complete: sub.outcome == AnalysisOutcome::Complete,
+            complete: sub.outcome != AnalysisOutcome::BudgetExceeded,
         });
     }
 }
@@ -554,10 +581,43 @@ fn verify_inner(
                         // single (cheap) run covers the empty family.
                         report.absorb(None, run(&probe, config));
                     }
-                    for (site, result) in
-                        run_sites(program, spec, &base, choice_ix, &sites, config)?
-                    {
-                        report.absorb(Some(site), result);
+                    // Pruning pre-pass: the coarse baseline runs once and
+                    // sites it proves safe are skipped. A baseline failure
+                    // (e.g. an unmodelled library member) falls back to
+                    // running every subproblem.
+                    let safe: HashSet<SiteId> = if config.preanalysis {
+                        match hetsep_baseline::verify_with_suspects(program, spec) {
+                            Ok(v) => sites
+                                .iter()
+                                .copied()
+                                .filter(|&s| v.proved_safe(s))
+                                .collect(),
+                            Err(_) => HashSet::new(),
+                        }
+                    } else {
+                        HashSet::new()
+                    };
+                    let to_run: Vec<SiteId> = sites
+                        .iter()
+                        .copied()
+                        .filter(|s| !safe.contains(s))
+                        .collect();
+                    let mut results =
+                        run_sites(program, spec, &base, choice_ix, &to_run, config)?
+                            .into_iter()
+                            .peekable();
+                    // Merge in original site order so reports are identical
+                    // to an unpruned run (pruned entries interleave).
+                    for &site in &sites {
+                        if safe.contains(&site) {
+                            report.absorb_pruned(site);
+                        } else if results.peek().is_some_and(|&(s, _)| s == site) {
+                            let (_, result) = results.next().expect("peeked");
+                            report.absorb(Some(site), result);
+                        }
+                        // else: never started — a sibling raised the
+                        // cancellation flag; the report is already
+                        // incomplete.
                     }
                 }
             }

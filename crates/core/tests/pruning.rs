@@ -1,0 +1,205 @@
+//! Soundness of the static pruning pre-pass.
+//!
+//! Pruning (`EngineConfig::preanalysis` / `Verifier::with_preanalysis`)
+//! must be *observation-equivalent*: for every suite benchmark and every
+//! Table 3 mode, the verdict, the reported-error set, and the completeness
+//! flag are byte-identical with pruning on and off. The only permitted
+//! differences are which subproblems actually ran (`AnalysisOutcome::Pruned`
+//! rows with zero stats) and, consequently, the effort totals.
+
+use hetsep_core::{
+    AnalysisOutcome, Counter, EngineConfig, Mode, VerificationReport, Verifier, VerifyError,
+};
+use hetsep_strategy::parse_strategy;
+use hetsep_suite::{Benchmark, TableMode};
+
+/// The Table 3 budget (mirrors `hetsep::harness::table3_config`, which the
+/// core crate cannot depend on).
+fn budget() -> EngineConfig {
+    EngineConfig {
+        max_visits: 400_000,
+        max_structures: 120_000,
+        ..EngineConfig::default()
+    }
+}
+
+fn core_mode(bench: &Benchmark, mode: TableMode) -> Result<Mode, VerifyError> {
+    let parse =
+        |src: &str| parse_strategy(src).map_err(|e| VerifyError::Strategy(e.to_string()));
+    Ok(match mode {
+        TableMode::Vanilla => Mode::Vanilla,
+        TableMode::Single => Mode::separation(parse(bench.single_strategy)?),
+        TableMode::Sim => Mode::simultaneous(parse(bench.single_strategy)?),
+        TableMode::Multi => Mode::separation(parse(bench.multi_strategy.unwrap())?),
+        TableMode::Inc => Mode::incremental(parse(bench.incremental_strategy.unwrap())?),
+    })
+}
+
+fn run(bench: &Benchmark, mode: &Mode, preanalysis: bool) -> VerificationReport {
+    let program = bench.program();
+    let spec = bench.spec();
+    Verifier::new(&program, &spec)
+        .mode(mode.clone())
+        .config(budget())
+        .with_preanalysis(preanalysis)
+        .run()
+        .unwrap()
+}
+
+fn pruned_count(r: &VerificationReport) -> usize {
+    r.subproblems
+        .iter()
+        .filter(|s| s.outcome == AnalysisOutcome::Pruned)
+        .count()
+}
+
+/// The heart of the satellite: pruning never changes what is reported.
+fn assert_equivalent(name: &str, mode_label: &str, off: &VerificationReport, on: &VerificationReport) {
+    assert_eq!(
+        format!("{:?}", off.errors),
+        format!("{:?}", on.errors),
+        "{name}/{mode_label}: error reports differ with pruning"
+    );
+    assert_eq!(
+        off.verified(),
+        on.verified(),
+        "{name}/{mode_label}: verdict differs with pruning"
+    );
+    assert_eq!(
+        off.complete, on.complete,
+        "{name}/{mode_label}: complete flag differs with pruning"
+    );
+    assert_eq!(
+        off.subproblems.len(),
+        on.subproblems.len(),
+        "{name}/{mode_label}: pruned rows must still appear as subproblems"
+    );
+    assert_eq!(pruned_count(off), 0, "{name}/{mode_label}: pruning leaked into the off run");
+    // The counter and the outcome rows agree.
+    assert_eq!(
+        on.metrics.counters.get(Counter::SubproblemsPruned) as usize,
+        pruned_count(on),
+        "{name}/{mode_label}: subproblems_pruned counter out of sync"
+    );
+    // Unpruned subproblems keep identical stats, in the same positions.
+    for (o, n) in off.subproblems.iter().zip(&on.subproblems) {
+        assert_eq!(o.site, n.site, "{name}/{mode_label}: site order changed");
+        if n.outcome == AnalysisOutcome::Pruned {
+            assert_eq!(n.errors, 0, "{name}/{mode_label}: pruned row reported errors");
+            assert_eq!(n.stats.visits, 0, "{name}/{mode_label}: pruned row did work");
+        } else {
+            assert_eq!(
+                o.stats.visits, n.stats.visits,
+                "{name}/{mode_label}: unpruned subproblem's work changed"
+            );
+            assert_eq!(o.errors, n.errors, "{name}/{mode_label}: per-site errors changed");
+        }
+    }
+}
+
+/// Small hand-written programs covering the interesting pruning shapes:
+/// all-safe (everything pruned), mixed (one suspect, one safe), heap-linked
+/// components, and baseline false alarms (nothing pruned, engine verifies).
+#[test]
+fn pruning_is_observation_equivalent_on_scenarios() {
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "all_safe",
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = new InputStream();\n\
+             a.read();\n\
+             a.close();\n\
+             b.read();\n\
+             b.close();\n}",
+            hetsep_strategy::builtin::IOSTREAM_SINGLE,
+        ),
+        (
+            "one_suspect_one_safe",
+            "program P uses IOStreams; void main() {\n\
+             InputStream a = new InputStream();\n\
+             InputStream b = new InputStream();\n\
+             a.close();\n\
+             a.read();\n\
+             b.read();\n\
+             b.close();\n}",
+            hetsep_strategy::builtin::IOSTREAM_SINGLE,
+        ),
+        (
+            "loop_site_stays_suspect",
+            "program P uses IOStreams; void main() {\n\
+             while (?) {\n\
+             File f = new File();\n\
+             f.read();\n\
+             f.close();\n\
+             }\n}",
+            hetsep_strategy::builtin::IOSTREAM_SINGLE,
+        ),
+        (
+            "heap_linked_component",
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             Statement st = cm.createStatement(con);\n\
+             ResultSet rs1 = st.executeQuery(\"a\");\n\
+             ResultSet rs2 = st.executeQuery(\"b\");\n\
+             while (rs1.next()) {\n\
+             }\n}",
+            hetsep_strategy::builtin::JDBC_SINGLE,
+        ),
+    ];
+    for (name, src, strategy) in cases {
+        let bench = Benchmark {
+            name,
+            description: "",
+            source: (*src).to_owned(),
+            single_strategy: strategy,
+            multi_strategy: None,
+            incremental_strategy: None,
+            modes: vec![TableMode::Single],
+            actual_errors: 0,
+            expected_reported: vec![None],
+        };
+        let mode = core_mode(&bench, TableMode::Single).unwrap();
+        let off = run(&bench, &mode, false);
+        let on = run(&bench, &mode, true);
+        assert_equivalent(name, "single", &off, &on);
+    }
+    // Spot-check the shapes actually exercise pruning both ways.
+    let bench = Benchmark {
+        name: "all_safe",
+        description: "",
+        source: cases[0].1.to_owned(),
+        single_strategy: cases[0].2,
+        multi_strategy: None,
+        incremental_strategy: None,
+        modes: vec![TableMode::Single],
+        actual_errors: 0,
+        expected_reported: vec![None],
+    };
+    let mode = core_mode(&bench, TableMode::Single).unwrap();
+    let on = run(&bench, &mode, true);
+    assert_eq!(pruned_count(&on), 2, "clean program: every site pruned");
+    assert!(on.verified());
+}
+
+/// Every suite benchmark × every Table 3 mode. Expensive (the full table
+/// twice) — release builds only, like the Table 3 shape tests.
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn pruning_is_observation_equivalent_on_the_suite() {
+    let mut total_pruned = 0usize;
+    for bench in hetsep_suite::all() {
+        for &table_mode in &bench.modes {
+            let mode = core_mode(&bench, table_mode).unwrap();
+            let off = run(&bench, &mode, false);
+            let on = run(&bench, &mode, true);
+            assert_equivalent(bench.name, table_mode.label(), &off, &on);
+            total_pruned += pruned_count(&on);
+        }
+    }
+    assert!(
+        total_pruned > 0,
+        "the pre-pass should prune at least one subproblem somewhere in the suite"
+    );
+}

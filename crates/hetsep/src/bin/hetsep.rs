@@ -3,8 +3,11 @@
 //! ```text
 //! hetsep verify <program> [--spec <file>] [--strategy <file>]
 //!                         [--mode vanilla|sep|sim|inc] [--no-hetero]
-//!                         [--max-visits N] [--metrics] [--trace <path>]
-//!                         [--quiet]
+//!                         [--max-visits N] [--preanalysis] [--metrics]
+//!                         [--trace <path>] [--quiet]
+//! hetsep lint <program> [--spec <file>] [--strategy <file>]
+//!                       [--format text|json] [--deny warnings]
+//! hetsep lint --suite [--format text|json] [--deny warnings]
 //! hetsep baseline <program> [--spec <file>]
 //! hetsep check <program>
 //! hetsep heap <program> --line N [--strategy <file>] [--dot]
@@ -15,12 +18,20 @@
 //! overridden with an Easl source file. Without `--strategy`, `verify` runs
 //! in vanilla mode.
 //!
+//! `lint` runs the static pre-verification layer: semantic checks (`E0xx`)
+//! plus program lints (`W10x`), strategy lints (`W11x` when `--strategy` is
+//! given) and spec lints (`W12x` — only when `--spec` is given explicitly;
+//! the built-in specifications are a trusted standard library). `--suite`
+//! lints every bundled Table 3 benchmark program instead of a file.
+//!
 //! Observability: `--metrics` enables per-phase wall-clock sampling and
 //! prints a phase/counter breakdown to stderr; `--trace <path>` streams the
 //! run's typed events as NDJSON (one JSON object per line) to `<path>`.
-//! Both are observation-only — verification results are unchanged.
+//! Both are observation-only — verification results are unchanged, as is
+//! `--preanalysis` (the sound subproblem pruning pre-pass).
 //!
-//! Exit code: 0 verified, 1 errors reported, 2 usage or translation failure.
+//! Exit code: 0 verified/clean, 1 errors reported (or warnings under
+//! `--deny warnings`), 2 usage or translation failure.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -52,6 +63,10 @@ struct Options {
     quiet: bool,
     line: Option<u32>,
     dot: bool,
+    preanalysis: bool,
+    format: String,
+    deny_warnings: bool,
+    suite: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -67,6 +82,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         quiet: false,
         line: None,
         dot: false,
+        preanalysis: false,
+        format: "text".into(),
+        deny_warnings: false,
+        suite: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -91,12 +110,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => o.trace_path = Some(next(&mut it, "--trace")?),
             "--dot" => o.dot = true,
             "--quiet" | "-q" => o.quiet = true,
+            "--preanalysis" => o.preanalysis = true,
+            "--suite" => o.suite = true,
+            "--format" => {
+                o.format = next(&mut it, "--format")?;
+                if o.format != "text" && o.format != "json" {
+                    return Err(format!("--format must be text or json, got `{}`", o.format));
+                }
+            }
+            "--deny" => {
+                let what = next(&mut it, "--deny")?;
+                if what != "warnings" {
+                    return Err(format!("--deny only supports `warnings`, got `{what}`"));
+                }
+                o.deny_warnings = true;
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             path if o.program_path.is_empty() => o.program_path = path.to_owned(),
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
-    if o.program_path.is_empty() {
+    if o.program_path.is_empty() && !o.suite {
         return Err("missing <program> path".into());
     }
     Ok(o)
@@ -146,6 +180,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     match command.as_str() {
         "verify" => cmd_verify(&parse_options(rest)?),
+        "lint" => cmd_lint(&parse_options(rest)?),
         "baseline" => cmd_baseline(&parse_options(rest)?),
         "check" => cmd_check(&parse_options(rest)?),
         "heap" => cmd_heap(&parse_options(rest)?),
@@ -161,7 +196,10 @@ fn usage() -> String {
     "usage:\n  \
      hetsep verify   <program> [--spec <file>] [--strategy <file>] \
      [--mode vanilla|sep|sim|inc] [--no-hetero] [--max-visits N] \
-     [--metrics] [--trace <path>] [--quiet]\n  \
+     [--preanalysis] [--metrics] [--trace <path>] [--quiet]\n  \
+     hetsep lint     <program> [--spec <file>] [--strategy <file>] \
+     [--format text|json] [--deny warnings]\n  \
+     hetsep lint     --suite [--format text|json] [--deny warnings]\n  \
      hetsep baseline <program> [--spec <file>]\n  \
      hetsep check    <program>\n  \
      hetsep heap     <program> --line N [--strategy <file>] [--dot]"
@@ -194,6 +232,7 @@ fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
     let config = EngineConfig {
         max_visits: o.max_visits,
         phase_timings: o.metrics,
+        preanalysis: o.preanalysis,
         ..EngineConfig::default()
     };
     // The trace sink outlives the builder; NullSink when --trace is absent.
@@ -243,6 +282,97 @@ fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    })
+}
+
+/// Lints one source (a file's contents or a suite program) and returns its
+/// diagnostics. Parse failures surface as `E000` diagnostics rather than
+/// aborting, so `--format json` consumers always get a well-formed stream.
+fn lint_source(src: &str, o: &Options) -> Result<Vec<hetsep::ir::Diagnostic>, String> {
+    use hetsep::ir::Diagnostic;
+    let program = match hetsep::ir::parse_program(src) {
+        Ok(p) => p,
+        Err(e) => return Ok(vec![Diagnostic::error("E000", e.message, e.line)]),
+    };
+    // The spec to judge strategies against: an explicit --spec file, else
+    // the trusted built-in named by the program's `uses` clause.
+    let explicit_spec = o.spec_path.is_some();
+    let spec = match &o.spec_path {
+        Some(path) => {
+            let spec_src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            match hetsep::easl::parse_spec(&spec_src) {
+                Ok(s) => Some(s),
+                Err(e) => return Ok(vec![Diagnostic::error("E000", format!("{path}: {e}"), 0)]),
+            }
+        }
+        None => hetsep::easl::builtin::by_name(&program.uses),
+    };
+    let strategy = match &o.strategy_path {
+        None => None,
+        Some(path) => {
+            let s_src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            match hetsep::strategy::parse_strategy(&s_src) {
+                Ok(s) => Some(s),
+                Err(e) => return Ok(vec![Diagnostic::error("E000", format!("{path}: {e}"), 0)]),
+            }
+        }
+    };
+    if strategy.is_some() && spec.is_none() {
+        return Err(format!(
+            "program uses `{}`, which is not a built-in spec; pass --spec <file>",
+            program.uses
+        ));
+    }
+    let mut diags =
+        hetsep::analysis::lint_all(&program, Some(src), spec.as_ref(), strategy.as_ref());
+    if !explicit_spec {
+        // The built-ins model more methods than any one program calls;
+        // spec lints only make sense for user-supplied specifications.
+        diags.retain(|d| !d.code.starts_with("W12"));
+    }
+    Ok(diags)
+}
+
+fn cmd_lint(o: &Options) -> Result<ExitCode, String> {
+    use hetsep::ir::Severity;
+    // (label, source, diagnostics) per linted program.
+    let mut results: Vec<(String, String)> = Vec::new();
+    if o.suite {
+        for bench in hetsep::suite::all() {
+            results.push((bench.name.to_owned(), bench.source));
+        }
+    } else {
+        let path = &o.program_path;
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        results.push((path.clone(), src));
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (label, src) in &results {
+        let diags = lint_source(src, o)?;
+        for d in &diags {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            if o.format == "json" {
+                println!("{}", d.to_json());
+            } else {
+                println!("{label}: {}", d.render(Some(src)));
+            }
+        }
+    }
+    if !o.quiet && o.format == "text" {
+        eprintln!(
+            "{} program(s) linted: {errors} error(s), {warnings} warning(s)",
+            results.len()
+        );
+    }
+    Ok(if errors > 0 || (o.deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     })
 }
 

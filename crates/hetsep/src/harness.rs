@@ -12,8 +12,8 @@
 use std::time::Duration;
 
 use hetsep_core::{
-    Counter, EngineConfig, EventSink, Mode, NullSink, Phase, RunMetrics, SubproblemStats,
-    Verifier, VerifyError,
+    AnalysisOutcome, Counter, EngineConfig, EventSink, Mode, NullSink, Phase, RunMetrics,
+    SubproblemStats, Verifier, VerifyError,
 };
 use hetsep_strategy::parse_strategy;
 use hetsep_suite::{Benchmark, TableMode};
@@ -41,6 +41,10 @@ pub struct ModeRow {
     pub peak_nodes: usize,
     /// Number of subproblems analyzed.
     pub subproblems: usize,
+    /// Subproblems skipped by the static pre-analysis
+    /// ([`AnalysisOutcome::Pruned`] rows). Always `0` when
+    /// [`EngineConfig::preanalysis`] is off.
+    pub pruned: usize,
     /// Average visits per subproblem.
     pub avg_visits_per_subproblem: f64,
     /// Per-subproblem engine statistics, in deterministic site order.
@@ -69,10 +73,15 @@ impl ModeRow {
 /// small enough that the two deliberately explosive vanilla rows
 /// (`KernelBench3`, `SQLExecutor`) hit it, mirroring the paper's
 /// non-terminating vanilla runs.
+///
+/// The static pre-analysis is on: pruning is observation-equivalent (see
+/// `crates/core/tests/pruning.rs`), so the `reported` column is unaffected,
+/// and the `pruned` column shows how many subproblems it discharged.
 pub fn table3_config() -> EngineConfig {
     EngineConfig {
         max_visits: 400_000,
         max_structures: 120_000,
+        preanalysis: true,
         ..EngineConfig::default()
     }
 }
@@ -151,6 +160,11 @@ pub fn run_mode_with_sink(
         visits: report.total_visits,
         peak_nodes: report.peak_nodes,
         subproblems: report.subproblems.len(),
+        pruned: report
+            .subproblems
+            .iter()
+            .filter(|s| s.outcome == AnalysisOutcome::Pruned)
+            .count(),
         avg_visits_per_subproblem: report.avg_visits_per_subproblem(),
         subproblem_rows: report.subproblems.clone(),
         metrics: report.metrics.clone(),
@@ -239,7 +253,8 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
             out,
             "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"space\": {}, \
              \"visits\": {}, \"peak_nodes\": {}, \"wall_ms\": {:.3}, \
-             \"elapsed_ms\": {:.3}, \"reported\": {}, \"actual\": {}",
+             \"elapsed_ms\": {:.3}, \"reported\": {}, \"actual\": {}, \
+             \"pruned\": {}",
             r.benchmark,
             r.mode,
             r.space,
@@ -249,6 +264,7 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
             ms(r.elapsed),
             reported,
             r.actual,
+            r.pruned,
         );
         if include_metrics {
             metrics_json(&mut out, &r.metrics);
@@ -291,13 +307,14 @@ pub fn format_rows(rows: &[ModeRow], line_count: usize) -> String {
         };
         writeln!(
             out,
-            "{name:<18} {mode:<8} {lines:>5} {space:>9} {time:>9.2?} {visits:>10} {rep:>4} {act:>4}",
+            "{name:<18} {mode:<8} {lines:>5} {space:>9} {time:>9.2?} {visits:>10} {rep:>4} {act:>4} {pruned:>6}",
             mode = r.mode,
             space = r.space,
             time = r.time,
             visits = r.visits,
             rep = r.reported_cell(),
             act = r.actual,
+            pruned = r.pruned,
         )
         .unwrap();
     }

@@ -12,6 +12,8 @@
 //!   JDBC / IO-stream / collections specifications,
 //! * [`strategy`] — the separation-strategy language,
 //! * [`core`] — the verification engine ([`Verifier`], [`Mode`]),
+//! * [`analysis`] — the static pre-verification layer (dataflow framework,
+//!   program/strategy/spec lints, unified diagnostics),
 //! * [`baseline`] — the ESP-style two-phase comparator,
 //! * [`suite`] — the Table 3 benchmark programs,
 //! * [`harness`] — drivers that regenerate the paper's table rows.
@@ -45,6 +47,7 @@
 //! The [`verify`] free function remains as a thin wrapper over the builder
 //! for callers that predate the observability layer.
 
+pub use hetsep_analysis as analysis;
 pub use hetsep_baseline as baseline;
 pub use hetsep_core as core;
 pub use hetsep_easl as easl;

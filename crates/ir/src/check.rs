@@ -5,13 +5,35 @@
 //! access on *program-local* classes, and boolean/reference mode mismatches
 //! where the types are known. Library types are opaque (any method call and
 //! field type is deferred to translation).
+//!
+//! The checker reports through the unified [`Diagnostic`] type
+//! ([`check_diagnostics`]); [`check_program`] is a compatibility wrapper
+//! that downgrades diagnostics to the legacy [`CheckError`] shape.
+//!
+//! # Error codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | E001 | duplicate class |
+//! | E002 | duplicate field |
+//! | E003 | duplicate method |
+//! | E004 | program has no `main` |
+//! | E005 | `main` takes parameters |
+//! | E006 | variable redeclared |
+//! | E007 | use of undeclared variable |
+//! | E008 | unknown field on a program-local class |
+//! | E009 | call to undefined procedure |
+//! | E010 | `return <value>` in a void method |
+//! | E011 | missing return value |
+//! | E012 | non-boolean used as a boolean |
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::ast::{Arg, Block, Cond, Expr, Place, Program, Stmt};
+use crate::diag::Diagnostic;
 
-/// A semantic error with its source line.
+/// A semantic error with its source line (legacy shape; see [`Diagnostic`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckError {
     /// Explanation of the error.
@@ -28,50 +50,70 @@ impl fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
-/// Validates a program, returning all errors found.
+impl From<Diagnostic> for CheckError {
+    fn from(d: Diagnostic) -> Self {
+        CheckError {
+            message: d.message,
+            line: d.line,
+        }
+    }
+}
+
+/// Validates a program, returning all errors found (legacy shape).
 pub fn check_program(p: &Program) -> Vec<CheckError> {
+    check_diagnostics(p).into_iter().map(CheckError::from).collect()
+}
+
+/// Validates a program, returning all errors as [`Diagnostic`]s with stable
+/// `E0xx` codes and snippet hints for column resolution.
+pub fn check_diagnostics(p: &Program) -> Vec<Diagnostic> {
     let mut errors = Vec::new();
     let mut class_names = HashSet::new();
     for c in &p.classes {
         if !class_names.insert(c.name.clone()) {
-            errors.push(CheckError {
-                message: format!("duplicate class `{}`", c.name),
-                line: c.line,
-            });
+            errors.push(
+                Diagnostic::error("E001", format!("duplicate class `{}`", c.name), c.line)
+                    .with_snippet(c.name.clone()),
+            );
         }
         let mut fields = HashSet::new();
         for (fname, _) in &c.fields {
             if !fields.insert(fname.clone()) {
-                errors.push(CheckError {
-                    message: format!("duplicate field `{}` in class `{}`", fname, c.name),
-                    line: c.line,
-                });
+                errors.push(
+                    Diagnostic::error(
+                        "E002",
+                        format!("duplicate field `{}` in class `{}`", fname, c.name),
+                        c.line,
+                    )
+                    .with_snippet(fname.clone()),
+                );
             }
         }
     }
     let mut method_names = HashSet::new();
     for m in &p.methods {
         if !method_names.insert(m.name.clone()) {
-            errors.push(CheckError {
-                message: format!("duplicate method `{}`", m.name),
-                line: m.line,
-            });
+            errors.push(
+                Diagnostic::error("E003", format!("duplicate method `{}`", m.name), m.line)
+                    .with_snippet(m.name.clone()),
+            );
         }
     }
     match p.method("main") {
-        None => errors.push(CheckError {
-            message: "program has no `main` method".into(),
-            line: 0,
-        }),
-        Some(m) if !m.params.is_empty() => errors.push(CheckError {
-            message: "`main` must not take parameters".into(),
-            line: m.line,
-        }),
+        None => errors.push(Diagnostic::error(
+            "E004",
+            "program has no `main` method",
+            0,
+        )),
+        Some(m) if !m.params.is_empty() => errors.push(
+            Diagnostic::error("E005", "`main` must not take parameters", m.line)
+                .with_snippet("main"),
+        ),
         Some(_) => {}
     }
     for m in &p.methods {
         let mut scope: HashMap<String, String> = m.params.iter().cloned().collect();
-        check_block(p, &m.body, &mut scope, &mut errors, m.ret.as_deref(), m.line);
+        check_block(p, &m.body, &mut scope, &mut errors, m.ret.as_deref());
     }
     errors
 }
@@ -80,9 +122,8 @@ fn check_block(
     p: &Program,
     block: &Block,
     scope: &mut HashMap<String, String>,
-    errors: &mut Vec<CheckError>,
+    errors: &mut Vec<Diagnostic>,
     ret: Option<&str>,
-    _line: u32,
 ) {
     for stmt in &block.stmts {
         check_stmt(p, stmt, scope, errors, ret);
@@ -93,16 +134,16 @@ fn check_stmt(
     p: &Program,
     stmt: &Stmt,
     scope: &mut HashMap<String, String>,
-    errors: &mut Vec<CheckError>,
+    errors: &mut Vec<Diagnostic>,
     ret: Option<&str>,
 ) {
     match stmt {
         Stmt::VarDecl { ty, name, init, line } => {
             if scope.contains_key(name) {
-                errors.push(CheckError {
-                    message: format!("variable `{name}` redeclared"),
-                    line: *line,
-                });
+                errors.push(
+                    Diagnostic::error("E006", format!("variable `{name}` redeclared"), *line)
+                        .with_snippet(name.clone()),
+                );
             }
             if let Some(init) = init {
                 check_expr(p, init, scope, errors, *line);
@@ -126,27 +167,27 @@ fn check_stmt(
             else_branch,
             line,
         } => {
-            check_cond(p, cond, scope, errors, *line);
+            check_cond(cond, scope, errors, *line);
             // Blocks share the enclosing flat scope (as in the benchmarks).
             let mut s1 = scope.clone();
-            check_block(p, then_branch, &mut s1, errors, ret, *line);
+            check_block(p, then_branch, &mut s1, errors, ret);
             let mut s2 = scope.clone();
-            check_block(p, else_branch, &mut s2, errors, ret, *line);
+            check_block(p, else_branch, &mut s2, errors, ret);
         }
         Stmt::While { cond, body, line } => {
-            check_cond(p, cond, scope, errors, *line);
+            check_cond(cond, scope, errors, *line);
             let mut s = scope.clone();
-            check_block(p, body, &mut s, errors, ret, *line);
+            check_block(p, body, &mut s, errors, ret);
         }
         Stmt::Return { value, line } => match (value, ret) {
-            (Some(_), None) => errors.push(CheckError {
-                message: "`return <value>` in a void method".into(),
-                line: *line,
-            }),
-            (None, Some(_)) => errors.push(CheckError {
-                message: "missing return value".into(),
-                line: *line,
-            }),
+            (Some(v), None) => errors.push(
+                Diagnostic::error("E010", "`return <value>` in a void method", *line)
+                    .with_snippet(v.clone()),
+            ),
+            (None, Some(_)) => errors.push(
+                Diagnostic::error("E011", "missing return value", *line)
+                    .with_snippet("return"),
+            ),
             (Some(v), Some(_)) => require_declared(v, scope, errors, *line),
             (None, None) => {}
         },
@@ -157,7 +198,7 @@ fn check_expr(
     p: &Program,
     expr: &Expr,
     scope: &HashMap<String, String>,
-    errors: &mut Vec<CheckError>,
+    errors: &mut Vec<Diagnostic>,
     line: u32,
 ) {
     match expr {
@@ -172,10 +213,14 @@ fn check_expr(
             if let Some(r) = recv {
                 require_declared(r, scope, errors, line);
             } else if p.method(method).is_none() {
-                errors.push(CheckError {
-                    message: format!("call to undefined procedure `{method}`"),
-                    line,
-                });
+                errors.push(
+                    Diagnostic::error(
+                        "E009",
+                        format!("call to undefined procedure `{method}`"),
+                        line,
+                    )
+                    .with_snippet(method.clone()),
+                );
             }
             check_args(args, scope, errors, line);
         }
@@ -183,10 +228,9 @@ fn check_expr(
 }
 
 fn check_cond(
-    p: &Program,
     cond: &Cond,
     scope: &HashMap<String, String>,
-    errors: &mut Vec<CheckError>,
+    errors: &mut Vec<Diagnostic>,
     line: u32,
 ) {
     match cond {
@@ -200,10 +244,14 @@ fn check_cond(
             require_declared(var, scope, errors, line);
             if let Some(ty) = scope.get(var) {
                 if ty != "boolean" {
-                    errors.push(CheckError {
-                        message: format!("`{var}` used as a boolean but has type `{ty}`"),
-                        line,
-                    });
+                    errors.push(
+                        Diagnostic::error(
+                            "E012",
+                            format!("`{var}` used as a boolean but has type `{ty}`"),
+                            line,
+                        )
+                        .with_snippet(var.clone()),
+                    );
                 }
             }
         }
@@ -212,13 +260,12 @@ fn check_cond(
             check_args(args, scope, errors, line);
         }
     }
-    let _ = p;
 }
 
 fn check_args(
     args: &[Arg],
     scope: &HashMap<String, String>,
-    errors: &mut Vec<CheckError>,
+    errors: &mut Vec<Diagnostic>,
     line: u32,
 ) {
     for a in args {
@@ -231,14 +278,14 @@ fn check_args(
 fn require_declared(
     var: &str,
     scope: &HashMap<String, String>,
-    errors: &mut Vec<CheckError>,
+    errors: &mut Vec<Diagnostic>,
     line: u32,
 ) {
     if !scope.contains_key(var) {
-        errors.push(CheckError {
-            message: format!("use of undeclared variable `{var}`"),
-            line,
-        });
+        errors.push(
+            Diagnostic::error("E007", format!("use of undeclared variable `{var}`"), line)
+                .with_snippet(var.to_owned()),
+        );
     }
 }
 
@@ -246,16 +293,20 @@ fn check_program_field(
     p: &Program,
     var_ty: Option<&String>,
     field: &str,
-    errors: &mut Vec<CheckError>,
+    errors: &mut Vec<Diagnostic>,
     line: u32,
 ) {
     if let Some(ty) = var_ty {
         if let Some(class) = p.class(ty) {
             if !class.fields.iter().any(|(f, _)| f == field) {
-                errors.push(CheckError {
-                    message: format!("class `{ty}` has no field `{field}`"),
-                    line,
-                });
+                errors.push(
+                    Diagnostic::error(
+                        "E008",
+                        format!("class `{ty}` has no field `{field}`"),
+                        line,
+                    )
+                    .with_snippet(field.to_owned()),
+                );
             }
         }
         // Library classes: field validity deferred to translation.
@@ -271,6 +322,13 @@ mod tests {
         check_program(&parse_program(src).unwrap())
             .into_iter()
             .map(|e| e.message)
+            .collect()
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        check_diagnostics(&parse_program(src).unwrap())
+            .into_iter()
+            .map(|d| d.code)
             .collect()
     }
 
@@ -296,12 +354,15 @@ void main() {
     fn rejects_missing_main() {
         let e = errs("program P uses X; void helper() { }");
         assert!(e.iter().any(|m| m.contains("no `main`")), "{e:?}");
+        assert_eq!(codes("program P uses X; void helper() { }"), ["E004"]);
     }
 
     #[test]
     fn rejects_undeclared_variable() {
-        let e = errs("program P uses X; void main() { a = null; }");
+        let src = "program P uses X; void main() { a = null; }";
+        let e = errs(src);
         assert!(e.iter().any(|m| m.contains("undeclared variable `a`")), "{e:?}");
+        assert_eq!(codes(src), ["E007"]);
     }
 
     #[test]
@@ -341,16 +402,17 @@ void main() { Holder h = new Holder(); h.bogus = null; }
 
     #[test]
     fn rejects_return_mismatches() {
-        let e = errs(
-            r#"
+        let src = r#"
 program P uses X;
 void v() { InputStream a = new InputStream(); return a; }
 InputStream r() { return; }
 void main() { }
-"#,
-        );
+"#;
+        let e = errs(src);
         assert!(e.iter().any(|m| m.contains("void method")), "{e:?}");
         assert!(e.iter().any(|m| m.contains("missing return value")), "{e:?}");
+        let c = codes(src);
+        assert!(c.contains(&"E010") && c.contains(&"E011"), "{c:?}");
     }
 
     #[test]
@@ -382,5 +444,27 @@ void main() { }
     fn main_with_params_rejected() {
         let e = errs("program P uses X; void main(InputStream s) { }");
         assert!(e.iter().any(|m| m.contains("must not take parameters")), "{e:?}");
+    }
+
+    #[test]
+    fn diagnostics_carry_snippets_for_column_resolution() {
+        let src = "program P uses X;\nvoid main() {\n    a = null;\n}\n";
+        let mut diags = check_diagnostics(&parse_program(src).unwrap());
+        assert_eq!(diags.len(), 1);
+        diags[0].locate(src);
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[0].col, 5);
+    }
+
+    #[test]
+    fn check_error_shim_preserves_message_and_line() {
+        let d = Diagnostic::error("E007", "use of undeclared variable `a`", 3);
+        let e = CheckError::from(d);
+        assert_eq!(e.message, "use of undeclared variable `a`");
+        assert_eq!(e.line, 3);
+        assert_eq!(
+            e.to_string(),
+            "semantic error at line 3: use of undeclared variable `a`"
+        );
     }
 }

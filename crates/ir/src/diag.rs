@@ -1,0 +1,299 @@
+//! Unified diagnostics.
+//!
+//! Every front-end check and lint in the workspace reports through one
+//! [`Diagnostic`] type: a stable code (`E0xx` for errors that make the input
+//! invalid, `W1xx` for lints), a severity, a message, a source span, and an
+//! optional note. Diagnostics render two ways:
+//!
+//! * [`Diagnostic::render`] — a human-readable block in the style of
+//!   compiler output, with a caret line when the source text is available;
+//! * [`Diagnostic::to_json`] — one flat NDJSON object per diagnostic,
+//!   mirroring the telemetry trace format of `hetsep-tvl` (lower-case keys,
+//!   no nesting) so the same tooling can consume both streams.
+//!
+//! The type lives in `hetsep-ir` — the bottom of the crate DAG — so that the
+//! semantic checker ([`crate::check`]) and the lint passes of
+//! `hetsep-analysis` share it without a dependency cycle; `hetsep-analysis`
+//! re-exports it as its public surface.
+//!
+//! Spans are line-oriented because the lexer tracks lines only: a diagnostic
+//! is born with a 1-based `line` and a `snippet` (the offending token), and
+//! [`Diagnostic::locate`] resolves the column by finding the snippet in the
+//! source line. Column `0` means "unknown".
+
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A lint: the input is valid but suspicious (`W1xx`).
+    Warning,
+    /// The input is invalid and cannot be verified (`E0xx`).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A single diagnostic: code, severity, message, span, optional note.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"E007"` or `"W102"`.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message (no trailing period, backticks for names).
+    pub message: String,
+    /// 1-based source line (0 when not attributable).
+    pub line: u32,
+    /// 1-based column of the offending token (0 when unknown).
+    pub col: u32,
+    /// Length of the offending token in characters (0 when unknown).
+    pub len: u32,
+    /// The offending token, used by [`Diagnostic::locate`] to resolve the
+    /// column from source text.
+    pub snippet: Option<String>,
+    /// Optional explanatory note appended to the rendered output.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>, line: u32) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            line,
+            col: 0,
+            len: 0,
+            snippet: None,
+            note: None,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>, line: u32) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message, line)
+        }
+    }
+
+    /// Attaches the offending token (enables column resolution).
+    pub fn with_snippet(mut self, snippet: impl Into<String>) -> Self {
+        self.snippet = Some(snippet.into());
+        self
+    }
+
+    /// Attaches an explanatory note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Resolves `col`/`len` by locating `snippet` in the source line. A
+    /// no-op when the line or snippet is unknown or cannot be found.
+    pub fn locate(&mut self, source: &str) {
+        let (Some(snippet), Some(text)) = (
+            self.snippet.as_deref(),
+            source.lines().nth(self.line.saturating_sub(1) as usize),
+        ) else {
+            return;
+        };
+        if self.line == 0 || snippet.is_empty() {
+            return;
+        }
+        if let Some(byte_ix) = text.find(snippet) {
+            self.col = text[..byte_ix].chars().count() as u32 + 1;
+            self.len = snippet.chars().count() as u32;
+        }
+    }
+
+    /// Renders a human-readable block. With `source`, includes the offending
+    /// line and a caret span:
+    ///
+    /// ```text
+    /// error[E007]: use of undeclared variable `a`
+    ///  --> line 3:5
+    ///   |
+    /// 3 |     a = null;
+    ///   |     ^
+    /// ```
+    pub fn render(&self, source: Option<&str>) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity.label(), self.code, self.message);
+        if self.line > 0 {
+            out.push_str(&format!("\n --> line {}", self.line));
+            if self.col > 0 {
+                out.push_str(&format!(":{}", self.col));
+            }
+            if let Some(text) =
+                source.and_then(|s| s.lines().nth(self.line.saturating_sub(1) as usize))
+            {
+                let gutter = self.line.to_string();
+                let pad = " ".repeat(gutter.len());
+                out.push_str(&format!("\n{pad} |\n{gutter} | {text}"));
+                if self.col > 0 {
+                    let carets = "^".repeat(self.len.max(1) as usize);
+                    out.push_str(&format!(
+                        "\n{pad} | {}{carets}",
+                        " ".repeat(self.col as usize - 1)
+                    ));
+                }
+            }
+        }
+        if let Some(note) = &self.note {
+            out.push_str(&format!("\n = note: {note}"));
+        }
+        out
+    }
+
+    /// Emits one flat NDJSON object (no trailing newline), mirroring the
+    /// telemetry trace schema: lower-case keys, flat values, stable order.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"diag\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"",
+            self.code,
+            self.severity.label(),
+            self.line,
+            self.col,
+            escape_json(&self.message)
+        );
+        if let Some(note) = &self.note {
+            out.push_str(&format!(",\"note\":\"{}\"", escape_json(note)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        )?;
+        if self.line > 0 {
+            write!(f, " (line {}", self.line)?;
+            if self.col > 0 {
+                write!(f, ":{}", self.col)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sorts diagnostics for presentation: by line, column, then code.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.line, a.col, a.code)
+            .cmp(&(b.line, b.col, b.code))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_resolves_columns_from_snippet() {
+        let src = "program P uses X;\nvoid main() {\n    a = null;\n}\n";
+        let mut d = Diagnostic::error("E007", "use of undeclared variable `a`", 3)
+            .with_snippet("a");
+        d.locate(src);
+        assert_eq!(d.col, 5);
+        assert_eq!(d.len, 1);
+    }
+
+    #[test]
+    fn locate_is_noop_without_match() {
+        let mut d = Diagnostic::error("E007", "x", 99).with_snippet("zzz");
+        d.locate("one line only\n");
+        assert_eq!(d.col, 0);
+    }
+
+    #[test]
+    fn render_includes_caret_when_located() {
+        let src = "x\n    a = null;\n";
+        let mut d = Diagnostic::error("E007", "use of undeclared variable `a`", 2)
+            .with_snippet("a");
+        d.locate(src);
+        let r = d.render(Some(src));
+        assert!(r.contains("error[E007]"), "{r}");
+        assert!(r.contains(" --> line 2:5"), "{r}");
+        assert!(r.contains("2 |     a = null;"), "{r}");
+        assert!(r.lines().last().unwrap().trim_end().ends_with('^'), "{r}");
+    }
+
+    #[test]
+    fn render_without_source_is_single_header() {
+        let d = Diagnostic::warning("W104", "variable `x` is never used", 7);
+        let r = d.render(None);
+        assert_eq!(r, "warning[W104]: variable `x` is never used\n --> line 7");
+    }
+
+    #[test]
+    fn json_is_flat_and_escaped() {
+        let d = Diagnostic::warning("W102", "value assigned to `a` is never read", 4)
+            .with_note("a \"quoted\" note");
+        let j = d.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(!j[1..j.len() - 1].contains('{'), "flat: {j}");
+        assert!(j.contains("\"diag\":\"W102\""), "{j}");
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(!j.contains('\n'), "{j}");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut d = Diagnostic::error("E004", "program has no `main` method", 0);
+        assert_eq!(d.to_string(), "error[E004]: program has no `main` method");
+        d.line = 3;
+        d.col = 2;
+        assert_eq!(
+            d.to_string(),
+            "error[E004]: program has no `main` method (line 3:2)"
+        );
+    }
+
+    #[test]
+    fn sorting_is_by_position_then_code() {
+        let mut v = vec![
+            Diagnostic::warning("W104", "b", 5),
+            Diagnostic::error("E007", "a", 2),
+            Diagnostic::warning("W101", "c", 5),
+        ];
+        sort_diagnostics(&mut v);
+        let codes: Vec<_> = v.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["E007", "W101", "W104"]);
+    }
+}

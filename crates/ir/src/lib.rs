@@ -36,6 +36,7 @@
 pub mod ast;
 pub mod cfg;
 pub mod check;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -43,4 +44,5 @@ pub mod token;
 
 pub use ast::{Arg, Block, ClassDecl, Cond, Expr, MethodDecl, Place, Program, Stmt};
 pub use cfg::{Cfg, CfgEdge, CfgOp};
+pub use diag::{Diagnostic, Severity};
 pub use parser::{parse_program, ParseError};

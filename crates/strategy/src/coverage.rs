@@ -61,14 +61,51 @@ pub fn covered_classes(stage: &AtomicStrategy) -> HashSet<String> {
     covered
 }
 
-/// Whether an incremental strategy completely covers `class`: the *first*
-/// stage must cover it (later stages only re-examine failures, so coverage
-/// must be established up front), or some later stage must cover it without
-/// any `failing` restriction on the path to it.
+/// Whether a stage *re-examines* every previously-failing object of `class`.
+///
+/// Within a violating state the engine records the allocation sites of **all**
+/// chosen objects as failing — a failing object's chosen ancestors are failing
+/// too. A stage therefore re-examines every failing object of `class` when it
+/// has a choice on `class` whose equations chain only through *complete*
+/// variables: a variable is complete when its own equations do (`failing`
+/// choices included — the restriction matches exactly the failing set we need
+/// to re-examine, and failing ancestors are selectable by the argument above).
+pub fn stage_reexamines(stage: &AtomicStrategy, class: &str) -> bool {
+    let mut complete: HashSet<&str> = HashSet::new();
+    let mut found = false;
+    for op in &stage.choices {
+        let deps_complete = op
+            .equations
+            .iter()
+            .all(|(_, z)| complete.contains(z.as_str()));
+        if deps_complete {
+            complete.insert(&op.var);
+            found |= op.class == class;
+        }
+    }
+    found
+}
+
+/// Whether an incremental strategy completely covers `class` **under the
+/// driver's early-stop semantics**: the driver stops after the first stage
+/// that fully verifies, and the final verdict is the *last* stage run.
+///
+/// Two conditions are therefore required:
+///
+/// 1. the *first* stage covers `class` — a class first covered by a later
+///    stage is never examined when stage 0 verifies, and
+/// 2. every later stage [re-examines](stage_reexamines) failing objects of
+///    `class` — otherwise an error found in an earlier stage is dropped from
+///    the final verdict.
+///
+/// (A previous revision accepted any stage covering the class, which is
+/// unsound on both counts.)
 pub fn incremental_covers(stages: &[AtomicStrategy], class: &str) -> bool {
-    stages
-        .iter()
-        .any(|stage| covered_classes(stage).contains(class))
+    let Some((first, rest)) = stages.split_first() else {
+        return false;
+    };
+    covered_classes(first).contains(class)
+        && rest.iter().all(|stage| stage_reexamines(stage, class))
 }
 
 #[cfg(test)]
@@ -135,10 +172,117 @@ on failure {
         let covered1 = covered_classes(&s.stages[1]);
         assert!(covered1.contains("Statement"));
         assert!(!covered1.contains("ResultSet"), "failing restriction");
-        // The incremental strategy as a whole covers ResultSet via stage 0.
+        // The incremental strategy as a whole covers ResultSet: stage 0
+        // covers it and stage 1 re-examines its failing objects.
         assert!(incremental_covers(&s.stages, "ResultSet"));
-        assert!(incremental_covers(&s.stages, "Statement"));
+        // Statement is only covered by stage 1, which never runs when
+        // stage 0 verifies — NOT covered under early-stop semantics.
+        assert!(!incremental_covers(&s.stages, "Statement"));
         assert!(!incremental_covers(&s.stages, "Connection"));
+    }
+
+    #[test]
+    fn theorem1_rejects_conditioned_some_and_accepts_all() {
+        let s = parse_strategy(
+            r#"
+strategy T {
+    choose some c : Connection();
+    choose all s : Statement(x) / x == c;
+}
+"#,
+        )
+        .unwrap();
+        assert!(theorem1_applies(&s.stages[0]));
+        let s2 = parse_strategy(
+            r#"
+strategy T2 {
+    choose some c : Connection();
+    choose some s : Statement(x) / x == c;
+}
+"#,
+        )
+        .unwrap();
+        assert!(!theorem1_applies(&s2.stages[0]));
+    }
+
+    #[test]
+    fn covered_classes_requires_equation_chain_to_covered_vars() {
+        // `r` chains to `s` which chains to `c`: all covered. A second
+        // choice whose equation names a failing var is not covered.
+        let s = parse_strategy(
+            r#"
+strategy C {
+    choose some a : A();
+}
+on failure {
+    choose some c : Connection();
+    choose some failing s : Statement(x) / x == c;
+    choose all r : ResultSet(y) / y == s;
+}
+"#,
+        )
+        .unwrap();
+        let covered = covered_classes(&s.stages[1]);
+        assert!(covered.contains("Connection"));
+        assert!(!covered.contains("Statement"), "failing choice");
+        assert!(
+            !covered.contains("ResultSet"),
+            "chained through a failing var"
+        );
+    }
+
+    #[test]
+    fn stage_reexamines_chains_through_failing_choices() {
+        let s = parse_strategy(
+            r#"
+strategy R {
+    choose some r : ResultSet(y);
+}
+on failure {
+    choose some c : Connection();
+    choose some failing s : Statement(x) / x == c;
+    choose some failing r : ResultSet(y) / y == s;
+}
+"#,
+        )
+        .unwrap();
+        // failing s is complete (chains to c), so failing r is complete too.
+        assert!(stage_reexamines(&s.stages[1], "ResultSet"));
+        assert!(stage_reexamines(&s.stages[1], "Statement"));
+        assert!(!stage_reexamines(&s.stages[1], "Element"));
+    }
+
+    #[test]
+    fn incremental_covers_requires_every_later_stage_to_reexamine() {
+        // Stage 1 drops the ResultSet choice entirely: a stage-0 ResultSet
+        // error would vanish from the final verdict, so not covered.
+        let s = parse_strategy(
+            r#"
+strategy Drop {
+    choose some r : ResultSet(y);
+}
+on failure {
+    choose some s : Statement(x);
+}
+"#,
+        )
+        .unwrap();
+        assert!(!incremental_covers(&s.stages, "ResultSet"));
+    }
+
+    #[test]
+    fn incremental_covers_accepts_empty_and_single_stage() {
+        assert!(!incremental_covers(&[], "Connection"));
+        let s = parse_strategy(
+            r#"
+strategy One {
+    choose some c : Connection();
+}
+"#,
+        )
+        .unwrap();
+        assert!(incremental_covers(&s.stages, "Connection"));
+        assert!(!incremental_covers(&s.stages, "Statement"));
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod instrument;
 pub mod parser;
 
 pub use ast::{AtomicStrategy, ChoiceMode, ChoiceOp, Strategy};
-pub use coverage::{covered_classes, theorem1_applies};
+pub use coverage::{covered_classes, incremental_covers, stage_reexamines, theorem1_applies};
 pub use instrument::{ChoicePlan, InstrumentPlan};
 pub use parser::{parse_strategy, StrategyParseError};

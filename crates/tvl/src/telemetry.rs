@@ -110,11 +110,14 @@ pub enum Counter {
     BudgetExhausted,
     /// Runs aborted by a sibling subproblem's cancellation flag.
     Cancelled,
+    /// Subproblems skipped entirely because the static pre-analysis proved
+    /// their requires-checks safe under the coarse baseline abstraction.
+    SubproblemsPruned,
 }
 
 impl Counter {
     /// Every counter, in fixed reporting order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 11] = [
         Counter::InternHits,
         Counter::InternMisses,
         Counter::WorklistPushes,
@@ -125,6 +128,7 @@ impl Counter {
         Counter::MergeJoins,
         Counter::BudgetExhausted,
         Counter::Cancelled,
+        Counter::SubproblemsPruned,
     ];
 
     /// Stable snake_case label used in traces and JSON output.
@@ -140,6 +144,7 @@ impl Counter {
             Counter::MergeJoins => "merge_joins",
             Counter::BudgetExhausted => "budget_exhausted",
             Counter::Cancelled => "cancelled",
+            Counter::SubproblemsPruned => "subproblems_pruned",
         }
     }
 
@@ -161,6 +166,7 @@ impl Counter {
             Counter::MergeJoins => 7,
             Counter::BudgetExhausted => 8,
             Counter::Cancelled => 9,
+            Counter::SubproblemsPruned => 10,
         }
     }
 }

@@ -10,3 +10,10 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo run -q -p hetsep --example quickstart --release > /dev/null
+
+# Static pre-verification gate: the shipped example programs and every
+# bundled benchmark must lint clean (no E-codes, no warnings).
+for prog in examples/programs/*.hsp; do
+    cargo run -q -p hetsep --bin hetsep --release -- lint "$prog" --quiet --deny warnings
+done
+cargo run -q -p hetsep --bin hetsep --release -- lint --suite --quiet --deny warnings
