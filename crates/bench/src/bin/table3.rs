@@ -2,9 +2,9 @@
 //! benchmark programs, per verification mode.
 //!
 //! Usage: `table3 [--threads N] [--json PATH] [--metrics] [--trace PATH]
-//! [--no-preanalysis] [benchmark-name …]` (default: all benchmarks, auto
-//! thread count, JSON written to `BENCH_table3.json` in the working
-//! directory).
+//! [--no-preanalysis] [--no-transfer-cache] [benchmark-name …]` (default:
+//! all benchmarks, auto thread count, JSON written to `BENCH_table3.json`
+//! in the working directory).
 //!
 //! `--threads` controls the parallel subproblem scheduler (0 = auto:
 //! `HETSEP_THREADS`, then available parallelism); results are identical
@@ -19,6 +19,11 @@
 //! `--no-preanalysis` disables the static pruning pre-pass that
 //! `table3_config` turns on. Pruning is observation-equivalent, so only the
 //! `pruned` column (and the effort of pruned subproblems) changes.
+//!
+//! `--no-transfer-cache` disables the exact transfer-function cache (on by
+//! default). Cache hits replay memoized interned post-structures, so every
+//! column except the wall-clock times (and the cache counters) is
+//! byte-identical with the cache on or off.
 
 use std::io::Write as _;
 
@@ -34,6 +39,7 @@ fn main() {
     let mut json_path = String::from("BENCH_table3.json");
     let mut metrics = false;
     let mut no_preanalysis = false;
+    let mut no_transfer_cache = false;
     let mut trace_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -48,6 +54,7 @@ fn main() {
             }
             "--metrics" => metrics = true,
             "--no-preanalysis" => no_preanalysis = true,
+            "--no-transfer-cache" => no_transfer_cache = true,
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace needs a path"));
             }
@@ -72,6 +79,9 @@ fn main() {
     config.phase_timings = metrics;
     if no_preanalysis {
         config.preanalysis = false;
+    }
+    if no_transfer_cache {
+        config.transfer_cache = false;
     }
     let mut null = NullSink;
     let mut trace = trace_path.as_ref().map(|path| {

@@ -21,8 +21,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use hetsep_ir::cfg::Cfg;
-use hetsep_tvl::action::apply_traced;
+use hetsep_tvl::action::apply_planned;
 use hetsep_tvl::canon::{blur, canonical_key};
+use hetsep_tvl::coerce::CoercePlan;
 use hetsep_tvl::focus::DEFAULT_FOCUS_LIMIT;
 use hetsep_tvl::intern::{StructureId, StructureInterner};
 use hetsep_tvl::kleene::Kleene;
@@ -110,6 +111,23 @@ pub struct EngineConfig {
     /// verdict or the reported errors, only which subproblems run. Off by
     /// default; enable via [`crate::Verifier::with_preanalysis`].
     pub preanalysis: bool,
+    /// Memoize the transfer function: per run, a map from `(action,
+    /// input structure id)` to the interned canonical post-structure ids and
+    /// check violations of the full focus → coerce → update → canon
+    /// pipeline. Because structures are hash-consed (id equality ⇔ structure
+    /// equality) and the pipeline is deterministic, cache hits are exact:
+    /// verdicts, error sets and `visits`/`structures` statistics are
+    /// byte-identical with the cache on or off — only wall-clock time and
+    /// the per-phase work counters change. The cache is per-run (each
+    /// separation subproblem owns its interner, so ids are not shared across
+    /// threads). On by default; disable via
+    /// [`crate::Verifier::with_transfer_cache`] or `--no-transfer-cache`.
+    pub transfer_cache: bool,
+    /// Entry budget for the transfer cache; exceeding it clears the whole
+    /// cache (counted in [`Counter::TransferCacheEvictions`]). Bulk clearing
+    /// is sound (the cache is exact, so losing entries only costs time) and
+    /// keeps the hit path free of bookkeeping.
+    pub transfer_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +140,8 @@ impl Default for EngineConfig {
             parallel: ParallelConfig::default(),
             phase_timings: false,
             preanalysis: false,
+            transfer_cache: true,
+            transfer_cache_capacity: 1 << 20,
         }
     }
 }
@@ -197,6 +217,22 @@ enum MergeKey {
     Whole(StructureId),
     Nullary(Vec<Kleene>),
     Relevant(StructureId),
+}
+
+/// One memoized transfer-function application (see
+/// [`EngineConfig::transfer_cache`]): everything the worklist loop needs to
+/// replay an action application without recomputing the
+/// focus → coerce → update → canon pipeline.
+struct TransferEntry {
+    /// Interned canonical (blurred, keyed) post-structure ids, in pipeline
+    /// emission order.
+    posts: Vec<StructureId>,
+    /// Check violations of the application as `(label, definite?)` pairs;
+    /// the error map is keyed on the edge's line, which the call site knows.
+    violations: Vec<(String, bool)>,
+    /// Largest universe size among the (unblurred) post-structures, so
+    /// `peak_nodes` accounting stays exact on hits.
+    peak_post_nodes: usize,
 }
 
 /// Computes the merge key of the (already interned) structure `id`.
@@ -292,9 +328,11 @@ pub fn run_cancellable(
     let mut worklist: BinaryHeap<Reverse<(u32, u64, usize, StructureId)>> = BinaryHeap::new();
     let mut seq: u64 = 0;
 
-    let init = metrics.time(Phase::Canon, || {
-        canonical_key(&blur(&Structure::new(table), table), table).into_structure()
-    });
+    // `blur` output is already canonical — nodes are emitted in ascending
+    // canonical-name order and names are unique per node (verified by the
+    // `canonical_key_is_identity_on_blurred` property test) — so blurred
+    // structures are interned directly without a re-keying pass.
+    let init = metrics.time(Phase::Canon, || blur(&Structure::new(table), table));
     let init_id = interner.intern(init);
     let init_key = metrics.time(Phase::Merge, || {
         merge_key(&mut interner, init_id, instance, config.merge)
@@ -316,11 +354,50 @@ pub fn run_cancellable(
     let mut errors: HashMap<(u32, String), bool> = HashMap::new();
     let mut failing_sites: HashSet<SiteId> = HashSet::new();
 
+    // The coerce constraint set depends only on the vocabulary: compile it
+    // once instead of re-deriving it inside every action application.
+    let plan = CoercePlan::new(table);
+    // Content-keyed action ids for transfer-cache keys: `action_ids[e][i]`
+    // identifies action `i` of edge `e` by *content*, so structurally equal
+    // actions on different edges (skip edges, `assume(?)` branch pairs,
+    // repeated statements) share cache entries. The worklist itself never
+    // re-applies one edge's action to the same structure — location sets
+    // dedup on interned ids — so all cache hits come from this cross-edge
+    // sharing. Deduplication is a linear scan per action: action counts are
+    // CFG-sized (tens), and it runs once per analysis.
+    let mut action_ids: Vec<Vec<u32>> = Vec::with_capacity(instance.actions.len());
+    let mut uniq_actions: Vec<&hetsep_tvl::action::Action> = Vec::new();
+    for edge_actions in &instance.actions {
+        let ids = edge_actions
+            .iter()
+            .map(|a| match uniq_actions.iter().position(|u| *u == a) {
+                Some(ix) => ix as u32,
+                None => {
+                    uniq_actions.push(a);
+                    (uniq_actions.len() - 1) as u32
+                }
+            })
+            .collect();
+        action_ids.push(ids);
+    }
+    let mut cache: HashMap<(u32, StructureId), TransferEntry> = HashMap::new();
+
     'outer: while let Some(Reverse((_, _, node, sid))) = worklist.pop() {
+        // Poll the cross-run flag at the top of every visit, not only every
+        // `CANCEL_CHECK_INTERVAL` applications: a single expensive
+        // focus/coerce expansion must not delay a budget-triggered cancel by
+        // a full visit.
+        if let Some(flag) = cancel {
+            if flag.load(Ordering::Relaxed) {
+                outcome = AnalysisOutcome::BudgetExceeded;
+                metrics.counters.add(Counter::Cancelled, 1);
+                break 'outer;
+            }
+        }
         let s = interner.resolve(sid).clone();
         for &edge_ix in cfg.out_edges(node) {
             let edge = &cfg.edges()[edge_ix];
-            for action in &instance.actions[edge_ix] {
+            for (action_ix, action) in instance.actions[edge_ix].iter().enumerate() {
                 visits += 1;
                 if visits > config.max_visits || live_structures > config.max_structures {
                     outcome = AnalysisOutcome::BudgetExceeded;
@@ -339,23 +416,82 @@ pub fn run_cancellable(
                         }
                     }
                 }
-                let out = apply_traced(action, &s, table, config.focus_limit, &mut metrics);
-                if !out.violations.is_empty() {
-                    for v in &out.violations {
-                        let definite = v.value == hetsep_tvl::Kleene::False;
-                        errors
-                            .entry((edge.line, v.label.clone()))
-                            .and_modify(|d| *d |= definite)
-                            .or_insert(definite);
+                // The transfer function is a pure function of the (interned)
+                // pre-structure and the action, so its output — canonical
+                // post ids, violations, peak universe size — can be replayed
+                // exactly from the cache. Everything downstream (merge keys,
+                // state-set insertion, worklist pushes, structure counting)
+                // runs on the shared path below either way.
+                let cache_key = (action_ids[edge_ix][action_ix], sid);
+                let mut replay: Option<Vec<StructureId>> = None;
+                if config.transfer_cache {
+                    if let Some(entry) = cache.get(&cache_key) {
+                        metrics.counters.add(Counter::TransferCacheHits, 1);
+                        if !entry.violations.is_empty() {
+                            for (label, definite) in &entry.violations {
+                                errors
+                                    .entry((edge.line, label.clone()))
+                                    .and_modify(|d| *d |= *definite)
+                                    .or_insert(*definite);
+                            }
+                            collect_failing_sites(instance, &s, &mut failing_sites);
+                        }
+                        peak_nodes = peak_nodes.max(entry.peak_post_nodes);
+                        replay = Some(entry.posts.clone());
                     }
-                    collect_failing_sites(instance, &s, &mut failing_sites);
                 }
-                for post in out.results {
-                    peak_nodes = peak_nodes.max(post.node_count());
-                    let keyed = metrics.time(Phase::Canon, || {
-                        canonical_key(&blur(&post, table), table).into_structure()
-                    });
-                    let keyed_id = interner.intern(keyed);
+                let post_ids = match replay {
+                    Some(posts) => posts,
+                    None => {
+                        if config.transfer_cache {
+                            metrics.counters.add(Counter::TransferCacheMisses, 1);
+                        }
+                        let out =
+                            apply_planned(action, &s, table, &plan, config.focus_limit, &mut metrics);
+                        if !out.violations.is_empty() {
+                            for v in &out.violations {
+                                let definite = v.value == hetsep_tvl::Kleene::False;
+                                errors
+                                    .entry((edge.line, v.label.clone()))
+                                    .and_modify(|d| *d |= definite)
+                                    .or_insert(definite);
+                            }
+                            collect_failing_sites(instance, &s, &mut failing_sites);
+                        }
+                        let mut peak_post_nodes = 0usize;
+                        let mut posts = Vec::with_capacity(out.results.len());
+                        for post in out.results {
+                            peak_post_nodes = peak_post_nodes.max(post.node_count());
+                            let keyed = metrics.time(Phase::Canon, || blur(&post, table));
+                            posts.push(interner.intern(keyed));
+                        }
+                        peak_nodes = peak_nodes.max(peak_post_nodes);
+                        if config.transfer_cache {
+                            if cache.len() >= config.transfer_cache_capacity {
+                                metrics
+                                    .counters
+                                    .add(Counter::TransferCacheEvictions, cache.len() as u64);
+                                cache.clear();
+                            }
+                            cache.insert(
+                                cache_key,
+                                TransferEntry {
+                                    posts: posts.clone(),
+                                    violations: out
+                                        .violations
+                                        .iter()
+                                        .map(|v| {
+                                            (v.label.clone(), v.value == hetsep_tvl::Kleene::False)
+                                        })
+                                        .collect(),
+                                    peak_post_nodes,
+                                },
+                            );
+                        }
+                        posts
+                    }
+                };
+                for keyed_id in post_ids {
                     let key = metrics.time(Phase::Merge, || {
                         merge_key(&mut interner, keyed_id, instance, config.merge)
                     });
@@ -382,17 +518,13 @@ pub fn run_cancellable(
                             let merged = metrics.time(Phase::Merge, || {
                                 let ex = interner.resolve(existing);
                                 let ky = interner.resolve(keyed_id);
-                                canonical_key(
-                                    &blur(
-                                        &hetsep_tvl::merge::weaken_union_conflicts(
-                                            &ex.union(ky),
-                                            table,
-                                        ),
+                                blur(
+                                    &hetsep_tvl::merge::weaken_union_conflicts(
+                                        &ex.union(ky),
                                         table,
                                     ),
                                     table,
                                 )
-                                .into_structure()
                             });
                             let merged_id = interner.intern(merged);
                             if merged_id != existing {
@@ -641,7 +773,19 @@ mod tests {
 
         let m = &plain.stats.metrics;
         use hetsep_tvl::telemetry::{Counter, Phase};
-        assert!(m.phases.get(Phase::Focus).count >= plain.stats.visits);
+        // The transfer cache (on by default) skips the focus phase on hits:
+        // focus runs exactly once per cache miss, and every application is
+        // either a hit or a miss.
+        assert_eq!(
+            m.phases.get(Phase::Focus).count,
+            m.counters.get(Counter::TransferCacheMisses)
+        );
+        assert_eq!(
+            m.counters.get(Counter::TransferCacheHits)
+                + m.counters.get(Counter::TransferCacheMisses),
+            plain.stats.visits,
+            "every application is answered by the cache or computed"
+        );
         assert!(m.phases.get(Phase::Canon).count > 0);
         assert!(m.counters.get(Counter::PostStructures) > 0);
         assert!(m.counters.get(Counter::WorklistPushes) > 0);
@@ -656,6 +800,37 @@ mod tests {
             m.counters.get(Counter::BudgetExhausted) + m.counters.get(Counter::Cancelled),
             0
         );
+    }
+
+    #[test]
+    fn preset_cancel_flag_stops_run_before_any_structure() {
+        // The flag is polled at the top of every worklist visit: a flag that
+        // is already raised when the run starts must stop it before a single
+        // action is applied or a post-structure produced.
+        let program = hetsep_ir::parse_program(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+        )
+        .unwrap();
+        let spec = hetsep_easl::builtin::iostreams();
+        let inst = translate(&program, &spec, &TranslateOptions::default()).unwrap();
+        let flag = AtomicBool::new(true);
+        let r = run_cancellable(&inst, &EngineConfig::default(), Some(&flag));
+        assert_eq!(r.outcome, AnalysisOutcome::BudgetExceeded);
+        assert_eq!(r.stats.visits, 0, "no action may be applied");
+        use hetsep_tvl::telemetry::Counter;
+        assert_eq!(
+            r.stats
+                .metrics
+                .counters
+                .get(Counter::PostStructures),
+            0,
+            "no structure may be produced"
+        );
+        assert_eq!(r.stats.metrics.counters.get(Counter::Cancelled), 1);
+        assert!(r.errors.is_empty());
     }
 
     #[test]

@@ -391,6 +391,17 @@ impl<'a> Verifier<'a> {
         self
     }
 
+    /// Enables or disables the exact transfer-function cache (see
+    /// [`EngineConfig::transfer_cache`]). Hits replay the memoized interned
+    /// post-structures of the focus → coerce → update → canon pipeline, so
+    /// verdicts, error sets and `visits`/`space` statistics are byte-identical
+    /// with the cache on or off — only wall-clock time changes. On by
+    /// default.
+    pub fn with_transfer_cache(mut self, on: bool) -> Verifier<'a> {
+        self.config.transfer_cache = on;
+        self
+    }
+
     /// Runs the verification.
     ///
     /// # Errors

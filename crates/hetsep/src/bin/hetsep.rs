@@ -4,7 +4,7 @@
 //! hetsep verify <program> [--spec <file>] [--strategy <file>]
 //!                         [--mode vanilla|sep|sim|inc] [--no-hetero]
 //!                         [--max-visits N] [--preanalysis] [--metrics]
-//!                         [--trace <path>] [--quiet]
+//!                         [--no-transfer-cache] [--trace <path>] [--quiet]
 //! hetsep lint <program> [--spec <file>] [--strategy <file>]
 //!                       [--format text|json] [--deny warnings]
 //! hetsep lint --suite [--format text|json] [--deny warnings]
@@ -64,6 +64,7 @@ struct Options {
     line: Option<u32>,
     dot: bool,
     preanalysis: bool,
+    transfer_cache: bool,
     format: String,
     deny_warnings: bool,
     suite: bool,
@@ -83,6 +84,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         line: None,
         dot: false,
         preanalysis: false,
+        transfer_cache: true,
         format: "text".into(),
         deny_warnings: false,
         suite: false,
@@ -111,6 +113,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--dot" => o.dot = true,
             "--quiet" | "-q" => o.quiet = true,
             "--preanalysis" => o.preanalysis = true,
+            "--no-transfer-cache" => o.transfer_cache = false,
             "--suite" => o.suite = true,
             "--format" => {
                 o.format = next(&mut it, "--format")?;
@@ -196,7 +199,8 @@ fn usage() -> String {
     "usage:\n  \
      hetsep verify   <program> [--spec <file>] [--strategy <file>] \
      [--mode vanilla|sep|sim|inc] [--no-hetero] [--max-visits N] \
-     [--preanalysis] [--metrics] [--trace <path>] [--quiet]\n  \
+     [--preanalysis] [--metrics] [--no-transfer-cache] [--trace <path>] \
+     [--quiet]\n  \
      hetsep lint     <program> [--spec <file>] [--strategy <file>] \
      [--format text|json] [--deny warnings]\n  \
      hetsep lint     --suite [--format text|json] [--deny warnings]\n  \
@@ -233,6 +237,7 @@ fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
         max_visits: o.max_visits,
         phase_timings: o.metrics,
         preanalysis: o.preanalysis,
+        transfer_cache: o.transfer_cache,
         ..EngineConfig::default()
     };
     // The trace sink outlives the builder; NullSink when --trace is absent.

@@ -55,6 +55,11 @@ pub struct ModeRow {
     /// Reported errors (per-line), or `None` when the run exceeded its
     /// budget (the paper's `-`).
     pub reported: Option<usize>,
+    /// Whether every subproblem reached a fixpoint within budget. Serialized
+    /// explicitly so downstream tooling can tell a budget-exhausted row
+    /// (`reported = None`, `complete = false`) from a clean verification
+    /// with zero errors.
+    pub complete: bool,
     /// Ground truth.
     pub actual: usize,
 }
@@ -169,6 +174,7 @@ pub fn run_mode_with_sink(
         subproblem_rows: report.subproblems.clone(),
         metrics: report.metrics.clone(),
         reported: finished.then_some(report.errors.len()),
+        complete: finished,
         actual: bench.actual_errors,
     })
 }
@@ -209,9 +215,10 @@ pub fn run_benchmark_with_sink(
 /// timings (`count`/`ms` per phase) and counters, so perf PRs can claim
 /// "focus got 2× faster" instead of "visits went down".
 ///
-/// Hand-rolled serialization: every emitted value is a number, a `null`, or
-/// one of the fixed benchmark/mode/phase/counter identifiers (no characters
-/// needing escapes), and the workspace builds offline without serde.
+/// Hand-rolled serialization: every emitted value is a number, a boolean, a
+/// `null`, or one of the fixed benchmark/mode/phase/counter identifiers (no
+/// characters needing escapes), and the workspace builds offline without
+/// serde.
 pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> String {
     use std::fmt::Write as _;
     fn ms(d: Duration) -> f64 {
@@ -253,8 +260,9 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
             out,
             "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"space\": {}, \
              \"visits\": {}, \"peak_nodes\": {}, \"wall_ms\": {:.3}, \
-             \"elapsed_ms\": {:.3}, \"reported\": {}, \"actual\": {}, \
-             \"pruned\": {}",
+             \"elapsed_ms\": {:.3}, \"reported\": {}, \"complete\": {}, \
+             \"actual\": {}, \"pruned\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}",
             r.benchmark,
             r.mode,
             r.space,
@@ -263,8 +271,11 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
             ms(r.time),
             ms(r.elapsed),
             reported,
+            r.complete,
             r.actual,
             r.pruned,
+            r.metrics.counters.get(Counter::TransferCacheHits),
+            r.metrics.counters.get(Counter::TransferCacheMisses),
         );
         if include_metrics {
             metrics_json(&mut out, &r.metrics);
@@ -307,7 +318,7 @@ pub fn format_rows(rows: &[ModeRow], line_count: usize) -> String {
         };
         writeln!(
             out,
-            "{name:<18} {mode:<8} {lines:>5} {space:>9} {time:>9.2?} {visits:>10} {rep:>4} {act:>4} {pruned:>6}",
+            "{name:<18} {mode:<8} {lines:>5} {space:>9} {time:>9.2?} {visits:>10} {rep:>4} {act:>4} {pruned:>6}{marker}",
             mode = r.mode,
             space = r.space,
             time = r.time,
@@ -315,6 +326,7 @@ pub fn format_rows(rows: &[ModeRow], line_count: usize) -> String {
             rep = r.reported_cell(),
             act = r.actual,
             pruned = r.pruned,
+            marker = if r.complete { "" } else { " (incomplete)" },
         )
         .unwrap();
     }

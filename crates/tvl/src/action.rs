@@ -20,8 +20,8 @@
 //! Canonical abstraction (blur) is *not* performed here; the analysis engine
 //! blurs when joining into a program location.
 
-use crate::coerce::coerce;
-use crate::eval::{eval, eval_closed, Assignment};
+use crate::coerce::{coerce_with, CoercePlan};
+use crate::eval::{eval_closed, eval_memo, Assignment, TcMemo};
 use crate::focus::{focus_all, FocusSpec};
 use crate::formula::{Formula, Var};
 use crate::kleene::Kleene;
@@ -186,6 +186,21 @@ pub fn apply_traced(
     focus_limit: usize,
     metrics: &mut RunMetrics,
 ) -> ApplyOutcome {
+    apply_planned(action, s, table, &CoercePlan::new(table), focus_limit, metrics)
+}
+
+/// [`apply_traced`] with a precompiled [`CoercePlan`]. The plan must have
+/// been built from the same `table`; results are identical to
+/// [`apply_traced`], which compiles a fresh plan per call. Hot loops (the
+/// analysis engine) compile the plan once per run and call this directly.
+pub fn apply_planned(
+    action: &Action,
+    s: &Structure,
+    table: &PredTable,
+    plan: &CoercePlan,
+    focus_limit: usize,
+    metrics: &mut RunMetrics,
+) -> ApplyOutcome {
     let mut outcome = ApplyOutcome::default();
     let focused = metrics.time(Phase::Focus, || {
         focus_all(s, table, &action.focus, focus_limit)
@@ -194,7 +209,8 @@ pub fn apply_traced(
         .counters
         .add(Counter::FocusVariants, focused.len() as u64);
     for f in focused {
-        let Some(f) = metrics.time(Phase::Coerce, || coerce(&f, table).feasible()) else {
+        let Some(f) = metrics.time(Phase::Coerce, || coerce_with(&f, table, plan).feasible())
+        else {
             metrics.counters.add(Counter::CoerceInfeasible, 1);
             continue;
         };
@@ -224,7 +240,7 @@ pub fn apply_traced(
         }
         // Allocation + updates.
         let post = metrics.time(Phase::Update, || transform(action, &f, table));
-        match metrics.time(Phase::Coerce, || coerce(&post, table).feasible()) {
+        match metrics.time(Phase::Coerce, || coerce_with(&post, table, plan).feasible()) {
             Some(post) => {
                 metrics.counters.add(Counter::PostStructures, 1);
                 outcome.results.push(post);
@@ -243,12 +259,15 @@ fn transform(action: &Action, pre: &Structure, table: &PredTable) -> Structure {
         staged.set_unary(table, table.isnew(), fresh, Kleene::True);
     }
     // Core updates: all RHS evaluated over `staged` (the pre-state plus the
-    // fresh node), results written into `post`.
+    // fresh node), results written into `post`. One TC memo spans all core
+    // updates — they all read the same fixed `staged`.
     let mut post = staged.clone();
+    let mut memo = TcMemo::new();
     for up in &action.updates {
-        write_update(&staged, &mut post, table, up);
+        write_update(&staged, &mut post, table, up, &mut memo);
     }
-    // Derived updates: evaluated sequentially over the evolving post-state.
+    // Derived updates: evaluated sequentially over the evolving post-state,
+    // so each round's snapshot needs a fresh memo.
     for up in &action.derived {
         let rounds = if up.iterate {
             post.node_count() + 1
@@ -257,7 +276,8 @@ fn transform(action: &Action, pre: &Structure, table: &PredTable) -> Structure {
         };
         for _ in 0..rounds {
             let snapshot = post.clone();
-            write_update(&snapshot, &mut post, table, up);
+            memo.clear();
+            write_update(&snapshot, &mut post, table, up, &mut memo);
             if post == snapshot {
                 break;
             }
@@ -272,7 +292,13 @@ fn transform(action: &Action, pre: &Structure, table: &PredTable) -> Structure {
     post
 }
 
-fn write_update(src: &Structure, dst: &mut Structure, table: &PredTable, up: &PredUpdate) {
+fn write_update(
+    src: &Structure,
+    dst: &mut Structure,
+    table: &PredTable,
+    up: &PredUpdate,
+    memo: &mut TcMemo,
+) {
     match table.arity(up.pred) {
         Arity::Nullary => {
             assert!(up.args.is_empty(), "nullary update takes no args");
@@ -289,7 +315,7 @@ fn write_update(src: &Structure, dst: &mut Structure, table: &PredTable, up: &Pr
             let mut asg = Assignment::new();
             for u in src.nodes() {
                 asg.bind(*v, u);
-                let mut val = eval(src, table, &up.rhs, &mut asg);
+                let mut val = eval_memo(src, table, &up.rhs, &mut asg, memo);
                 if up.refine && !val.is_definite() {
                     val = src.unary(table, up.pred, u);
                 }
@@ -305,7 +331,7 @@ fn write_update(src: &Structure, dst: &mut Structure, table: &PredTable, up: &Pr
                 for b in src.nodes() {
                     asg.bind(*v, a);
                     asg.bind(*w, b);
-                    let val = eval(src, table, &up.rhs, &mut asg);
+                    let val = eval_memo(src, table, &up.rhs, &mut asg, memo);
                     dst.set_binary(table, up.pred, a, b, val);
                 }
             }

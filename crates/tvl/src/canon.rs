@@ -9,8 +9,6 @@
 //! predicates `p_r(o) = p(o) ∧ relevant(o)` as the abstraction predicates
 //! (see `hetsep-core`).
 
-use std::collections::HashMap;
-
 use crate::kleene::Kleene;
 use crate::pred::{PredId, PredTable};
 use crate::structure::{NodeId, Structure};
@@ -43,22 +41,55 @@ pub fn blur(s: &Structure, table: &PredTable) -> Structure {
 /// blurred structures are directly comparable with `==` and hashable — two
 /// blurred structures over the same table are isomorphic iff they are equal.
 pub fn blur_by(s: &Structure, table: &PredTable, abs: &[PredId]) -> (Structure, Vec<NodeId>) {
-    // Group nodes by canonical name.
-    let mut groups: HashMap<Vec<Kleene>, Vec<NodeId>> = HashMap::new();
-    for u in s.nodes() {
-        groups
-            .entry(canonical_name(s, table, abs, u))
-            .or_default()
-            .push(u);
-    }
-    let mut named: Vec<(Vec<Kleene>, Vec<NodeId>)> = groups.into_iter().collect();
-    named.sort();
-
-    let n_new = named.len();
+    // Group nodes by canonical name. This is the hottest allocation site of
+    // the whole analysis (one call per post-structure), so instead of a
+    // `HashMap<Vec<Kleene>, Vec<NodeId>>` with a fresh name vector per node,
+    // canonical names live in one flat `n × k` matrix and grouping is a
+    // stable sort of the node order by name row. The stable sort keeps
+    // members of a group in ascending node order and yields groups in
+    // ascending canonical-name order — exactly the ordering the map-based
+    // grouping produced (names are unique per group, so sorting the
+    // collected map entries compared names only).
     let n_old = s.node_count();
+    let k = abs.len();
+    let mut names: Vec<Kleene> = Vec::with_capacity(n_old * k);
+    for u in s.nodes() {
+        for &p in abs {
+            names.push(s.unary(table, p, u));
+        }
+    }
+    let name_row = |u: NodeId| &names[u.index() * k..u.index() * k + k];
+    let mut order: Vec<NodeId> = s.nodes().collect();
+    order.sort_by(|&a, &b| name_row(a).cmp(name_row(b)));
+    // Group boundaries: maximal runs of `order` with equal name rows.
+    let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut start = 0;
+    for i in 1..=order.len() {
+        if i == order.len() || name_row(order[i]) != name_row(order[start]) {
+            groups.push(start..i);
+            start = i;
+        }
+    }
+
+    let n_new = groups.len();
+    // Fast path: nothing merges. With every group a singleton the general
+    // path below degenerates to a permutation of `s` by `order` (joins are
+    // over one member; `sm` is untouched), so skip the per-predicate
+    // O(n²) join loops entirely.
+    if n_new == n_old {
+        let identity = order.iter().enumerate().all(|(ix, u)| u.index() == ix);
+        if identity {
+            return (s.clone(), order);
+        }
+        let mut map = vec![NodeId::from_index(0); n_old];
+        for (new_ix, old) in order.iter().enumerate() {
+            map[old.index()] = NodeId::from_index(new_ix);
+        }
+        return (s.permute(&order), map);
+    }
     let mut map = vec![NodeId::from_index(0); n_old];
-    for (new_ix, (_, members)) in named.iter().enumerate() {
-        for &m in members {
+    for (new_ix, g) in groups.iter().enumerate() {
+        for &m in &order[g.clone()] {
             map[m.index()] = NodeId::from_index(new_ix);
         }
     }
@@ -74,7 +105,8 @@ pub fn blur_by(s: &Structure, table: &PredTable, abs: &[PredId]) -> (Structure, 
     // Unary: join across members; sm additionally reflects merging.
     let sm = table.sm();
     for p in table.iter_arity(crate::pred::Arity::Unary) {
-        for (new_ix, (_, members)) in named.iter().enumerate() {
+        for (new_ix, g) in groups.iter().enumerate() {
+            let members = &order[g.clone()];
             let mut acc: Option<Kleene> = None;
             for &m in members {
                 let v = s.unary(table, p, m);
@@ -92,8 +124,10 @@ pub fn blur_by(s: &Structure, table: &PredTable, abs: &[PredId]) -> (Structure, 
     }
     // Binary: join across all member pairs.
     for p in table.iter_arity(crate::pred::Arity::Binary) {
-        for (si, (_, src_members)) in named.iter().enumerate() {
-            for (di, (_, dst_members)) in named.iter().enumerate() {
+        for (si, sg) in groups.iter().enumerate() {
+            let src_members = &order[sg.clone()];
+            for (di, dg) in groups.iter().enumerate() {
+                let dst_members = &order[dg.clone()];
                 let mut acc: Option<Kleene> = None;
                 for &sm_ in src_members {
                     for &dm in dst_members {
@@ -152,15 +186,23 @@ impl CanonicalKey {
 /// structures, where keys coincide exactly with isomorphism classes.
 pub fn canonical_key(s: &Structure, table: &PredTable) -> CanonicalKey {
     let abs = table.abstraction_preds();
-    // Sort nodes by (canonical name, full unary row) for determinism.
+    // Sort nodes by (canonical name, full unary row) for determinism. The
+    // rows are precomputed into one flat matrix: a sort key closure would
+    // recompute — and reallocate — both vectors on every comparison.
+    let unary: Vec<PredId> = table.iter_arity(crate::pred::Arity::Unary).collect();
+    let k = abs.len() + unary.len();
+    let mut rows: Vec<Kleene> = Vec::with_capacity(s.node_count() * k);
+    for u in s.nodes() {
+        for &p in &abs {
+            rows.push(s.unary(table, p, u));
+        }
+        for &p in &unary {
+            rows.push(s.unary(table, p, u));
+        }
+    }
+    let row = |u: NodeId| &rows[u.index() * k..u.index() * k + k];
     let mut order: Vec<NodeId> = s.nodes().collect();
-    let full_row = |u: NodeId| -> Vec<Kleene> {
-        table
-            .iter_arity(crate::pred::Arity::Unary)
-            .map(|p| s.unary(table, p, u))
-            .collect()
-    };
-    order.sort_by_key(|&u| (canonical_name(s, table, &abs, u), full_row(u)));
+    order.sort_by(|&a, &b| row(a).cmp(row(b)));
     CanonicalKey(s.permute(&order))
 }
 

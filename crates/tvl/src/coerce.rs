@@ -16,11 +16,19 @@
 //! Constraints come from three sources: `unique` unary predicates,
 //! `function` binary predicates, and the defining formulas of
 //! instrumentation predicates.
+//!
+//! The constraint set depends only on the vocabulary, never on the structure
+//! being coerced, so it is compiled once per [`PredTable`] into a
+//! [`CoercePlan`] — predicate-indexed constraint lists with the defining
+//! formulas and their variable bindings resolved up front. Hot callers (the
+//! analysis engine's action-application loop) build the plan once per run
+//! and use [`coerce_with`]; the plan-free [`coerce`] entry point compiles a
+//! fresh plan per call and is equivalent.
 
-use crate::eval::{eval, eval_closed, Assignment};
-use crate::formula::Var;
+use crate::eval::{eval_closed, eval_memo, Assignment, TcMemo};
+use crate::formula::{Formula, Var};
 use crate::kleene::Kleene;
-use crate::pred::{Arity, PredTable};
+use crate::pred::{Arity, PredId, PredTable};
 use crate::structure::Structure;
 
 /// Result of coercing a structure.
@@ -44,18 +52,89 @@ impl CoerceOutcome {
     }
 }
 
+/// A single precompiled instrumentation constraint: the predicate, its
+/// defining formula, and the formula's free variables resolved once.
+#[derive(Debug, Clone)]
+struct InstrRule {
+    pred: PredId,
+    arity: Arity,
+    defining: Formula,
+    /// Binding variable for unary rules / source variable for binary rules.
+    va: Var,
+    /// Target variable for binary rules (unused otherwise).
+    vb: Var,
+}
+
+/// The coerce constraint set of one vocabulary, compiled into
+/// predicate-indexed lists so the per-application loop never walks the full
+/// predicate table or re-derives formula metadata.
+#[derive(Debug, Clone)]
+pub struct CoercePlan {
+    unique: Vec<PredId>,
+    function: Vec<PredId>,
+    instr: Vec<InstrRule>,
+}
+
+impl CoercePlan {
+    /// Compiles the constraint lists for `table`. The plan is only valid for
+    /// structures over the same vocabulary.
+    pub fn new(table: &PredTable) -> Self {
+        let unique = table.unique_preds();
+        let function = table.function_preds();
+        let instr = table
+            .instrumentation_preds()
+            .into_iter()
+            .map(|p| {
+                let defining = table
+                    .flags(p)
+                    .defining
+                    .clone()
+                    .expect("instrumentation_preds filtered on defining");
+                let arity = table.arity(p);
+                let free = defining.free_vars();
+                let (va, vb) = match arity {
+                    Arity::Nullary => (Var(0), Var(1)),
+                    Arity::Unary => {
+                        debug_assert!(free.len() <= 1, "unary instrumentation formula arity");
+                        (free.first().copied().unwrap_or(Var(0)), Var(1))
+                    }
+                    Arity::Binary => {
+                        debug_assert!(free.len() <= 2, "binary instrumentation formula arity");
+                        match free.as_slice() {
+                            [a, b] => (*a, *b),
+                            [a] => (*a, Var(a.0 + 1)),
+                            [] => (Var(0), Var(1)),
+                            _ => unreachable!(),
+                        }
+                    }
+                };
+                InstrRule { pred: p, arity, defining, va, vb }
+            })
+            .collect();
+        CoercePlan { unique, function, instr }
+    }
+}
+
 /// Applies all integrity constraints to fixpoint.
+///
+/// Compiles a fresh [`CoercePlan`] per call; hot loops should compile the
+/// plan once and call [`coerce_with`].
 pub fn coerce(s: &Structure, table: &PredTable) -> CoerceOutcome {
+    coerce_with(s, table, &CoercePlan::new(table))
+}
+
+/// Applies all integrity constraints to fixpoint using a precompiled plan.
+pub fn coerce_with(s: &Structure, table: &PredTable, plan: &CoercePlan) -> CoerceOutcome {
     let mut cur = s.clone();
     loop {
         let mut changed = false;
-        if !apply_unique(&mut cur, table, &mut changed) {
+        if !apply_unique(&mut cur, table, plan, &mut changed) {
             return CoerceOutcome::Infeasible;
         }
-        if !apply_function(&mut cur, table, &mut changed) {
+        if !apply_function(&mut cur, table, plan, &mut changed) {
             return CoerceOutcome::Infeasible;
         }
-        if !apply_instrumentation(&mut cur, table, &mut changed) {
+        if !apply_instrumentation(&mut cur, table, plan, &mut changed) {
             return CoerceOutcome::Infeasible;
         }
         if !changed {
@@ -65,8 +144,8 @@ pub fn coerce(s: &Structure, table: &PredTable) -> CoerceOutcome {
 }
 
 /// `unique` unary predicates hold for at most one concrete individual.
-fn apply_unique(s: &mut Structure, table: &PredTable, changed: &mut bool) -> bool {
-    for p in table.unique_preds() {
+fn apply_unique(s: &mut Structure, table: &PredTable, plan: &CoercePlan, changed: &mut bool) -> bool {
+    for &p in &plan.unique {
         let definite: Vec<_> = s
             .nodes()
             .filter(|&u| s.unary(table, p, u) == Kleene::True)
@@ -99,8 +178,13 @@ fn apply_unique(s: &mut Structure, table: &PredTable, changed: &mut bool) -> boo
 
 /// `function` binary predicates relate each source individual to at most one
 /// target.
-fn apply_function(s: &mut Structure, table: &PredTable, changed: &mut bool) -> bool {
-    for f in table.function_preds() {
+fn apply_function(
+    s: &mut Structure,
+    table: &PredTable,
+    plan: &CoercePlan,
+    changed: &mut bool,
+) -> bool {
+    for &f in &plan.function {
         for src in s.nodes() {
             if s.is_summary(table, src) {
                 // Distinct members of a summary source may have distinct
@@ -138,38 +222,41 @@ fn apply_function(s: &mut Structure, table: &PredTable, changed: &mut bool) -> b
 /// Stored instrumentation-predicate values must be consistent with their
 /// defining formulas; definite evaluations sharpen stored `1/2`s, and
 /// definite disagreements make the structure infeasible.
-fn apply_instrumentation(s: &mut Structure, table: &PredTable, changed: &mut bool) -> bool {
-    for p in table.instrumentation_preds() {
-        let defining = table
-            .flags(p)
-            .defining
-            .clone()
-            .expect("instrumentation_preds filtered on defining");
-        match table.arity(p) {
+fn apply_instrumentation(
+    s: &mut Structure,
+    table: &PredTable,
+    plan: &CoercePlan,
+    changed: &mut bool,
+) -> bool {
+    // TC matrices are shared across rules and nodes while `s` is unchanged;
+    // every sharpening write invalidates them (see `TcMemo`).
+    let mut memo = TcMemo::new();
+    for rule in &plan.instr {
+        let p = rule.pred;
+        match rule.arity {
             Arity::Nullary => {
                 let stored = s.nullary(table, p);
-                let evaled = eval_closed(s, table, &defining);
+                let evaled = eval_closed(s, table, &rule.defining);
                 match reconcile(stored, evaled) {
                     Reconciled::Conflict => return false,
                     Reconciled::Sharpen(v) => {
                         s.set_nullary(table, p, v);
+                        memo.clear();
                         *changed = true;
                     }
                     Reconciled::Keep => {}
                 }
             }
             Arity::Unary => {
-                let free = defining.free_vars();
-                debug_assert!(free.len() <= 1, "unary instrumentation formula arity");
-                let var = free.first().copied().unwrap_or(Var(0));
                 for u in s.nodes() {
                     let stored = s.unary(table, p, u);
-                    let mut asg = Assignment::of([(var, u)]);
-                    let evaled = eval(s, table, &defining, &mut asg);
+                    let mut asg = Assignment::of([(rule.va, u)]);
+                    let evaled = eval_memo(s, table, &rule.defining, &mut asg, &mut memo);
                     match reconcile(stored, evaled) {
                         Reconciled::Conflict => return false,
                         Reconciled::Sharpen(v) => {
                             s.set_unary(table, p, u, v);
+                            memo.clear();
                             *changed = true;
                         }
                         Reconciled::Keep => {}
@@ -177,23 +264,16 @@ fn apply_instrumentation(s: &mut Structure, table: &PredTable, changed: &mut boo
                 }
             }
             Arity::Binary => {
-                let free = defining.free_vars();
-                debug_assert!(free.len() <= 2, "binary instrumentation formula arity");
-                let (va, vb) = match free.as_slice() {
-                    [a, b] => (*a, *b),
-                    [a] => (*a, Var(a.0 + 1)),
-                    [] => (Var(0), Var(1)),
-                    _ => unreachable!(),
-                };
                 for src in s.nodes() {
                     for dst in s.nodes() {
                         let stored = s.binary(table, p, src, dst);
-                        let mut asg = Assignment::of([(va, src), (vb, dst)]);
-                        let evaled = eval(s, table, &defining, &mut asg);
+                        let mut asg = Assignment::of([(rule.va, src), (rule.vb, dst)]);
+                        let evaled = eval_memo(s, table, &rule.defining, &mut asg, &mut memo);
                         match reconcile(stored, evaled) {
                             Reconciled::Conflict => return false,
                             Reconciled::Sharpen(v) => {
                                 s.set_binary(table, p, src, dst, v);
+                                memo.clear();
                                 *changed = true;
                             }
                             Reconciled::Keep => {}

@@ -61,6 +61,43 @@ impl Assignment {
     }
 }
 
+/// Memoizes transitive-closure matrices across many [`eval_memo`] calls
+/// over the *same* structure.
+///
+/// Evaluating a `Tc` subformula costs a full O(n³) relational fixpoint, and
+/// the sweeps that dominate the analysis (predicate-update transformers,
+/// coerce instrumentation rules) re-evaluate the same formula once per node
+/// or node pair — recomputing an identical closure every time. A `TcMemo`
+/// carried across one sweep caches the matrix per `Tc` body.
+///
+/// Entries are keyed by the body subformula's address, which identifies it
+/// for as long as the formula borrow lives; a matrix is only cached when the
+/// body's free variables are all bound by the `Tc` itself, making the
+/// closure independent of the outer assignment. Callers must [`clear`] the
+/// memo whenever the structure under evaluation changes — the cache is
+/// exact, never heuristic, so a stale entry would be a soundness bug.
+///
+/// [`clear`]: TcMemo::clear
+#[derive(Debug, Default)]
+pub struct TcMemo {
+    /// `(body address, closure)`; `None` marks a body whose closure depends
+    /// on outer bindings and must be recomputed per call.
+    entries: Vec<(usize, Option<Vec<Kleene>>)>,
+}
+
+impl TcMemo {
+    /// Creates an empty memo.
+    pub fn new() -> TcMemo {
+        TcMemo::default()
+    }
+
+    /// Drops all cached closures. Must be called when the structure being
+    /// evaluated over is mutated.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// Evaluates `formula` over `s` under `asg`.
 ///
 /// # Panics
@@ -68,6 +105,21 @@ impl Assignment {
 /// Panics if a free variable of `formula` is unbound in `asg`, or if a
 /// predicate is applied at the wrong arity.
 pub fn eval(s: &Structure, table: &PredTable, formula: &Formula, asg: &mut Assignment) -> Kleene {
+    eval_memo(s, table, formula, asg, &mut TcMemo::new())
+}
+
+/// Like [`eval`], but reuses transitive-closure matrices cached in `memo`.
+///
+/// Sweeps that evaluate one formula at every node (pair) of a fixed
+/// structure should share a single memo across the sweep; see [`TcMemo`]
+/// for the invalidation contract.
+pub fn eval_memo(
+    s: &Structure,
+    table: &PredTable,
+    formula: &Formula,
+    asg: &mut Assignment,
+    memo: &mut TcMemo,
+) -> Kleene {
     match formula {
         Formula::Const(k) => *k,
         Formula::Nullary(p) => s.nullary(table, *p),
@@ -84,27 +136,27 @@ pub fn eval(s: &Structure, table: &PredTable, formula: &Formula, asg: &mut Assig
                 Kleene::True
             }
         }
-        Formula::Not(f) => !eval(s, table, f, asg),
+        Formula::Not(f) => !eval_memo(s, table, f, asg, memo),
         Formula::And(l, r) => {
-            let lv = eval(s, table, l, asg);
+            let lv = eval_memo(s, table, l, asg, memo);
             if lv == Kleene::False {
                 return Kleene::False;
             }
-            lv & eval(s, table, r, asg)
+            lv & eval_memo(s, table, r, asg, memo)
         }
         Formula::Or(l, r) => {
-            let lv = eval(s, table, l, asg);
+            let lv = eval_memo(s, table, l, asg, memo);
             if lv == Kleene::True {
                 return Kleene::True;
             }
-            lv | eval(s, table, r, asg)
+            lv | eval_memo(s, table, r, asg, memo)
         }
         Formula::Exists(v, f) => {
             let saved = asg.get(*v);
             let mut acc = Kleene::False;
             for u in s.nodes() {
                 asg.bind(*v, u);
-                acc = acc | eval(s, table, f, asg);
+                acc = acc | eval_memo(s, table, f, asg, memo);
                 if acc == Kleene::True {
                     break;
                 }
@@ -117,7 +169,7 @@ pub fn eval(s: &Structure, table: &PredTable, formula: &Formula, asg: &mut Assig
             let mut acc = Kleene::True;
             for u in s.nodes() {
                 asg.bind(*v, u);
-                acc = acc & eval(s, table, f, asg);
+                acc = acc & eval_memo(s, table, f, asg, memo);
                 if acc == Kleene::False {
                     break;
                 }
@@ -126,10 +178,21 @@ pub fn eval(s: &Structure, table: &PredTable, formula: &Formula, asg: &mut Assig
             acc
         }
         Formula::Tc { lhs, rhs, a, b, body } => {
-            let closure = tc_closure(s, table, *a, *b, body, asg);
             let n = s.node_count();
             let (u, v) = (asg.lookup(*lhs), asg.lookup(*rhs));
-            closure[u.index() * n + v.index()]
+            let key = &**body as *const Formula as usize;
+            if let Some((_, cached)) = memo.entries.iter().find(|(k, _)| *k == key) {
+                return match cached {
+                    Some(m) => m[u.index() * n + v.index()],
+                    // Closure depends on outer bindings: recompute.
+                    None => tc_closure(s, table, *a, *b, body, asg)[u.index() * n + v.index()],
+                };
+            }
+            let m = tc_closure(s, table, *a, *b, body, asg);
+            let val = m[u.index() * n + v.index()];
+            let cacheable = body.free_vars().iter().all(|fv| fv == a || fv == b);
+            memo.entries.push((key, cacheable.then_some(m)));
+            val
         }
     }
 }
@@ -221,10 +284,11 @@ pub fn eval_unary_at_all(
     var: Var,
 ) -> Vec<Kleene> {
     let mut asg = Assignment::new();
+    let mut memo = TcMemo::new();
     s.nodes()
         .map(|u| {
             asg.bind(var, u);
-            eval(s, table, formula, &mut asg)
+            eval_memo(s, table, formula, &mut asg, &mut memo)
         })
         .collect()
 }

@@ -53,10 +53,12 @@ pub mod pred;
 pub mod structure;
 pub mod telemetry;
 
-pub use action::{apply, Action, ApplyOutcome, Check, CheckViolation, NewNodeSpec, PredUpdate};
+pub use action::{
+    apply, apply_planned, Action, ApplyOutcome, Check, CheckViolation, NewNodeSpec, PredUpdate,
+};
 pub use canon::{blur, canonical_key, CanonicalKey};
-pub use coerce::{coerce, CoerceOutcome};
-pub use eval::{eval, eval_closed, Assignment};
+pub use coerce::{coerce, coerce_with, CoerceOutcome, CoercePlan};
+pub use eval::{eval, eval_closed, eval_memo, Assignment, TcMemo};
 pub use focus::{focus, focus_all, FocusSpec, DEFAULT_FOCUS_LIMIT};
 pub use formula::{Formula, Var};
 pub use intern::{StructureId, StructureInterner};

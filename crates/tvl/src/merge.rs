@@ -36,10 +36,9 @@ pub enum MergePolicy {
 /// Merges a batch of structures under `policy`. Every output structure is
 /// blurred and canonically ordered; outputs are pairwise non-equal.
 pub fn merge_all(structures: &[Structure], table: &PredTable, policy: &MergePolicy) -> Vec<Structure> {
-    let blurred: Vec<Structure> = structures
-        .iter()
-        .map(|s| canonical_key(&blur(s, table), table).into_structure())
-        .collect();
+    // `blur` output is already canonically ordered (ascending unique
+    // canonical names), so no separate re-keying pass is needed.
+    let blurred: Vec<Structure> = structures.iter().map(|s| blur(s, table)).collect();
     match policy {
         MergePolicy::Powerset => dedup(blurred),
         MergePolicy::NullaryJoin => merge_classes(blurred, table, |s| nullary_vector(s, table)),
@@ -74,7 +73,7 @@ fn merge_classes<K: std::hash::Hash + Eq>(
         match index.get(&k) {
             Some(&ix) => {
                 let merged = weaken_union_conflicts(&classes[ix].1.union(&s), table);
-                classes[ix].1 = canonical_key(&blur(&merged, table), table).into_structure();
+                classes[ix].1 = blur(&merged, table);
             }
             None => {
                 index.insert(k, classes.len());

@@ -113,11 +113,22 @@ pub enum Counter {
     /// Subproblems skipped entirely because the static pre-analysis proved
     /// their requires-checks safe under the coarse baseline abstraction.
     SubproblemsPruned,
+    /// Action applications answered from the exact transfer cache (the full
+    /// focus → coerce → update → canon pipeline was skipped).
+    TransferCacheHits,
+    /// Action applications that computed the transfer pipeline and populated
+    /// the cache. `hits + misses` equals the action applications that reached
+    /// the transfer step (a run that aborts mid-visit loses at most one).
+    TransferCacheMisses,
+    /// Transfer-cache entries discarded when the cache exceeded its
+    /// configured capacity (bulk eviction; see
+    /// `EngineConfig::transfer_cache_capacity` in `hetsep-core`).
+    TransferCacheEvictions,
 }
 
 impl Counter {
     /// Every counter, in fixed reporting order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::InternHits,
         Counter::InternMisses,
         Counter::WorklistPushes,
@@ -129,6 +140,9 @@ impl Counter {
         Counter::BudgetExhausted,
         Counter::Cancelled,
         Counter::SubproblemsPruned,
+        Counter::TransferCacheHits,
+        Counter::TransferCacheMisses,
+        Counter::TransferCacheEvictions,
     ];
 
     /// Stable snake_case label used in traces and JSON output.
@@ -145,6 +159,9 @@ impl Counter {
             Counter::BudgetExhausted => "budget_exhausted",
             Counter::Cancelled => "cancelled",
             Counter::SubproblemsPruned => "subproblems_pruned",
+            Counter::TransferCacheHits => "transfer_cache_hits",
+            Counter::TransferCacheMisses => "transfer_cache_misses",
+            Counter::TransferCacheEvictions => "transfer_cache_evictions",
         }
     }
 
@@ -167,6 +184,9 @@ impl Counter {
             Counter::BudgetExhausted => 8,
             Counter::Cancelled => 9,
             Counter::SubproblemsPruned => 10,
+            Counter::TransferCacheHits => 11,
+            Counter::TransferCacheMisses => 12,
+            Counter::TransferCacheEvictions => 13,
         }
     }
 }

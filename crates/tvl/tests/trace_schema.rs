@@ -28,6 +28,21 @@ fn fixed_events() -> Vec<Event> {
             counter: Counter::InternHits,
             value: 7,
         },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::TransferCacheHits,
+            value: 42,
+        },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::TransferCacheMisses,
+            value: 11,
+        },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::TransferCacheEvictions,
+            value: 0,
+        },
         Event::LocationStructures {
             index: 0,
             location: 5,

@@ -17,3 +17,15 @@ for prog in examples/programs/*.hsp; do
     cargo run -q -p hetsep --bin hetsep --release -- lint "$prog" --quiet --deny warnings
 done
 cargo run -q -p hetsep --bin hetsep --release -- lint --suite --quiet --deny warnings
+
+# Transfer-cache / reporting golden: a quick Table 3 subset must keep its
+# semantic columns byte-identical to the committed golden (wall-clock
+# columns deliberately excluded). Guards the exact transfer cache and the
+# reported/complete accounting against silent drift.
+table3_quick_json="$(mktemp)"
+cargo run -q -p hetsep-bench --bin table3 --release -- \
+    --threads 1 --json "$table3_quick_json" ISPath KernelBench1 db > /dev/null
+sed 's/"subproblems".*//' "$table3_quick_json" | sed -n \
+    's/.*"benchmark": "\([^"]*\)", "mode": "\([^"]*\)", "space": \([0-9]*\), "visits": \([0-9]*\),.*"reported": \([^,]*\), "complete": \([^,]*\),.*/\1 \2 space=\3 visits=\4 reported=\5 complete=\6/p' \
+    | diff -u scripts/table3_quick.golden -
+rm -f "$table3_quick_json"

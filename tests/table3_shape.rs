@@ -19,6 +19,12 @@ fn assert_expectations(name: &str) {
             "{name}/{}: reported {:?}, expected {:?}",
             row.mode, row.reported, expected
         );
+        assert_eq!(
+            row.complete,
+            row.reported.is_some(),
+            "{name}/{}: `complete` must mirror whether a count was reported",
+            row.mode
+        );
     }
 }
 
