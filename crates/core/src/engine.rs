@@ -14,6 +14,12 @@
 //! than a full predicate interpretation. The worklist is prioritized by
 //! reverse postorder of the CFG so loop bodies stabilize before their exits
 //! are re-examined, which cuts revisits on nested-loop benchmarks.
+//!
+//! Structures use the bit-packed two-plane layout of [`hetsep_tvl`]: the hot
+//! per-visit kernels (blur's bulk node materialization via
+//! `Structure::add_nodes`, equality/fingerprint probes in the interner, and
+//! the failing-site scan below) all run on whole `u64` words, 64 truth
+//! values at a time.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -580,6 +586,11 @@ pub fn run_cancellable(
 /// Records the allocation sites of the chosen objects of a violating
 /// pre-state (paper §4.2: allocation-site based identification of failed
 /// individuals).
+///
+/// A site fails iff some individual is possibly `chosen` *and* possibly
+/// carries the site's predicate; with bit-packed structures that is one
+/// word-parallel maybe-mask intersection per site
+/// ([`Structure::maybe_overlap`]) instead of a node × site probe loop.
 fn collect_failing_sites(
     instance: &AnalysisInstance,
     s: &Structure,
@@ -589,13 +600,9 @@ fn collect_failing_sites(
     let Some(chosen) = instance.vocab.chosen else {
         return;
     };
-    for u in s.nodes() {
-        if s.unary(table, chosen, u).maybe_true() {
-            for (&site, &pred) in &instance.vocab.site_preds {
-                if s.unary(table, pred, u).maybe_true() {
-                    failing.insert(site);
-                }
-            }
+    for (&site, &pred) in &instance.vocab.site_preds {
+        if s.maybe_overlap(table, chosen, pred) {
+            failing.insert(site);
         }
     }
 }

@@ -283,11 +283,10 @@ fn transform(action: &Action, pre: &Structure, table: &PredTable) -> Structure {
             }
         }
     }
-    // Clear the allocation marker.
+    // Clear the allocation marker: a whole-plane word fill rather than a
+    // per-node store loop.
     if action.new_node.is_some() {
-        for u in post.nodes() {
-            post.set_unary(table, table.isnew(), u, Kleene::False);
-        }
+        post.fill_unary(table, table.isnew(), Kleene::False);
     }
     post
 }

@@ -1,0 +1,280 @@
+//! Word-parallel Kleene bitplane primitives.
+//!
+//! A vector of [`Kleene`] values is stored as *two bitplanes*:
+//! a `true`-plane `t` and a `half`-plane `h`, one bit per element, packed
+//! into `u64` words. The encoding per lane is
+//!
+//! | value     | `t` | `h` |
+//! |-----------|-----|-----|
+//! | `False`   | 0   | 0   |
+//! | `Unknown` | 0   | 1   |
+//! | `True`    | 1   | 0   |
+//!
+//! with the invariant `t & h == 0` (a lane is never both). Under this
+//! encoding every Kleene connective becomes a constant number of boolean
+//! word operations applied to 64 lanes at once:
+//!
+//! | op            | `t'`                | `h'`                              |
+//! |---------------|---------------------|-----------------------------------|
+//! | `a ∧ b`       | `t1 & t2`           | `(t1\|h1) & (t2\|h2) & !(t1&t2)`  |
+//! | `a ∨ b`       | `t1 \| t2`          | `(h1\|h2) & !(t1\|t2)`            |
+//! | `¬a`          | `valid & !(t\|h)`   | `h`                               |
+//! | `a ⊔ b` (join)| `t1 & t2`           | `(t1^t2) \| h1 \| h2`             |
+//!
+//! These identities are proven exhaustively against the scalar
+//! [`Kleene`] operations — for all 3×3 input pairs in all 64
+//! lanes — by the property tests in `tests/properties.rs` and the unit tests
+//! below.
+//!
+//! Rows longer than 64 lanes span multiple words ([`words_for`]); the bits of
+//! the last word past the logical length are *padding* and must always be
+//! zero (the stride/padding invariant). Producers that could set padding
+//! bits (notably negation, whose `valid` mask exists exactly for this) mask
+//! with [`tail_mask`].
+
+use crate::kleene::Kleene;
+
+/// Number of lanes per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to hold `n` lanes.
+#[inline]
+pub fn words_for(n: usize) -> usize {
+    n.div_ceil(WORD_BITS)
+}
+
+/// Mask of the valid (non-padding) bits of the *last* word of an `n`-lane
+/// row. All earlier words are fully valid (`!0`). `n` must not be zero
+/// modulo full rows: for `n % 64 == 0` (including `n == 0`) every word is
+/// full and the mask is `!0`.
+#[inline]
+pub fn tail_mask(n: usize) -> u64 {
+    let rem = n % WORD_BITS;
+    if rem == 0 {
+        !0
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// Valid-lane mask of word `w` in an `n`-lane row of `words_for(n)` words.
+#[inline]
+pub fn word_mask(n: usize, w: usize) -> u64 {
+    if (w + 1) * WORD_BITS <= n {
+        !0
+    } else {
+        tail_mask(n)
+    }
+}
+
+/// Splits a lane index into its word index and in-word bit offset.
+#[inline]
+pub fn lane(ix: usize) -> (usize, u32) {
+    (ix / WORD_BITS, (ix % WORD_BITS) as u32)
+}
+
+/// Reads the Kleene value of one lane from a plane pair.
+#[inline]
+pub fn get_lane(t: &[u64], h: &[u64], ix: usize) -> Kleene {
+    let (w, b) = lane(ix);
+    Kleene::from_bits((t[w] >> b) & 1 != 0, (h[w] >> b) & 1 != 0)
+}
+
+/// Writes the Kleene value of one lane into a plane pair.
+#[inline]
+pub fn set_lane(t: &mut [u64], h: &mut [u64], ix: usize, v: Kleene) {
+    let (w, b) = lane(ix);
+    let bit = 1u64 << b;
+    let (tb, hb) = v.to_bits();
+    if tb {
+        t[w] |= bit;
+    } else {
+        t[w] &= !bit;
+    }
+    if hb {
+        h[w] |= bit;
+    } else {
+        h[w] &= !bit;
+    }
+}
+
+/// 64-lane Kleene conjunction.
+#[inline]
+pub fn and_word(t1: u64, h1: u64, t2: u64, h2: u64) -> (u64, u64) {
+    let t = t1 & t2;
+    (t, (t1 | h1) & (t2 | h2) & !t)
+}
+
+/// 64-lane Kleene disjunction.
+#[inline]
+pub fn or_word(t1: u64, h1: u64, t2: u64, h2: u64) -> (u64, u64) {
+    let t = t1 | t2;
+    (t, (h1 | h2) & !t)
+}
+
+/// 64-lane Kleene negation. `valid` masks the lanes that exist; padding
+/// lanes stay zero.
+#[inline]
+pub fn not_word(t: u64, h: u64, valid: u64) -> (u64, u64) {
+    (valid & !(t | h), h)
+}
+
+/// 64-lane information-order join (`x ⊔ x = x`, distinct values → `Unknown`).
+#[inline]
+pub fn join_word(t1: u64, h1: u64, t2: u64, h2: u64) -> (u64, u64) {
+    (t1 & t2, (t1 ^ t2) | h1 | h2)
+}
+
+/// Lanes of `valid` where `a ⊑ b` does **not** hold (`b` is neither equal to
+/// `a` nor `Unknown`). A zero result on every word of a row means the whole
+/// row is information-ordered.
+#[inline]
+pub fn le_info_violations(ta: u64, ha: u64, tb: u64, hb: u64, valid: u64) -> u64 {
+    let eq = !(ta ^ tb) & !(ha ^ hb);
+    valid & !(eq | hb)
+}
+
+/// Total number of set bits in a word slice.
+#[inline]
+pub fn count_set(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Whether any bit is set in a word slice.
+#[inline]
+pub fn any_set(words: &[u64]) -> bool {
+    words.iter().any(|&w| w != 0)
+}
+
+/// Index of the lowest set bit across a word slice, if any.
+#[inline]
+pub fn first_set(words: &[u64]) -> Option<usize> {
+    for (wi, &w) in words.iter().enumerate() {
+        if w != 0 {
+            return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Calls `f` with the index of every set bit, in ascending order
+/// (`trailing_zeros` iteration).
+#[inline]
+pub fn for_each_set(words: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            f(wi * WORD_BITS + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a single-word plane pair holding `v` in lane `b`.
+    fn lane_planes(v: Kleene, b: u32) -> (u64, u64) {
+        let (t, h) = v.to_bits();
+        ((t as u64) << b, (h as u64) << b)
+    }
+
+    fn read_lane(t: u64, h: u64, b: u32) -> Kleene {
+        Kleene::from_bits((t >> b) & 1 != 0, (h >> b) & 1 != 0)
+    }
+
+    #[test]
+    fn word_ops_match_scalar_in_every_lane() {
+        for b in 0..64u32 {
+            for a in Kleene::ALL {
+                for c in Kleene::ALL {
+                    let (t1, h1) = lane_planes(a, b);
+                    let (t2, h2) = lane_planes(c, b);
+                    let (t, h) = and_word(t1, h1, t2, h2);
+                    assert_eq!(read_lane(t, h, b), a & c, "and lane {b}: {a} {c}");
+                    assert_eq!(t & h, 0, "and: t/h invariant");
+                    let (t, h) = or_word(t1, h1, t2, h2);
+                    assert_eq!(read_lane(t, h, b), a | c, "or lane {b}: {a} {c}");
+                    assert_eq!(t & h, 0, "or: t/h invariant");
+                    let (t, h) = join_word(t1, h1, t2, h2);
+                    assert_eq!(read_lane(t, h, b), a.join(c), "join lane {b}: {a} {c}");
+                    assert_eq!(t & h, 0, "join: t/h invariant");
+                }
+                let (t1, h1) = lane_planes(a, b);
+                let (t, h) = not_word(t1, h1, !0);
+                assert_eq!(read_lane(t, h, b), !a, "not lane {b}: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn le_info_violation_lanes_match_scalar() {
+        for b in 0..64u32 {
+            for a in Kleene::ALL {
+                for c in Kleene::ALL {
+                    let (ta, ha) = lane_planes(a, b);
+                    let (tb, hb) = lane_planes(c, b);
+                    let bad = le_info_violations(ta, ha, tb, hb, !0);
+                    assert_eq!(
+                        (bad >> b) & 1 != 0,
+                        !a.le_info(c),
+                        "le_info lane {b}: {a} ⊑ {c}"
+                    );
+                    // Other lanes encode (False ⊑ False): never a violation.
+                    assert_eq!(bad & !(1 << b), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negation_respects_valid_mask() {
+        // All-False planes negate to all-True, but only on valid lanes.
+        for n in [1usize, 3, 63, 64] {
+            let (t, h) = not_word(0, 0, tail_mask(n));
+            assert_eq!(t, tail_mask(n));
+            assert_eq!(h, 0);
+        }
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(0), !0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(word_mask(65, 0), !0);
+        assert_eq!(word_mask(65, 1), 1);
+        assert_eq!(lane(65), (1, 1));
+    }
+
+    #[test]
+    fn scan_helpers() {
+        let words = [0b1010u64, 0, 1 << 63];
+        assert_eq!(count_set(&words), 3);
+        assert!(any_set(&words));
+        assert_eq!(first_set(&words), Some(1));
+        let mut seen = Vec::new();
+        for_each_set(&words, |ix| seen.push(ix));
+        assert_eq!(seen, vec![1, 3, 191]);
+        assert_eq!(first_set(&[0, 0]), None);
+        assert!(!any_set(&[0, 0]));
+    }
+
+    #[test]
+    fn lane_roundtrip() {
+        let mut t = vec![0u64; 2];
+        let mut h = vec![0u64; 2];
+        for (ix, v) in [(0, Kleene::True), (63, Kleene::Unknown), (64, Kleene::True)] {
+            set_lane(&mut t, &mut h, ix, v);
+            assert_eq!(get_lane(&t, &h, ix), v);
+        }
+        set_lane(&mut t, &mut h, 0, Kleene::False);
+        assert_eq!(get_lane(&t, &h, 0), Kleene::False);
+        assert_eq!(get_lane(&t, &h, 63), Kleene::Unknown);
+    }
+}

@@ -10,13 +10,36 @@
 //! (see `hetsep-core`).
 
 use crate::kleene::Kleene;
-use crate::pred::{PredId, PredTable};
+use crate::pred::{Arity, PredId, PredTable};
 use crate::structure::{NodeId, Structure};
 
 /// The *canonical name* of an individual: its vector of abstraction-predicate
 /// values.
 pub fn canonical_name(s: &Structure, table: &PredTable, abs: &[PredId], u: NodeId) -> Vec<Kleene> {
     abs.iter().map(|&p| s.unary(table, p, u)).collect()
+}
+
+/// Builds the packed canonical-name matrix: one row of `words_per_name(k)`
+/// `u64` words per node, holding the node's `k` predicate values as 2-bit
+/// codes (`False`=0, `Unknown`=1, `True`=2 — the Kleene truth order) packed
+/// most-significant-first. Lexicographic comparison of the word rows is then
+/// exactly lexicographic comparison of the Kleene value rows, so sorting and
+/// grouping compare one `u64` per 32 predicates instead of one byte each.
+fn packed_name_rows(s: &Structure, table: &PredTable, preds: &[PredId]) -> (Vec<u64>, usize) {
+    for &p in preds {
+        assert_eq!(table.arity(p), Arity::Unary, "canonical names are unary");
+    }
+    let slots: Vec<usize> = preds.iter().map(|&p| table.slot(p)).collect();
+    let wpn = preds.len().div_ceil(32);
+    let mut rows = vec![0u64; s.node_count() * wpn];
+    for u in 0..s.node_count() {
+        let base = u * wpn;
+        for (j, &slot) in slots.iter().enumerate() {
+            let code = s.get_u(slot, u) as u64;
+            rows[base + j / 32] |= code << (62 - 2 * (j % 32));
+        }
+    }
+    (rows, wpn)
 }
 
 /// Merges all individuals that share a canonical name (the `s/≃` quotient of
@@ -44,21 +67,16 @@ pub fn blur_by(s: &Structure, table: &PredTable, abs: &[PredId]) -> (Structure, 
     // Group nodes by canonical name. This is the hottest allocation site of
     // the whole analysis (one call per post-structure), so instead of a
     // `HashMap<Vec<Kleene>, Vec<NodeId>>` with a fresh name vector per node,
-    // canonical names live in one flat `n × k` matrix and grouping is a
-    // stable sort of the node order by name row. The stable sort keeps
-    // members of a group in ascending node order and yields groups in
-    // ascending canonical-name order — exactly the ordering the map-based
-    // grouping produced (names are unique per group, so sorting the
-    // collected map entries compared names only).
+    // canonical names live in one flat matrix of 2-bit-packed word rows (see
+    // `packed_name_rows` — word order coincides with Kleene row order) and
+    // grouping is a stable sort of the node order by name row. The stable
+    // sort keeps members of a group in ascending node order and yields
+    // groups in ascending canonical-name order — exactly the ordering the
+    // map-based grouping produced (names are unique per group, so sorting
+    // the collected map entries compared names only).
     let n_old = s.node_count();
-    let k = abs.len();
-    let mut names: Vec<Kleene> = Vec::with_capacity(n_old * k);
-    for u in s.nodes() {
-        for &p in abs {
-            names.push(s.unary(table, p, u));
-        }
-    }
-    let name_row = |u: NodeId| &names[u.index() * k..u.index() * k + k];
+    let (names, wpn) = packed_name_rows(s, table, abs);
+    let name_row = |u: NodeId| &names[u.index() * wpn..u.index() * wpn + wpn];
     let mut order: Vec<NodeId> = s.nodes().collect();
     order.sort_by(|&a, &b| name_row(a).cmp(name_row(b)));
     // Group boundaries: maximal runs of `order` with equal name rows.
@@ -95,9 +113,7 @@ pub fn blur_by(s: &Structure, table: &PredTable, abs: &[PredId]) -> (Structure, 
     }
 
     let mut out = Structure::new(table);
-    for _ in 0..n_new {
-        out.add_node(table);
-    }
+    out.add_nodes(table, n_new);
     // Nullary predicates carry over unchanged.
     for p in table.iter_arity(crate::pred::Arity::Nullary) {
         out.set_nullary(table, p, s.nullary(table, p));
@@ -185,22 +201,15 @@ impl CanonicalKey {
 /// receive different keys; callers in the analysis engine always key blurred
 /// structures, where keys coincide exactly with isomorphism classes.
 pub fn canonical_key(s: &Structure, table: &PredTable) -> CanonicalKey {
-    let abs = table.abstraction_preds();
     // Sort nodes by (canonical name, full unary row) for determinism. The
-    // rows are precomputed into one flat matrix: a sort key closure would
-    // recompute — and reallocate — both vectors on every comparison.
-    let unary: Vec<PredId> = table.iter_arity(crate::pred::Arity::Unary).collect();
-    let k = abs.len() + unary.len();
-    let mut rows: Vec<Kleene> = Vec::with_capacity(s.node_count() * k);
-    for u in s.nodes() {
-        for &p in &abs {
-            rows.push(s.unary(table, p, u));
-        }
-        for &p in &unary {
-            rows.push(s.unary(table, p, u));
-        }
-    }
-    let row = |u: NodeId| &rows[u.index() * k..u.index() * k + k];
+    // rows are precomputed into one flat matrix of 2-bit-packed words (word
+    // order equals Kleene row order; see `packed_name_rows`): a sort key
+    // closure would recompute — and reallocate — both vectors on every
+    // comparison.
+    let mut preds = table.abstraction_preds();
+    preds.extend(table.iter_arity(Arity::Unary));
+    let (rows, wpn) = packed_name_rows(s, table, &preds);
+    let row = |u: NodeId| &rows[u.index() * wpn..u.index() * wpn + wpn];
     let mut order: Vec<NodeId> = s.nodes().collect();
     order.sort_by(|&a, &b| row(a).cmp(row(b)));
     CanonicalKey(s.permute(&order))

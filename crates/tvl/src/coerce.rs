@@ -25,11 +25,12 @@
 //! and use [`coerce_with`]; the plan-free [`coerce`] entry point compiles a
 //! fresh plan per call and is equivalent.
 
+use crate::bits;
 use crate::eval::{eval_closed, eval_memo, Assignment, TcMemo};
 use crate::formula::{Formula, Var};
 use crate::kleene::Kleene;
 use crate::pred::{Arity, PredId, PredTable};
-use crate::structure::Structure;
+use crate::structure::{NodeId, Structure};
 
 /// Result of coercing a structure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,6 +127,8 @@ pub fn coerce(s: &Structure, table: &PredTable) -> CoerceOutcome {
 /// Applies all integrity constraints to fixpoint using a precompiled plan.
 pub fn coerce_with(s: &Structure, table: &PredTable, plan: &CoercePlan) -> CoerceOutcome {
     let mut cur = s.clone();
+    #[cfg(debug_assertions)]
+    cur.debug_check_invariants();
     loop {
         let mut changed = false;
         if !apply_unique(&mut cur, table, plan, &mut changed) {
@@ -144,29 +147,34 @@ pub fn coerce_with(s: &Structure, table: &PredTable, plan: &CoercePlan) -> Coerc
 }
 
 /// `unique` unary predicates hold for at most one concrete individual.
+///
+/// Runs on the bitplanes directly: the definite holders are the `t`-plane
+/// population count, and "clear every other `1/2` candidate" is zeroing the
+/// slot's `h`-plane (the holder's `h` bit is already 0 by the `t & h`
+/// invariant), one word store per 64 nodes.
 fn apply_unique(s: &mut Structure, table: &PredTable, plan: &CoercePlan, changed: &mut bool) -> bool {
     for &p in &plan.unique {
-        let definite: Vec<_> = s
-            .nodes()
-            .filter(|&u| s.unary(table, p, u) == Kleene::True)
-            .collect();
-        if definite.len() >= 2 {
+        let slot = table.slot(p);
+        let (holders, holder, has_half) = {
+            let (t, h) = s.unary_planes(slot);
+            (bits::count_set(t), bits::first_set(t), bits::any_set(h))
+        };
+        if holders >= 2 {
             // Two distinct nodes each definitely carry p: since every node
             // denotes at least one individual, p holds for ≥ 2 individuals.
             return false;
         }
-        if let [holder] = definite.as_slice() {
-            let holder = *holder;
+        if let Some(holder) = holder {
             // No other node may carry p.
-            for u in s.nodes() {
-                if u != holder && s.unary(table, p, u) == Kleene::Unknown {
-                    s.set_unary(table, p, u, Kleene::False);
-                    *changed = true;
-                }
+            if has_half {
+                let (_, h) = s.unary_planes_mut(slot);
+                h.fill(0);
+                *changed = true;
             }
             // A summary node on which p definitely holds represents nodes
             // that all carry p; uniqueness forces it to be a single
             // individual.
+            let holder = NodeId::from_index(holder);
             if s.is_summary(table, holder) {
                 s.set_summary(table, holder, false);
                 *changed = true;
@@ -185,30 +193,34 @@ fn apply_function(
     changed: &mut bool,
 ) -> bool {
     for &f in &plan.function {
+        let slot = table.slot(f);
         for src in s.nodes() {
             if s.is_summary(table, src) {
                 // Distinct members of a summary source may have distinct
                 // targets; no sharpening is possible.
                 continue;
             }
-            let definite: Vec<_> = s
-                .nodes()
-                .filter(|&d| s.binary(table, f, src, d) == Kleene::True)
-                .collect();
-            if definite.len() >= 2 {
+            // One plane row per source: definite targets are the row's
+            // `t`-plane bits, and dropping the remaining `1/2` targets is a
+            // word-wise zeroing of its `h`-plane (the target's own `h` bit
+            // is 0 by the `t & h` invariant).
+            let (targets, target, has_half) = {
+                let (t, h) = s.binary_row(slot, src.index());
+                (bits::count_set(t), bits::first_set(t), bits::any_set(h))
+            };
+            if targets >= 2 {
                 return false;
             }
-            if let [target] = definite.as_slice() {
-                let target = *target;
-                for d in s.nodes() {
-                    if d != target && s.binary(table, f, src, d) == Kleene::Unknown {
-                        s.set_binary(table, f, src, d, Kleene::False);
-                        *changed = true;
-                    }
+            if let Some(target) = target {
+                if has_half {
+                    let (_, h) = s.binary_row_mut(slot, src.index());
+                    h.fill(0);
+                    *changed = true;
                 }
                 // A definite edge into a summary target means the single
                 // source individual points to *every* member: functionality
                 // forces the target to be a single individual.
+                let target = NodeId::from_index(target);
                 if s.is_summary(table, target) {
                     s.set_summary(table, target, false);
                     *changed = true;

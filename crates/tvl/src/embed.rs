@@ -11,6 +11,7 @@
 //! universes that arise under heterogeneous abstraction — it is exponential in
 //! the universe size.
 
+use crate::bits;
 use crate::kleene::Kleene;
 use crate::pred::{Arity, PredTable};
 use crate::structure::{NodeId, Structure};
@@ -136,24 +137,44 @@ fn consistent(conc: &Structure, abst: &Structure, table: &PredTable, map: &[Node
 /// Checks that every predicate value of `a` is `⊑` the corresponding value of
 /// `b` under the *identity* mapping (requires equal universes). This is the
 /// degenerate embedding used to compare two views of the same universe.
+///
+/// Word-parallel: both structures share the same plane geometry, so the
+/// pointwise `⊑` test is [`bits::le_info_violations`] over corresponding
+/// words — 64 individuals (or pairs) per comparison, short-circuiting on the
+/// first word with any violating lane.
 pub fn le_pointwise(a: &Structure, b: &Structure, table: &PredTable) -> bool {
-    if a.node_count() != b.node_count() {
+    let n = a.node_count();
+    if n != b.node_count() {
         return false;
     }
     let nullary_ok = table
         .iter_arity(Arity::Nullary)
         .all(|p| a.nullary(table, p).le_info(b.nullary(table, p)));
+    if !nullary_ok {
+        return false;
+    }
+    let stride = a.stride_words();
+    let plane_le = |ta: &[u64], ha: &[u64], tb: &[u64], hb: &[u64]| {
+        ta.iter().zip(ha).zip(tb.iter().zip(hb)).enumerate().all(
+            |(w, ((&twa, &hwa), (&twb, &hwb)))| {
+                let valid = bits::word_mask(n, w % stride);
+                bits::le_info_violations(twa, hwa, twb, hwb, valid) == 0
+            },
+        )
+    };
     let unary_ok = table.iter_arity(Arity::Unary).all(|p| {
-        a.nodes()
-            .all(|u| a.unary(table, p, u).le_info(b.unary(table, p, u)))
+        let slot = table.slot(p);
+        let (ta, ha) = a.unary_planes(slot);
+        let (tb, hb) = b.unary_planes(slot);
+        plane_le(ta, ha, tb, hb)
     });
     let binary_ok = table.iter_arity(Arity::Binary).all(|p| {
-        a.nodes().all(|s| {
-            a.nodes()
-                .all(|d| a.binary(table, p, s, d).le_info(b.binary(table, p, s, d)))
-        })
+        let slot = table.slot(p);
+        let (ta, ha) = a.binary_slot_planes(slot);
+        let (tb, hb) = b.binary_slot_planes(slot);
+        plane_le(ta, ha, tb, hb)
     });
-    nullary_ok && unary_ok && binary_ok
+    unary_ok && binary_ok
 }
 
 /// Convenience for tests: `True`/`False`/`Unknown` grid of a binary predicate.

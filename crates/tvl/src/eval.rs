@@ -7,10 +7,26 @@
 //! the structure embeds a concrete state, the concrete truth value is always
 //! `⊑`-below the abstract one (soundness — see the embedding tests in
 //! [`crate::embed`]).
+//!
+//! # Word-parallel kernels
+//!
+//! Two hot paths run directly on the two-plane bit representation of
+//! [`Structure`] (see [`crate::bits`]):
+//!
+//! * **Quantifier folds** over an atomic body (`∃v. p(v)`, `∀v. ¬p(v)`,
+//!   `∃v. f(u, v)`, …) reduce to plane emptiness tests — `any t bit` /
+//!   `any h bit` / `any valid zero lane` — instead of an `n`-step
+//!   evaluation loop.
+//! * **Transitive closure** decomposes into two *boolean* closures: a path
+//!   is `True` iff some path uses only `True` edges, and `≠ False` iff some
+//!   path uses only `≠ False` edges. Each boolean closure is a bit-matrix
+//!   Warshall pass whose inner step or-s whole 64-lane words, dropping the
+//!   fixpoint from O(n³) element steps to O(n³/64) word steps.
 
+use crate::bits;
 use crate::formula::{Formula, Var};
 use crate::kleene::Kleene;
-use crate::pred::PredTable;
+use crate::pred::{Arity, PredTable};
 use crate::structure::{NodeId, Structure};
 
 /// A partial assignment of individuals to logical variables.
@@ -55,34 +71,73 @@ impl Assignment {
         self.slots.get(v.0 as usize).copied().flatten()
     }
 
-    fn lookup(&self, v: Var) -> NodeId {
-        self.get(v)
-            .unwrap_or_else(|| panic!("unbound variable {v} during evaluation"))
+    /// Resolves a variable that the evaluator requires to be bound.
+    ///
+    /// Every caller either binds the variable itself (quantifiers, `Tc`) or
+    /// documents that free variables of the formula must be bound, so a miss
+    /// here is a caller contract violation, not a recoverable state — hence
+    /// `unreachable!`, with the offending subformula for context.
+    fn lookup(&self, v: Var, ctx: &Formula) -> NodeId {
+        self.get(v).unwrap_or_else(|| {
+            unreachable!(
+                "unbound variable {v} while evaluating {ctx} — \
+                 callers must bind every free variable before evaluation"
+            )
+        })
+    }
+}
+
+/// A transitive-closure matrix in two-plane form: `t` holds the lanes whose
+/// closure value is `True`, `m` the lanes whose value is `≠ False` (so
+/// `t ⊆ m`, and a lane in `m \ t` is `Unknown`). Rows are `stride` words.
+#[derive(Debug, Clone)]
+struct TcBits {
+    stride: usize,
+    t: Vec<u64>,
+    m: Vec<u64>,
+}
+
+impl TcBits {
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> Kleene {
+        let w = i * self.stride + (j >> 6);
+        let b = (j & 63) as u32;
+        let t = (self.t[w] >> b) & 1 != 0;
+        let m = (self.m[w] >> b) & 1 != 0;
+        Kleene::from_bits(t, m && !t)
     }
 }
 
 /// Memoizes transitive-closure matrices across many [`eval_memo`] calls
 /// over the *same* structure.
 ///
-/// Evaluating a `Tc` subformula costs a full O(n³) relational fixpoint, and
-/// the sweeps that dominate the analysis (predicate-update transformers,
-/// coerce instrumentation rules) re-evaluate the same formula once per node
-/// or node pair — recomputing an identical closure every time. A `TcMemo`
-/// carried across one sweep caches the matrix per `Tc` body.
+/// Evaluating a `Tc` subformula costs a full relational fixpoint, and the
+/// sweeps that dominate the analysis (predicate-update transformers, coerce
+/// instrumentation rules) re-evaluate the same formula once per node or node
+/// pair — recomputing an identical closure every time. A `TcMemo` carried
+/// across one sweep caches the matrix per `Tc` body.
 ///
 /// Entries are keyed by the body subformula's address, which identifies it
 /// for as long as the formula borrow lives; a matrix is only cached when the
 /// body's free variables are all bound by the `Tc` itself, making the
 /// closure independent of the outer assignment. Callers must [`clear`] the
 /// memo whenever the structure under evaluation changes — the cache is
-/// exact, never heuristic, so a stale entry would be a soundness bug.
+/// exact, never heuristic, so a stale entry would be a soundness bug. Debug
+/// builds enforce this: the memo remembers the fingerprint of the structure
+/// it cached for and asserts on every cached read that the structure still
+/// matches, so a mutation (e.g. a coerce sharpening step) that forgets to
+/// `clear()` trips an assertion instead of silently reusing stale closures.
 ///
 /// [`clear`]: TcMemo::clear
 #[derive(Debug, Default)]
 pub struct TcMemo {
     /// `(body address, closure)`; `None` marks a body whose closure depends
     /// on outer bindings and must be recomputed per call.
-    entries: Vec<(usize, Option<Vec<Kleene>>)>,
+    entries: Vec<(usize, Option<TcBits>)>,
+    /// Fingerprint of the structure the cached closures were computed over
+    /// (debug builds only; see the stale-entry guard above).
+    #[cfg(debug_assertions)]
+    stamp: Option<u64>,
 }
 
 impl TcMemo {
@@ -95,6 +150,26 @@ impl TcMemo {
     /// evaluated over is mutated.
     pub fn clear(&mut self) {
         self.entries.clear();
+        #[cfg(debug_assertions)]
+        {
+            self.stamp = None;
+        }
+    }
+
+    /// Stale-entry soundness guard (debug builds): records the structure's
+    /// fingerprint on first use and asserts it is unchanged on every
+    /// subsequent use, catching mutations that skipped [`TcMemo::clear`].
+    #[cfg(debug_assertions)]
+    fn check_stamp(&mut self, s: &Structure) {
+        let fp = s.fingerprint();
+        match self.stamp {
+            None => self.stamp = Some(fp),
+            Some(stamp) => debug_assert_eq!(
+                stamp, fp,
+                "TcMemo reused across a structure mutation without clear() — \
+                 stale closure entries are a soundness bug"
+            ),
+        }
     }
 }
 
@@ -123,10 +198,12 @@ pub fn eval_memo(
     match formula {
         Formula::Const(k) => *k,
         Formula::Nullary(p) => s.nullary(table, *p),
-        Formula::Unary(p, v) => s.unary(table, *p, asg.lookup(*v)),
-        Formula::Binary(p, a, b) => s.binary(table, *p, asg.lookup(*a), asg.lookup(*b)),
+        Formula::Unary(p, v) => s.unary(table, *p, asg.lookup(*v, formula)),
+        Formula::Binary(p, a, b) => {
+            s.binary(table, *p, asg.lookup(*a, formula), asg.lookup(*b, formula))
+        }
         Formula::Eq(a, b) => {
-            let (u, v) = (asg.lookup(*a), asg.lookup(*b));
+            let (u, v) = (asg.lookup(*a, formula), asg.lookup(*b, formula));
             if u != v {
                 Kleene::False
             } else if s.is_summary(table, u) {
@@ -152,6 +229,9 @@ pub fn eval_memo(
             lv | eval_memo(s, table, r, asg, memo)
         }
         Formula::Exists(v, f) => {
+            if let Some(val) = quantifier_fold(s, table, *v, f, asg, Quant::Exists) {
+                return val;
+            }
             let saved = asg.get(*v);
             let mut acc = Kleene::False;
             for u in s.nodes() {
@@ -165,6 +245,9 @@ pub fn eval_memo(
             acc
         }
         Formula::Forall(v, f) => {
+            if let Some(val) = quantifier_fold(s, table, *v, f, asg, Quant::Forall) {
+                return val;
+            }
             let saved = asg.get(*v);
             let mut acc = Kleene::True;
             for u in s.nodes() {
@@ -178,18 +261,19 @@ pub fn eval_memo(
             acc
         }
         Formula::Tc { lhs, rhs, a, b, body } => {
-            let n = s.node_count();
-            let (u, v) = (asg.lookup(*lhs), asg.lookup(*rhs));
+            let (u, v) = (asg.lookup(*lhs, formula), asg.lookup(*rhs, formula));
+            #[cfg(debug_assertions)]
+            memo.check_stamp(s);
             let key = &**body as *const Formula as usize;
             if let Some((_, cached)) = memo.entries.iter().find(|(k, _)| *k == key) {
                 return match cached {
-                    Some(m) => m[u.index() * n + v.index()],
+                    Some(m) => m.get(u.index(), v.index()),
                     // Closure depends on outer bindings: recompute.
-                    None => tc_closure(s, table, *a, *b, body, asg)[u.index() * n + v.index()],
+                    None => tc_closure(s, table, *a, *b, body, asg).get(u.index(), v.index()),
                 };
             }
             let m = tc_closure(s, table, *a, *b, body, asg);
-            let val = m[u.index() * n + v.index()];
+            let val = m.get(u.index(), v.index());
             let cacheable = body.free_vars().iter().all(|fv| fv == a || fv == b);
             memo.entries.push((key, cacheable.then_some(m)));
             val
@@ -204,12 +288,125 @@ fn restore(asg: &mut Assignment, v: Var, saved: Option<NodeId>) {
     }
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Quant {
+    Exists,
+    Forall,
+}
+
+/// Folds a quantifier whose body is a (possibly negated) atom directly over
+/// the structure's bitplanes, avoiding the per-node evaluation loop.
+///
+/// Returns `None` when the body has no plane-level fast path (the caller then
+/// falls back to the generic loop), or when a variable the atom needs is not
+/// bound yet — the generic path produces the proper diagnostic.
+///
+/// The fold reproduces the loop's Kleene algebra exactly: for `∃` the result
+/// is `True` if any lane is `True`, else `Unknown` if any lane is `Unknown`,
+/// else `False`; `∀` dually. An empty universe folds to the connective's
+/// unit (`False` for `∃`, `True` for `∀`), matching the empty loop.
+fn quantifier_fold(
+    s: &Structure,
+    table: &PredTable,
+    v: Var,
+    body: &Formula,
+    asg: &Assignment,
+    q: Quant,
+) -> Option<Kleene> {
+    let (atom, negated) = match body {
+        Formula::Not(inner) => (&**inner, true),
+        other => (other, false),
+    };
+    match atom {
+        Formula::Unary(p, pv) if *pv == v && table.arity(*p) == Arity::Unary => {
+            let (t, h) = s.unary_planes(table.slot(*p));
+            Some(fold_planes(t, h, s.node_count(), negated, q))
+        }
+        Formula::Binary(p, pa, pb)
+            if *pb == v && *pa != v && table.arity(*p) == Arity::Binary =>
+        {
+            let src = asg.get(*pa)?;
+            let (t, h) = s.binary_row(table.slot(*p), src.index());
+            Some(fold_planes(t, h, s.node_count(), negated, q))
+        }
+        Formula::Binary(p, pa, pb)
+            if *pa == v && *pb != v && table.arity(*p) == Arity::Binary =>
+        {
+            // Column fold: one bit probe per source row.
+            let dst = asg.get(*pb)?.index();
+            let slot = table.slot(*p);
+            let (mut has_t, mut has_h, mut has_f) = (false, false, false);
+            for src in 0..s.node_count() {
+                match s.get_b(slot, src, dst) {
+                    Kleene::True => has_t = true,
+                    Kleene::Unknown => has_h = true,
+                    Kleene::False => has_f = true,
+                }
+                // Stop as soon as the decisive lane for this quantifier
+                // appeared (True for ∃, False for ∀ — swapped when negated).
+                let decisive = match (q, negated) {
+                    (Quant::Exists, false) | (Quant::Forall, true) => has_t,
+                    (Quant::Exists, true) | (Quant::Forall, false) => has_f,
+                };
+                if decisive {
+                    break;
+                }
+            }
+            Some(decide(has_t, has_h, has_f, negated, q))
+        }
+        _ => None,
+    }
+}
+
+/// Folds one plane row (`n` lanes) under a quantifier; see
+/// [`quantifier_fold`] for the semantics.
+fn fold_planes(t: &[u64], h: &[u64], n: usize, negated: bool, q: Quant) -> Kleene {
+    let has_t = bits::any_set(t);
+    let has_h = bits::any_set(h);
+    let has_f = t
+        .iter()
+        .zip(h)
+        .enumerate()
+        .any(|(w, (&tw, &hw))| bits::word_mask(n, w) & !(tw | hw) != 0);
+    decide(has_t, has_h, has_f, negated, q)
+}
+
+/// Combines lane-presence flags into the quantifier's folded value.
+fn decide(has_t: bool, has_h: bool, has_f: bool, negated: bool, q: Quant) -> Kleene {
+    let (has_t, has_f) = if negated { (has_f, has_t) } else { (has_t, has_f) };
+    match q {
+        Quant::Exists => {
+            if has_t {
+                Kleene::True
+            } else if has_h {
+                Kleene::Unknown
+            } else {
+                Kleene::False
+            }
+        }
+        Quant::Forall => {
+            if has_f {
+                Kleene::False
+            } else if has_h {
+                Kleene::Unknown
+            } else {
+                Kleene::True
+            }
+        }
+    }
+}
+
 /// Computes the 3-valued transitive closure matrix of the step relation
 /// `body(a, b)` under the current outer assignment.
 ///
 /// Paths of length ≥ 1 are considered; traversal *through* a summary node is
 /// handled implicitly (a step into and out of the same summary node composes
 /// its possibly-many members).
+///
+/// The Kleene closure (max-min path semiring over `0 < 1/2 < 1`) decomposes
+/// into two boolean closures: a pair is `True` iff connected through `True`
+/// edges only, and `≠ False` iff connected through `≠ False` edges. Both run
+/// as bit-matrix Warshall passes over whole words.
 fn tc_closure(
     s: &Structure,
     table: &PredTable,
@@ -217,47 +414,71 @@ fn tc_closure(
     b: Var,
     body: &Formula,
     asg: &mut Assignment,
-) -> Vec<Kleene> {
+) -> TcBits {
     let n = s.node_count();
-    let mut step = vec![Kleene::False; n * n];
-    let (saved_a, saved_b) = (asg.get(a), asg.get(b));
-    for u in s.nodes() {
-        asg.bind(a, u);
-        for v in s.nodes() {
-            asg.bind(b, v);
-            step[u.index() * n + v.index()] = eval(s, table, body, asg);
-        }
-    }
-    restore(asg, a, saved_a);
-    restore(asg, b, saved_b);
+    let stride = bits::words_for(n);
+    let mut step_t = vec![0u64; n * stride];
+    let mut step_m = vec![0u64; n * stride];
 
-    // Kleene-valued Floyd-Warshall style saturation:
-    // closure = step ∨ (closure ∘ step), to fixpoint.
-    let mut closure = step.clone();
-    loop {
-        let mut changed = false;
-        for i in 0..n {
-            for j in 0..n {
-                let mut acc = closure[i * n + j];
-                if acc == Kleene::True {
-                    continue;
-                }
-                for k in 0..n {
-                    acc = acc | (closure[i * n + k] & step[k * n + j]);
-                    if acc == Kleene::True {
-                        break;
+    // Fast path: the step relation is exactly a binary predicate — its
+    // planes *are* the adjacency matrices, word for word.
+    let direct = match body {
+        Formula::Binary(p, fa, fb)
+            if *fa == a && *fb == b && table.arity(*p) == Arity::Binary =>
+        {
+            Some(table.slot(*p))
+        }
+        _ => None,
+    };
+    if let Some(slot) = direct {
+        for src in 0..n {
+            let (t, h) = s.binary_row(slot, src);
+            let row = src * stride;
+            step_t[row..row + stride].copy_from_slice(t);
+            for w in 0..stride {
+                step_m[row + w] = t[w] | h[w];
+            }
+        }
+    } else {
+        let (saved_a, saved_b) = (asg.get(a), asg.get(b));
+        for u in s.nodes() {
+            asg.bind(a, u);
+            for v in s.nodes() {
+                asg.bind(b, v);
+                let val = eval(s, table, body, asg);
+                if val != Kleene::False {
+                    let w = u.index() * stride + (v.index() >> 6);
+                    let bit = 1u64 << (v.index() & 63);
+                    step_m[w] |= bit;
+                    if val == Kleene::True {
+                        step_t[w] |= bit;
                     }
-                }
-                if acc != closure[i * n + j] {
-                    // Values only grow in the truth order False→Unknown→True,
-                    // so the loop terminates.
-                    closure[i * n + j] = acc;
-                    changed = true;
                 }
             }
         }
-        if !changed {
-            return closure;
+        restore(asg, a, saved_a);
+        restore(asg, b, saved_b);
+    }
+
+    bool_closure(&mut step_t, n, stride);
+    bool_closure(&mut step_m, n, stride);
+    TcBits { stride, t: step_t, m: step_m }
+}
+
+/// In-place boolean transitive closure (paths of length ≥ 1) of an `n × n`
+/// bit adjacency matrix with `stride`-word rows: Warshall's algorithm with
+/// the inner union taken 64 lanes at a time.
+fn bool_closure(adj: &mut [u64], n: usize, stride: usize) {
+    let mut krow = vec![0u64; stride];
+    for k in 0..n {
+        let (kw, kb) = (k >> 6, (k & 63) as u32);
+        krow.copy_from_slice(&adj[k * stride..(k + 1) * stride]);
+        for row in adj.chunks_exact_mut(stride).take(n) {
+            if (row[kw] >> kb) & 1 != 0 {
+                for (dst, &kword) in row.iter_mut().zip(&krow) {
+                    *dst |= kword;
+                }
+            }
         }
     }
 }
@@ -379,6 +600,51 @@ mod tests {
     }
 
     #[test]
+    fn quantifier_fold_matches_loop_on_all_shapes() {
+        // Pin the plane-fold fast paths (∃/∀ over p(v), ¬p(v), f(u,v),
+        // f(v,u)) against the generic evaluation loop on a mixed structure.
+        let (t, x, f, _g) = setup();
+        let mut s = Structure::new(&t);
+        let nodes: Vec<NodeId> = (0..5).map(|_| s.add_node(&t)).collect();
+        s.set_unary(&t, x, nodes[1], Kleene::Unknown);
+        s.set_unary(&t, x, nodes[3], Kleene::True);
+        s.set_binary(&t, f, nodes[0], nodes[2], Kleene::Unknown);
+        s.set_binary(&t, f, nodes[2], nodes[4], Kleene::True);
+        s.set_binary(&t, f, nodes[4], nodes[0], Kleene::Unknown);
+        let v = Var(0);
+        let u = Var(1);
+        let atoms = || -> Vec<Formula> {
+            vec![
+                Formula::unary(x, v),
+                Formula::unary(x, v).not(),
+                Formula::binary(f, u, v),
+                Formula::binary(f, v, u),
+                Formula::binary(f, u, v).not(),
+                Formula::binary(f, v, u).not(),
+            ]
+        };
+        for src in &nodes {
+            for exists in [true, false] {
+                // The loop path is forced by wrapping the atom so it is not
+                // a recognizable fast-path shape (¬¬ is semantically id).
+                for (fast_body, slow_body) in atoms().into_iter().zip(
+                    atoms().into_iter().map(|a| a.not().not()),
+                ) {
+                    let (fast, slow) = if exists {
+                        (Formula::exists(v, fast_body), Formula::exists(v, slow_body))
+                    } else {
+                        (Formula::forall(v, fast_body), Formula::forall(v, slow_body))
+                    };
+                    let mut asg = Assignment::of([(u, *src)]);
+                    let got = eval(&s, &t, &fast, &mut asg.clone());
+                    let want = eval(&s, &t, &slow, &mut asg);
+                    assert_eq!(got, want, "src={src} formula={fast}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn transitive_closure_on_chain() {
         let (t, x, f, _g) = setup();
         let s = chain(&t, x, f);
@@ -424,6 +690,33 @@ mod tests {
     }
 
     #[test]
+    fn tc_direct_and_general_bodies_agree() {
+        // The direct plane-copy fast path (body ≡ f(a,b)) must produce the
+        // same closure as the generic eval path over an equivalent body.
+        let (t, _x, f, _g) = setup();
+        let mut s = Structure::new(&t);
+        let nodes: Vec<NodeId> = (0..4).map(|_| s.add_node(&t)).collect();
+        s.set_binary(&t, f, nodes[0], nodes[1], Kleene::True);
+        s.set_binary(&t, f, nodes[1], nodes[2], Kleene::Unknown);
+        s.set_binary(&t, f, nodes[2], nodes[0], Kleene::True);
+        s.set_binary(&t, f, nodes[3], nodes[3], Kleene::Unknown);
+        let (l, r, a, b) = (Var(0), Var(1), Var(2), Var(3));
+        let direct = Formula::tc(l, r, a, b, Formula::binary(f, a, b));
+        // ¬¬f(a,b) is semantically identical but not the fast-path shape.
+        let general = Formula::tc(l, r, a, b, Formula::binary(f, a, b).not().not());
+        for &u in &nodes {
+            for &v in &nodes {
+                let mut asg = Assignment::of([(l, u), (r, v)]);
+                assert_eq!(
+                    eval(&s, &t, &direct, &mut asg.clone()),
+                    eval(&s, &t, &general, &mut asg),
+                    "tc({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn ite_desugaring_behaves() {
         let (t, x, _f, g) = setup();
         let mut s = Structure::new(&t);
@@ -450,5 +743,24 @@ mod tests {
         let mut s = Structure::new(&t);
         s.add_node(&t);
         let _ = eval(&s, &t, &Formula::unary(x, Var(0)), &mut Assignment::new());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "TcMemo reused across a structure mutation")]
+    fn tc_memo_stale_entry_guard_fires() {
+        let (t, _x, f, _g) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        s.set_binary(&t, f, u, v, Kleene::True);
+        let (l, r, a, b) = (Var(0), Var(1), Var(2), Var(3));
+        let tc = Formula::tc(l, r, a, b, Formula::binary(f, a, b));
+        let mut memo = TcMemo::new();
+        let mut asg = Assignment::of([(l, u), (r, v)]);
+        assert_eq!(eval_memo(&s, &t, &tc, &mut asg, &mut memo), Kleene::True);
+        // Mutate without memo.clear(): the debug guard must trip.
+        s.set_binary(&t, f, u, v, Kleene::False);
+        let _ = eval_memo(&s, &t, &tc, &mut asg, &mut memo);
     }
 }

@@ -16,7 +16,7 @@
 //! wrong).
 
 use crate::kleene::Kleene;
-use crate::pred::{PredId, PredTable};
+use crate::pred::{Arity, PredId, PredTable};
 use crate::structure::Structure;
 
 /// A materialization request attached to an action.
@@ -76,13 +76,14 @@ pub fn focus_all(
 }
 
 fn focus_unary(s: &Structure, table: &PredTable, p: PredId, limit: usize) -> Vec<Structure> {
+    assert_eq!(table.arity(p), Arity::Unary);
+    let slot = table.slot(p);
     let mut done: Vec<Structure> = Vec::new();
     let mut work: Vec<Structure> = vec![s.clone()];
     while let Some(st) = work.pop() {
-        let pending = st
-            .nodes()
-            .find(|&u| st.unary(table, p, u) == Kleene::Unknown);
-        let Some(u) = pending else {
+        // The next node still carrying 1/2 is the lowest set bit of the
+        // slot's half-plane — a word scan, not a per-node probe loop.
+        let Some(u) = st.first_unknown_unary(slot) else {
             done.push(st);
             continue;
         };
@@ -118,6 +119,8 @@ fn focus_edge(
     field: PredId,
     limit: usize,
 ) -> Vec<Structure> {
+    assert_eq!(table.arity(field), Arity::Binary);
+    let field_slot = table.slot(field);
     let mut done: Vec<Structure> = Vec::new();
     let mut work: Vec<Structure> = vec![s.clone()];
     while let Some(st) = work.pop() {
@@ -125,10 +128,9 @@ fn focus_edge(
             done.push(st); // no definite source: nothing to focus
             continue;
         };
-        let pending = st
-            .nodes()
-            .find(|&v| st.binary(table, field, n, v) == Kleene::Unknown);
-        let Some(v) = pending else {
+        // First 1/2-valued outgoing edge: lowest set bit of the source row's
+        // half-plane.
+        let Some(v) = st.first_unknown_in_row(field_slot, n.index()) else {
             done.push(st);
             continue;
         };

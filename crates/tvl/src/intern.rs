@@ -14,6 +14,12 @@
 //! candidate ids and interning verifies candidates with full `==` before
 //! reusing an id — a collision costs one structure comparison, never a wrong
 //! answer.
+//!
+//! With the bit-packed two-plane [`Structure`] layout both halves of a probe
+//! are word-parallel: the fingerprint mixes one `u64` plane word (64 truth
+//! values) per FNV round, and the verifying `==` is a derived slice compare
+//! over the plane vectors — the stride-padding invariant (bits past the
+//! universe size are always zero) is what makes both value-exact.
 
 use std::collections::HashMap;
 

@@ -46,6 +46,35 @@ impl Kleene {
         }
     }
 
+    /// Decodes the two-plane bit encoding used by [`crate::bits`]:
+    /// `(t, h)` = `(false, false)` → `False`, `(false, true)` → `Unknown`,
+    /// `(true, _)` → `True`.
+    ///
+    /// The planes maintain `t & h == 0`, so the `(true, true)` case cannot
+    /// arise from well-formed storage; it decodes to `True` (the `t` plane
+    /// wins) to keep the function total.
+    #[inline]
+    pub fn from_bits(t: bool, h: bool) -> Kleene {
+        if t {
+            Kleene::True
+        } else if h {
+            Kleene::Unknown
+        } else {
+            Kleene::False
+        }
+    }
+
+    /// Encodes the value for two-plane bit storage; inverse of
+    /// [`Kleene::from_bits`]. The returned pair never has both bits set.
+    #[inline]
+    pub fn to_bits(self) -> (bool, bool) {
+        match self {
+            Kleene::False => (false, false),
+            Kleene::Unknown => (false, true),
+            Kleene::True => (true, false),
+        }
+    }
+
     /// Returns `true` when the value is `False` or `True` (not `1/2`).
     #[inline]
     pub fn is_definite(self) -> bool {
@@ -259,6 +288,19 @@ mod tests {
         assert_eq!(Kleene::False.to_string(), "0");
         assert_eq!(Kleene::Unknown.to_string(), "1/2");
         assert_eq!(Kleene::True.to_string(), "1");
+    }
+
+    #[test]
+    fn bit_encoding_roundtrips_and_orders() {
+        for v in Kleene::ALL {
+            let (t, h) = v.to_bits();
+            assert!(!(t && h), "t/h planes are mutually exclusive");
+            assert_eq!(Kleene::from_bits(t, h), v);
+            // The 2-bit code (t << 1) | h preserves the truth order
+            // False < Unknown < True, which canonical-name packing relies on.
+            let code = ((t as u8) << 1) | h as u8;
+            assert_eq!(code, v as u8);
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod action;
+pub mod bits;
 pub mod canon;
 pub mod coerce;
 pub mod display;

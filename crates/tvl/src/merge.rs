@@ -92,31 +92,34 @@ fn merge_classes<K: std::hash::Hash + Eq>(
 /// targets is likewise weakened. Without this, coerce would (correctly)
 /// judge the union structure infeasible and silently drop the represented
 /// states.
+///
+/// Word-parallel: "two definite holders" is `count_set` over the `true`-plane,
+/// and the weakening True → 1/2 is `h |= t; t = 0` on whole words (the two
+/// planes are disjoint, so OR-ing the old `t` bits into `h` encodes exactly
+/// Unknown on the former holders and leaves every other value untouched).
 pub fn weaken_union_conflicts(s: &Structure, table: &PredTable) -> Structure {
     let mut out = s.clone();
     for p in table.unique_preds() {
-        let holders: Vec<_> = out
-            .nodes()
-            .filter(|&u| out.unary(table, p, u) == Kleene::True)
-            .collect();
-        if holders.len() >= 2 {
-            for u in holders {
-                out.set_unary(table, p, u, Kleene::Unknown);
+        let slot = table.slot(p);
+        if crate::bits::count_set(out.unary_planes(slot).0) >= 2 {
+            let (t, h) = out.unary_planes_mut(slot);
+            for (tw, hw) in t.iter_mut().zip(h.iter_mut()) {
+                *hw |= *tw;
+                *tw = 0;
             }
         }
     }
     for f in table.function_preds() {
+        let slot = table.slot(f);
         for src in out.nodes() {
             if out.is_summary(table, src) {
                 continue;
             }
-            let targets: Vec<_> = out
-                .nodes()
-                .filter(|&d| out.binary(table, f, src, d) == Kleene::True)
-                .collect();
-            if targets.len() >= 2 {
-                for d in targets {
-                    out.set_binary(table, f, src, d, Kleene::Unknown);
+            if crate::bits::count_set(out.binary_row(slot, src.index()).0) >= 2 {
+                let (t, h) = out.binary_row_mut(slot, src.index());
+                for (tw, hw) in t.iter_mut().zip(h.iter_mut()) {
+                    *hw |= *tw;
+                    *tw = 0;
                 }
             }
         }

@@ -11,9 +11,33 @@
 //! than mutating shared state, which keeps the abstract-interpretation engine
 //! simple and makes structures usable as hash keys via
 //! [`crate::canon::canonical_key`].
+//!
+//! # Data layout
+//!
+//! Predicate values are stored as two bitplanes per slot (see [`crate::bits`]
+//! for the lane encoding): a `true`-plane and a `half`-plane, one bit per
+//! node (unary) or node pair (binary), packed into `u64` words. Rows are
+//! padded to a whole-word *stride* of `words_for(n)` words:
+//!
+//! ```text
+//! unary_t / unary_h:    [slot * stride + word]             (one row per slot)
+//! binary_t / binary_h:  [(slot * n + src) * stride + word] (one row per src)
+//! ```
+//!
+//! Invariants:
+//!
+//! * `t & h == 0` in every word (a lane is never both `True` and `Unknown`);
+//! * every bit past lane `n` of a row is zero (the *padding invariant*), so
+//!   the derived `Eq`/`Hash` and the word-folded [`Structure::fingerprint`]
+//!   agree with value-wise semantics.
+//!
+//! All mutation goes through the checked accessors (`set_unary`/`set_binary`)
+//! or through kernels that mask with [`crate::bits::word_mask`], so both
+//! invariants hold by construction.
 
 use std::fmt;
 
+use crate::bits;
 use crate::kleene::Kleene;
 use crate::pred::{Arity, PredId, PredTable};
 
@@ -63,11 +87,62 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Structure {
     n: u32,
+    /// Words per row: `bits::words_for(n)`, cached.
+    stride: u32,
+    /// Number of unary predicate slots (fixed by the table).
+    u_slots: u32,
+    /// Number of binary predicate slots (fixed by the table).
+    b_slots: u32,
     nullary: Vec<Kleene>,
-    /// `unary[slot][node]`
-    unary: Vec<Vec<Kleene>>,
-    /// `binary[slot][src * n + dst]`
-    binary: Vec<Vec<Kleene>>,
+    /// `true`-plane of unary slots: `[slot * stride + word]`.
+    unary_t: Vec<u64>,
+    /// `half`-plane of unary slots, same layout as `unary_t`.
+    unary_h: Vec<u64>,
+    /// `true`-plane of binary slots: `[(slot * n + src) * stride + word]`.
+    binary_t: Vec<u64>,
+    /// `half`-plane of binary slots, same layout as `binary_t`.
+    binary_h: Vec<u64>,
+}
+
+/// Re-grids a plane from `(rows_per_slot, old_stride)` geometry to
+/// `(new_rows, new_stride)`, in place when capacity allows.
+///
+/// Rows are moved back-to-front so sources are never clobbered before they
+/// are read; fresh rows and newly exposed padding words are zeroed. Performs
+/// at most one allocation (the `resize`), and none after `Vec::reserve`.
+fn regrow_plane(
+    v: &mut Vec<u64>,
+    slots: usize,
+    old_rows: usize,
+    new_rows: usize,
+    old_stride: usize,
+    new_stride: usize,
+) {
+    debug_assert!(new_rows >= old_rows && new_stride >= old_stride);
+    v.resize(slots * new_rows * new_stride, 0);
+    if old_rows == new_rows && old_stride == new_stride {
+        return;
+    }
+    for slot in (0..slots).rev() {
+        let base = slot * new_rows * new_stride;
+        // Zero fresh rows first: their region sits above every target of this
+        // slot's moved rows and below any not-yet-moved row of later slots
+        // (already processed) or earlier slots (strictly below `base`).
+        for row in old_rows..new_rows {
+            let p = base + row * new_stride;
+            v[p..p + new_stride].fill(0);
+        }
+        for row in (0..old_rows).rev() {
+            let old_pos = (slot * old_rows + row) * old_stride;
+            let new_pos = base + row * new_stride;
+            if new_pos != old_pos {
+                v.copy_within(old_pos..old_pos + old_stride, new_pos);
+            }
+            for w in old_stride..new_stride {
+                v[new_pos + w] = 0;
+            }
+        }
+    }
 }
 
 impl Structure {
@@ -76,9 +151,14 @@ impl Structure {
     pub fn new(table: &PredTable) -> Structure {
         Structure {
             n: 0,
+            stride: 0,
+            u_slots: table.unary_count() as u32,
+            b_slots: table.binary_count() as u32,
             nullary: vec![Kleene::False; table.nullary_count()],
-            unary: vec![Vec::new(); table.unary_count()],
-            binary: vec![Vec::new(); table.binary_count()],
+            unary_t: Vec::new(),
+            unary_h: Vec::new(),
+            binary_t: Vec::new(),
+            binary_h: Vec::new(),
         }
     }
 
@@ -98,25 +178,52 @@ impl Structure {
     }
 
     /// Adds a fresh individual with all predicate values `False` and returns
-    /// its id.
+    /// its id. Equivalent to `add_nodes(table, 1)`; callers growing by more
+    /// than one node should prefer the bulk call.
     pub fn add_node(&mut self, table: &PredTable) -> NodeId {
-        debug_assert_eq!(self.unary.len(), table.unary_count());
-        let old = self.n as usize;
-        let new = old + 1;
-        for col in &mut self.unary {
-            col.push(Kleene::False);
+        self.add_nodes(table, 1)
+    }
+
+    /// Adds `k` fresh individuals (all predicate values `False`) and returns
+    /// the id of the first; the new ids are contiguous. The whole grow is a
+    /// single re-grid of each plane — at most one allocation per plane
+    /// vector, and none at all after a sufficient [`Structure::reserve_nodes`]
+    /// — instead of `k` quadratic re-copies.
+    pub fn add_nodes(&mut self, table: &PredTable, k: usize) -> NodeId {
+        debug_assert_eq!(self.u_slots as usize, table.unary_count());
+        debug_assert_eq!(self.b_slots as usize, table.binary_count());
+        let first = NodeId(self.n);
+        if k == 0 {
+            return first;
         }
-        for mat in &mut self.binary {
-            let mut grown = vec![Kleene::False; new * new];
-            for s in 0..old {
-                for d in 0..old {
-                    grown[s * new + d] = mat[s * old + d];
-                }
-            }
-            *mat = grown;
-        }
-        self.n = new as u32;
-        NodeId(old as u32)
+        let old_n = self.n as usize;
+        let new_n = old_n + k;
+        let old_stride = self.stride as usize;
+        let new_stride = bits::words_for(new_n);
+        let us = self.u_slots as usize;
+        let bs = self.b_slots as usize;
+        regrow_plane(&mut self.unary_t, us, 1, 1, old_stride, new_stride);
+        regrow_plane(&mut self.unary_h, us, 1, 1, old_stride, new_stride);
+        regrow_plane(&mut self.binary_t, bs, old_n, new_n, old_stride, new_stride);
+        regrow_plane(&mut self.binary_h, bs, old_n, new_n, old_stride, new_stride);
+        self.n = new_n as u32;
+        self.stride = new_stride as u32;
+        first
+    }
+
+    /// Reserves capacity so that growing by up to `extra` nodes (via
+    /// [`Structure::add_nodes`] or repeated [`Structure::add_node`] /
+    /// [`Structure::duplicate_node`] calls) performs no further allocation.
+    pub fn reserve_nodes(&mut self, table: &PredTable, extra: usize) {
+        debug_assert_eq!(self.u_slots as usize, table.unary_count());
+        let new_n = self.n as usize + extra;
+        let ns = bits::words_for(new_n);
+        let u_len = self.u_slots as usize * ns;
+        let b_len = self.b_slots as usize * new_n * ns;
+        self.unary_t.reserve(u_len.saturating_sub(self.unary_t.len()));
+        self.unary_h.reserve(u_len.saturating_sub(self.unary_h.len()));
+        self.binary_t.reserve(b_len.saturating_sub(self.binary_t.len()));
+        self.binary_h.reserve(b_len.saturating_sub(self.binary_h.len()));
     }
 
     #[inline]
@@ -124,8 +231,124 @@ impl Structure {
         assert!(u.0 < self.n, "node {u} out of range (n={})", self.n);
     }
 
+    /// Words per plane row (`bits::words_for(n)`).
+    #[inline]
+    pub(crate) fn stride_words(&self) -> usize {
+        self.stride as usize
+    }
+
+    /// Both planes of one unary slot, `stride` words each.
+    #[inline]
+    pub(crate) fn unary_planes(&self, slot: usize) -> (&[u64], &[u64]) {
+        let st = self.stride as usize;
+        let base = slot * st;
+        (&self.unary_t[base..base + st], &self.unary_h[base..base + st])
+    }
+
+    /// Mutable planes of one unary slot. Callers must preserve the `t & h`
+    /// and padding invariants.
+    #[inline]
+    pub(crate) fn unary_planes_mut(&mut self, slot: usize) -> (&mut [u64], &mut [u64]) {
+        let st = self.stride as usize;
+        let base = slot * st;
+        (
+            &mut self.unary_t[base..base + st],
+            &mut self.unary_h[base..base + st],
+        )
+    }
+
+    /// Both planes of one source row of a binary slot, `stride` words each.
+    #[inline]
+    pub(crate) fn binary_row(&self, slot: usize, src: usize) -> (&[u64], &[u64]) {
+        let st = self.stride as usize;
+        let base = (slot * self.n as usize + src) * st;
+        (&self.binary_t[base..base + st], &self.binary_h[base..base + st])
+    }
+
+    /// Mutable planes of one source row of a binary slot. Callers must
+    /// preserve the `t & h` and padding invariants.
+    #[inline]
+    pub(crate) fn binary_row_mut(&mut self, slot: usize, src: usize) -> (&mut [u64], &mut [u64]) {
+        let st = self.stride as usize;
+        let base = (slot * self.n as usize + src) * st;
+        (
+            &mut self.binary_t[base..base + st],
+            &mut self.binary_h[base..base + st],
+        )
+    }
+
+    /// Both planes of a whole binary slot (`n` rows of `stride` words).
+    #[inline]
+    pub(crate) fn binary_slot_planes(&self, slot: usize) -> (&[u64], &[u64]) {
+        let st = self.stride as usize;
+        let rows = self.n as usize * st;
+        let base = slot * rows;
+        (
+            &self.binary_t[base..base + rows],
+            &self.binary_h[base..base + rows],
+        )
+    }
+
+    /// Raw unary read by slot index (no arity/table checks).
+    #[inline]
+    pub(crate) fn get_u(&self, slot: usize, u: usize) -> Kleene {
+        let w = slot * self.stride as usize + (u >> 6);
+        let b = (u & 63) as u32;
+        Kleene::from_bits(
+            (self.unary_t[w] >> b) & 1 != 0,
+            (self.unary_h[w] >> b) & 1 != 0,
+        )
+    }
+
+    /// Raw unary write by slot index (no arity/table checks).
+    #[inline]
+    pub(crate) fn set_u(&mut self, slot: usize, u: usize, v: Kleene) {
+        let w = slot * self.stride as usize + (u >> 6);
+        let bit = 1u64 << (u & 63);
+        let (tb, hb) = v.to_bits();
+        if tb {
+            self.unary_t[w] |= bit;
+        } else {
+            self.unary_t[w] &= !bit;
+        }
+        if hb {
+            self.unary_h[w] |= bit;
+        } else {
+            self.unary_h[w] &= !bit;
+        }
+    }
+
+    /// Raw binary read by slot index (no arity/table checks).
+    #[inline]
+    pub(crate) fn get_b(&self, slot: usize, src: usize, dst: usize) -> Kleene {
+        let w = (slot * self.n as usize + src) * self.stride as usize + (dst >> 6);
+        let b = (dst & 63) as u32;
+        Kleene::from_bits(
+            (self.binary_t[w] >> b) & 1 != 0,
+            (self.binary_h[w] >> b) & 1 != 0,
+        )
+    }
+
+    /// Raw binary write by slot index (no arity/table checks).
+    #[inline]
+    pub(crate) fn set_b(&mut self, slot: usize, src: usize, dst: usize, v: Kleene) {
+        let w = (slot * self.n as usize + src) * self.stride as usize + (dst >> 6);
+        let bit = 1u64 << (dst & 63);
+        let (tb, hb) = v.to_bits();
+        if tb {
+            self.binary_t[w] |= bit;
+        } else {
+            self.binary_t[w] &= !bit;
+        }
+        if hb {
+            self.binary_h[w] |= bit;
+        } else {
+            self.binary_h[w] &= !bit;
+        }
+    }
+
     /// A 64-bit fingerprint of the structure's full contents (FNV-1a over
-    /// the universe size and every predicate value).
+    /// the universe size, the nullary values, and every plane word).
     ///
     /// Equal structures always have equal fingerprints; distinct structures
     /// collide with probability ~2⁻⁶⁴. Callers that use fingerprints as map
@@ -134,27 +357,28 @@ impl Structure {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         #[inline]
-        fn mix(h: u64, byte: u8) -> u64 {
-            (h ^ byte as u64).wrapping_mul(PRIME)
+        fn mix(h: u64, word: u64) -> u64 {
+            (h ^ word).wrapping_mul(PRIME)
         }
         let mut h = OFFSET;
-        for b in self.n.to_le_bytes() {
-            h = mix(h, b);
-        }
+        h = mix(h, self.n as u64);
         for &v in &self.nullary {
-            h = mix(h, v as u8);
+            h = mix(h, v as u64);
         }
-        // Column/matrix boundaries are implied by `n` and the (fixed)
-        // predicate table, so no separators are needed between slots.
-        for col in &self.unary {
-            for &v in col {
-                h = mix(h, v as u8);
-            }
+        // Plane boundaries are implied by `n` and the (fixed) predicate
+        // table, so no separators are needed between slots; padding bits are
+        // zero by invariant, so equal structures hash equal per-word.
+        for &w in &self.unary_t {
+            h = mix(h, w);
         }
-        for mat in &self.binary {
-            for &v in mat {
-                h = mix(h, v as u8);
-            }
+        for &w in &self.unary_h {
+            h = mix(h, w);
+        }
+        for &w in &self.binary_t {
+            h = mix(h, w);
+        }
+        for &w in &self.binary_h {
+            h = mix(h, w);
         }
         h
     }
@@ -188,7 +412,7 @@ impl Structure {
     pub fn unary(&self, table: &PredTable, p: PredId, u: NodeId) -> Kleene {
         assert_eq!(table.arity(p), Arity::Unary);
         self.check_node(u);
-        self.unary[table.slot(p)][u.index()]
+        self.get_u(table.slot(p), u.index())
     }
 
     /// Sets a unary predicate on an individual.
@@ -199,8 +423,7 @@ impl Structure {
     pub fn set_unary(&mut self, table: &PredTable, p: PredId, u: NodeId, v: Kleene) {
         assert_eq!(table.arity(p), Arity::Unary);
         self.check_node(u);
-        let slot = table.slot(p);
-        self.unary[slot][u.index()] = v;
+        self.set_u(table.slot(p), u.index(), v);
     }
 
     /// Value of a binary predicate on a pair of individuals.
@@ -212,7 +435,7 @@ impl Structure {
         assert_eq!(table.arity(p), Arity::Binary);
         self.check_node(src);
         self.check_node(dst);
-        self.binary[table.slot(p)][src.index() * self.n as usize + dst.index()]
+        self.get_b(table.slot(p), src.index(), dst.index())
     }
 
     /// Sets a binary predicate on a pair of individuals.
@@ -224,9 +447,23 @@ impl Structure {
         assert_eq!(table.arity(p), Arity::Binary);
         self.check_node(src);
         self.check_node(dst);
+        self.set_b(table.slot(p), src.index(), dst.index(), v);
+    }
+
+    /// Sets a unary predicate to `v` on **every** individual with one masked
+    /// word sweep per plane row.
+    pub fn fill_unary(&mut self, table: &PredTable, p: PredId, v: Kleene) {
+        assert_eq!(table.arity(p), Arity::Unary);
         let n = self.n as usize;
         let slot = table.slot(p);
-        self.binary[slot][src.index() * n + dst.index()] = v;
+        let (tb, hb) = v.to_bits();
+        let (t, h) = self.unary_planes_mut(slot);
+        for (w, tw) in t.iter_mut().enumerate() {
+            *tw = if tb { bits::word_mask(n, w) } else { 0 };
+        }
+        for (w, hw) in h.iter_mut().enumerate() {
+            *hw = if hb { bits::word_mask(n, w) } else { 0 };
+        }
     }
 
     /// Whether `u` is a summary node (`sm(u) = 1/2`), i.e. may represent more
@@ -241,11 +478,37 @@ impl Structure {
         self.set_unary(table, table.sm(), u, v);
     }
 
-    /// Individuals on which unary predicate `p` may hold (value `≠ False`).
+    /// Individuals on which unary predicate `p` may hold (value `≠ False`),
+    /// found by a `trailing_zeros` scan of the or-ed planes.
     pub fn nodes_where(&self, table: &PredTable, p: PredId) -> Vec<NodeId> {
-        self.nodes()
-            .filter(|&u| self.unary(table, p, u).maybe_true())
-            .collect()
+        assert_eq!(table.arity(p), Arity::Unary);
+        let (t, h) = self.unary_planes(table.slot(p));
+        let mut out = Vec::new();
+        for (wi, (&tw, &hw)) in t.iter().zip(h).enumerate() {
+            let mut m = tw | hw;
+            while m != 0 {
+                let b = m.trailing_zeros();
+                out.push(NodeId((wi * bits::WORD_BITS) as u32 + b));
+                m &= m - 1;
+            }
+        }
+        out
+    }
+
+    /// Whether some individual carries both `p` and `q` possibly true
+    /// (value `≠ False` for each).
+    ///
+    /// One AND of the two predicates' maybe-masks (`t | h`) per word — 64
+    /// individuals per comparison, short-circuiting on the first hit.
+    pub fn maybe_overlap(&self, table: &PredTable, p: PredId, q: PredId) -> bool {
+        assert_eq!(table.arity(p), Arity::Unary);
+        assert_eq!(table.arity(q), Arity::Unary);
+        let (tp, hp) = self.unary_planes(table.slot(p));
+        let (tq, hq) = self.unary_planes(table.slot(q));
+        tp.iter()
+            .zip(hp)
+            .zip(tq.iter().zip(hq))
+            .any(|((&a, &b), (&c, &d))| (a | b) & (c | d) != 0)
     }
 
     /// The single individual on which `p` definitely holds, if there is
@@ -253,11 +516,37 @@ impl Structure {
     ///
     /// This is the common lookup for reference-variable predicates.
     pub fn definite_node(&self, table: &PredTable, p: PredId) -> Option<NodeId> {
-        let cands = self.nodes_where(table, p);
-        match cands.as_slice() {
-            [u] if self.unary(table, p, *u) == Kleene::True => Some(*u),
-            _ => None,
+        assert_eq!(table.arity(p), Arity::Unary);
+        let (t, h) = self.unary_planes(table.slot(p));
+        let mut cands = 0u32;
+        let mut hit: Option<NodeId> = None;
+        for (wi, (&tw, &hw)) in t.iter().zip(h).enumerate() {
+            let m = tw | hw;
+            cands += m.count_ones();
+            if cands > 1 {
+                return None;
+            }
+            if m != 0 && hit.is_none() {
+                let b = m.trailing_zeros();
+                if (tw >> b) & 1 == 0 {
+                    return None; // sole candidate is only Unknown
+                }
+                hit = Some(NodeId((wi * bits::WORD_BITS) as u32 + b));
+            }
         }
+        hit
+    }
+
+    /// First individual on which `p` is `Unknown`, by index order.
+    pub(crate) fn first_unknown_unary(&self, slot: usize) -> Option<NodeId> {
+        let (_, h) = self.unary_planes(slot);
+        bits::first_set(h).map(NodeId::from_index)
+    }
+
+    /// First destination for which `p(src, ·)` is `Unknown`, by index order.
+    pub(crate) fn first_unknown_in_row(&self, slot: usize, src: usize) -> Option<NodeId> {
+        let (_, h) = self.binary_row(slot, src);
+        bits::first_set(h).map(NodeId::from_index)
     }
 
     /// Builds a new structure containing only the individuals for which
@@ -277,27 +566,44 @@ impl Structure {
                 kept.push(u);
             }
         }
-        let m = kept.len();
-        let mut out = Structure {
-            n: m as u32,
-            nullary: self.nullary.clone(),
-            unary: vec![vec![Kleene::False; m]; self.unary.len()],
-            binary: vec![vec![Kleene::False; m * m]; self.binary.len()],
-        };
-        for (slot, col) in self.unary.iter().enumerate() {
+        let mut out = self.empty_resized(kept.len());
+        for slot in 0..self.u_slots as usize {
             for (new_ix, old) in kept.iter().enumerate() {
-                out.unary[slot][new_ix] = col[old.index()];
+                let v = self.get_u(slot, old.index());
+                if v != Kleene::False {
+                    out.set_u(slot, new_ix, v);
+                }
             }
         }
-        for (slot, mat) in self.binary.iter().enumerate() {
+        for slot in 0..self.b_slots as usize {
             for (si, s_old) in kept.iter().enumerate() {
                 for (di, d_old) in kept.iter().enumerate() {
-                    out.binary[slot][si * m + di] = mat[s_old.index() * n + d_old.index()];
+                    let v = self.get_b(slot, s_old.index(), d_old.index());
+                    if v != Kleene::False {
+                        out.set_b(slot, si, di, v);
+                    }
                 }
             }
         }
         let _ = table;
         (out, map)
+    }
+
+    /// An all-`False` structure with the same table geometry and nullary
+    /// values as `self`, over a universe of `m` nodes.
+    fn empty_resized(&self, m: usize) -> Structure {
+        let st = bits::words_for(m);
+        Structure {
+            n: m as u32,
+            stride: st as u32,
+            u_slots: self.u_slots,
+            b_slots: self.b_slots,
+            nullary: self.nullary.clone(),
+            unary_t: vec![0; self.u_slots as usize * st],
+            unary_h: vec![0; self.u_slots as usize * st],
+            binary_t: vec![0; self.b_slots as usize * m * st],
+            binary_h: vec![0; self.b_slots as usize * m * st],
+        }
     }
 
     /// Reorders the universe according to `perm`, where `perm[new] = old`.
@@ -313,21 +619,22 @@ impl Structure {
             assert!(!seen[u.index()], "not a permutation");
             seen[u.index()] = true;
         }
-        let mut out = Structure {
-            n: self.n,
-            nullary: self.nullary.clone(),
-            unary: vec![vec![Kleene::False; n]; self.unary.len()],
-            binary: vec![vec![Kleene::False; n * n]; self.binary.len()],
-        };
-        for (slot, col) in self.unary.iter().enumerate() {
+        let mut out = self.empty_resized(n);
+        for slot in 0..self.u_slots as usize {
             for (new_ix, old) in perm.iter().enumerate() {
-                out.unary[slot][new_ix] = col[old.index()];
+                let v = self.get_u(slot, old.index());
+                if v != Kleene::False {
+                    out.set_u(slot, new_ix, v);
+                }
             }
         }
-        for (slot, mat) in self.binary.iter().enumerate() {
+        for slot in 0..self.b_slots as usize {
             for (si, s_old) in perm.iter().enumerate() {
                 for (di, d_old) in perm.iter().enumerate() {
-                    out.binary[slot][si * n + di] = mat[s_old.index() * n + d_old.index()];
+                    let v = self.get_b(slot, s_old.index(), d_old.index());
+                    if v != Kleene::False {
+                        out.set_b(slot, si, di, v);
+                    }
                 }
             }
         }
@@ -339,36 +646,46 @@ impl Structure {
     /// pointwise. Cross edges between the two halves are `False`.
     pub fn union(&self, other: &Structure) -> Structure {
         assert_eq!(self.nullary.len(), other.nullary.len());
-        assert_eq!(self.unary.len(), other.unary.len());
-        assert_eq!(self.binary.len(), other.binary.len());
+        assert_eq!(self.u_slots, other.u_slots);
+        assert_eq!(self.b_slots, other.b_slots);
         let n1 = self.n as usize;
         let n2 = other.n as usize;
-        let n = n1 + n2;
-        let mut out = Structure {
-            n: n as u32,
-            nullary: self
-                .nullary
-                .iter()
-                .zip(&other.nullary)
-                .map(|(&a, &b)| a.join(b))
-                .collect(),
-            unary: vec![vec![Kleene::False; n]; self.unary.len()],
-            binary: vec![vec![Kleene::False; n * n]; self.binary.len()],
-        };
-        for (slot, col) in self.unary.iter().enumerate() {
-            out.unary[slot][..n1].copy_from_slice(col);
-            out.unary[slot][n1..].copy_from_slice(&other.unary[slot]);
-        }
-        for (slot, mat) in self.binary.iter().enumerate() {
-            for s in 0..n1 {
-                for d in 0..n1 {
-                    out.binary[slot][s * n + d] = mat[s * n1 + d];
+        let mut out = self.empty_resized(n1 + n2);
+        out.nullary = self
+            .nullary
+            .iter()
+            .zip(&other.nullary)
+            .map(|(&a, &b)| a.join(b))
+            .collect();
+        for slot in 0..self.u_slots as usize {
+            for u in 0..n1 {
+                let v = self.get_u(slot, u);
+                if v != Kleene::False {
+                    out.set_u(slot, u, v);
                 }
             }
-            let omat = &other.binary[slot];
+            for u in 0..n2 {
+                let v = other.get_u(slot, u);
+                if v != Kleene::False {
+                    out.set_u(slot, n1 + u, v);
+                }
+            }
+        }
+        for slot in 0..self.b_slots as usize {
+            for s in 0..n1 {
+                for d in 0..n1 {
+                    let v = self.get_b(slot, s, d);
+                    if v != Kleene::False {
+                        out.set_b(slot, s, d, v);
+                    }
+                }
+            }
             for s in 0..n2 {
                 for d in 0..n2 {
-                    out.binary[slot][(n1 + s) * n + (n1 + d)] = omat[s * n2 + d];
+                    let v = other.get_b(slot, s, d);
+                    if v != Kleene::False {
+                        out.set_b(slot, n1 + s, n1 + d, v);
+                    }
                 }
             }
         }
@@ -381,34 +698,70 @@ impl Structure {
     /// Used by [`crate::focus()`] when bifurcating a summary node.
     pub fn duplicate_node(&mut self, table: &PredTable, u: NodeId) -> NodeId {
         self.check_node(u);
-        let v = self.add_node(table);
+        let v = self.add_nodes(table, 1);
         let n = self.n as usize;
-        for col in &mut self.unary {
-            col[v.index()] = col[u.index()];
+        let st = self.stride as usize;
+        let (ui, vi) = (u.index(), v.index());
+        for slot in 0..self.u_slots as usize {
+            let val = self.get_u(slot, ui);
+            if val != Kleene::False {
+                self.set_u(slot, vi, val);
+            }
         }
-        for mat in &mut self.binary {
-            // Copy row and column, and map the self loop of u to all four
-            // pair combinations of {u, v}.
-            let self_loop = mat[u.index() * n + u.index()];
-            for d in 0..n {
-                mat[v.index() * n + d] = mat[u.index() * n + d];
-            }
+        for slot in 0..self.b_slots as usize {
+            // Row copy: v's row := u's row, one word move per plane. This
+            // also lands u's self loop at (v, u); the column copy below then
+            // fills (s, v) := (s, u) for every s — including s ∈ {u, v},
+            // which distributes the self loop over all four pairs of {u, v}.
+            let u_base = (slot * n + ui) * st;
+            let v_base = (slot * n + vi) * st;
+            self.binary_t.copy_within(u_base..u_base + st, v_base);
+            self.binary_h.copy_within(u_base..u_base + st, v_base);
             for s in 0..n {
-                mat[s * n + v.index()] = mat[s * n + u.index()];
+                let val = self.get_b(slot, s, ui);
+                if val != Kleene::False {
+                    self.set_b(slot, s, vi, val);
+                }
             }
-            mat[v.index() * n + v.index()] = self_loop;
-            mat[u.index() * n + v.index()] = self_loop;
-            mat[v.index() * n + u.index()] = self_loop;
         }
         v
     }
 
     /// Returns `true` when every predicate value is definite and no node is a
     /// summary node — i.e. the structure is a concrete (2-valued) state.
+    ///
+    /// With two-plane storage this is one `half`-plane emptiness scan: a
+    /// structure is concrete iff no `h` bit is set anywhere.
     pub fn is_concrete(&self) -> bool {
         self.nullary.iter().all(|v| v.is_definite())
-            && self.unary.iter().all(|col| col.iter().all(|v| v.is_definite()))
-            && self.binary.iter().all(|m| m.iter().all(|v| v.is_definite()))
+            && !bits::any_set(&self.unary_h)
+            && !bits::any_set(&self.binary_h)
+    }
+
+    /// Checks the `t & h` and padding invariants on every plane row
+    /// (debug builds only); used by tests and kernel entry points.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_check_invariants(&self) {
+        let n = self.n as usize;
+        let st = self.stride as usize;
+        let check_row = |t: &[u64], h: &[u64]| {
+            for w in 0..st {
+                debug_assert_eq!(t[w] & h[w], 0, "t/h invariant violated");
+                let mask = bits::word_mask(n, w);
+                debug_assert_eq!(t[w] & !mask, 0, "padding bits set in t plane");
+                debug_assert_eq!(h[w] & !mask, 0, "padding bits set in h plane");
+            }
+        };
+        for slot in 0..self.u_slots as usize {
+            let (t, h) = self.unary_planes(slot);
+            check_row(t, h);
+        }
+        for slot in 0..self.b_slots as usize {
+            for src in 0..n {
+                let (t, h) = self.binary_row(slot, src);
+                check_row(t, h);
+            }
+        }
     }
 }
 
@@ -463,6 +816,71 @@ mod tests {
     }
 
     #[test]
+    fn bulk_add_nodes_matches_repeated_add_node() {
+        let (t, x, f, _b) = setup();
+        let mut bulk = Structure::new(&t);
+        let u = bulk.add_node(&t);
+        bulk.set_unary(&t, x, u, Kleene::True);
+        bulk.set_binary(&t, f, u, u, Kleene::Unknown);
+        let mut single = bulk.clone();
+        let first = bulk.add_nodes(&t, 70); // crosses the one-word boundary
+        for _ in 0..70 {
+            single.add_node(&t);
+        }
+        assert_eq!(first, NodeId(1));
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.node_count(), 71);
+        assert_eq!(bulk.unary(&t, x, u), Kleene::True);
+        assert_eq!(bulk.binary(&t, f, u, u), Kleene::Unknown);
+        assert_eq!(bulk.binary(&t, f, first, u), Kleene::False);
+        #[cfg(debug_assertions)]
+        bulk.debug_check_invariants();
+    }
+
+    #[test]
+    fn add_nodes_zero_is_noop() {
+        let (t, ..) = setup();
+        let mut s = Structure::new(&t);
+        s.add_node(&t);
+        let before = s.clone();
+        let first = s.add_nodes(&t, 0);
+        assert_eq!(first, NodeId(1));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn reserve_then_grow() {
+        let (t, x, f, _b) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::Unknown);
+        s.set_binary(&t, f, u, u, Kleene::True);
+        s.reserve_nodes(&t, 200);
+        let first = s.add_nodes(&t, 200);
+        assert_eq!(s.node_count(), 201);
+        assert_eq!(s.unary(&t, x, u), Kleene::Unknown);
+        assert_eq!(s.binary(&t, f, u, u), Kleene::True);
+        assert_eq!(s.binary(&t, f, first, first), Kleene::False);
+    }
+
+    #[test]
+    fn fill_unary_sets_every_node() {
+        let (t, x, ..) = setup();
+        let mut s = Structure::new(&t);
+        s.add_nodes(&t, 67);
+        s.fill_unary(&t, x, Kleene::Unknown);
+        for u in s.nodes() {
+            assert_eq!(s.unary(&t, x, u), Kleene::Unknown);
+        }
+        s.fill_unary(&t, x, Kleene::False);
+        for u in s.nodes() {
+            assert_eq!(s.unary(&t, x, u), Kleene::False);
+        }
+        #[cfg(debug_assertions)]
+        s.debug_check_invariants();
+    }
+
+    #[test]
     fn summary_marking() {
         let (t, ..) = setup();
         let mut s = Structure::new(&t);
@@ -485,6 +903,15 @@ mod tests {
         assert_eq!(s.definite_node(&t, x), Some(u));
         s.set_unary(&t, x, v, Kleene::Unknown);
         assert_eq!(s.definite_node(&t, x), None); // ambiguous
+    }
+
+    #[test]
+    fn definite_node_rejects_lone_unknown() {
+        let (t, x, ..) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::Unknown);
+        assert_eq!(s.definite_node(&t, x), None);
     }
 
     #[test]
@@ -558,5 +985,20 @@ mod tests {
         assert_eq!(s.binary(&t, f, u, v), Kleene::Unknown);
         assert_eq!(s.binary(&t, f, v, u), Kleene::Unknown);
         assert_eq!(s.binary(&t, f, v, v), Kleene::Unknown);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_agrees() {
+        let (t, x, f, _b) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        let v = s.add_node(&t);
+        s.set_binary(&t, f, u, v, Kleene::True);
+        let clone = s.clone();
+        assert_eq!(s.fingerprint(), clone.fingerprint());
+        let mut other = s.clone();
+        other.set_unary(&t, x, u, Kleene::Unknown);
+        assert_ne!(s.fingerprint(), other.fingerprint());
+        assert_ne!(s, other);
     }
 }

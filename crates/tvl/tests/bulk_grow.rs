@@ -1,0 +1,87 @@
+//! Allocation regression tests for bulk node materialization.
+//!
+//! `Structure::add_nodes(table, k)` must re-grid each of the four plane
+//! vectors in place — one `resize` (at most one allocation or reallocation)
+//! per plane, independent of `k` — and `reserve_nodes` must move even that
+//! cost up front, making the subsequent grow allocation-free. A counting
+//! global allocator pins both bounds so a regression to per-node growth
+//! (k allocations) or per-row copying through temporaries fails loudly.
+//!
+//! Everything runs inside a single `#[test]` so no sibling test's
+//! allocations race the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hetsep_tvl::kleene::Kleene;
+use hetsep_tvl::pred::{PredFlags, PredTable};
+use hetsep_tvl::structure::Structure;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn bulk_grow_allocation_bounds() {
+    let mut table = PredTable::new();
+    let x = table.add_unary("x", PredFlags::reference_variable());
+    let f = table.add_binary("f", PredFlags::reference_field());
+
+    // One bulk grow 0 → 256 nodes: at most one allocation per plane vector
+    // (two unary planes, two binary planes), never one per node or per row.
+    let mut s = Structure::new(&table);
+    let grow = allocs_during(|| {
+        s.add_nodes(&table, 256);
+    });
+    assert!(
+        grow <= 4,
+        "add_nodes(256) must allocate at most once per plane, got {grow}"
+    );
+    assert_eq!(s.node_count(), 256);
+
+    // After an explicit reserve, the grow itself is allocation-free.
+    let mut s = Structure::new(&table);
+    s.reserve_nodes(&table, 300);
+    let grow = allocs_during(|| {
+        s.add_nodes(&table, 300);
+    });
+    assert_eq!(
+        grow, 0,
+        "add_nodes after reserve_nodes must not touch the allocator"
+    );
+    assert_eq!(s.node_count(), 300);
+
+    // The grown structure is fully usable: values land where they should.
+    let first = s.nodes().next().unwrap();
+    let last = s.nodes().last().unwrap();
+    s.set_unary(&table, x, last, Kleene::True);
+    s.set_binary(&table, f, first, last, Kleene::Unknown);
+    assert_eq!(s.unary(&table, x, last), Kleene::True);
+    assert_eq!(s.binary(&table, f, first, last), Kleene::Unknown);
+    assert_eq!(s.definite_node(&table, x), Some(last));
+}

@@ -7,6 +7,13 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Word-parallel Kleene kernels: the exhaustive truth-table identities and
+# stride-padding leak checks must also pass under release codegen (the
+# bit-twiddling kernels are exactly what optimization rewrites hardest).
+cargo test -q -p hetsep-tvl --release --test properties -- \
+    word_kernels_match_scalar_truth_tables_in_every_lane \
+    stride_padding_bits_never_leak
+cargo test -q -p hetsep-tvl --release --test bulk_grow
 cargo clippy --workspace -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo run -q -p hetsep --example quickstart --release > /dev/null
