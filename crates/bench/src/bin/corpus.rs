@@ -1,0 +1,166 @@
+//! Corpus-scale throughput benchmark: generates a deterministic corpus of
+//! verification jobs, runs it **cold** (empty cross-job transfer cache),
+//! persists the cache to disk, reloads it, and runs the same corpus
+//! **warm** — measuring jobs/sec and per-job latency percentiles for both
+//! runs and checking the cache's observation-equivalence contract (warm
+//! verdicts byte-identical, total misses strictly lower).
+//!
+//! Usage: `corpus [--jobs N] [--seed S] [--workers W] [--json PATH]`
+//! (defaults: 1000 jobs, seed 42, worker count from available parallelism,
+//! JSON written to `BENCH_corpus.json` in the working directory).
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use hetsep::core::TransferStore;
+use hetsep::corpus::{corpus_engine_config, corpus_jobs};
+use hetsep::sched::{run_batch, BatchConfig, BatchResult};
+use hetsep::suite::corpus::CorpusConfig;
+
+fn main() {
+    let mut jobs: usize = 1000;
+    let mut seed: u64 = 42;
+    let mut workers: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json_path = String::from("BENCH_corpus.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                jobs = v.parse().expect("--jobs needs an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = v.parse().expect("--seed needs an integer");
+            }
+            "--workers" => {
+                let v = args.next().expect("--workers needs a value");
+                workers = v.parse().expect("--workers needs an integer");
+            }
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let workers = workers.max(1);
+
+    eprintln!("generating {jobs} jobs (seed {seed})...");
+    let corpus = corpus_jobs(&CorpusConfig { jobs, seed });
+    let config = BatchConfig {
+        workers,
+        engine: corpus_engine_config(),
+    };
+
+    eprintln!("cold run ({workers} workers)...");
+    let mut store = TransferStore::new();
+    let cold = run_batch(&corpus, &config, &mut store);
+    eprintln!("cold: {}", summary(&cold));
+
+    // Persist and reload: the warm run exercises the on-disk format, not
+    // just the in-memory store.
+    let cache_path = std::env::temp_dir().join(format!("hetsep_corpus_{seed}_{jobs}.cache"));
+    store.save(&cache_path).expect("cache save");
+    let cache_bytes = std::fs::metadata(&cache_path).map_or(0, |m| m.len());
+    let mut reloaded = TransferStore::load(&cache_path).expect("cache load");
+    let _ = std::fs::remove_file(&cache_path);
+
+    eprintln!("warm run ({workers} workers)...");
+    let warm = run_batch(&corpus, &config, &mut reloaded);
+    eprintln!("warm: {}", summary(&warm));
+
+    // The contract the scheduler ships under: the cache changes how fast
+    // answers arrive, never which answers arrive.
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(c.verdict, w.verdict, "verdict drift at {}", c.name);
+        assert_eq!(c.reported, w.reported, "reported drift at {}", c.name);
+        assert_eq!(c.visits, w.visits, "visits drift at {}", c.name);
+    }
+    let cold_misses = cold.total(|o| o.cache_misses);
+    let warm_misses = warm.total(|o| o.cache_misses);
+    assert!(
+        warm_misses < cold_misses,
+        "warm run must miss less: {warm_misses} vs {cold_misses}"
+    );
+    eprintln!(
+        "verdicts identical; misses {cold_misses} -> {warm_misses}, speedup {:.2}x",
+        cold.wall.as_secs_f64() / warm.wall.as_secs_f64().max(1e-9),
+    );
+
+    let json = to_json(
+        jobs,
+        seed,
+        workers,
+        &cold,
+        &warm,
+        store.entry_count(),
+        store.structure_count(),
+        cache_bytes,
+    );
+    let mut f = std::fs::File::create(&json_path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("wrote {json_path}");
+}
+
+fn summary(r: &BatchResult) -> String {
+    format!(
+        "{} in {:.2?} ({:.1} jobs/s), p50 {:.2?} p95 {:.2?} p99 {:.2?}",
+        r.summary_line(),
+        r.wall,
+        r.jobs_per_sec,
+        r.p50,
+        r.p95,
+        r.p99
+    )
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn run_json(r: &BatchResult) -> String {
+    format!(
+        "{{\n      \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.2},\n      \
+         \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}},\n      \
+         \"verified\": {}, \"errors\": {}, \"incomplete\": {}, \"failed\": {},\n      \
+         \"reported\": {}, \"visits\": {},\n      \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {},\n      \
+         \"shared_hits\": {}, \"shared_misses\": {}\n    }}",
+        ms(r.wall),
+        r.jobs_per_sec,
+        ms(r.p50),
+        ms(r.p95),
+        ms(r.p99),
+        r.count("verified"),
+        r.count("errors"),
+        r.count("incomplete"),
+        r.count("failed"),
+        r.total(|o| o.reported as u64),
+        r.total(|o| o.visits),
+        r.total(|o| o.cache_hits),
+        r.total(|o| o.cache_misses),
+        r.total(|o| o.cache_evictions),
+        r.total(|o| o.shared_hits),
+        r.total(|o| o.shared_misses),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    jobs: usize,
+    seed: u64,
+    workers: usize,
+    cold: &BatchResult,
+    warm: &BatchResult,
+    entries: usize,
+    structures: usize,
+    cache_bytes: u64,
+) -> String {
+    format!(
+        "{{\n  \"jobs\": {jobs},\n  \"seed\": {seed},\n  \"workers\": {workers},\n  \
+         \"cache\": {{\"entries\": {entries}, \"structures\": {structures}, \
+         \"bytes\": {cache_bytes}}},\n  \
+         \"cold\": {},\n  \"warm\": {},\n  \
+         \"verdicts_identical\": true\n}}\n",
+        run_json(cold),
+        run_json(warm),
+    )
+}

@@ -320,6 +320,26 @@ pub fn run_cancellable(
     config: &EngineConfig,
     cancel: Option<&AtomicBool>,
 ) -> RunResult {
+    run_shared(instance, config, cancel, None)
+}
+
+/// Runs the worklist analysis with an optional cross-job shared transfer
+/// session (see [`crate::jobcache`]).
+///
+/// When a session is given (and `config.transfer_cache` is on — the shared
+/// layer sits strictly behind the per-run cache), a per-run-cache miss first
+/// probes the session's store snapshot by *content* key; a shared hit
+/// replays the memoized posts/violations/peak exactly and counts
+/// [`Counter::SharedCacheHits`] instead of a transfer-cache miss, while a
+/// shared miss computes the pipeline as usual and records the result into
+/// the session's delta for future jobs. Results are observation-equivalent
+/// with and without a session; only cache counters and wall-clock differ.
+pub fn run_shared(
+    instance: &AnalysisInstance,
+    config: &EngineConfig,
+    cancel: Option<&AtomicBool>,
+    shared: Option<&crate::jobcache::SharedTransferSession<'_>>,
+) -> RunResult {
     let start = Instant::now();
     let table = &instance.vocab.table;
     let cfg = &instance.cfg;
@@ -387,6 +407,13 @@ pub fn run_cancellable(
         action_ids.push(ids);
     }
     let mut cache: HashMap<(u32, StructureId), TransferEntry> = HashMap::new();
+    // The shared layer sits strictly behind the per-run cache: it is only
+    // consulted (and populated) when that cache misses, so the added cost is
+    // bounded by one content probe per distinct (action, pre-structure) pair
+    // per run.
+    let mut shared_scope = shared
+        .filter(|_| config.transfer_cache)
+        .map(|s| s.run_scope(table, config.focus_limit, &uniq_actions));
 
     'outer: while let Some(Reverse((_, _, node, sid))) = worklist.pop() {
         // Poll the cross-run flag at the top of every visit, not only every
@@ -430,6 +457,10 @@ pub fn run_cancellable(
                 // runs on the shared path below either way.
                 let cache_key = (action_ids[edge_ix][action_ix], sid);
                 let mut replay: Option<Vec<StructureId>> = None;
+                // Encoded pre-structure of a shared-store probe that missed,
+                // kept so the compute path records the result without
+                // re-encoding.
+                let mut shared_input: Option<Vec<u64>> = None;
                 if config.transfer_cache {
                     if let Some(entry) = cache.get(&cache_key) {
                         metrics.counters.add(Counter::TransferCacheHits, 1);
@@ -444,6 +475,49 @@ pub fn run_cancellable(
                         }
                         peak_nodes = peak_nodes.max(entry.peak_post_nodes);
                         replay = Some(entry.posts.clone());
+                    } else if let Some(scope) = shared_scope.as_ref() {
+                        let words = s.to_words();
+                        if let Some(hit) = scope.probe(cache_key.0, &words, table) {
+                            // A shared hit replaces — not joins — the local
+                            // miss: the pipeline is skipped, so only
+                            // `SharedCacheHits` advances and a warm corpus
+                            // run reports strictly fewer transfer-cache
+                            // misses than a cold one.
+                            metrics.counters.add(Counter::SharedCacheHits, 1);
+                            if !hit.violations.is_empty() {
+                                for (label, definite) in &hit.violations {
+                                    errors
+                                        .entry((edge.line, label.clone()))
+                                        .and_modify(|d| *d |= *definite)
+                                        .or_insert(*definite);
+                                }
+                                collect_failing_sites(instance, &s, &mut failing_sites);
+                            }
+                            peak_nodes = peak_nodes.max(hit.peak_post_nodes);
+                            // Stored posts are the exact canonical blur
+                            // outputs of the original compute, so interning
+                            // them replays the cold run's id assignment.
+                            let posts: Vec<StructureId> =
+                                hit.posts.into_iter().map(|p| interner.intern(p)).collect();
+                            if cache.len() >= config.transfer_cache_capacity {
+                                metrics
+                                    .counters
+                                    .add(Counter::TransferCacheEvictions, cache.len() as u64);
+                                cache.clear();
+                            }
+                            cache.insert(
+                                cache_key,
+                                TransferEntry {
+                                    posts: posts.clone(),
+                                    violations: hit.violations,
+                                    peak_post_nodes: hit.peak_post_nodes,
+                                },
+                            );
+                            replay = Some(posts);
+                        } else {
+                            metrics.counters.add(Counter::SharedCacheMisses, 1);
+                            shared_input = Some(words);
+                        }
                     }
                 }
                 let post_ids = match replay {
@@ -464,6 +538,11 @@ pub fn run_cancellable(
                             }
                             collect_failing_sites(instance, &s, &mut failing_sites);
                         }
+                        let violations: Vec<(String, bool)> = out
+                            .violations
+                            .iter()
+                            .map(|v| (v.label.clone(), v.value == hetsep_tvl::Kleene::False))
+                            .collect();
                         let mut peak_post_nodes = 0usize;
                         let mut posts = Vec::with_capacity(out.results.len());
                         for post in out.results {
@@ -472,6 +551,21 @@ pub fn run_cancellable(
                             posts.push(interner.intern(keyed));
                         }
                         peak_nodes = peak_nodes.max(peak_post_nodes);
+                        if let (Some(scope), Some(input)) =
+                            (shared_scope.as_mut(), shared_input.take())
+                        {
+                            let post_words = posts
+                                .iter()
+                                .map(|&id| interner.resolve(id).to_words())
+                                .collect();
+                            scope.record(
+                                cache_key.0,
+                                input,
+                                post_words,
+                                violations.clone(),
+                                peak_post_nodes,
+                            );
+                        }
                         if config.transfer_cache {
                             if cache.len() >= config.transfer_cache_capacity {
                                 metrics
@@ -483,13 +577,7 @@ pub fn run_cancellable(
                                 cache_key,
                                 TransferEntry {
                                     posts: posts.clone(),
-                                    violations: out
-                                        .violations
-                                        .iter()
-                                        .map(|v| {
-                                            (v.label.clone(), v.value == hetsep_tvl::Kleene::False)
-                                        })
-                                        .collect(),
+                                    violations,
                                     peak_post_nodes,
                                 },
                             );
@@ -547,6 +635,10 @@ pub fn run_cancellable(
                 }
             }
         }
+    }
+
+    if let Some(scope) = shared_scope.take() {
+        scope.finish();
     }
 
     let reports: Vec<ErrorReport> = errors

@@ -38,8 +38,10 @@
 
 pub mod concrete;
 pub mod engine;
+pub mod jobcache;
 pub mod liveness;
 pub mod modes;
+pub mod parallel;
 pub mod refine;
 pub mod relevance;
 pub mod report;
@@ -48,6 +50,8 @@ pub mod translate;
 pub mod vocab;
 
 pub use engine::{AnalysisOutcome, EngineConfig, ParallelConfig, RunStats};
+pub use jobcache::{SharedTransferSession, TransferStore};
+pub use parallel::map_ordered;
 pub use hetsep_tvl::telemetry::{
     Counter, Counters, Event, EventSink, MetricsSink, NullSink, Phase, PhaseStats, PhaseTimings,
     RunMetrics, TraceWriter,

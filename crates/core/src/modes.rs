@@ -18,8 +18,7 @@
 //! depends on the previous stage's failing sites.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use hetsep_easl::ast::Spec;
@@ -27,7 +26,8 @@ use hetsep_ir::Program;
 use hetsep_strategy::ast::{ChoiceMode, Strategy};
 use hetsep_tvl::telemetry::{Counter, Event, EventSink, NullSink, Phase, RunMetrics};
 
-use crate::engine::{run, run_cancellable, AnalysisOutcome, EngineConfig, RunResult, RunStats};
+use crate::engine::{run_shared, AnalysisOutcome, EngineConfig, RunResult, RunStats};
+use crate::jobcache::SharedTransferSession;
 use crate::report::{dedup_reports, ErrorReport, VerifyError};
 use crate::translate::{translate, TranslateOptions};
 use crate::vocab::SiteId;
@@ -254,43 +254,21 @@ fn run_sites(
     choice_ix: usize,
     sites: &[SiteId],
     config: &EngineConfig,
+    shared: Option<&SharedTransferSession<'_>>,
 ) -> Result<Vec<(SiteId, RunResult)>, VerifyError> {
     let threads = config.parallel.effective_threads().clamp(1, sites.len().max(1));
     let cancel = AtomicBool::new(false);
-    if threads == 1 {
-        let mut out = Vec::with_capacity(sites.len());
-        for &site in sites {
-            if cancel.load(Ordering::Relaxed) {
-                break;
-            }
-            let inst = translate(program, spec, &site_options(base, choice_ix, site))?;
-            out.push((site, run_cancellable(&inst, config, Some(&cancel))));
+    let slots = crate::parallel::map_ordered(sites, threads, &cancel, |_, &site, flag| {
+        let result = translate(program, spec, &site_options(base, choice_ix, site))
+            .map(|inst| run_shared(&inst, config, Some(flag), shared));
+        if result.is_err() {
+            flag.store(true, Ordering::Relaxed);
         }
-        return Ok(out);
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<RunResult, VerifyError>>>> =
-        sites.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let ix = next.fetch_add(1, Ordering::Relaxed);
-                if ix >= sites.len() || cancel.load(Ordering::Relaxed) {
-                    break;
-                }
-                let result = translate(program, spec, &site_options(base, choice_ix, sites[ix]))
-                    .map(|inst| run_cancellable(&inst, config, Some(&cancel)));
-                if result.is_err() {
-                    cancel.store(true, Ordering::Relaxed);
-                }
-                *slots[ix].lock().unwrap() = Some(result);
-            });
-        }
+        result
     });
     let mut out = Vec::with_capacity(sites.len());
     for (ix, slot) in slots.into_iter().enumerate() {
-        match slot.into_inner().unwrap() {
+        match slot {
             Some(Ok(result)) => out.push((sites[ix], result)),
             Some(Err(e)) => return Err(e),
             // Never started: a sibling run raised the cancellation flag.
@@ -337,6 +315,7 @@ pub struct Verifier<'a> {
     mode: Mode,
     config: EngineConfig,
     sink: Option<&'a mut dyn EventSink>,
+    shared: Option<&'a SharedTransferSession<'a>>,
 }
 
 impl<'a> Verifier<'a> {
@@ -349,6 +328,7 @@ impl<'a> Verifier<'a> {
             mode: Mode::Vanilla,
             config: EngineConfig::default(),
             sink: None,
+            shared: None,
         }
     }
 
@@ -402,6 +382,19 @@ impl<'a> Verifier<'a> {
         self
     }
 
+    /// Attaches a cross-job shared transfer session (see
+    /// [`crate::jobcache`]): per-run-cache misses probe the session's store
+    /// snapshot by content key, and computed transfers are recorded into the
+    /// session's delta for future jobs. Observation-equivalent — verdicts,
+    /// reported errors and visit/space statistics are identical with or
+    /// without a session; only the shared-cache counters and wall-clock
+    /// change. Requires the transfer cache (on by default) to have any
+    /// effect.
+    pub fn shared_cache(mut self, session: &'a SharedTransferSession<'a>) -> Verifier<'a> {
+        self.shared = Some(session);
+        self
+    }
+
     /// Runs the verification.
     ///
     /// # Errors
@@ -415,13 +408,20 @@ impl<'a> Verifier<'a> {
             mode,
             config,
             sink,
+            shared,
         } = self;
         let mut null = NullSink;
         let sink: &mut dyn EventSink = match sink {
             Some(s) => s,
             None => &mut null,
         };
-        verify_with_sink(program, spec, &mode, &config, sink)
+        let start = Instant::now();
+        let mut report = verify_inner(program, spec, &mode, &config, shared)?;
+        report.elapsed_wall = start.elapsed();
+        if sink.enabled() {
+            emit_report(&report, sink);
+        }
+        Ok(report)
     }
 }
 
@@ -468,7 +468,7 @@ pub fn verify_with_sink(
     sink: &mut dyn EventSink,
 ) -> Result<VerificationReport, VerifyError> {
     let start = Instant::now();
-    let mut report = verify_inner(program, spec, mode, config)?;
+    let mut report = verify_inner(program, spec, mode, config, None)?;
     report.elapsed_wall = start.elapsed();
     if sink.enabled() {
         emit_report(&report, sink);
@@ -543,13 +543,14 @@ fn verify_inner(
     spec: &Spec,
     mode: &Mode,
     config: &EngineConfig,
+    shared: Option<&SharedTransferSession<'_>>,
 ) -> Result<VerificationReport, VerifyError> {
     match mode {
         Mode::Vanilla => {
             let inst = translate(program, spec, &TranslateOptions::default())?;
             let mut report = VerificationReport::empty();
             report.stages_run = 1;
-            report.absorb(None, run(&inst, config));
+            report.absorb(None, run_shared(&inst, config, None, shared));
             Ok(report.finish())
         }
         Mode::Separation {
@@ -570,7 +571,7 @@ fn verify_inner(
             report.stages_run = 1;
             if *simultaneous {
                 let inst = translate(program, spec, &base)?;
-                report.absorb(None, run(&inst, config));
+                report.absorb(None, run_shared(&inst, config, None, shared));
                 return Ok(report.finish());
             }
             // Non-simultaneous: one run per allocation site of the first
@@ -582,7 +583,7 @@ fn verify_inner(
                 .position(|c| c.mode == ChoiceMode::Some);
             match first_some {
                 None => {
-                    report.absorb(None, run(&probe, config));
+                    report.absorb(None, run_shared(&probe, config, None, shared));
                 }
                 Some(choice_ix) => {
                     let class = &stage.choices[choice_ix].class;
@@ -590,7 +591,7 @@ fn verify_inner(
                     if sites.is_empty() {
                         // Nothing of the chosen class is ever allocated: a
                         // single (cheap) run covers the empty family.
-                        report.absorb(None, run(&probe, config));
+                        report.absorb(None, run_shared(&probe, config, None, shared));
                     }
                     // Pruning pre-pass: the coarse baseline runs once and
                     // sites it proves safe are skipped. A baseline failure
@@ -614,7 +615,7 @@ fn verify_inner(
                         .filter(|s| !safe.contains(s))
                         .collect();
                     let mut results =
-                        run_sites(program, spec, &base, choice_ix, &to_run, config)?
+                        run_sites(program, spec, &base, choice_ix, &to_run, config, shared)?
                             .into_iter()
                             .peekable();
                     // Merge in original site order so reports are identical
@@ -650,7 +651,7 @@ fn verify_inner(
                     ..TranslateOptions::default()
                 };
                 let inst = translate(program, spec, &options)?;
-                let result = run(&inst, config);
+                let result = run_shared(&inst, config, None, shared);
                 report.stages_run = ix + 1;
                 let stage_errors = result.errors.clone();
                 last_stage_complete = result.outcome == AnalysisOutcome::Complete;

@@ -1,0 +1,120 @@
+//! Deterministic ordered fan-out over a scoped worker pool.
+//!
+//! Both schedulers in the workspace — the inner subproblem scheduler
+//! (`modes::run_sites`, one run per allocation site) and the outer corpus
+//! job scheduler (`hetsep-sched`, one run per verification job) — need the
+//! same shape of parallelism: N independent work items, a bounded worker
+//! pool, and results that come back **in input order** regardless of which
+//! worker finished which item when. [`map_ordered`] is that shared helper.
+//!
+//! The discipline (established in PR 1 for subproblems) is:
+//!
+//! * workers claim items by atomically incrementing a shared cursor, so the
+//!   set of items each worker runs is schedule-dependent — but every result
+//!   lands in the slot of its *input index*, so the returned vector is not;
+//! * a shared cancellation flag stops new claims on every path (including
+//!   the single-worker fast path); items never started are reported as
+//!   `None`, letting callers distinguish "cancelled before start" from a
+//!   produced result;
+//! * the worker body itself decides whether to raise the flag (budget
+//!   exhaustion, hard errors) — the helper only observes it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work` over `items` on `workers` scoped threads, returning results
+/// in input order.
+///
+/// `work` receives the item's input index, the item, and the shared cancel
+/// flag (to poll and/or raise). `None` entries mark items never started
+/// because the flag was raised first. With `workers <= 1` the items run
+/// serially on the calling thread — same claims discipline, no thread spawn.
+pub fn map_ordered<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    cancel: &AtomicBool,
+    work: impl Fn(usize, &T, &AtomicBool) -> R + Sync,
+) -> Vec<Option<R>> {
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for (ix, item) in items.iter().enumerate() {
+            if cancel.load(Ordering::Relaxed) {
+                out.push(None);
+                continue;
+            }
+            out.push(Some(work(ix, item, cancel)));
+        }
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= items.len() || cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let result = work(ix, &items[ix], cancel);
+                *slots[ix].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 4] {
+            let cancel = AtomicBool::new(false);
+            let out = map_ordered(&items, workers, &cancel, |ix, &item, _| {
+                assert_eq!(ix, item);
+                item * 10
+            });
+            let got: Vec<usize> = out.into_iter().map(Option::unwrap).collect();
+            let want: Vec<usize> = items.iter().map(|i| i * 10).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_new_claims() {
+        let items: Vec<usize> = (0..256).collect();
+        for workers in [1, 4] {
+            let cancel = AtomicBool::new(false);
+            let out = map_ordered(&items, workers, &cancel, |ix, _, flag| {
+                if ix == 3 {
+                    flag.store(true, Ordering::Relaxed);
+                }
+                ix
+            });
+            assert!(
+                out.iter().any(Option::is_none),
+                "workers={workers}: some items must never start"
+            );
+            // Every produced result sits in its own slot.
+            for (ix, r) in out.iter().enumerate() {
+                if let Some(v) = r {
+                    assert_eq!(*v, ix);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let cancel = AtomicBool::new(false);
+        let out: Vec<Option<u32>> = map_ordered(&[], 4, &cancel, |_, _: &u32, _| unreachable!());
+        assert!(out.is_empty());
+    }
+}

@@ -137,8 +137,15 @@ impl Vocabulary {
             set_fields: HashMap::new(),
         };
 
-        // Program variables.
-        for (name, ty) in var_types {
+        // Program variables, in name order: registration order fixes the
+        // `PredId` numbering, which flows into every formula the lowering
+        // emits — sorting makes the whole vocabulary (and hence the
+        // cross-job cache's content keys, see `hetsep_core::jobcache`) a
+        // pure function of the program text instead of `HashMap` iteration
+        // order.
+        let mut vars: Vec<(&String, &String)> = var_types.iter().collect();
+        vars.sort_unstable();
+        for (name, ty) in vars {
             if ty == "boolean" {
                 v.bool_var_preds.insert(
                     name.clone(),
@@ -446,11 +453,18 @@ impl Vocabulary {
                 // forgotten on irrelevant individuals; relevant ones keep
                 // them with full precision (and the pr$… copies hold them for
                 // the abstraction key).
-                let forgettable = self
+                // Sorted: the emitted update order is part of the action's
+                // content key in the cross-job transfer cache, so it must be
+                // a function of the vocabulary, not of `HashMap` iteration
+                // order. (The updates are simultaneous — order does not
+                // affect semantics, only the key bytes.)
+                let mut forgettable: Vec<PredId> = self
                     .bool_fields
                     .values()
                     .chain(self.site_preds.values())
-                    .copied();
+                    .copied()
+                    .collect();
+                forgettable.sort_unstable();
                 for p in forgettable {
                     let forget = Formula::ite(
                         Formula::unary(relevant, u),

@@ -11,6 +11,8 @@
 //! hetsep baseline <program> [--spec <file>]
 //! hetsep check <program>
 //! hetsep heap <program> --line N [--strategy <file>] [--dot]
+//! hetsep corpus [--jobs N] [--seed S] [--workers W]
+//!               [--cache <path>] [--json <path>] [--quiet]
 //! ```
 //!
 //! `<program>` is a client-language source file; the specification defaults
@@ -23,6 +25,15 @@
 //! given) and spec lints (`W12x` — only when `--spec` is given explicitly;
 //! the built-in specifications are a trusted standard library). `--suite`
 //! lints every bundled Table 3 benchmark program instead of a file.
+//!
+//! `corpus` generates a seed-determined corpus of verification jobs (see
+//! `hetsep::suite::corpus`) and batches them over a worker pool with the
+//! cross-job transfer cache. `--cache <path>` persists the cache across
+//! invocations (loaded when the file exists, saved on exit): a warm second
+//! run replays transfers instead of recomputing them, with byte-identical
+//! verdicts. `--json <path>` writes per-job outcome rows; the one-line
+//! verdict summary on stdout is schedule-independent (the CI smoke gate
+//! diffs it against a golden).
 //!
 //! Observability: `--metrics` enables per-phase wall-clock sampling and
 //! prints a phase/counter breakdown to stderr; `--trace <path>` streams the
@@ -68,9 +79,18 @@ struct Options {
     format: String,
     deny_warnings: bool,
     suite: bool,
+    jobs: usize,
+    seed: u64,
+    workers: usize,
+    cache_path: Option<String>,
+    json_path: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
+    parse_options_with(args, true)
+}
+
+fn parse_options_with(args: &[String], requires_program: bool) -> Result<Options, String> {
     let mut o = Options {
         program_path: String::new(),
         spec_path: None,
@@ -88,6 +108,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         format: "text".into(),
         deny_warnings: false,
         suite: false,
+        jobs: 1000,
+        seed: 42,
+        workers: 1,
+        cache_path: None,
+        json_path: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -115,6 +140,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--preanalysis" => o.preanalysis = true,
             "--no-transfer-cache" => o.transfer_cache = false,
             "--suite" => o.suite = true,
+            "--jobs" => {
+                o.jobs = next(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--seed" => {
+                o.seed = next(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--workers" => {
+                o.workers = next(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--cache" => o.cache_path = Some(next(&mut it, "--cache")?),
+            "--json" => o.json_path = Some(next(&mut it, "--json")?),
             "--format" => {
                 o.format = next(&mut it, "--format")?;
                 if o.format != "text" && o.format != "json" {
@@ -133,7 +175,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
-    if o.program_path.is_empty() && !o.suite {
+    if o.program_path.is_empty() && !o.suite && requires_program {
         return Err("missing <program> path".into());
     }
     Ok(o)
@@ -187,6 +229,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "baseline" => cmd_baseline(&parse_options(rest)?),
         "check" => cmd_check(&parse_options(rest)?),
         "heap" => cmd_heap(&parse_options(rest)?),
+        "corpus" => cmd_corpus(&parse_options_with(rest, false)?),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -206,7 +249,9 @@ fn usage() -> String {
      hetsep lint     --suite [--format text|json] [--deny warnings]\n  \
      hetsep baseline <program> [--spec <file>]\n  \
      hetsep check    <program>\n  \
-     hetsep heap     <program> --line N [--strategy <file>] [--dot]"
+     hetsep heap     <program> --line N [--strategy <file>] [--dot]\n  \
+     hetsep corpus   [--jobs N] [--seed S] [--workers W] [--cache <path>] \
+     [--json <path>] [--quiet]"
         .to_owned()
 }
 
@@ -417,6 +462,88 @@ fn cmd_check(o: &Options) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::from(1))
     }
+}
+
+fn cmd_corpus(o: &Options) -> Result<ExitCode, String> {
+    use hetsep::core::TransferStore;
+    use hetsep::corpus::{corpus_engine_config, corpus_jobs};
+    use hetsep::sched::{run_batch, BatchConfig};
+    use hetsep::suite::corpus::CorpusConfig;
+
+    let jobs = corpus_jobs(&CorpusConfig {
+        jobs: o.jobs,
+        seed: o.seed,
+    });
+    let mut store = match &o.cache_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let store = TransferStore::load(std::path::Path::new(path))?;
+            if !o.quiet {
+                eprintln!(
+                    "cache loaded from {path}: {} transfer(s), {} structure(s)",
+                    store.entry_count(),
+                    store.structure_count()
+                );
+            }
+            store
+        }
+        _ => TransferStore::new(),
+    };
+    let config = BatchConfig {
+        workers: o.workers.max(1),
+        engine: corpus_engine_config(),
+    };
+    let result = run_batch(&jobs, &config, &mut store);
+    if let Some(path) = &o.json_path {
+        let mut out = String::from("[\n");
+        for (ix, outcome) in result.outcomes.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&outcome.json());
+            out.push_str(if ix + 1 == result.outcomes.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))?;
+        if !o.quiet {
+            eprintln!("per-job rows written to {path}");
+        }
+    }
+    if let Some(path) = &o.cache_path {
+        store
+            .save(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        if !o.quiet {
+            eprintln!(
+                "cache saved to {path}: {} transfer(s), {} structure(s)",
+                store.entry_count(),
+                store.structure_count()
+            );
+        }
+    }
+    // The schedule-independent verdict summary: the CI smoke gate diffs
+    // this line against a golden.
+    println!("{}", result.summary_line());
+    if !o.quiet {
+        eprintln!(
+            "{} jobs in {:.2?} ({:.1} jobs/s, workers={}): latency p50 {:.2?} \
+             p95 {:.2?} p99 {:.2?}; cache hits={} misses={} shared_hits={} \
+             shared_misses={}",
+            result.outcomes.len(),
+            result.wall,
+            result.jobs_per_sec,
+            config.workers,
+            result.p50,
+            result.p95,
+            result.p99,
+            result.total(|j| j.cache_hits),
+            result.total(|j| j.cache_misses),
+            result.total(|j| j.shared_hits),
+            result.total(|j| j.shared_misses),
+        );
+    }
+    Ok(if result.count("failed") == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn cmd_heap(o: &Options) -> Result<ExitCode, String> {

@@ -262,7 +262,7 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
              \"visits\": {}, \"peak_nodes\": {}, \"wall_ms\": {:.3}, \
              \"elapsed_ms\": {:.3}, \"reported\": {}, \"complete\": {}, \
              \"actual\": {}, \"pruned\": {}, \"cache_hits\": {}, \
-             \"cache_misses\": {}",
+             \"cache_misses\": {}, \"cache_evictions\": {}",
             r.benchmark,
             r.mode,
             r.space,
@@ -276,6 +276,7 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
             r.pruned,
             r.metrics.counters.get(Counter::TransferCacheHits),
             r.metrics.counters.get(Counter::TransferCacheMisses),
+            r.metrics.counters.get(Counter::TransferCacheEvictions),
         );
         if include_metrics {
             metrics_json(&mut out, &r.metrics);

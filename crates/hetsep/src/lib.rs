@@ -15,8 +15,11 @@
 //! * [`analysis`] — the static pre-verification layer (dataflow framework,
 //!   program/strategy/spec lints, unified diagnostics),
 //! * [`baseline`] — the ESP-style two-phase comparator,
-//! * [`suite`] — the Table 3 benchmark programs,
-//! * [`harness`] — drivers that regenerate the paper's table rows.
+//! * [`suite`] — the Table 3 benchmark programs and the corpus generator,
+//! * [`sched`] — the corpus-scale work-queue job scheduler with persistent
+//!   cross-job caches,
+//! * [`harness`] — drivers that regenerate the paper's table rows,
+//! * [`corpus`] — drivers bridging generated corpora to the scheduler.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use hetsep_baseline as baseline;
 pub use hetsep_core as core;
 pub use hetsep_easl as easl;
 pub use hetsep_ir as ir;
+pub use hetsep_sched as sched;
 pub use hetsep_strategy as strategy;
 pub use hetsep_suite as suite;
 pub use hetsep_tvl as tvl;
@@ -62,4 +66,5 @@ pub use hetsep_core::{
     VerificationReport, Verifier, VerifyError,
 };
 
+pub mod corpus;
 pub mod harness;

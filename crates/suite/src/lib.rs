@@ -21,6 +21,7 @@
 //! independent component families exist, where allocations sit relative to
 //! loops, and where the usage bugs are (see DESIGN.md).
 
+pub mod corpus;
 pub mod generators;
 pub mod programs;
 

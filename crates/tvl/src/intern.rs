@@ -116,6 +116,162 @@ impl StructureInterner {
     }
 }
 
+/// Number of shards in a [`WordPool`] (a power of two; the shard of an entry
+/// is the low bits of its fingerprint).
+pub const WORD_POOL_SHARDS: usize = 16;
+
+/// Pool handle of a word-encoded structure. Equal ids ⇔ equal word vectors
+/// (within one pool). The shard lives in the low 4 bits, the in-shard index
+/// in the upper 28.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(u32);
+
+impl PoolId {
+    fn new(shard: usize, ix: usize) -> PoolId {
+        let packed = (ix as u32) << 4 | shard as u32;
+        assert!(packed >> 4 == ix as u32, "word pool shard overflow");
+        PoolId(packed)
+    }
+
+    fn shard(self) -> usize {
+        (self.0 & 0xf) as usize
+    }
+
+    fn index(self) -> usize {
+        (self.0 >> 4) as usize
+    }
+
+    /// Raw packed value, for serialization.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`PoolId::raw`]. Validity (the id resolving in a
+    /// given pool) is the caller's concern — see [`WordPool::contains`].
+    pub fn from_raw(raw: u32) -> PoolId {
+        PoolId(raw)
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct WordShard {
+    arena: Vec<Box<[u64]>>,
+    /// fingerprint → in-shard candidate indices with that fingerprint.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+/// A sharded hash-consing pool for *word-encoded* structures
+/// (`Structure::to_words` outputs), shared across verification jobs.
+///
+/// Same discipline as [`StructureInterner`] — fingerprint bucket, then full
+/// slice equality before reusing an id, so a collision costs one comparison
+/// and never a wrong answer — but over plain word vectors, which keeps the
+/// pool independent of any predicate table and lets one pool back jobs with
+/// different vocabularies. Sharding by fingerprint bits keeps individual
+/// hash maps small at corpus scale; lookups stay single-threaded and
+/// deterministic (the job scheduler merges per-job additions in job order,
+/// the same discipline the subproblem scheduler uses for site results).
+#[derive(Debug, Clone)]
+pub struct WordPool {
+    shards: Vec<WordShard>,
+    len: usize,
+}
+
+impl Default for WordPool {
+    fn default() -> WordPool {
+        WordPool {
+            shards: vec![WordShard::default(); WORD_POOL_SHARDS],
+            len: 0,
+        }
+    }
+}
+
+impl WordPool {
+    /// Creates an empty pool.
+    pub fn new() -> WordPool {
+        WordPool::default()
+    }
+
+    fn fingerprint(words: &[u64]) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        h = (h ^ words.len() as u64).wrapping_mul(PRIME);
+        for &w in words {
+            h = (h ^ w).wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// Interns a word vector, returning the id of the pool copy equal to it.
+    pub fn intern(&mut self, words: &[u64]) -> PoolId {
+        let fp = Self::fingerprint(words);
+        let shard_ix = (fp as usize) % WORD_POOL_SHARDS;
+        let shard = &mut self.shards[shard_ix];
+        let bucket = shard.buckets.entry(fp).or_default();
+        for &ix in bucket.iter() {
+            if &*shard.arena[ix as usize] == words {
+                return PoolId::new(shard_ix, ix as usize);
+            }
+        }
+        let ix = shard.arena.len();
+        shard.arena.push(words.into());
+        bucket.push(ix as u32);
+        self.len += 1;
+        PoolId::new(shard_ix, ix)
+    }
+
+    /// Read-only probe: the id of an equal entry, if one exists.
+    pub fn get(&self, words: &[u64]) -> Option<PoolId> {
+        let fp = Self::fingerprint(words);
+        let shard_ix = (fp as usize) % WORD_POOL_SHARDS;
+        let shard = &self.shards[shard_ix];
+        let bucket = shard.buckets.get(&fp)?;
+        bucket
+            .iter()
+            .find(|&&ix| &*shard.arena[ix as usize] == words)
+            .map(|&ix| PoolId::new(shard_ix, ix as usize))
+    }
+
+    /// The word vector an id refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this pool (or
+    /// [`WordPool::contains`] is false for it).
+    pub fn resolve(&self, id: PoolId) -> &[u64] {
+        &self.shards[id.shard()].arena[id.index()]
+    }
+
+    /// Whether `id` resolves in this pool (used to validate deserialized
+    /// ids).
+    pub fn contains(&self, id: PoolId) -> bool {
+        id.shard() < self.shards.len() && id.index() < self.shards[id.shard()].arena.len()
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All entries in deterministic (shard-major, insertion) order, for
+    /// serialization.
+    pub fn iter(&self) -> impl Iterator<Item = (PoolId, &[u64])> {
+        self.shards.iter().enumerate().flat_map(|(s, shard)| {
+            shard
+                .arena
+                .iter()
+                .enumerate()
+                .map(move |(ix, words)| (PoolId::new(s, ix), &**words))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +359,51 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), ids.len(), "distinct structures, distinct ids");
+    }
+
+    #[test]
+    fn word_pool_interns_exactly() {
+        let mut pool = WordPool::new();
+        let a = pool.intern(&[1, 2, 3]);
+        let b = pool.intern(&[1, 2, 3]);
+        let c = pool.intern(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.resolve(a), &[1, 2, 3]);
+        assert_eq!(pool.get(&[1, 2, 4]), Some(c));
+        assert_eq!(pool.get(&[9]), None);
+        assert!(pool.contains(PoolId::from_raw(c.raw())));
+    }
+
+    #[test]
+    fn word_pool_distributes_and_iterates_deterministically() {
+        let mut pool = WordPool::new();
+        let ids: Vec<PoolId> = (0..200u64).map(|i| pool.intern(&[i, i * 31])).collect();
+        assert_eq!(pool.len(), 200);
+        // Every id resolves to its own entry.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(pool.resolve(*id), &[i as u64, i as u64 * 31]);
+        }
+        // More than one shard is populated, and iteration visits every
+        // entry exactly once in a reproducible order.
+        let shards: std::collections::HashSet<usize> =
+            ids.iter().map(|id| (id.raw() & 0xf) as usize).collect();
+        assert!(shards.len() > 1, "fingerprint sharding distributes");
+        let order1: Vec<u32> = pool.iter().map(|(id, _)| id.raw()).collect();
+        let order2: Vec<u32> = pool.iter().map(|(id, _)| id.raw()).collect();
+        assert_eq!(order1.len(), 200);
+        assert_eq!(order1, order2);
+    }
+
+    #[test]
+    fn word_pool_ids_distinguish_distinct_vectors() {
+        // Length is mixed into the fingerprint: a prefix never aliases.
+        let mut pool = WordPool::new();
+        let short = pool.intern(&[7]);
+        let long = pool.intern(&[7, 0]);
+        assert_ne!(short, long);
+        assert_eq!(pool.resolve(short), &[7]);
+        assert_eq!(pool.resolve(long), &[7, 0]);
     }
 }

@@ -62,7 +62,7 @@ pub use coerce::{coerce, coerce_with, CoerceOutcome, CoercePlan};
 pub use eval::{eval, eval_closed, eval_memo, Assignment, TcMemo};
 pub use focus::{focus, focus_all, FocusSpec, DEFAULT_FOCUS_LIMIT};
 pub use formula::{Formula, Var};
-pub use intern::{StructureId, StructureInterner};
+pub use intern::{PoolId, StructureId, StructureInterner, WordPool};
 pub use kleene::Kleene;
 pub use merge::{merge_all, MergePolicy};
 pub use pred::{Arity, PredFlags, PredId, PredTable};

@@ -383,6 +383,122 @@ impl Structure {
         h
     }
 
+    /// Serializes the structure to a flat word vector.
+    ///
+    /// The encoding is `[n, packed nullary…, unary_t…, unary_h…, binary_t…,
+    /// binary_h…]`: nullary values are packed two bits per predicate
+    /// (32 per word, via [`Kleene::to_bits`]), plane words are copied
+    /// verbatim. All lengths are implied by `n` and the predicate table, so
+    /// no geometry metadata is stored; because padding bits are zero by
+    /// invariant, equal structures encode to equal word vectors and vice
+    /// versa — the encoding is a value-exact key for cross-job caches.
+    pub fn to_words(&self) -> Vec<u64> {
+        let nw = Self::nullary_words(self.nullary.len());
+        let mut out = Vec::with_capacity(
+            1 + nw
+                + self.unary_t.len()
+                + self.unary_h.len()
+                + self.binary_t.len()
+                + self.binary_h.len(),
+        );
+        out.push(self.n as u64);
+        let mut packed = vec![0u64; nw];
+        for (ix, &v) in self.nullary.iter().enumerate() {
+            let (t, h) = v.to_bits();
+            let bits = (t as u64) << 1 | (h as u64);
+            packed[ix / 32] |= bits << ((ix % 32) * 2);
+        }
+        out.extend_from_slice(&packed);
+        out.extend_from_slice(&self.unary_t);
+        out.extend_from_slice(&self.unary_h);
+        out.extend_from_slice(&self.binary_t);
+        out.extend_from_slice(&self.binary_h);
+        out
+    }
+
+    /// Decodes a structure previously encoded by [`Structure::to_words`]
+    /// against the *same* predicate table.
+    ///
+    /// Returns `None` — never a malformed structure — if the words do not
+    /// describe a structure for `table`: wrong total length, a nullary value
+    /// with both bits set (`11` is not a [`Kleene`]), a word with `t & h !=
+    /// 0`, or a non-zero padding bit. Accepting only invariant-clean input
+    /// keeps the derived `Eq`/`Hash`/[`Structure::fingerprint`] semantics
+    /// intact for decoded structures, which is what makes a persisted cache
+    /// safe to trust after collision verification.
+    pub fn from_words(table: &PredTable, words: &[u64]) -> Option<Structure> {
+        let &n64 = words.first()?;
+        if n64 > u32::MAX as u64 {
+            return None;
+        }
+        let n = n64 as usize;
+        let stride = if n == 0 { 0 } else { bits::words_for(n) };
+        let us = table.unary_count();
+        let bs = table.binary_count();
+        let nc = table.nullary_count();
+        let nw = Self::nullary_words(nc);
+        let u_len = us * stride;
+        let b_len = bs * n * stride;
+        if words.len() != 1 + nw + 2 * u_len + 2 * b_len {
+            return None;
+        }
+        let mut nullary = Vec::with_capacity(nc);
+        let packed = &words[1..1 + nw];
+        for (ix, &p) in packed.iter().enumerate() {
+            let lanes = (nc - ix * 32).min(32);
+            // Bits past the last packed nullary must be zero.
+            if lanes < 32 && p >> (lanes * 2) != 0 {
+                return None;
+            }
+            for lane in 0..lanes {
+                let bits = (p >> (lane * 2)) & 0b11;
+                if bits == 0b11 {
+                    return None;
+                }
+                nullary.push(Kleene::from_bits(bits & 0b10 != 0, bits & 0b01 != 0));
+            }
+        }
+        let mut at = 1 + nw;
+        let mut take = |len: usize| {
+            let s = words[at..at + len].to_vec();
+            at += len;
+            s
+        };
+        let unary_t = take(u_len);
+        let unary_h = take(u_len);
+        let binary_t = take(b_len);
+        let binary_h = take(b_len);
+        let planes_ok = |t: &[u64], h: &[u64]| {
+            t.iter().zip(h).all(|(&tw, &hw)| tw & hw == 0)
+                && t.chunks_exact(stride.max(1))
+                    .chain(h.chunks_exact(stride.max(1)))
+                    .all(|row| {
+                        row.iter()
+                            .enumerate()
+                            .all(|(w, &word)| word & !bits::word_mask(n, w) == 0)
+                    })
+        };
+        if stride > 0 && (!planes_ok(&unary_t, &unary_h) || !planes_ok(&binary_t, &binary_h)) {
+            return None;
+        }
+        Some(Structure {
+            n: n as u32,
+            stride: stride as u32,
+            u_slots: us as u32,
+            b_slots: bs as u32,
+            nullary,
+            unary_t,
+            unary_h,
+            binary_t,
+            binary_h,
+        })
+    }
+
+    /// Words needed to pack `count` nullary values at two bits each.
+    fn nullary_words(count: usize) -> usize {
+        count.div_ceil(32)
+    }
+
     /// Value of a nullary predicate.
     ///
     /// # Panics
@@ -1000,5 +1116,54 @@ mod tests {
         other.set_unary(&t, x, u, Kleene::Unknown);
         assert_ne!(s.fingerprint(), other.fingerprint());
         assert_ne!(s, other);
+    }
+
+    #[test]
+    fn word_roundtrip_is_exact() {
+        let (t, x, f, b) = setup();
+        // Empty universe, nodes spanning multiple words, and mixed values.
+        for n in [0usize, 1, 3, 64, 65, 130] {
+            let mut s = Structure::new(&t);
+            s.add_nodes(&t, n);
+            s.set_nullary(&t, b, Kleene::Unknown);
+            for ix in (0..n).step_by(3) {
+                s.set_unary(&t, x, NodeId::from_index(ix), Kleene::Unknown);
+                let dst = NodeId::from_index((ix * 7 + 1) % n.max(1));
+                s.set_binary(&t, f, NodeId::from_index(ix), dst, Kleene::True);
+            }
+            let words = s.to_words();
+            let back = Structure::from_words(&t, &words).expect("decodes");
+            assert_eq!(s, back, "n={n}");
+            assert_eq!(s.fingerprint(), back.fingerprint(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn from_words_rejects_malformed_input() {
+        let (t, x, _f, _b) = setup();
+        let mut s = Structure::new(&t);
+        let u = s.add_node(&t);
+        s.set_unary(&t, x, u, Kleene::True);
+        let words = s.to_words();
+        // Truncated and over-long encodings.
+        assert!(Structure::from_words(&t, &words[..words.len() - 1]).is_none());
+        let mut long = words.clone();
+        long.push(0);
+        assert!(Structure::from_words(&t, &long).is_none());
+        assert!(Structure::from_words(&t, &[]).is_none());
+        // An `11` nullary bit pair is not a Kleene value.
+        let mut bad_nullary = words.clone();
+        bad_nullary[1] |= 0b11;
+        assert!(Structure::from_words(&t, &bad_nullary).is_none());
+        // Violating `t & h == 0` on a unary plane word.
+        let mut bad_plane = words.clone();
+        let u_base = 2; // [n, nullary, unary_t...]
+        bad_plane[u_base] = 1;
+        bad_plane[u_base + t.unary_count()] = 1;
+        assert!(Structure::from_words(&t, &bad_plane).is_none());
+        // A padding bit past lane `n`.
+        let mut bad_pad = words;
+        bad_pad[u_base] |= 1 << 1;
+        assert!(Structure::from_words(&t, &bad_pad).is_none());
     }
 }

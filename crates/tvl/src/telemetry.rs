@@ -124,11 +124,19 @@ pub enum Counter {
     /// configured capacity (bulk eviction; see
     /// `EngineConfig::transfer_cache_capacity` in `hetsep-core`).
     TransferCacheEvictions,
+    /// Action applications answered from a *cross-job* shared transfer store
+    /// (a persisted corpus cache; see `hetsep-core`'s `jobcache` module).
+    /// Counted instead of — not in addition to — `TransferCacheMisses`, so a
+    /// warm corpus run reports strictly fewer misses than a cold one.
+    SharedCacheHits,
+    /// Shared-store probes that found no entry and fell through to the
+    /// transfer pipeline (the computed result is recorded for future jobs).
+    SharedCacheMisses,
 }
 
 impl Counter {
     /// Every counter, in fixed reporting order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 16] = [
         Counter::InternHits,
         Counter::InternMisses,
         Counter::WorklistPushes,
@@ -143,6 +151,8 @@ impl Counter {
         Counter::TransferCacheHits,
         Counter::TransferCacheMisses,
         Counter::TransferCacheEvictions,
+        Counter::SharedCacheHits,
+        Counter::SharedCacheMisses,
     ];
 
     /// Stable snake_case label used in traces and JSON output.
@@ -162,6 +172,8 @@ impl Counter {
             Counter::TransferCacheHits => "transfer_cache_hits",
             Counter::TransferCacheMisses => "transfer_cache_misses",
             Counter::TransferCacheEvictions => "transfer_cache_evictions",
+            Counter::SharedCacheHits => "shared_cache_hits",
+            Counter::SharedCacheMisses => "shared_cache_misses",
         }
     }
 
@@ -187,6 +199,8 @@ impl Counter {
             Counter::TransferCacheHits => 11,
             Counter::TransferCacheMisses => 12,
             Counter::TransferCacheEvictions => 13,
+            Counter::SharedCacheHits => 14,
+            Counter::SharedCacheMisses => 15,
         }
     }
 }

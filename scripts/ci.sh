@@ -36,3 +36,17 @@ sed 's/"subproblems".*//' "$table3_quick_json" | sed -n \
     's/.*"benchmark": "\([^"]*\)", "mode": "\([^"]*\)", "space": \([0-9]*\), "visits": \([0-9]*\),.*"reported": \([^,]*\), "complete": \([^,]*\),.*/\1 \2 space=\3 visits=\4 reported=\5 complete=\6/p' \
     | diff -u scripts/table3_quick.golden -
 rm -f "$table3_quick_json"
+
+# Corpus scheduler smoke gate: a 50-job generated corpus run twice through
+# a persisted cross-job cache. Both runs must reproduce the committed
+# verdict summary (the summary line is schedule- and cache-independent by
+# the scheduler's determinism contract), and the warm run must replay from
+# the cache: identical summary with zero shared-store misses.
+corpus_cache="$(mktemp -u)"
+cargo run -q -p hetsep --bin hetsep --release -- \
+    corpus --jobs 50 --seed 42 --workers 4 --cache "$corpus_cache" --quiet \
+    | diff -u scripts/corpus_quick.golden -
+cargo run -q -p hetsep --bin hetsep --release -- \
+    corpus --jobs 50 --seed 42 --workers 4 --cache "$corpus_cache" --quiet \
+    | diff -u scripts/corpus_quick.golden -
+rm -f "$corpus_cache"
