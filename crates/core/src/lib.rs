@@ -7,8 +7,22 @@
 //! abstraction* — relevant objects abstracted precisely, irrelevant objects
 //! collapsed.
 //!
-//! Entry point: the [`Verifier`] builder (the [`verify`] free function is a
-//! backward-compatible thin wrapper over it) with a [`Mode`]:
+//! Two entry points, one engine:
+//!
+//! * **One-shot**: the [`Verifier`] builder (the [`verify`] free function is
+//!   a backward-compatible thin wrapper over it) borrows a parsed program
+//!   and spec for a single run.
+//! * **Owned sessions**: a [`Workspace`] owns artifacts registered from
+//!   source text — content-fingerprinted, parsed and stored once per
+//!   distinct content — plus a mounted cross-request transfer store, so
+//!   repeat [`Workspace::verify`] calls replay memoized transfers instead
+//!   of recomputing them. [`Session`] layers the `hetsep serve` wire
+//!   protocol's name bindings on top. Both surfaces funnel into the same
+//!   engine entry point, so their verdicts are byte-identical by
+//!   construction.
+//!
+//! Verification runs under a [`Mode`] (its strategy-free family is
+//! [`ModeKind`]):
 //!
 //! * [`Mode::Vanilla`] — TVLA-style verification without separation,
 //! * [`Mode::Separation`] — one strategy stage; either *simultaneous* (all
@@ -46,8 +60,10 @@ pub mod refine;
 pub mod relevance;
 pub mod report;
 pub mod semantics;
+pub mod session;
 pub mod translate;
 pub mod vocab;
+pub mod workspace;
 
 pub use engine::{AnalysisOutcome, EngineConfig, ParallelConfig, RunStats};
 pub use jobcache::{SharedTransferSession, TransferStore};
@@ -56,7 +72,13 @@ pub use hetsep_tvl::telemetry::{
     Counter, Counters, Event, EventSink, MetricsSink, NullSink, Phase, PhaseStats, PhaseTimings,
     RunMetrics, TraceWriter,
 };
-pub use modes::{verify, verify_with_sink, Mode, SubproblemStats, VerificationReport, Verifier};
+pub use modes::{
+    verify, verify_with_sink, Mode, ModeKind, SubproblemStats, VerificationReport, Verifier,
+};
 pub use report::{ErrorReport, VerifyError};
+pub use session::Session;
 pub use translate::{translate, AnalysisInstance, TranslateOptions};
 pub use vocab::Vocabulary;
+pub use workspace::{
+    ProgramId, Registered, SpecId, StrategyId, VerifyOutput, VerifyRequest, Workspace,
+};

@@ -18,6 +18,8 @@
 //! depends on the previous stage's failing sites.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -31,6 +33,83 @@ use crate::jobcache::SharedTransferSession;
 use crate::report::{dedup_reports, ErrorReport, VerifyError};
 use crate::translate::{translate, TranslateOptions};
 use crate::vocab::SiteId;
+
+/// The mode *family* of a verification, detached from any strategy value.
+///
+/// This is the one naming scheme for modes across the workspace: Table 3
+/// row labels, `BENCH_table3.json`, corpus job rows, CLI `--mode` values,
+/// and the `hetsep serve` protocol all go through [`ModeKind`]'s
+/// [`fmt::Display`]/[`FromStr`] impls. [`Mode::kind`] projects a full
+/// [`Mode`] (which carries its strategy) onto its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModeKind {
+    /// No separation (Table 3's `vanilla` rows).
+    Vanilla,
+    /// Non-simultaneous separation, one `choose some` clause (`single`).
+    Single,
+    /// Non-simultaneous separation, several `choose some` clauses
+    /// (`multi`).
+    Multi,
+    /// Simultaneous separation (`sim`).
+    Sim,
+    /// Incremental multi-stage strategy (`inc`).
+    Inc,
+}
+
+impl ModeKind {
+    /// Every kind, in Table 3 row order.
+    pub const ALL: [ModeKind; 5] = [
+        ModeKind::Vanilla,
+        ModeKind::Single,
+        ModeKind::Multi,
+        ModeKind::Sim,
+        ModeKind::Inc,
+    ];
+
+    /// The stable lower-case label (`vanilla`, `single`, `multi`, `sim`,
+    /// `inc`) — exactly the strings Table 3 and every JSON row use.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModeKind::Vanilla => "vanilla",
+            ModeKind::Single => "single",
+            ModeKind::Multi => "multi",
+            ModeKind::Sim => "sim",
+            ModeKind::Inc => "inc",
+        }
+    }
+
+    /// Whether this kind needs a separation strategy to run.
+    pub fn needs_strategy(self) -> bool {
+        self != ModeKind::Vanilla
+    }
+}
+
+impl fmt::Display for ModeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ModeKind {
+    type Err = String;
+
+    /// Parses a mode label. Accepts the canonical labels plus `sep` as an
+    /// alias for `single` (the CLI's historical name for non-simultaneous
+    /// separation; single vs. multi is decided by the strategy's `choose`
+    /// clauses anyway — see [`Mode::kind`]).
+    fn from_str(s: &str) -> Result<ModeKind, String> {
+        match s {
+            "vanilla" => Ok(ModeKind::Vanilla),
+            "single" | "sep" => Ok(ModeKind::Single),
+            "multi" => Ok(ModeKind::Multi),
+            "sim" => Ok(ModeKind::Sim),
+            "inc" => Ok(ModeKind::Inc),
+            other => Err(format!(
+                "unknown mode `{other}` (expected vanilla, single/sep, multi, sim, or inc)"
+            )),
+        }
+    }
+}
 
 /// How to verify.
 #[derive(Debug, Clone)]
@@ -86,17 +165,37 @@ impl Mode {
         }
     }
 
-    /// Short mode label, exactly as used in Table 3 output: `vanilla`,
+    /// Builds a mode from its kind and an optional strategy, with the
+    /// paper's defaults (heterogeneous abstraction on). [`ModeKind::Single`]
+    /// and [`ModeKind::Multi`] both map to non-simultaneous separation —
+    /// which of the two a run *reports* as is recomputed from the strategy's
+    /// `choose` clauses by [`Mode::kind`], so a mislabeled request cannot
+    /// smuggle a wrong row label into output.
+    ///
+    /// # Errors
+    ///
+    /// Every kind except [`ModeKind::Vanilla`] requires a strategy.
+    pub fn from_kind(kind: ModeKind, strategy: Option<Strategy>) -> Result<Mode, VerifyError> {
+        match (kind, strategy) {
+            (ModeKind::Vanilla, _) => Ok(Mode::Vanilla),
+            (ModeKind::Single | ModeKind::Multi, Some(s)) => Ok(Mode::separation(s)),
+            (ModeKind::Sim, Some(s)) => Ok(Mode::simultaneous(s)),
+            (ModeKind::Inc, Some(s)) => Ok(Mode::incremental(s)),
+            (kind, None) => Err(VerifyError::Strategy(format!(
+                "mode `{kind}` requires a strategy"
+            ))),
+        }
+    }
+
+    /// The kind of this mode, as reported in Table 3 output: `vanilla`,
     /// `sim`, `single` (non-simultaneous separation with one `choose`),
-    /// `multi` (more than one `choose`), or `inc`. This is the one naming
-    /// scheme that flows from [`Mode`] through the harness to
-    /// `BENCH_table3.json`.
-    pub fn label(&self) -> &'static str {
+    /// `multi` (more than one `choose`), or `inc`.
+    pub fn kind(&self) -> ModeKind {
         match self {
-            Mode::Vanilla => "vanilla",
+            Mode::Vanilla => ModeKind::Vanilla,
             Mode::Separation {
                 simultaneous: true, ..
-            } => "sim",
+            } => ModeKind::Sim,
             Mode::Separation { strategy, .. } => {
                 // Single vs. multiple choice is about how many `choose some`
                 // clauses the stage has (`choose all` clauses ride along with
@@ -108,12 +207,25 @@ impl Mode {
                         .count()
                 });
                 match somes {
-                    Some(n) if n > 1 => "multi",
-                    _ => "single",
+                    Some(n) if n > 1 => ModeKind::Multi,
+                    _ => ModeKind::Single,
                 }
             }
-            Mode::Incremental { .. } => "inc",
+            Mode::Incremental { .. } => ModeKind::Inc,
         }
+    }
+
+    /// Short mode label; superseded by [`Mode::kind`] / [`fmt::Display`].
+    #[deprecated(since = "0.1.0", note = "use `Mode::kind().as_str()` or `Display` instead")]
+    pub fn label(&self) -> &'static str {
+        self.kind().as_str()
+    }
+}
+
+impl fmt::Display for Mode {
+    /// Writes the Table 3 row label of this mode (see [`Mode::kind`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind().as_str())
     }
 }
 
@@ -538,7 +650,12 @@ fn emit_report(report: &VerificationReport, sink: &mut dyn EventSink) {
     }
 }
 
-fn verify_inner(
+/// The one engine entry point behind every public verification surface:
+/// [`Verifier::run`], the [`verify`]/[`verify_with_sink`] wrappers, and the
+/// owned [`crate::workspace::Workspace`] API all funnel through this
+/// function, which is what makes the one-shot and daemon paths
+/// byte-identical by construction.
+pub(crate) fn verify_inner(
     program: &Program,
     spec: &Spec,
     mode: &Mode,
@@ -776,7 +893,7 @@ void main() {
             Mode::incremental(parse_builtin(JDBC_INCREMENTAL)),
         ] {
             let r = verify(&p, &spec, &mode, &EngineConfig::default()).unwrap();
-            assert!(r.verified(), "mode {} reported {:?}", mode.label(), r.errors);
+            assert!(r.verified(), "mode {mode} reported {:?}", r.errors);
         }
     }
 
@@ -796,20 +913,47 @@ void main() {
 
     #[test]
     fn one_naming_scheme_from_mode_to_table3() {
-        assert_eq!(Mode::Vanilla.label(), "vanilla");
+        assert_eq!(Mode::Vanilla.kind(), ModeKind::Vanilla);
+        assert_eq!(Mode::Vanilla.to_string(), "vanilla");
         assert_eq!(
-            Mode::separation(parse_builtin(JDBC_SINGLE)).label(),
+            Mode::separation(parse_builtin(JDBC_SINGLE)).to_string(),
             "single"
         );
-        assert_eq!(Mode::separation(parse_builtin(JDBC_MULTI)).label(), "multi");
         assert_eq!(
-            Mode::simultaneous(parse_builtin(JDBC_SINGLE)).label(),
+            Mode::separation(parse_builtin(JDBC_MULTI)).to_string(),
+            "multi"
+        );
+        assert_eq!(
+            Mode::simultaneous(parse_builtin(JDBC_SINGLE)).to_string(),
             "sim"
         );
         assert_eq!(
-            Mode::incremental(parse_builtin(JDBC_INCREMENTAL)).label(),
+            Mode::incremental(parse_builtin(JDBC_INCREMENTAL)).to_string(),
             "inc"
         );
+    }
+
+    #[test]
+    fn mode_kind_round_trips_through_strings() {
+        for kind in ModeKind::ALL {
+            assert_eq!(kind.as_str().parse::<ModeKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert_eq!("sep".parse::<ModeKind>().unwrap(), ModeKind::Single);
+        assert!("bogus".parse::<ModeKind>().is_err());
+    }
+
+    #[test]
+    fn from_kind_requires_a_strategy_for_separation() {
+        assert!(matches!(
+            Mode::from_kind(ModeKind::Vanilla, None),
+            Ok(Mode::Vanilla)
+        ));
+        assert!(Mode::from_kind(ModeKind::Sim, None).is_err());
+        // A `multi` request with a single-choice strategy reports as
+        // `single`: the strategy decides, not the request label.
+        let m = Mode::from_kind(ModeKind::Multi, Some(parse_builtin(JDBC_SINGLE))).unwrap();
+        assert_eq!(m.kind(), ModeKind::Single);
     }
 
     #[test]

@@ -35,6 +35,10 @@ impl fmt::Display for ErrorReport {
 #[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
+    /// An artifact's source text failed to parse (surfaced by the owned
+    /// [`crate::workspace::Workspace`] API, which registers artifacts from
+    /// source; one-shot callers parse before they reach the verifier).
+    Parse(String),
     /// The client program failed semantic checking.
     Check(String),
     /// CFG construction failed (e.g. recursion).
@@ -49,6 +53,7 @@ pub enum VerifyError {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            VerifyError::Parse(m) => write!(f, "parse failed: {m}"),
             VerifyError::Check(m) => write!(f, "program check failed: {m}"),
             VerifyError::Cfg(m) => write!(f, "cfg construction failed: {m}"),
             VerifyError::Translate(m) => write!(f, "translation failed: {m}"),

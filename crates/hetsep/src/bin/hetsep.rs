@@ -1,24 +1,24 @@
 //! `hetsep` — command-line front end of the verifier.
 //!
+//! Subcommands (see `hetsep <command> --help` for each command's flags,
+//! rendered from the same table the parser enforces — `hetsep::options`):
+//!
 //! ```text
-//! hetsep verify <program> [--spec <file>] [--strategy <file>]
-//!                         [--mode vanilla|sep|sim|inc] [--no-hetero]
-//!                         [--max-visits N] [--preanalysis] [--metrics]
-//!                         [--no-transfer-cache] [--trace <path>] [--quiet]
-//! hetsep lint <program> [--spec <file>] [--strategy <file>]
-//!                       [--format text|json] [--deny warnings]
-//! hetsep lint --suite [--format text|json] [--deny warnings]
-//! hetsep baseline <program> [--spec <file>]
-//! hetsep check <program>
-//! hetsep heap <program> --line N [--strategy <file>] [--dot]
-//! hetsep corpus [--jobs N] [--seed S] [--workers W]
-//!               [--cache <path>] [--json <path>] [--quiet]
+//! hetsep verify   <program>   verify a program against its specification
+//! hetsep lint     <program>   run the static pre-verification lints
+//! hetsep baseline <program>   run the ESP-style baseline comparator
+//! hetsep check    <program>   parse and semantically check a program
+//! hetsep heap     <program>   show the abstract heaps reaching a line
+//! hetsep corpus               batch a generated corpus over the scheduler
+//! hetsep serve                run the verification daemon
 //! ```
 //!
 //! `<program>` is a client-language source file; the specification defaults
 //! to the built-in spec named by the program's `uses` clause, and may be
 //! overridden with an Easl source file. Without `--strategy`, `verify` runs
-//! in vanilla mode.
+//! in vanilla mode; `--mode` labels are the workspace-wide mode names
+//! (`vanilla`, `single`/`sep`, `multi`, `sim`, `inc`, or `auto` to infer
+//! from strategy presence).
 //!
 //! `lint` runs the static pre-verification layer: semantic checks (`E0xx`)
 //! plus program lints (`W10x`), strategy lints (`W11x` when `--strategy` is
@@ -35,6 +35,15 @@
 //! verdict summary on stdout is schedule-independent (the CI smoke gate
 //! diffs it against a golden).
 //!
+//! `serve` reads NDJSON requests on stdin and streams NDJSON responses on
+//! stdout (one object per line; `docs/PROTOCOL.md` specifies the wire
+//! format). State lives in an owned workspace keyed by content
+//! fingerprint, so repeat verifies replay from the shared transfer store
+//! with byte-identical verdicts — `hetsep serve` and one-shot
+//! `hetsep verify` funnel into the same engine entry point. `--socket
+//! <path>` serves a unix socket instead; `--cache <path>` persists the
+//! store across restarts, sharing the format with `corpus --cache`.
+//!
 //! Observability: `--metrics` enables per-phase wall-clock sampling and
 //! prints a phase/counter breakdown to stderr; `--trace <path>` streams the
 //! run's typed events as NDJSON (one JSON object per line) to `<path>`.
@@ -48,8 +57,9 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use hetsep::core::engine::EngineConfig;
-use hetsep::core::{Mode, NullSink, TraceWriter, Verifier};
+use hetsep::core::{Mode, ModeKind, NullSink, TraceWriter, Verifier};
 use hetsep::harness::format_metrics;
+use hetsep::options::{self, Options, Parsed};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,129 +72,37 @@ fn main() -> ExitCode {
     }
 }
 
-struct Options {
-    program_path: String,
-    spec_path: Option<String>,
-    strategy_path: Option<String>,
-    mode: String,
-    heterogeneous: bool,
-    max_visits: u64,
-    metrics: bool,
-    trace_path: Option<String>,
-    quiet: bool,
-    line: Option<u32>,
-    dot: bool,
-    preanalysis: bool,
-    transfer_cache: bool,
-    format: String,
-    deny_warnings: bool,
-    suite: bool,
-    jobs: usize,
-    seed: u64,
-    workers: usize,
-    cache_path: Option<String>,
-    json_path: Option<String>,
-}
-
-fn parse_options(args: &[String]) -> Result<Options, String> {
-    parse_options_with(args, true)
-}
-
-fn parse_options_with(args: &[String], requires_program: bool) -> Result<Options, String> {
-    let mut o = Options {
-        program_path: String::new(),
-        spec_path: None,
-        strategy_path: None,
-        mode: "auto".into(),
-        heterogeneous: true,
-        max_visits: 2_000_000,
-        metrics: false,
-        trace_path: None,
-        quiet: false,
-        line: None,
-        dot: false,
-        preanalysis: false,
-        transfer_cache: true,
-        format: "text".into(),
-        deny_warnings: false,
-        suite: false,
-        jobs: 1000,
-        seed: 42,
-        workers: 1,
-        cache_path: None,
-        json_path: None,
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(options::usage());
     };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--spec" => o.spec_path = Some(next(&mut it, "--spec")?),
-            "--strategy" => o.strategy_path = Some(next(&mut it, "--strategy")?),
-            "--mode" => o.mode = next(&mut it, "--mode")?,
-            "--no-hetero" => o.heterogeneous = false,
-            "--max-visits" => {
-                o.max_visits = next(&mut it, "--max-visits")?
-                    .parse()
-                    .map_err(|e| format!("--max-visits: {e}"))?
-            }
-            "--line" => {
-                o.line = Some(
-                    next(&mut it, "--line")?
-                        .parse()
-                        .map_err(|e| format!("--line: {e}"))?,
-                )
-            }
-            "--metrics" => o.metrics = true,
-            "--trace" => o.trace_path = Some(next(&mut it, "--trace")?),
-            "--dot" => o.dot = true,
-            "--quiet" | "-q" => o.quiet = true,
-            "--preanalysis" => o.preanalysis = true,
-            "--no-transfer-cache" => o.transfer_cache = false,
-            "--suite" => o.suite = true,
-            "--jobs" => {
-                o.jobs = next(&mut it, "--jobs")?
-                    .parse()
-                    .map_err(|e| format!("--jobs: {e}"))?
-            }
-            "--seed" => {
-                o.seed = next(&mut it, "--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--workers" => {
-                o.workers = next(&mut it, "--workers")?
-                    .parse()
-                    .map_err(|e| format!("--workers: {e}"))?
-            }
-            "--cache" => o.cache_path = Some(next(&mut it, "--cache")?),
-            "--json" => o.json_path = Some(next(&mut it, "--json")?),
-            "--format" => {
-                o.format = next(&mut it, "--format")?;
-                if o.format != "text" && o.format != "json" {
-                    return Err(format!("--format must be text or json, got `{}`", o.format));
-                }
-            }
-            "--deny" => {
-                let what = next(&mut it, "--deny")?;
-                if what != "warnings" {
-                    return Err(format!("--deny only supports `warnings`, got `{what}`"));
-                }
-                o.deny_warnings = true;
-            }
-            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
-            path if o.program_path.is_empty() => o.program_path = path.to_owned(),
-            extra => return Err(format!("unexpected argument `{extra}`")),
+    if matches!(command.as_str(), "--help" | "-h" | "help") {
+        println!("{}", options::usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let Some(cmd) = options::find_command(command) else {
+        return Err(format!("unknown command `{command}`\n{}", options::usage()));
+    };
+    let o = match options::parse(cmd, rest)? {
+        Parsed::Help => {
+            println!("{}", options::help(cmd));
+            return Ok(ExitCode::SUCCESS);
         }
+        Parsed::Run(o) => o,
+    };
+    match cmd.name {
+        "verify" => cmd_verify(&o),
+        "lint" => cmd_lint(&o),
+        "baseline" => cmd_baseline(&o),
+        "check" => cmd_check(&o),
+        "heap" => cmd_heap(&o),
+        "corpus" => cmd_corpus(&o),
+        "serve" => {
+            hetsep::serve::run_serve(&o)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        other => unreachable!("command table lists `{other}` but run() does not"),
     }
-    if o.program_path.is_empty() && !o.suite && requires_program {
-        return Err("missing <program> path".into());
-    }
-    Ok(o)
-}
-
-fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
-    it.next()
-        .cloned()
-        .ok_or_else(|| format!("{flag} needs a value"))
 }
 
 fn load_program(path: &str) -> Result<hetsep::ir::Program, String> {
@@ -219,65 +137,31 @@ fn load_strategy(o: &Options) -> Result<Option<hetsep::strategy::Strategy>, Stri
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
-    let Some((command, rest)) = args.split_first() else {
-        return Err(usage());
+/// Resolves `--mode` (a [`ModeKind`] label, or `auto`) and `--no-hetero`
+/// against the loaded strategy.
+fn resolve_mode(o: &Options, strategy: Option<hetsep::strategy::Strategy>) -> Result<Mode, String> {
+    let kind = match (o.mode.as_str(), &strategy) {
+        ("auto", None) => ModeKind::Vanilla,
+        ("auto", Some(_)) => ModeKind::Single,
+        (label, _) => label.parse::<ModeKind>()?,
     };
-    match command.as_str() {
-        "verify" => cmd_verify(&parse_options(rest)?),
-        "lint" => cmd_lint(&parse_options(rest)?),
-        "baseline" => cmd_baseline(&parse_options(rest)?),
-        "check" => cmd_check(&parse_options(rest)?),
-        "heap" => cmd_heap(&parse_options(rest)?),
-        "corpus" => cmd_corpus(&parse_options_with(rest, false)?),
-        "--help" | "-h" | "help" => {
-            println!("{}", usage());
-            Ok(ExitCode::SUCCESS)
+    let mut mode = Mode::from_kind(kind, strategy).map_err(|e| e.to_string())?;
+    if !o.heterogeneous {
+        match &mut mode {
+            Mode::Separation { heterogeneous, .. } | Mode::Incremental { heterogeneous, .. } => {
+                *heterogeneous = false
+            }
+            Mode::Vanilla => {}
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
-}
-
-fn usage() -> String {
-    "usage:\n  \
-     hetsep verify   <program> [--spec <file>] [--strategy <file>] \
-     [--mode vanilla|sep|sim|inc] [--no-hetero] [--max-visits N] \
-     [--preanalysis] [--metrics] [--no-transfer-cache] [--trace <path>] \
-     [--quiet]\n  \
-     hetsep lint     <program> [--spec <file>] [--strategy <file>] \
-     [--format text|json] [--deny warnings]\n  \
-     hetsep lint     --suite [--format text|json] [--deny warnings]\n  \
-     hetsep baseline <program> [--spec <file>]\n  \
-     hetsep check    <program>\n  \
-     hetsep heap     <program> --line N [--strategy <file>] [--dot]\n  \
-     hetsep corpus   [--jobs N] [--seed S] [--workers W] [--cache <path>] \
-     [--json <path>] [--quiet]"
-        .to_owned()
+    Ok(mode)
 }
 
 fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
     let program = load_program(&o.program_path)?;
     let spec = load_spec(&program, o)?;
     let strategy = load_strategy(o)?;
-    let mode = match (o.mode.as_str(), strategy) {
-        ("vanilla", _) | ("auto", None) => Mode::Vanilla,
-        ("auto" | "sep", Some(s)) => Mode::Separation {
-            simultaneous: false,
-            heterogeneous: o.heterogeneous,
-            strategy: s,
-        },
-        ("sim", Some(s)) => Mode::Separation {
-            simultaneous: true,
-            heterogeneous: o.heterogeneous,
-            strategy: s,
-        },
-        ("inc", Some(s)) => Mode::Incremental {
-            heterogeneous: o.heterogeneous,
-            strategy: s,
-        },
-        (m, None) => return Err(format!("--mode {m} needs --strategy")),
-        (m, _) => return Err(format!("unknown mode `{m}`")),
-    };
+    let mode = resolve_mode(o, strategy)?;
     let config = EngineConfig {
         max_visits: o.max_visits,
         phase_timings: o.metrics,
@@ -320,7 +204,7 @@ fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
     if !o.quiet {
         eprintln!(
             "mode {}: {} subproblem(s), peak {} structures, {} visits, {:?}{}",
-            mode.label(),
+            mode,
             report.subproblems.len(),
             report.max_space,
             report.total_visits,

@@ -3,25 +3,27 @@
 //! [`hetsep_suite::corpus`] mints deterministic streams of client programs;
 //! [`hetsep_sched`] batches verification jobs over a worker pool with
 //! persistent cross-job caches. This module converts between the two
-//! vocabularies ([`TableMode`] → [`JobMode`]) and fixes the engine budget
+//! vocabularies ([`TableMode`] → [`ModeKind`]) and fixes the engine budget
 //! corpus runs use, so the CLI (`hetsep corpus`), the `corpus` bench bin,
 //! and the CI smoke gate all measure the same thing.
 
-use hetsep_core::EngineConfig;
-use hetsep_sched::{Job, JobMode};
+use hetsep_core::{EngineConfig, ModeKind};
+use hetsep_sched::Job;
 use hetsep_suite::corpus::{generate, CorpusConfig, CorpusJob};
 use hetsep_suite::TableMode;
 
-/// Maps a Table 3 mode onto the scheduler's job mode.
+/// Maps a Table 3 mode onto the workspace-wide mode family.
 ///
-/// `Single` and `Multi` both run as plain separation — the distinction is
-/// which strategy text the job carries, not how it is scheduled.
-pub fn job_mode(mode: TableMode) -> JobMode {
+/// `Single` and `Multi` both schedule as plain (non-simultaneous)
+/// separation — the label a job reports under is resolved from its
+/// strategy's `choose` clauses, like every other surface.
+pub fn job_mode(mode: TableMode) -> ModeKind {
     match mode {
-        TableMode::Vanilla => JobMode::Vanilla,
-        TableMode::Single | TableMode::Multi => JobMode::Separation,
-        TableMode::Sim => JobMode::Simultaneous,
-        TableMode::Inc => JobMode::Incremental,
+        TableMode::Vanilla => ModeKind::Vanilla,
+        TableMode::Single => ModeKind::Single,
+        TableMode::Multi => ModeKind::Multi,
+        TableMode::Sim => ModeKind::Sim,
+        TableMode::Inc => ModeKind::Inc,
     }
 }
 

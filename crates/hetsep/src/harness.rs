@@ -147,7 +147,7 @@ pub fn run_mode_with_sink(
     let program = bench.program();
     let spec = bench.spec();
     let core = core_mode(bench, mode)?;
-    let label = core.label();
+    let label = core.kind().as_str();
     let report = Verifier::new(&program, &spec)
         .mode(core)
         .config(config.clone())

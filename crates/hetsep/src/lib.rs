@@ -11,7 +11,8 @@
 //! * [`easl`] — the Easl component-specification language and built-in
 //!   JDBC / IO-stream / collections specifications,
 //! * [`strategy`] — the separation-strategy language,
-//! * [`core`] — the verification engine ([`Verifier`], [`Mode`]),
+//! * [`core`] — the verification engine ([`Verifier`], [`Mode`]) and the
+//!   owned-session API ([`Workspace`], [`Session`]),
 //! * [`analysis`] — the static pre-verification layer (dataflow framework,
 //!   program/strategy/spec lints, unified diagnostics),
 //! * [`baseline`] — the ESP-style two-phase comparator,
@@ -19,7 +20,9 @@
 //! * [`sched`] — the corpus-scale work-queue job scheduler with persistent
 //!   cross-job caches,
 //! * [`harness`] — drivers that regenerate the paper's table rows,
-//! * [`corpus`] — drivers bridging generated corpora to the scheduler.
+//! * [`corpus`] — drivers bridging generated corpora to the scheduler,
+//! * [`options`] — the CLI flag table shared by every subcommand,
+//! * [`serve`] — the `hetsep serve` verification daemon loop.
 //!
 //! # Quickstart
 //!
@@ -62,9 +65,11 @@ pub use hetsep_tvl as tvl;
 
 pub use hetsep_core::{
     verify, verify_with_sink, Counter, Counters, EngineConfig, Event, EventSink, MetricsSink,
-    Mode, NullSink, Phase, PhaseStats, PhaseTimings, RunMetrics, SubproblemStats, TraceWriter,
-    VerificationReport, Verifier, VerifyError,
+    Mode, ModeKind, NullSink, Phase, PhaseStats, PhaseTimings, RunMetrics, Session,
+    SubproblemStats, TraceWriter, VerificationReport, Verifier, VerifyError, Workspace,
 };
 
 pub mod corpus;
 pub mod harness;
+pub mod options;
+pub mod serve;

@@ -1,0 +1,269 @@
+//! End-to-end test of the `hetsep serve` daemon against the real binary.
+//!
+//! Drives a scripted NDJSON session through the daemon's stdin — load a
+//! buggy program, verify it cold, re-verify it warm, load an edited
+//! (fixed) version under the same name, re-verify, shut down — and pins
+//! the load-bearing invariant of the owned-session redesign:
+//!
+//! * **byte-identical verdicts**: the daemon's verify responses report
+//!   exactly the error lines the one-shot `hetsep verify` CLI prints for
+//!   the same sources (and identical visits/space/verdict between cold and
+//!   warm runs of the same triple);
+//! * **warm replay**: the unchanged re-verify hits the workspace-mounted
+//!   shared store (`shared_hits > 0`) and computes strictly fewer
+//!   transfers (`cache_misses` drops).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use hetsep::ir::json::{self, JsonValue};
+
+/// Leaks a `read()` after `close()` — one possible-error report.
+const BUGGY: &str = "program Session uses IOStreams;\n\
+                     void main() {\n\
+                     InputStream f = new InputStream();\n\
+                     f.read();\n\
+                     f.close();\n\
+                     f.read();\n\
+                     }\n";
+
+/// The edit: the trailing `read()` is gone, the program verifies.
+const FIXED: &str = "program Session uses IOStreams;\n\
+                     void main() {\n\
+                     InputStream f = new InputStream();\n\
+                     f.read();\n\
+                     f.close();\n\
+                     }\n";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hetsep"))
+}
+
+/// Runs the one-shot CLI on a source file; returns (exit code, stdout
+/// error lines with the `{path}:` prefix stripped).
+fn one_shot_verify(dir: &std::path::Path, name: &str, source: &str) -> (i32, Vec<String>) {
+    let path = dir.join(name);
+    std::fs::write(&path, source).unwrap();
+    let out = bin()
+        .args(["verify", path.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    let prefix = format!("{}:", path.display());
+    let lines = String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| {
+            l.strip_prefix(&prefix)
+                .unwrap_or_else(|| panic!("unprefixed error line `{l}`"))
+                .to_owned()
+        })
+        .collect();
+    (out.status.code().unwrap(), lines)
+}
+
+/// Renders a daemon verify response's errors the way the one-shot CLI
+/// prints an `ErrorReport` (sans path prefix).
+fn cli_style_errors(verify: &JsonValue) -> Vec<String> {
+    verify
+        .get("errors")
+        .and_then(JsonValue::as_array)
+        .unwrap()
+        .iter()
+        .map(|e| {
+            let line = e.get("line").and_then(JsonValue::as_u64).unwrap();
+            let label = e.get("label").and_then(JsonValue::as_str).unwrap();
+            let kind = if e.get("definite").and_then(JsonValue::as_bool).unwrap() {
+                "error"
+            } else {
+                "possible error"
+            };
+            format!("line {line}: {kind}: {label}")
+        })
+        .collect()
+}
+
+fn num(v: &JsonValue, key: &str) -> u64 {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric `{key}` in {v:?}"))
+}
+
+fn text<'j>(v: &'j JsonValue, key: &str) -> &'j str {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("missing string `{key}` in {v:?}"))
+}
+
+#[test]
+fn scripted_session_matches_one_shot_cli_and_replays_warm() {
+    let dir = std::env::temp_dir().join(format!("hetsep-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The ground truth: one-shot CLI runs over the same two sources.
+    let (buggy_code, buggy_errors) = one_shot_verify(&dir, "buggy.hsp", BUGGY);
+    let (fixed_code, fixed_errors) = one_shot_verify(&dir, "fixed.hsp", FIXED);
+    assert_eq!(buggy_code, 1, "the buggy program must report errors");
+    assert_eq!(fixed_code, 0, "the fixed program must verify");
+    assert!(!buggy_errors.is_empty());
+    assert!(fixed_errors.is_empty());
+
+    // The same work as a scripted daemon session: load → verify →
+    // re-verify (warm) → edit (rebind the name) → re-verify → shutdown.
+    let load = |source: &str| {
+        hetsep::ir::Request::LoadProgram {
+            name: "p".into(),
+            source: source.into(),
+        }
+        .to_json()
+    };
+    let verify = hetsep::ir::Request::Verify {
+        program: "p".into(),
+        spec: None,
+        strategy: None,
+        mode: None,
+    }
+    .to_json();
+    let script = [
+        load(BUGGY),
+        verify.clone(),
+        verify.clone(),
+        load(FIXED),
+        verify.clone(),
+        "{\"op\":\"status\"}".into(),
+        "{\"op\":\"shutdown\"}".into(),
+    ]
+    .join("\n");
+
+    let mut child = bin()
+        .args(["serve", "--quiet"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap(); // dropping stdin closes the pipe
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve exited with {:?}", out.status);
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let responses: Vec<JsonValue> = stdout
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("{l}: {e}")))
+        .collect();
+    assert_eq!(responses.len(), 7, "one response per request:\n{stdout}");
+    for r in &responses {
+        assert_eq!(r.get("ok").and_then(JsonValue::as_bool), Some(true), "{r:?}");
+    }
+
+    // Artifact registration: the edit re-registers under the same name with
+    // a different fingerprint (nothing reused — the content is new).
+    assert_eq!(text(&responses[0], "op"), "load_program");
+    assert_eq!(responses[0].get("reused").and_then(JsonValue::as_bool), Some(false));
+    let fp_buggy = text(&responses[0], "fingerprint").to_owned();
+    let fp_fixed = text(&responses[3], "fingerprint").to_owned();
+    assert_eq!(fp_buggy.len(), 16);
+    assert_ne!(fp_buggy, fp_fixed, "edited content must re-fingerprint");
+
+    let (cold, warm, edited) = (&responses[1], &responses[2], &responses[4]);
+
+    // Byte-identical verdicts vs. the one-shot CLI, on both program
+    // versions.
+    assert_eq!(text(cold, "verdict"), "errors");
+    assert_eq!(cli_style_errors(cold), buggy_errors);
+    assert_eq!(text(edited, "verdict"), "verified");
+    assert_eq!(cli_style_errors(edited), fixed_errors);
+
+    // Warm replay of the unchanged triple: identical observable results...
+    assert_eq!(text(warm, "verdict"), text(cold, "verdict"));
+    assert_eq!(cli_style_errors(warm), buggy_errors);
+    for key in ["visits", "space", "subproblems"] {
+        assert_eq!(num(warm, key), num(cold, key), "`{key}` drifted warm");
+    }
+    // ...but strictly fewer transfers computed, with the store supplying
+    // the difference.
+    assert!(
+        num(warm, "shared_hits") > 0,
+        "warm run must replay from the workspace store: {warm:?}"
+    );
+    assert!(
+        num(warm, "cache_misses") < num(cold, "cache_misses"),
+        "warm run must compute strictly fewer transfers (cold {} vs warm {})",
+        num(cold, "cache_misses"),
+        num(warm, "cache_misses"),
+    );
+
+    // Status reflects the whole session: 2 distinct programs, 3 verifies,
+    // and a populated store.
+    let status = &responses[5];
+    assert_eq!(num(status, "programs"), 2);
+    assert_eq!(num(status, "verifies"), 3);
+    assert_eq!(num(status, "requests"), 6);
+    assert!(num(status, "store_entries") > 0);
+    assert_eq!(text(&responses[6], "op"), "shutdown");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--cache` persists the store across daemon restarts: a second daemon
+/// run of the same triple starts warm.
+#[test]
+fn cache_flag_carries_warmth_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("hetsep-serve-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("store.bin");
+
+    let script = [
+        hetsep::ir::Request::LoadProgram {
+            name: "p".into(),
+            source: FIXED.into(),
+        }
+        .to_json(),
+        hetsep::ir::Request::Verify {
+            program: "p".into(),
+            spec: None,
+            strategy: None,
+            mode: None,
+        }
+        .to_json(),
+        "{\"op\":\"shutdown\"}".into(),
+    ]
+    .join("\n");
+
+    let run = || {
+        let mut child = bin()
+            .args(["serve", "--quiet", "--cache", cache.to_str().unwrap()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(script.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let verify = stdout.lines().nth(1).unwrap();
+        json::parse(verify).unwrap()
+    };
+
+    let cold = run();
+    assert!(cache.exists(), "--cache must persist the store on shutdown");
+    let warm = run();
+
+    assert_eq!(text(&cold, "verdict"), "verified");
+    assert_eq!(text(&warm, "verdict"), "verified");
+    assert_eq!(num(&warm, "visits"), num(&cold, "visits"));
+    assert!(num(&warm, "shared_hits") > 0, "restart must start warm: {warm:?}");
+    assert!(num(&warm, "cache_misses") < num(&cold, "cache_misses"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

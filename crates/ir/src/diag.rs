@@ -157,6 +157,12 @@ impl Diagnostic {
 
     /// Emits one flat NDJSON object (no trailing newline), mirroring the
     /// telemetry trace schema: lower-case keys, flat values, stable order.
+    ///
+    /// This is the **single** JSON rendering of a diagnostic in the
+    /// workspace: `hetsep lint --format json`, the `hetsep serve` protocol
+    /// ([`crate::protocol::Response::Lint`]), and any future NDJSON stream
+    /// all emit exactly this shape, built on the shared [`crate::json`]
+    /// escaping.
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"diag\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"",
@@ -164,10 +170,10 @@ impl Diagnostic {
             self.severity.label(),
             self.line,
             self.col,
-            escape_json(&self.message)
+            crate::json::escape(&self.message)
         );
         if let Some(note) = &self.note {
-            out.push_str(&format!(",\"note\":\"{}\"", escape_json(note)));
+            out.push_str(&format!(",\"note\":\"{}\"", crate::json::escape(note)));
         }
         out.push('}');
         out
@@ -192,23 +198,6 @@ impl fmt::Display for Diagnostic {
         }
         Ok(())
     }
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Sorts diagnostics for presentation: by line, column, then code.

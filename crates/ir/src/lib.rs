@@ -37,12 +37,15 @@ pub mod ast;
 pub mod cfg;
 pub mod check;
 pub mod diag;
+pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod protocol;
 pub mod token;
 
 pub use ast::{Arg, Block, ClassDecl, Cond, Expr, MethodDecl, Place, Program, Stmt};
 pub use cfg::{Cfg, CfgEdge, CfgOp};
 pub use diag::{Diagnostic, Severity};
 pub use parser::{parse_program, ParseError};
+pub use protocol::{Request, Response, StatusInfo, VerifyOutcome, WireError};

@@ -39,35 +39,19 @@ use std::time::{Duration, Instant};
 
 use hetsep_core::jobcache::{RunDelta, SharedTransferSession};
 use hetsep_core::{
-    map_ordered, Counter, EngineConfig, Mode, ParallelConfig, TransferStore, Verifier,
+    map_ordered, Counter, EngineConfig, Mode, ModeKind, ParallelConfig, TransferStore, Verifier,
 };
-
-/// How a job's strategy is applied (mirrors the Table 3 mode rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobMode {
-    /// No separation; the strategy source is ignored.
-    Vanilla,
-    /// Separation, one subproblem per allocation site.
-    Separation,
-    /// Separation, all subproblems simultaneously.
-    Simultaneous,
-    /// Incremental multi-stage strategy.
-    Incremental,
-}
-
-impl JobMode {
-    /// Stable lower-case label used in JSON output.
-    pub fn label(self) -> &'static str {
-        match self {
-            JobMode::Vanilla => "vanilla",
-            JobMode::Separation => "single",
-            JobMode::Simultaneous => "sim",
-            JobMode::Incremental => "inc",
-        }
-    }
-}
+// The workspace's one string-escaping rule, shared with diagnostics and the
+// serve protocol.
+use hetsep_ir::json::string as json_string;
 
 /// One verification job of a corpus.
+///
+/// `mode` uses the workspace-wide [`ModeKind`] naming scheme directly (no
+/// scheduler-private mode enum): [`ModeKind::Single`] and
+/// [`ModeKind::Multi`] both schedule as non-simultaneous separation — which
+/// of the two a job *reports* as is resolved from the strategy's `choose`
+/// clauses by [`Mode::kind`], exactly as every other surface does.
 #[derive(Debug, Clone)]
 pub struct Job {
     /// Stable job name (unique within a corpus; keys the per-job JSON).
@@ -76,8 +60,8 @@ pub struct Job {
     pub program: String,
     /// Strategy source for non-vanilla modes.
     pub strategy: Option<String>,
-    /// Analysis mode.
-    pub mode: JobMode,
+    /// Analysis mode family.
+    pub mode: ModeKind,
 }
 
 /// Scheduler configuration.
@@ -185,25 +169,6 @@ impl JobOutcome {
     }
 }
 
-/// Escapes a string as a JSON literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// Corpus-level throughput and latency metrics of one batch.
 #[derive(Debug, Clone)]
 pub struct BatchResult {
@@ -257,7 +222,7 @@ fn run_job(
     let start = Instant::now();
     let fail = |msg: String, start: Instant| JobOutcome {
         name: job.name.clone(),
-        mode: job.mode.label(),
+        mode: job.mode.as_str(),
         verdict: "failed",
         reported: 0,
         complete: false,
@@ -284,24 +249,24 @@ fn run_job(
             Vec::new(),
         );
     };
-    let mode = match job.mode {
-        JobMode::Vanilla => Mode::Vanilla,
-        _ => {
-            let Some(src) = &job.strategy else {
-                return (fail("mode requires a strategy".into(), start), Vec::new());
-            };
-            let strategy = match hetsep_strategy::parse_strategy(src) {
-                Ok(s) => s,
-                Err(e) => return (fail(format!("strategy: {e}"), start), Vec::new()),
-            };
-            match job.mode {
-                JobMode::Separation => Mode::separation(strategy),
-                JobMode::Simultaneous => Mode::simultaneous(strategy),
-                JobMode::Incremental => Mode::incremental(strategy),
-                JobMode::Vanilla => unreachable!(),
-            }
+    let strategy = if job.mode.needs_strategy() {
+        let Some(src) = &job.strategy else {
+            return (fail("mode requires a strategy".into(), start), Vec::new());
+        };
+        match hetsep_strategy::parse_strategy(src) {
+            Ok(s) => Some(s),
+            Err(e) => return (fail(format!("strategy: {e}"), start), Vec::new()),
         }
+    } else {
+        None
     };
+    let mode = match Mode::from_kind(job.mode, strategy) {
+        Ok(m) => m,
+        Err(e) => return (fail(e.to_string(), start), Vec::new()),
+    };
+    // The label a job reports under is resolved from the strategy (`single`
+    // vs. `multi`), not echoed from the request.
+    let mode_label = mode.kind().as_str();
 
     let session = SharedTransferSession::new(snapshot);
     let report = Verifier::new(&program, &spec)
@@ -321,7 +286,7 @@ fn run_job(
             };
             let outcome = JobOutcome {
                 name: job.name.clone(),
-                mode: job.mode.label(),
+                mode: mode_label,
                 verdict,
                 reported: report.errors.len(),
                 complete: report.complete,
@@ -417,19 +382,19 @@ mod tests {
                 name: "ok".into(),
                 program: OK.into(),
                 strategy: None,
-                mode: JobMode::Vanilla,
+                mode: ModeKind::Vanilla,
             },
             Job {
                 name: "buggy".into(),
                 program: BUGGY.into(),
                 strategy: None,
-                mode: JobMode::Vanilla,
+                mode: ModeKind::Vanilla,
             },
             Job {
                 name: "broken".into(),
                 program: "program P uses Nope; void main() { }".into(),
                 strategy: None,
-                mode: JobMode::Vanilla,
+                mode: ModeKind::Vanilla,
             },
         ]
     }

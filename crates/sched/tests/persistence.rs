@@ -3,7 +3,8 @@
 //! replays transfers instead of recomputing them and adds no entries.
 
 use hetsep_core::TransferStore;
-use hetsep_sched::{run_batch, BatchConfig, Job, JobMode};
+use hetsep_sched::{run_batch, BatchConfig, Job};
+use hetsep_core::ModeKind;
 
 fn jobs() -> Vec<Job> {
     vec![
@@ -16,7 +17,7 @@ fn jobs() -> Vec<Job> {
             }"
             .into(),
             strategy: None,
-            mode: JobMode::Vanilla,
+            mode: ModeKind::Vanilla,
         },
         Job {
             name: "buggy".into(),
@@ -27,7 +28,7 @@ fn jobs() -> Vec<Job> {
             }"
             .into(),
             strategy: None,
-            mode: JobMode::Vanilla,
+            mode: ModeKind::Vanilla,
         },
     ]
 }

@@ -50,3 +50,14 @@ cargo run -q -p hetsep --bin hetsep --release -- \
     corpus --jobs 50 --seed 42 --workers 4 --cache "$corpus_cache" --quiet \
     | diff -u scripts/corpus_quick.golden -
 rm -f "$corpus_cache"
+
+# Verification-daemon smoke gate: a canned NDJSON session (load a buggy
+# program, verify cold, re-verify warm, load the edited fix, re-verify,
+# lint, an unknown-name error, status, shutdown) must reproduce the
+# committed transcript byte-for-byte. Responses are deliberately
+# wall-clock-free, so this pins verdicts AND the warm-replay cache
+# accounting (the warm verify's shared_hits/cache_misses are part of the
+# golden).
+cargo run -q -p hetsep --bin hetsep --release -- \
+    serve --quiet < scripts/serve_session.ndjson \
+    | diff -u scripts/serve_quick.golden -

@@ -68,8 +68,8 @@ fn fig1_bug_found_and_attributed_to_the_use_site() {
         Mode::incremental(parse_strategy(strategies::JDBC_INCREMENTAL).unwrap()),
     ] {
         let report = verify(&program, &spec, &mode, &EngineConfig::default()).unwrap();
-        assert_eq!(report.errors.len(), 1, "mode {}", mode.label());
-        assert_eq!(report.errors[0].line, 7, "mode {}", mode.label());
+        assert_eq!(report.errors.len(), 1, "mode {mode}");
+        assert_eq!(report.errors[0].line, 7, "mode {mode}");
     }
 }
 
