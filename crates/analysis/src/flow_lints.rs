@@ -1,0 +1,254 @@
+//! Flow-sensitive lints (`W105`–`W106`), the second generation of program
+//! lints built on the v2 preanalysis ([`crate::points_to_flow`]).
+//!
+//! | code | lint |
+//! |------|------|
+//! | W105 | checked call whose receiver is definitely in the wrong typestate |
+//! | W106 | tracked reference escapes into a field nothing ever reads back |
+//!
+//! Both need the specification (W106 also the strategy), so they run only
+//! when the user supplies one — unlike `W101`–`W104` they reason about
+//! typestate, not just control and data flow:
+//!
+//! * W105 replays the flow analysis's verdicts: a call site lands here when
+//!   a `requires` clause of the called method evaluates to *definitely
+//!   false* on the converged facts — every execution path reaching the call
+//!   has the receiver in a violating state, so this is the static analogue
+//!   of the engine's "error" (vs. "possible error") verdict.
+//! * W106 flags a store of a strategy-tracked object into a program-local
+//!   record field that no load ever reads back. The alias is invisible to
+//!   every lint and to the human reader; if it was meant to keep the object
+//!   alive or hand it off, nothing ever observes it. Fields that are read
+//!   somewhere (the holder-list idiom of the benchmark suite) stay quiet.
+
+use std::collections::BTreeSet;
+
+use hetsep_easl::ast::Spec;
+use hetsep_ir::cfg::{Cfg, CfgOp};
+use hetsep_ir::diag::Diagnostic;
+use hetsep_strategy::ast::Strategy;
+use hetsep_strategy::coverage::covered_classes;
+
+use crate::points_to_flow::analyze_flow;
+
+/// Strips the `proc@N::` inline-frame prefix from a CFG variable name.
+fn display_name(var: &str) -> &str {
+    var.rsplit("::").next().unwrap_or(var)
+}
+
+// ---------------------------------------------------------------- W105 ----
+
+/// Runs the flow-sensitive typestate lint. `cfg` must be built from the
+/// program at `main`; `spec` is the specification whose `requires` clauses
+/// are judged. Quiet when the flow analysis declines (e.g. an unmodelled
+/// library member) — a lint must not guess.
+pub fn lint_flow(cfg: &Cfg, spec: &Spec) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Ok(verdicts) = analyze_flow(cfg, spec) else {
+        return diags;
+    };
+    for f in &verdicts.definite_failures {
+        let name = display_name(&f.recv).to_owned();
+        diags.push(
+            Diagnostic::warning(
+                "W105",
+                format!(
+                    "call to `{}` on `{name}`: the `{}` receiver is definitely in the \
+                     wrong typestate here",
+                    f.method, f.class,
+                ),
+                f.line,
+            )
+            .with_snippet(name)
+            .with_note(
+                "a `requires` clause of this method fails on every execution path \
+                 reaching the call",
+            ),
+        );
+    }
+    diags
+}
+
+// ---------------------------------------------------------------- W106 ----
+
+/// Runs the escaping-reference lint: a store of an object of a class some
+/// stage of `strategy` tracks into a field of a program-local record that
+/// no load anywhere reads back.
+pub fn lint_escapes(cfg: &Cfg, spec: &Spec, strategy: &Strategy) -> Vec<Diagnostic> {
+    let tracked: BTreeSet<String> = strategy
+        .stages
+        .iter()
+        .flat_map(covered_classes)
+        .collect();
+    if tracked.is_empty() {
+        return Vec::new();
+    }
+    // (record class, field) pairs some load reads back.
+    let mut read_back: BTreeSet<(String, String)> = BTreeSet::new();
+    for edge in cfg.edges() {
+        if let CfgOp::LoadField { src, field, .. } = &edge.op {
+            if let Some(ty) = cfg.var_type(src) {
+                read_back.insert((ty.to_owned(), field.clone()));
+            }
+        }
+    }
+    let mut diags = Vec::new();
+    let mut seen: BTreeSet<(u32, String, String)> = BTreeSet::new();
+    for edge in cfg.edges() {
+        let CfgOp::StoreField {
+            dst,
+            field,
+            src: Some(src),
+        } = &edge.op
+        else {
+            continue;
+        };
+        let Some(src_ty) = cfg.var_type(src) else {
+            continue;
+        };
+        if !tracked.contains(src_ty) {
+            continue;
+        }
+        // Stores into spec-class fields are modelled by the abstraction
+        // itself; only program-local records can hide an alias.
+        let Some(dst_ty) = cfg.var_type(dst) else {
+            continue;
+        };
+        if spec.class(dst_ty).is_some() || read_back.contains(&(dst_ty.to_owned(), field.clone()))
+        {
+            continue;
+        }
+        let name = display_name(src).to_owned();
+        if seen.insert((edge.line, name.clone(), field.clone())) {
+            diags.push(
+                Diagnostic::warning(
+                    "W106",
+                    format!(
+                        "reference to tracked `{src_ty}` object `{name}` escapes into \
+                         field `{field}` of `{dst_ty}`, which nothing ever reads back",
+                    ),
+                    edge.line,
+                )
+                .with_snippet(name)
+                .with_note(
+                    "the separation strategy tracks this object, but the alias stored \
+                     here is never observed; remove the store or read the field",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsep_easl::builtin;
+    use hetsep_ir::parse_program;
+    use hetsep_strategy::parse_strategy;
+
+    fn cfg_of(src: &str) -> Cfg {
+        Cfg::build(&parse_program(src).unwrap(), "main").unwrap()
+    }
+
+    const STREAM_STRATEGY: &str = "strategy S { choose some f : InputStream(); }";
+
+    #[test]
+    fn w105_fires_on_definite_read_after_close() {
+        let cfg = cfg_of(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.close();\n\
+             f.read();\n}",
+        );
+        let d = lint_flow(&cfg, &builtin::iostreams());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "W105");
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("`read`"), "{d:?}");
+        assert!(d[0].message.contains("`f`"), "{d:?}");
+    }
+
+    #[test]
+    fn w105_quiet_on_branch_dependent_state() {
+        // On one path the stream is still open: possible, not definite —
+        // the engine's verification is the right tool, not a lint.
+        let cfg = cfg_of(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             if (?) { f.close(); }\n\
+             f.read();\n}",
+        );
+        let d = lint_flow(&cfg, &builtin::iostreams());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w105_quiet_on_clean_program() {
+        let cfg = cfg_of(
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+        );
+        let d = lint_flow(&cfg, &builtin::iostreams());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w106_fires_on_never_read_escape() {
+        let cfg = cfg_of(
+            "program P uses IOStreams;\n\
+             class Stash { InputStream kept; }\n\
+             void main() {\n\
+             Stash b = new Stash();\n\
+             InputStream f = new InputStream();\n\
+             b.kept = f;\n\
+             f.read();\n\
+             f.close();\n}",
+        );
+        let strategy = parse_strategy(STREAM_STRATEGY).unwrap();
+        let d = lint_escapes(&cfg, &builtin::iostreams(), &strategy);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "W106");
+        assert_eq!(d[0].line, 6);
+        assert!(d[0].message.contains("`kept`"), "{d:?}");
+    }
+
+    #[test]
+    fn w106_quiet_when_the_field_is_read_back() {
+        // The benchmark suite's holder-list idiom: streams stored in heap
+        // records and traversed later must stay quiet.
+        let cfg = cfg_of(
+            "program P uses IOStreams;\n\
+             class Holder { InputStream s; }\n\
+             void main() {\n\
+             Holder h = new Holder();\n\
+             InputStream f = new InputStream();\n\
+             h.s = f;\n\
+             InputStream g = h.s;\n\
+             g.read();\n\
+             g.close();\n}",
+        );
+        let strategy = parse_strategy(STREAM_STRATEGY).unwrap();
+        let d = lint_escapes(&cfg, &builtin::iostreams(), &strategy);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w106_quiet_for_untracked_classes() {
+        // The strategy tracks nothing of class Holder; storing holders
+        // around is not this lint's business.
+        let cfg = cfg_of(
+            "program P uses IOStreams;\n\
+             class Holder { Holder next; }\n\
+             void main() {\n\
+             Holder a = new Holder();\n\
+             Holder b = new Holder();\n\
+             a.next = b;\n}",
+        );
+        let strategy = parse_strategy(STREAM_STRATEGY).unwrap();
+        let d = lint_escapes(&cfg, &builtin::iostreams(), &strategy);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

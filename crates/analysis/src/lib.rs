@@ -6,11 +6,17 @@
 //!
 //! * [`lint_program`] — `W101` unreachable code, `W102` dead assignment,
 //!   `W103` definitely-null receiver, `W104` unused variable;
+//! * [`flow_lints`] — the second generation, built on the flow- and
+//!   field-sensitive [`points_to_flow`] product analysis: `W105` definitely
+//!   wrong typestate at a checked call, `W106` tracked reference escaping
+//!   into a field nothing reads back;
 //! * [`lint_strategy`] — `W111` checked class not covered (per
 //!   `strategy::coverage` / Theorem 1), `W112` unreachable `on failure`
-//!   stage, `W113` duplicate choice;
+//!   stage, `W113` duplicate choice, `W114` dead `choose` clause, `W115`
+//!   subsumed choice;
 //! * [`lint_spec`] — `W121` field never referenced, `W122` `requires`
-//!   clause the program can never trigger.
+//!   clause the program can never trigger, `W123` unreachable typestate
+//!   transition.
 //!
 //! All passes report through the unified [`Diagnostic`] type (re-exported
 //! from `hetsep-ir`, the bottom of the crate DAG, so the front-end semantic
@@ -35,6 +41,9 @@
 //! ```
 
 pub mod dataflow;
+pub mod flow_lints;
+pub mod heap_components;
+pub mod points_to_flow;
 pub mod program_lints;
 pub mod spec_lints;
 pub mod strategy_lints;
@@ -68,10 +77,12 @@ pub fn lint_all(
             Ok(cfg) => {
                 diags.extend(lint_program(program, &cfg));
                 if let Some(spec) = spec {
+                    diags.extend(flow_lints::lint_flow(&cfg, spec));
                     diags.extend(lint_spec(spec, &cfg));
                 }
                 if let (Some(strategy), Some(spec)) = (strategy, spec) {
                     diags.extend(lint_strategy(strategy, &cfg, spec));
+                    diags.extend(flow_lints::lint_escapes(&cfg, spec, strategy));
                 }
             }
             Err(e) => {

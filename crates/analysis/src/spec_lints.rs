@@ -1,9 +1,10 @@
-//! Spec lints (`W121`–`W122`).
+//! Spec lints (`W121`–`W123`).
 //!
 //! | code | lint |
 //! |------|------|
 //! | W121 | a declared field is never referenced by any method body |
 //! | W122 | a `requires` clause no program statement can trigger |
+//! | W123 | a typestate transition the program can never exercise |
 //!
 //! Both lints relate a specification to the program under verification, so
 //! they only run when the user supplies a spec explicitly (`hetsep lint
@@ -23,6 +24,7 @@ pub fn lint_spec(spec: &Spec, cfg: &Cfg) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     unreferenced_fields(spec, &mut diags);
     untriggerable_requires(spec, cfg, &mut diags);
+    unreachable_transitions(spec, cfg, &mut diags);
     diags
 }
 
@@ -134,10 +136,11 @@ fn collect_field_refs<'a>(body: &'a [EaslStmt], out: &mut BTreeSet<&'a str>) {
 
 // ---------------------------------------------------------------- W122 ----
 
-fn untriggerable_requires(spec: &Spec, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
-    // (class, method) pairs the program can trigger: direct library calls,
-    // direct `new`, and constructors run by allocations inside triggered
-    // methods (transitively).
+/// The `(class, method)` pairs the program can trigger: direct library
+/// calls, direct `new`, and constructors run by allocations inside
+/// triggered methods (transitively). Constructors are keyed as
+/// `(class, class)`. Shared by W122 and W123.
+fn triggered_methods(spec: &Spec, cfg: &Cfg) -> BTreeSet<(String, String)> {
     let mut triggered: BTreeSet<(String, String)> = BTreeSet::new();
     let mut worklist: Vec<(String, String)> = Vec::new();
     let push = |class: &str,
@@ -176,7 +179,11 @@ fn untriggerable_requires(spec: &Spec, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
             push(&a, &a, &mut triggered, &mut worklist);
         }
     }
+    triggered
+}
 
+fn untriggerable_requires(spec: &Spec, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let triggered = triggered_methods(spec, cfg);
     for class in &spec.classes {
         for method in std::iter::once(&class.ctor).chain(&class.methods) {
             if !has_requires(&method.body) {
@@ -198,6 +205,63 @@ fn untriggerable_requires(spec: &Spec, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- W123 ----
+
+fn unreachable_transitions(spec: &Spec, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    // A method that unconditionally drives the typestate (a constant
+    // boolean assignment) but is never called by the program leaves part of
+    // the state machine unreachable — the verifier will explore states the
+    // program can never produce. Only reported for classes the program does
+    // instantiate: a wholly unused class is not a state-machine gap, and
+    // methods with a `requires` are already W122's business.
+    let triggered = triggered_methods(spec, cfg);
+    for class in &spec.classes {
+        if !triggered.contains(&(class.name.clone(), class.name.clone())) {
+            continue;
+        }
+        for method in &class.methods {
+            if has_requires(&method.body) || !has_const_transition(&method.body) {
+                continue;
+            }
+            if !triggered.contains(&(class.name.clone(), method.name.clone())) {
+                diags.push(
+                    Diagnostic::warning(
+                        "W123",
+                        format!(
+                            "typestate transition in `{}.{}` is unreachable: the class is \
+                             instantiated but the method is never called",
+                            class.name, method.name
+                        ),
+                        0,
+                    )
+                    .with_note(
+                        "the verifier still explores the states this transition produces",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Does the body assign a constant boolean to some field (a typestate
+/// transition the method performs unconditionally of the heap)?
+fn has_const_transition(body: &[EaslStmt]) -> bool {
+    use hetsep_easl::ast::BoolRhs;
+    body.iter().any(|s| match s {
+        EaslStmt::AssignBool {
+            value: BoolRhs::Const(_),
+            ..
+        } => true,
+        EaslStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => has_const_transition(then_branch) || has_const_transition(else_branch),
+        EaslStmt::Foreach { body, .. } => has_const_transition(body),
+        _ => false,
+    })
 }
 
 fn collect_allocs(body: &[EaslStmt], out: &mut Vec<String>) {
@@ -292,6 +356,46 @@ mod tests {
         let cfg = cfg_of("program P uses S; void main() { Gizmo g = new Gizmo(); g.poke(); }");
         let d = lint_spec(&spec, &cfg);
         assert!(d.iter().all(|x| x.code != "W122"), "{d:?}");
+    }
+
+    const TRANSITION_SPEC: &str = "spec S;\n\
+         class Gizmo {\n\
+         boolean running;\n\
+         Gizmo() { this.running = false; }\n\
+         void start() { this.running = true; }\n\
+         void status() { requires this.running; }\n\
+         }";
+
+    #[test]
+    fn w123_fires_on_uncalled_transition_of_instantiated_class() {
+        let spec = parse_spec(TRANSITION_SPEC).unwrap();
+        let cfg = cfg_of("program P uses S; void main() { Gizmo g = new Gizmo(); }");
+        let d = lint_spec(&spec, &cfg);
+        let w123: Vec<_> = d.iter().filter(|x| x.code == "W123").collect();
+        assert_eq!(w123.len(), 1, "{d:?}");
+        assert!(w123[0].message.contains("`Gizmo.start`"), "{d:?}");
+        // `status` has a requires clause: that gap is W122's, not W123's.
+        assert!(d.iter().any(|x| x.code == "W122"), "{d:?}");
+    }
+
+    #[test]
+    fn w123_quiet_when_the_transition_is_exercised() {
+        let spec = parse_spec(TRANSITION_SPEC).unwrap();
+        let cfg = cfg_of(
+            "program P uses S; void main() { Gizmo g = new Gizmo(); g.start(); g.status(); }",
+        );
+        let d = lint_spec(&spec, &cfg);
+        assert!(d.iter().all(|x| x.code != "W123"), "{d:?}");
+    }
+
+    #[test]
+    fn w123_quiet_when_the_class_is_never_instantiated() {
+        // A wholly unused class is not a state-machine gap; stay quiet
+        // rather than restate that the class is unused.
+        let spec = parse_spec(TRANSITION_SPEC).unwrap();
+        let cfg = cfg_of("program P uses S; void main() { }");
+        let d = lint_spec(&spec, &cfg);
+        assert!(d.iter().all(|x| x.code != "W123"), "{d:?}");
     }
 
     #[test]

@@ -1,16 +1,18 @@
-//! Strategy lints (`W111`–`W113`).
+//! Strategy lints (`W111`–`W115`).
 //!
 //! | code | lint |
 //! |------|------|
 //! | W111 | a checked class the program instantiates is not covered by the strategy (Theorem 1 / `strategy::coverage`) |
 //! | W112 | an `on failure` stage has a `failing` choice no earlier stage can feed |
 //! | W113 | duplicate choice operation within a stage |
+//! | W114 | dead `choose` clause: the program never instantiates its class |
+//! | W115 | a `choose all` subsumed by a less-constrained earlier choice |
 //!
-//! W111 needs the program (which classes are actually instantiated, directly
-//! or through library factory methods) and the spec (which classes carry
-//! `requires` checks); W112/W113 are purely syntactic over the strategy.
-//! Strategy sources carry no line information, so these diagnostics use
-//! line 0 and name the stage/choice in the message.
+//! W111 and W114 need the program (which classes are actually instantiated,
+//! directly or through library factory methods) and the spec (which classes
+//! carry `requires` checks); W112/W113/W115 are purely syntactic over the
+//! strategy. Strategy sources carry no line information, so these
+//! diagnostics use line 0 and name the stage/choice in the message.
 
 use std::collections::{BTreeSet, HashSet};
 
@@ -27,6 +29,8 @@ pub fn lint_strategy(strategy: &Strategy, cfg: &Cfg, spec: &Spec) -> Vec<Diagnos
     uncovered_checked_classes(strategy, cfg, spec, &mut diags);
     unreachable_failing_stages(strategy, &mut diags);
     duplicate_choices(strategy, &mut diags);
+    dead_choices(strategy, cfg, spec, &mut diags);
+    subsumed_choices(strategy, &mut diags);
     diags
 }
 
@@ -290,6 +294,77 @@ fn duplicate_choices(strategy: &Strategy, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------- W114 ----
+
+/// A choice on a spec class the program never instantiates selects from an
+/// empty site family: the subproblem fan-out is vacuous and the clause is
+/// dead weight (often a stale strategy after a program edit).
+fn dead_choices(strategy: &Strategy, cfg: &Cfg, spec: &Spec, diags: &mut Vec<Diagnostic>) {
+    let instantiated = instantiated_classes(cfg, spec);
+    for (k, stage) in strategy.stages.iter().enumerate() {
+        for op in &stage.choices {
+            if spec.class(&op.class).is_some() && !instantiated.contains(&op.class) {
+                diags.push(
+                    Diagnostic::warning(
+                        "W114",
+                        format!(
+                            "dead `choose` clause: class `{}` in stage {} of strategy \
+                             `{}` is never instantiated by the program",
+                            op.class, k, strategy.name
+                        ),
+                        0,
+                    )
+                    .with_note(
+                        "no allocation site matches this choice, so it selects nothing; \
+                         remove the clause or fix the class name",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- W115 ----
+
+/// A `choose all` whose equations are a strict superset of an earlier
+/// same-class `choose all` in the same stage selects a subset of what the
+/// earlier choice already selects: every object it binds is already bound.
+fn subsumed_choices(strategy: &Strategy, diags: &mut Vec<Diagnostic>) {
+    use hetsep_strategy::ast::ChoiceMode;
+    for (k, stage) in strategy.stages.iter().enumerate() {
+        for (j, later) in stage.choices.iter().enumerate() {
+            if later.mode != ChoiceMode::All {
+                continue;
+            }
+            let later_eqs: HashSet<&(String, String)> = later.equations.iter().collect();
+            let subsumed_by = stage.choices[..j].iter().find(|earlier| {
+                earlier.mode == ChoiceMode::All
+                    && earlier.failing == later.failing
+                    && earlier.class == later.class
+                    && earlier.equations.len() < later.equations.len()
+                    && earlier.equations.iter().all(|eq| later_eqs.contains(eq))
+            });
+            if let Some(earlier) = subsumed_by {
+                diags.push(
+                    Diagnostic::warning(
+                        "W115",
+                        format!(
+                            "choice `{later}` in stage {k} of strategy `{}` is subsumed \
+                             by the earlier, less constrained `{earlier}`",
+                            strategy.name
+                        ),
+                        0,
+                    )
+                    .with_note(
+                        "`choose all` with fewer equations already selects every object \
+                         the stricter choice can; remove the subsumed clause",
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +475,76 @@ mod tests {
         duplicate_choices(&s, &mut d);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].code, "W113");
+    }
+
+    #[test]
+    fn w114_fires_on_never_instantiated_choice_class() {
+        let spec = hetsep_easl::builtin::jdbc();
+        // Only the manager and a connection exist; no statement, no results.
+        let cfg = jdbc_cfg(
+            "program P uses JDBC; void main() {\n\
+             ConnectionManager cm = new ConnectionManager();\n\
+             Connection con = cm.getConnection();\n\
+             con.close();\n}",
+        );
+        let s = parse_strategy(
+            "strategy S {\n\
+             choose some c : Connection();\n\
+             choose some r : ResultSet();\n}",
+        )
+        .unwrap();
+        let mut d = Vec::new();
+        dead_choices(&s, &cfg, &spec, &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "W114");
+        assert!(d[0].message.contains("`ResultSet`"), "{d:?}");
+    }
+
+    #[test]
+    fn w114_quiet_when_factory_methods_instantiate_the_class() {
+        let spec = hetsep_easl::builtin::jdbc();
+        let cfg = jdbc_cfg(JDBC_CLIENT);
+        let s = parse_strategy(hetsep_strategy::builtin::JDBC_SINGLE).unwrap();
+        let mut d = Vec::new();
+        dead_choices(&s, &cfg, &spec, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn w115_fires_on_subsumed_all_choice() {
+        let s = parse_strategy(
+            "strategy S {\n\
+             choose some c : Connection();\n\
+             choose all s : Statement(x);\n\
+             choose all t : Statement(x) / x == c;\n}",
+        )
+        .unwrap();
+        let mut d = Vec::new();
+        subsumed_choices(&s, &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "W115");
+        assert!(d[0].message.contains("subsumed"), "{d:?}");
+    }
+
+    #[test]
+    fn w115_quiet_on_some_mode_and_distinct_classes() {
+        // `choose some` picks at most one object, so a stricter later
+        // `some` is a genuine refinement; and the builtin strategies chain
+        // distinct classes.
+        let s = parse_strategy(
+            "strategy S {\n\
+             choose some c : Connection();\n\
+             choose some s : Statement(x);\n\
+             choose some t : Statement(x) / x == c;\n}",
+        )
+        .unwrap();
+        let mut d = Vec::new();
+        subsumed_choices(&s, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+        let builtin = parse_strategy(hetsep_strategy::builtin::JDBC_SINGLE).unwrap();
+        let mut d = Vec::new();
+        subsumed_choices(&builtin, &mut d);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

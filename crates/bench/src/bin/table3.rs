@@ -70,10 +70,11 @@ fn main() {
             .collect()
     };
     println!(
-        "{:<18} {:<8} {:>5} {:>9} {:>9} {:>10} {:>4} {:>4} {:>6}",
-        "Program", "Mode", "Lines", "Space", "Time", "Visits", "Rep", "Act", "Pruned"
+        "{:<18} {:<8} {:>5} {:>9} {:>9} {:>10} {:>4} {:>4} {:>6} {:>5} {:>12}",
+        "Program", "Mode", "Lines", "Space", "Time", "Visits", "Rep", "Act", "Pruned", "Comps",
+        "EstStructs"
     );
-    println!("{}", "-".repeat(82));
+    println!("{}", "-".repeat(101));
     let mut config = table3_config();
     config.parallel = ParallelConfig { threads };
     config.phase_timings = metrics;

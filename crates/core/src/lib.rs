@@ -73,7 +73,8 @@ pub use hetsep_tvl::telemetry::{
     RunMetrics, TraceWriter,
 };
 pub use modes::{
-    verify, verify_with_sink, Mode, ModeKind, SubproblemStats, VerificationReport, Verifier,
+    verify, verify_with_sink, Mode, ModeKind, PreanalysisSummary, SubproblemStats,
+    VerificationReport, Verifier,
 };
 pub use report::{ErrorReport, VerifyError};
 pub use session::Session;

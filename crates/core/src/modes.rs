@@ -215,11 +215,6 @@ impl Mode {
         }
     }
 
-    /// Short mode label; superseded by [`Mode::kind`] / [`fmt::Display`].
-    #[deprecated(since = "0.1.0", note = "use `Mode::kind().as_str()` or `Display` instead")]
-    pub fn label(&self) -> &'static str {
-        self.kind().as_str()
-    }
 }
 
 impl fmt::Display for Mode {
@@ -227,6 +222,31 @@ impl fmt::Display for Mode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.kind().as_str())
     }
+}
+
+/// What the pruning pre-pass concluded about one non-simultaneous
+/// separation family (see [`EngineConfig::preanalysis`]): how many
+/// subproblems each preanalysis generation proved safe, the may-share
+/// partition size, and the predicted structure cost — the static
+/// cost-model surface ROADMAP item 5's auto-strategy planner builds on.
+///
+/// Per-site figures are carried by the `Preanalysis*` counters in each
+/// subproblem's [`RunStats::metrics`]; this summary is their
+/// verification-wide aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreanalysisSummary {
+    /// May-share heap components found by the flow-sensitive analysis.
+    pub components: u64,
+    /// Sites pruned that the v1 baseline (flow-insensitive points-to)
+    /// proved safe.
+    pub pruned_baseline: u64,
+    /// Sites pruned that the v2 flow-sensitive product analysis proved
+    /// safe. Always ≥ `pruned_baseline`-exclusive wins by construction:
+    /// the pass prunes the union of both safe sets.
+    pub pruned_flow: u64,
+    /// Sum over the family's sites of the structure-count upper bound of
+    /// each site's may-share component (saturating).
+    pub estimated_structures: u64,
 }
 
 /// Statistics of one subproblem run.
@@ -273,6 +293,10 @@ pub struct VerificationReport {
     /// metrics stay available under each subproblem's
     /// [`RunStats::metrics`]).
     pub metrics: RunMetrics,
+    /// What the pruning pre-pass proved and predicted. `Some` only when
+    /// [`EngineConfig::preanalysis`] ran, i.e. on a non-simultaneous
+    /// separation family with pruning enabled.
+    pub preanalysis: Option<PreanalysisSummary>,
 }
 
 impl VerificationReport {
@@ -303,15 +327,29 @@ impl VerificationReport {
             subproblems: Vec::new(),
             stages_run: 0,
             metrics: RunMetrics::default(),
+            preanalysis: None,
         }
     }
 
     /// Records a subproblem the pre-analysis proved safe without running
     /// it: zero work, zero errors, and — crucially — no effect on
-    /// `complete`, since the baseline's proof stands in for the fixpoint.
-    fn absorb_pruned(&mut self, site: SiteId) {
+    /// `complete`, since the pre-pass proof stands in for the fixpoint.
+    /// Which generation(s) proved it, plus the family-wide component count
+    /// and the site's cost estimate, land in the row's own counters so
+    /// sinks and reports agree.
+    fn absorb_pruned(&mut self, site: SiteId, pre: &Preanalysis) {
         let mut stats = RunStats::default();
         stats.metrics.counters.add(Counter::SubproblemsPruned, 1);
+        if pre.safe_v1.contains(&site) {
+            stats
+                .metrics
+                .counters
+                .add(Counter::PreanalysisPrunedBaseline, 1);
+        }
+        if pre.safe_v2.contains(&site) {
+            stats.metrics.counters.add(Counter::PreanalysisPrunedFlow, 1);
+        }
+        pre.stamp_row(site, &mut stats.metrics);
         self.metrics.merge(&stats.metrics);
         self.subproblems.push(SubproblemStats {
             site: Some(site),
@@ -340,6 +378,92 @@ impl VerificationReport {
     fn finish(mut self) -> VerificationReport {
         self.errors = dedup_reports(std::mem::take(&mut self.errors));
         self
+    }
+}
+
+/// Combined result of the two-generation pruning pre-pass over one site
+/// family. Each generation is sound on its own (a site in its safe set
+/// provably cannot fail), so pruning the union is sound, and the set of
+/// pruned sites under v2 is a superset of v1's by construction.
+struct Preanalysis {
+    /// Sites the v1 baseline (flow-insensitive points-to × typestate)
+    /// proved safe.
+    safe_v1: HashSet<SiteId>,
+    /// Sites the v2 flow-sensitive product analysis proved safe: outside
+    /// every may-share component that contains a suspect.
+    safe_v2: HashSet<SiteId>,
+    /// May-share components over the whole program (0 when v2 declined).
+    components: u64,
+    /// Structure-count upper bound of each site's may-share component.
+    estimates: HashMap<SiteId, u64>,
+}
+
+impl Preanalysis {
+    /// Runs both generations. Either may decline (`Err` internally — e.g.
+    /// an unmodelled library member) and then contributes an empty safe
+    /// set; the run loop covers whatever is left.
+    fn run(program: &Program, spec: &Spec, sites: &[SiteId]) -> Preanalysis {
+        let safe_v1: HashSet<SiteId> = match hetsep_baseline::verify_with_suspects(program, spec) {
+            Ok(v) => sites.iter().copied().filter(|&s| v.proved_safe(s)).collect(),
+            Err(_) => HashSet::new(),
+        };
+        let mut safe_v2 = HashSet::new();
+        let mut components = 0;
+        let mut estimates = HashMap::new();
+        let verdicts = hetsep_ir::Cfg::build(program, "main")
+            .ok()
+            .and_then(|cfg| {
+                let v = hetsep_analysis::points_to_flow::analyze_flow(&cfg, spec).ok()?;
+                Some(hetsep_analysis::heap_components::summarize(&cfg, spec, &v))
+            });
+        if let Some(summary) = verdicts {
+            components = summary.component_count() as u64;
+            for &s in sites {
+                estimates.insert(s, summary.estimate(s));
+                // Guard on component membership: a site the flow analysis
+                // never discovered must not be presumed safe.
+                if summary.component_of(s).is_some() && !summary.suspects_closed().contains(&s) {
+                    safe_v2.insert(s);
+                }
+            }
+        }
+        Preanalysis {
+            safe_v1,
+            safe_v2,
+            components,
+            estimates,
+        }
+    }
+
+    /// Sites safe to prune: the union of both generations' proofs.
+    fn safe(&self) -> HashSet<SiteId> {
+        self.safe_v1.union(&self.safe_v2).copied().collect()
+    }
+
+    /// Stamps the family-wide component count and the site's structure
+    /// estimate onto one subproblem row's metrics (pruned or run alike),
+    /// keeping the per-row counters the single source of truth.
+    fn stamp_row(&self, site: SiteId, metrics: &mut RunMetrics) {
+        metrics
+            .counters
+            .raise(Counter::PreanalysisComponents, self.components);
+        metrics.counters.add(
+            Counter::PreanalysisEstimatedStructures,
+            self.estimates.get(&site).copied().unwrap_or(0),
+        );
+    }
+
+    /// Verification-wide aggregate for the report surface.
+    fn summary(&self) -> PreanalysisSummary {
+        PreanalysisSummary {
+            components: self.components,
+            pruned_baseline: self.safe_v1.len() as u64,
+            pruned_flow: self.safe_v2.len() as u64,
+            estimated_structures: self
+                .estimates
+                .values()
+                .fold(0u64, |a, &b| a.saturating_add(b)),
+        }
     }
 }
 
@@ -473,11 +597,16 @@ impl<'a> Verifier<'a> {
 
     /// Enables the static pruning pre-pass (see
     /// [`EngineConfig::preanalysis`]): before fanning out non-simultaneous
-    /// separation subproblems, the coarse baseline analysis runs once and
-    /// the allocation sites it proves safe are skipped, recorded as
-    /// [`AnalysisOutcome::Pruned`] with a `subproblems_pruned` counter.
-    /// Sound — verdicts and reported errors are identical with pruning on
-    /// or off. Off by default.
+    /// separation subproblems, two preanalysis generations each run once —
+    /// the coarse flow-insensitive baseline (v1) and the flow-sensitive
+    /// points-to × typestate product analysis with may-share closure (v2)
+    /// — and allocation sites either proves safe are skipped, recorded as
+    /// [`AnalysisOutcome::Pruned`] with `subproblems_pruned` /
+    /// `preanalysis_pruned_*` counters; the aggregate lands in
+    /// [`VerificationReport::preanalysis`]. Each generation's proof is
+    /// sound on its own, so pruning the union is sound — verdicts and
+    /// reported errors are identical with pruning on or off. Off by
+    /// default.
     pub fn with_preanalysis(mut self, on: bool) -> Verifier<'a> {
         self.config.preanalysis = on;
         self
@@ -710,22 +839,18 @@ pub(crate) fn verify_inner(
                         // single (cheap) run covers the empty family.
                         report.absorb(None, run_shared(&probe, config, None, shared));
                     }
-                    // Pruning pre-pass: the coarse baseline runs once and
-                    // sites it proves safe are skipped. A baseline failure
-                    // (e.g. an unmodelled library member) falls back to
-                    // running every subproblem.
-                    let safe: HashSet<SiteId> = if config.preanalysis {
-                        match hetsep_baseline::verify_with_suspects(program, spec) {
-                            Ok(v) => sites
-                                .iter()
-                                .copied()
-                                .filter(|&s| v.proved_safe(s))
-                                .collect(),
-                            Err(_) => HashSet::new(),
-                        }
+                    // Pruning pre-pass: both preanalysis generations run
+                    // once and every site either proves safe is skipped
+                    // (the union of two sound proofs is sound). A failed
+                    // generation contributes nothing and the run loop
+                    // covers the rest.
+                    let pre = if config.preanalysis {
+                        Some(Preanalysis::run(program, spec, &sites))
                     } else {
-                        HashSet::new()
+                        None
                     };
+                    let safe: HashSet<SiteId> =
+                        pre.as_ref().map(Preanalysis::safe).unwrap_or_default();
                     let to_run: Vec<SiteId> = sites
                         .iter()
                         .copied()
@@ -739,14 +864,20 @@ pub(crate) fn verify_inner(
                     // to an unpruned run (pruned entries interleave).
                     for &site in &sites {
                         if safe.contains(&site) {
-                            report.absorb_pruned(site);
+                            report.absorb_pruned(site, pre.as_ref().expect("safe implies pre"));
                         } else if results.peek().is_some_and(|&(s, _)| s == site) {
-                            let (_, result) = results.next().expect("peeked");
+                            let (_, mut result) = results.next().expect("peeked");
+                            if let Some(pre) = &pre {
+                                pre.stamp_row(site, &mut result.stats.metrics);
+                            }
                             report.absorb(Some(site), result);
                         }
                         // else: never started — a sibling raised the
                         // cancellation flag; the report is already
                         // incomplete.
+                    }
+                    if let Some(pre) = pre {
+                        report.preanalysis = Some(pre.summary());
                     }
                 }
             }

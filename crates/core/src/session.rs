@@ -251,6 +251,9 @@ impl Session {
                     visits: r.total_visits,
                     space: r.max_space as u64,
                     subproblems: r.subproblems.len() as u64,
+                    pruned: c(Counter::SubproblemsPruned),
+                    components: r.preanalysis.map_or(0, |p| p.components),
+                    estimated_structures: r.preanalysis.map_or(0, |p| p.estimated_structures),
                     cache_hits: c(Counter::TransferCacheHits),
                     cache_misses: c(Counter::TransferCacheMisses),
                     shared_hits: c(Counter::SharedCacheHits),
@@ -302,13 +305,13 @@ impl Session {
                 ),
             );
         }
-        let ws = &self.workspace;
-        let diagnostics = hetsep_analysis::lint_all(
-            ws.program(program_id),
-            Some(ws.program_source(program_id)),
-            resolved_spec.map(|(id, _)| ws.spec(id)),
-            strategy_id.map(|id| ws.strategy(id)),
-        );
+        // The workspace memoizes the unfiltered batch per artifact triple
+        // (repeat lints of registered — hence immutable — artifacts are
+        // cache lookups, reported via `lint_cache_hits` in `status`).
+        let diagnostics = self
+            .workspace
+            .lint(program_id, resolved_spec.map(|(id, _)| id), strategy_id)
+            .to_vec();
         // Built-in specs are a trusted standard library: they model more
         // methods than any one program calls, so spec lints (`W12x`) only
         // make sense for source-text specs (mirrors the CLI's rule).
@@ -337,6 +340,7 @@ impl Session {
             strategies: self.workspace.strategy_count() as u64,
             requests: self.requests,
             verifies: self.verifies,
+            lint_cache_hits: self.workspace.lint_cache_hits(),
             store_entries: self.workspace.store().entry_count() as u64,
             store_structures: self.workspace.store().structure_count() as u64,
         }

@@ -35,6 +35,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use hetsep_easl::ast::Spec;
+use hetsep_ir::diag::Diagnostic;
 use hetsep_ir::Program;
 use hetsep_strategy::ast::Strategy;
 
@@ -201,6 +202,12 @@ pub struct Workspace {
     strategies: ArtifactSet<Strategy>,
     store: TransferStore,
     config: EngineConfig,
+    /// Memoized lint batches per artifact triple. Artifacts are
+    /// content-addressed and immutable, so a key hit is exact — the cache
+    /// stores the *unfiltered* batch and presentation policies (e.g. the
+    /// daemon's built-in `W12x` filter) apply on top.
+    lint_cache: HashMap<(ProgramId, Option<SpecId>, Option<StrategyId>), Vec<Diagnostic>>,
+    lint_cache_hits: u64,
 }
 
 impl Workspace {
@@ -338,6 +345,38 @@ impl Workspace {
     /// store — only the shared-cache counters and wall-clock do.
     pub fn mount_store(&mut self, store: TransferStore) {
         self.store = store;
+    }
+
+    /// Lints a registered artifact triple through `hetsep-analysis`'s
+    /// `lint_all`, memoizing the full diagnostic batch: registered
+    /// artifacts never change, so a repeated triple is a lookup, not a
+    /// re-analysis. Cache hits are counted (see
+    /// [`Workspace::lint_cache_hits`]) and surface in the daemon's
+    /// `status` response.
+    pub fn lint(
+        &mut self,
+        program: ProgramId,
+        spec: Option<SpecId>,
+        strategy: Option<StrategyId>,
+    ) -> &[Diagnostic] {
+        let key = (program, spec, strategy);
+        if self.lint_cache.contains_key(&key) {
+            self.lint_cache_hits += 1;
+        } else {
+            let diagnostics = hetsep_analysis::lint_all(
+                self.program(program),
+                Some(self.program_source(program)),
+                spec.map(|id| self.spec(id)),
+                strategy.map(|id| self.strategy(id)),
+            );
+            self.lint_cache.insert(key, diagnostics);
+        }
+        &self.lint_cache[&key]
+    }
+
+    /// Lint requests answered from the memoized cache so far.
+    pub fn lint_cache_hits(&self) -> u64 {
+        self.lint_cache_hits
     }
 
     /// Verifies a registered program.

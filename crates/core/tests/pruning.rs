@@ -81,6 +81,31 @@ fn assert_equivalent(name: &str, mode_label: &str, off: &VerificationReport, on:
         pruned_count(on),
         "{name}/{mode_label}: subproblems_pruned counter out of sync"
     );
+    // The preanalysis summary surfaces only on the pruned run, agrees with
+    // the per-generation counters, and the pruned rows are exactly the
+    // union of the two generations' safe sets (`|v1 ∪ v2|`).
+    assert!(
+        off.preanalysis.is_none(),
+        "{name}/{mode_label}: summary leaked into the unpruned run"
+    );
+    if let Some(p) = on.preanalysis {
+        assert_eq!(
+            on.metrics.counters.get(Counter::PreanalysisPrunedBaseline),
+            p.pruned_baseline,
+            "{name}/{mode_label}: baseline-generation counter out of sync"
+        );
+        assert_eq!(
+            on.metrics.counters.get(Counter::PreanalysisPrunedFlow),
+            p.pruned_flow,
+            "{name}/{mode_label}: flow-generation counter out of sync"
+        );
+        let pruned = pruned_count(on) as u64;
+        assert!(
+            pruned >= p.pruned_baseline.max(p.pruned_flow)
+                && pruned <= p.pruned_baseline + p.pruned_flow,
+            "{name}/{mode_label}: pruned rows are not the union of the generations ({p:?})"
+        );
+    }
     // Unpruned subproblems keep identical stats, in the same positions.
     for (o, n) in off.subproblems.iter().zip(&on.subproblems) {
         assert_eq!(o.site, n.site, "{name}/{mode_label}: site order changed");
@@ -136,6 +161,17 @@ fn pruning_is_observation_equivalent_on_scenarios() {
             hetsep_strategy::builtin::IOSTREAM_SINGLE,
         ),
         (
+            "reassigned_handle",
+            "program P uses IOStreams; void main() {\n\
+             InputStream f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n\
+             f = new InputStream();\n\
+             f.read();\n\
+             f.close();\n}",
+            hetsep_strategy::builtin::IOSTREAM_SINGLE,
+        ),
+        (
             "heap_linked_component",
             "program P uses JDBC; void main() {\n\
              ConnectionManager cm = new ConnectionManager();\n\
@@ -183,12 +219,49 @@ fn pruning_is_observation_equivalent_on_scenarios() {
     assert!(on.verified());
 }
 
+/// The second generation is strictly stronger than the first: the
+/// reassigned handle's two allocation sites defeat the flow-insensitive
+/// baseline (both flow into `f`, so a check on either implicates both) but
+/// not the flow-sensitive analysis, which keeps the lifetimes apart and
+/// prunes both subproblems.
+#[test]
+fn flow_generation_prunes_what_the_baseline_cannot() {
+    let bench = Benchmark {
+        name: "reassigned_handle",
+        description: "",
+        source: "program P uses IOStreams; void main() {\n\
+                 InputStream f = new InputStream();\n\
+                 f.read();\n\
+                 f.close();\n\
+                 f = new InputStream();\n\
+                 f.read();\n\
+                 f.close();\n}"
+            .to_owned(),
+        single_strategy: hetsep_strategy::builtin::IOSTREAM_SINGLE,
+        multi_strategy: None,
+        incremental_strategy: None,
+        modes: vec![TableMode::Single],
+        actual_errors: 0,
+        expected_reported: vec![None],
+    };
+    let mode = core_mode(&bench, TableMode::Single).unwrap();
+    let on = run(&bench, &mode, true);
+    let p = on.preanalysis.expect("preanalysis ran");
+    assert!(
+        p.pruned_flow > p.pruned_baseline,
+        "flow generation should win here: {p:?}"
+    );
+    assert_eq!(pruned_count(&on), 2, "both sites pruned: {p:?}");
+    assert!(on.verified());
+}
+
 /// Every suite benchmark × every Table 3 mode. Expensive (the full table
 /// twice) — release builds only, like the Table 3 shape tests.
 #[test]
 #[cfg_attr(debug_assertions, ignore)]
 fn pruning_is_observation_equivalent_on_the_suite() {
     let mut total_pruned = 0usize;
+    let (mut baseline_total, mut flow_total) = (0u64, 0u64);
     for bench in hetsep_suite::all() {
         for &table_mode in &bench.modes {
             let mode = core_mode(&bench, table_mode).unwrap();
@@ -196,10 +269,20 @@ fn pruning_is_observation_equivalent_on_the_suite() {
             let on = run(&bench, &mode, true);
             assert_equivalent(bench.name, table_mode.label(), &off, &on);
             total_pruned += pruned_count(&on);
+            if let Some(p) = on.preanalysis {
+                baseline_total += p.pruned_baseline;
+                flow_total += p.pruned_flow;
+            }
         }
     }
     assert!(
         total_pruned > 0,
         "the pre-pass should prune at least one subproblem somewhere in the suite"
+    );
+    // The v2 generation must earn its keep: across the suite it prunes
+    // strictly more subproblems than the v1 baseline generation alone.
+    assert!(
+        flow_total > baseline_total,
+        "flow generation ({flow_total}) should out-prune the baseline ({baseline_total})"
     );
 }

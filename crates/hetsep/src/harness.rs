@@ -23,9 +23,9 @@ use hetsep_suite::{Benchmark, TableMode};
 pub struct ModeRow {
     /// Benchmark name.
     pub benchmark: &'static str,
-    /// Mode label (`vanilla`, `single`, `sim`, `multi`, `inc`) — taken from
-    /// [`Mode::label`], so the same naming scheme flows from the engine API
-    /// to Table 3 output.
+    /// Mode label (`vanilla`, `single`, `sim`, `multi`, `inc`) — rendered
+    /// through [`hetsep_core::ModeKind`], so the same naming scheme flows
+    /// from the engine API to Table 3 output.
     pub mode: &'static str,
     /// Peak structures stored by a single engine run (the paper's "space":
     /// the maximal footprint of analyzing one set of subproblems).
@@ -45,6 +45,12 @@ pub struct ModeRow {
     /// ([`AnalysisOutcome::Pruned`] rows). Always `0` when
     /// [`EngineConfig::preanalysis`] is off.
     pub pruned: usize,
+    /// May-share heap components the pre-analysis found (0 when it did not
+    /// run — preanalysis off, or a mode without a site fan-out).
+    pub components: u64,
+    /// Pre-analysis structure-count upper bound summed over the site
+    /// family (0 when the pre-pass did not run).
+    pub estimated_structures: u64,
     /// Average visits per subproblem.
     pub avg_visits_per_subproblem: f64,
     /// Per-subproblem engine statistics, in deterministic site order.
@@ -170,6 +176,8 @@ pub fn run_mode_with_sink(
             .iter()
             .filter(|s| s.outcome == AnalysisOutcome::Pruned)
             .count(),
+        components: report.preanalysis.map_or(0, |p| p.components),
+        estimated_structures: report.preanalysis.map_or(0, |p| p.estimated_structures),
         avg_visits_per_subproblem: report.avg_visits_per_subproblem(),
         subproblem_rows: report.subproblems.clone(),
         metrics: report.metrics.clone(),
@@ -261,7 +269,8 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
             "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"space\": {}, \
              \"visits\": {}, \"peak_nodes\": {}, \"wall_ms\": {:.3}, \
              \"elapsed_ms\": {:.3}, \"reported\": {}, \"complete\": {}, \
-             \"actual\": {}, \"pruned\": {}, \"cache_hits\": {}, \
+             \"actual\": {}, \"pruned\": {}, \"components\": {}, \
+             \"estimated_structures\": {}, \"cache_hits\": {}, \
              \"cache_misses\": {}, \"cache_evictions\": {}",
             r.benchmark,
             r.mode,
@@ -274,6 +283,8 @@ pub fn rows_to_json(rows: &[ModeRow], threads: usize, include_metrics: bool) -> 
             r.complete,
             r.actual,
             r.pruned,
+            r.components,
+            r.estimated_structures,
             r.metrics.counters.get(Counter::TransferCacheHits),
             r.metrics.counters.get(Counter::TransferCacheMisses),
             r.metrics.counters.get(Counter::TransferCacheEvictions),
@@ -319,7 +330,7 @@ pub fn format_rows(rows: &[ModeRow], line_count: usize) -> String {
         };
         writeln!(
             out,
-            "{name:<18} {mode:<8} {lines:>5} {space:>9} {time:>9.2?} {visits:>10} {rep:>4} {act:>4} {pruned:>6}{marker}",
+            "{name:<18} {mode:<8} {lines:>5} {space:>9} {time:>9.2?} {visits:>10} {rep:>4} {act:>4} {pruned:>6} {comps:>5} {est:>12}{marker}",
             mode = r.mode,
             space = r.space,
             time = r.time,
@@ -327,6 +338,8 @@ pub fn format_rows(rows: &[ModeRow], line_count: usize) -> String {
             rep = r.reported_cell(),
             act = r.actual,
             pruned = r.pruned,
+            comps = r.components,
+            est = r.estimated_structures,
             marker = if r.complete { "" } else { " (incomplete)" },
         )
         .unwrap();

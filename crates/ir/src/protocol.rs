@@ -268,6 +268,14 @@ pub struct VerifyOutcome {
     pub space: u64,
     /// Subproblems analyzed (including pruned).
     pub subproblems: u64,
+    /// Subproblems the preanalysis pre-pass proved safe and skipped.
+    pub pruned: u64,
+    /// May-share heap components the preanalysis found (0 when the
+    /// pre-pass did not run).
+    pub components: u64,
+    /// Preanalysis structure-count upper bound, summed over the site
+    /// family (0 when the pre-pass did not run).
+    pub estimated_structures: u64,
     /// Per-run transfer-cache hits.
     pub cache_hits: u64,
     /// Per-run transfer-cache misses (computed transfers).
@@ -293,6 +301,8 @@ pub struct StatusInfo {
     pub requests: u64,
     /// Verify requests handled so far.
     pub verifies: u64,
+    /// Lint requests answered from the workspace lint cache.
+    pub lint_cache_hits: u64,
     /// Memoized transfers in the workspace store.
     pub store_entries: u64,
     /// Distinct structures in the workspace store's pool.
@@ -361,7 +371,8 @@ impl Response {
                 let mut out = format!(
                     "{{\"ok\":true,\"op\":\"verify\",\"program\":{},\"mode\":{},\
                      \"verdict\":{},\"complete\":{},\"visits\":{},\"space\":{},\
-                     \"subproblems\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                     \"subproblems\":{},\"pruned\":{},\"components\":{},\
+                     \"estimated_structures\":{},\"cache_hits\":{},\"cache_misses\":{},\
                      \"shared_hits\":{},\"shared_misses\":{},\"errors\":[",
                     json::string(&o.program),
                     json::string(&o.mode),
@@ -370,6 +381,9 @@ impl Response {
                     o.visits,
                     o.space,
                     o.subproblems,
+                    o.pruned,
+                    o.components,
+                    o.estimated_structures,
                     o.cache_hits,
                     o.cache_misses,
                     o.shared_hits,
@@ -411,12 +425,13 @@ impl Response {
             Response::Status(s) => format!(
                 "{{\"ok\":true,\"op\":\"status\",\"programs\":{},\"specs\":{},\
                  \"strategies\":{},\"requests\":{},\"verifies\":{},\
-                 \"store_entries\":{},\"store_structures\":{}}}",
+                 \"lint_cache_hits\":{},\"store_entries\":{},\"store_structures\":{}}}",
                 s.programs,
                 s.specs,
                 s.strategies,
                 s.requests,
                 s.verifies,
+                s.lint_cache_hits,
                 s.store_entries,
                 s.store_structures,
             ),

@@ -101,6 +101,9 @@ fn response_goldens() -> Vec<(Response, &'static str)> {
                 visits: 421,
                 space: 17,
                 subproblems: 2,
+                pruned: 1,
+                components: 2,
+                estimated_structures: 96,
                 cache_hits: 10,
                 cache_misses: 32,
                 shared_hits: 0,
@@ -113,7 +116,8 @@ fn response_goldens() -> Vec<(Response, &'static str)> {
             }),
             "{\"ok\":true,\"op\":\"verify\",\"program\":\"p\",\"mode\":\"single\",\
              \"verdict\":\"errors\",\"complete\":true,\"visits\":421,\"space\":17,\
-             \"subproblems\":2,\"cache_hits\":10,\"cache_misses\":32,\
+             \"subproblems\":2,\"pruned\":1,\"components\":2,\
+             \"estimated_structures\":96,\"cache_hits\":10,\"cache_misses\":32,\
              \"shared_hits\":0,\"shared_misses\":32,\
              \"errors\":[{\"line\":9,\"label\":\"read requires open\",\
              \"definite\":false}]}",
@@ -141,12 +145,13 @@ fn response_goldens() -> Vec<(Response, &'static str)> {
                 strategies: 1,
                 requests: 9,
                 verifies: 3,
+                lint_cache_hits: 1,
                 store_entries: 120,
                 store_structures: 48,
             }),
             "{\"ok\":true,\"op\":\"status\",\"programs\":2,\"specs\":1,\
              \"strategies\":1,\"requests\":9,\"verifies\":3,\
-             \"store_entries\":120,\"store_structures\":48}",
+             \"lint_cache_hits\":1,\"store_entries\":120,\"store_structures\":48}",
         ),
         (Response::Shutdown, "{\"ok\":true,\"op\":\"shutdown\"}"),
         (

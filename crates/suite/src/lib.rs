@@ -9,6 +9,7 @@
 //! | `InputStream5`   | streams in holders at arbitrary heap depth | static source (vanilla false-alarms, separation verifies) |
 //! | `InputStream5b`  | erroneous variant                         | static source (1 real error) |
 //! | `InputStream6`   | variation defeating even separation       | static source (persistent false alarm) |
+//! | `HandleReuse`    | reused stream handles, discriminates the preanalysis generations | static source |
 //! | `JDBCExample`    | extended Fig. 1 example, 7 overlapping connections | generated |
 //! | `JDBCExampleFixed` | corrected variant                       | generated |
 //! | `db`             | SpecJVM98 `db` (memory-resident database) | generated analog: stream-driven table scans |
@@ -110,6 +111,7 @@ pub fn all() -> Vec<Benchmark> {
         programs::input_stream5(),
         programs::input_stream5b(),
         programs::input_stream6(),
+        programs::handle_reuse(),
         programs::jdbc_example(),
         programs::jdbc_example_fixed(),
         programs::db(),

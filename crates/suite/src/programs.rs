@@ -174,6 +174,54 @@ void main() {
     }
 }
 
+/// `HandleReuse`: a correct program that reuses one stream variable for
+/// several back-to-back lifetimes. Every mode verifies it, but the
+/// benchmark discriminates the *preanalysis generations*: an ESP-style
+/// flow-insensitive points-to conflates all the allocation sites flowing
+/// through the reused variable (so the baseline generation prunes
+/// nothing), while the flow-sensitive generation keeps the lifetimes
+/// apart and prunes every subproblem.
+pub fn handle_reuse() -> Benchmark {
+    let source = r#"program HandleReuse uses IOStreams;
+
+void drain(InputStream s) {
+    s.read();
+    s.read();
+}
+
+void main() {
+    InputStream log = new InputStream();
+    log.read();
+    log.close();
+    log = new InputStream();
+    drain(log);
+    log.close();
+    InputStream data = new InputStream();
+    if (?) {
+        data.read();
+    } else {
+        drain(data);
+    }
+    data.close();
+    data = new InputStream();
+    data.read();
+    data.close();
+}
+"#
+    .to_owned();
+    Benchmark {
+        name: "HandleReuse",
+        description: "reused stream handles / IOStreams",
+        source,
+        single_strategy: strategies::IOSTREAM_SINGLE,
+        multi_strategy: None,
+        incremental_strategy: None,
+        modes: vec![TableMode::Vanilla, TableMode::Single, TableMode::Sim],
+        actual_errors: 0,
+        expected_reported: vec![Some(0), Some(0), Some(0)],
+    }
+}
+
 /// `JDBCExample`: the extended running example — seven overlapping
 /// connections, one of which contains the Fig. 1 defect (a ResultSet used
 /// after being implicitly closed by a second `executeQuery`).

@@ -132,11 +132,25 @@ pub enum Counter {
     /// Shared-store probes that found no entry and fell through to the
     /// transfer pipeline (the computed result is recorded for future jobs).
     SharedCacheMisses,
+    /// May-share heap components found by the flow-sensitive preanalysis
+    /// (a verification-wide figure stamped on every separation subproblem,
+    /// so it merges by `max`, not `+`).
+    PreanalysisComponents,
+    /// Subproblems pruned that the v1 baseline pre-pass (flow-insensitive
+    /// points-to) proved safe.
+    PreanalysisPrunedBaseline,
+    /// Subproblems pruned that the v2 flow-sensitive product analysis
+    /// proved safe (overlaps with the baseline count; a strictly-flow win
+    /// is `flow − baseline∩flow`).
+    PreanalysisPrunedFlow,
+    /// Structure-count upper bound predicted for the subproblem's may-share
+    /// component (sums across rows to the predicted cost of the family).
+    PreanalysisEstimatedStructures,
 }
 
 impl Counter {
     /// Every counter, in fixed reporting order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::InternHits,
         Counter::InternMisses,
         Counter::WorklistPushes,
@@ -153,6 +167,10 @@ impl Counter {
         Counter::TransferCacheEvictions,
         Counter::SharedCacheHits,
         Counter::SharedCacheMisses,
+        Counter::PreanalysisComponents,
+        Counter::PreanalysisPrunedBaseline,
+        Counter::PreanalysisPrunedFlow,
+        Counter::PreanalysisEstimatedStructures,
     ];
 
     /// Stable snake_case label used in traces and JSON output.
@@ -174,13 +192,20 @@ impl Counter {
             Counter::TransferCacheEvictions => "transfer_cache_evictions",
             Counter::SharedCacheHits => "shared_cache_hits",
             Counter::SharedCacheMisses => "shared_cache_misses",
+            Counter::PreanalysisComponents => "preanalysis_components",
+            Counter::PreanalysisPrunedBaseline => "preanalysis_pruned_baseline",
+            Counter::PreanalysisPrunedFlow => "preanalysis_pruned_flow",
+            Counter::PreanalysisEstimatedStructures => "preanalysis_estimated_structures",
         }
     }
 
     /// Whether merging two runs' values takes the maximum instead of the
     /// sum (true for high-water marks like the worklist depth).
     pub fn merges_by_max(self) -> bool {
-        matches!(self, Counter::WorklistPeakDepth)
+        matches!(
+            self,
+            Counter::WorklistPeakDepth | Counter::PreanalysisComponents
+        )
     }
 
     fn index(self) -> usize {
@@ -201,6 +226,10 @@ impl Counter {
             Counter::TransferCacheEvictions => 13,
             Counter::SharedCacheHits => 14,
             Counter::SharedCacheMisses => 15,
+            Counter::PreanalysisComponents => 16,
+            Counter::PreanalysisPrunedBaseline => 17,
+            Counter::PreanalysisPrunedFlow => 18,
+            Counter::PreanalysisEstimatedStructures => 19,
         }
     }
 }

@@ -43,6 +43,26 @@ fn fixed_events() -> Vec<Event> {
             counter: Counter::TransferCacheEvictions,
             value: 0,
         },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::PreanalysisComponents,
+            value: 2,
+        },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::PreanalysisPrunedBaseline,
+            value: 1,
+        },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::PreanalysisPrunedFlow,
+            value: 3,
+        },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::PreanalysisEstimatedStructures,
+            value: 96,
+        },
         Event::LocationStructures {
             index: 0,
             location: 5,
