@@ -76,7 +76,7 @@ fn main() {
     );
     println!("{}", "-".repeat(101));
     let mut config = table3_config();
-    config.parallel = ParallelConfig { threads };
+    config.parallel = ParallelConfig { threads, intra_threads: 0 };
     config.phase_timings = metrics;
     if no_preanalysis {
         config.preanalysis = false;

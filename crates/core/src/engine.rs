@@ -33,10 +33,11 @@ use hetsep_tvl::coerce::CoercePlan;
 use hetsep_tvl::focus::DEFAULT_FOCUS_LIMIT;
 use hetsep_tvl::intern::{StructureId, StructureInterner};
 use hetsep_tvl::kleene::Kleene;
-use hetsep_tvl::pred::Arity;
+use hetsep_tvl::pred::{Arity, PredTable};
 use hetsep_tvl::structure::Structure;
 use hetsep_tvl::telemetry::{Counter, Phase, RunMetrics};
 
+use crate::parallel::map_ordered;
 use crate::report::{dedup_reports, ErrorReport};
 use crate::translate::AnalysisInstance;
 use crate::vocab::SiteId;
@@ -59,15 +60,24 @@ pub enum StructureMerge {
     RelevantIso,
 }
 
-/// Parallel-scheduling knobs for the mode-level drivers (see
-/// [`crate::modes::verify`]). The engine itself is single-threaded; these
-/// settings control how many independent subproblems run concurrently.
+/// Parallel-scheduling knobs. `threads` controls how many independent
+/// subproblems the mode-level drivers (see [`crate::modes::verify`]) run
+/// concurrently; `intra_threads` controls the worker pool *inside* one
+/// engine run, which fans the transfer pipeline out over same-priority
+/// worklist batches (results are byte-identical whatever the count — see
+/// [`run_shared`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParallelConfig {
     /// Worker threads for per-site subproblem scheduling. `0` means auto:
     /// the `HETSEP_THREADS` environment variable if set to a positive
     /// integer, else the machine's available parallelism, else 1.
     pub threads: usize,
+    /// Worker threads for intra-subproblem transfer fan-out. `0` means
+    /// auto: the `HETSEP_INTRA_THREADS` environment variable if set to a
+    /// positive integer, else 1 (off — the engine stays single-threaded by
+    /// default, since the mode drivers already saturate cores with
+    /// subproblem-level parallelism).
+    pub intra_threads: usize,
 }
 
 impl ParallelConfig {
@@ -76,17 +86,33 @@ impl ParallelConfig {
         if self.threads > 0 {
             return self.threads;
         }
-        if let Some(n) = std::env::var("HETSEP_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
+        if let Some(n) = env_threads("HETSEP_THREADS") {
             return n;
         }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     }
+
+    /// Resolves the intra-subproblem worker count. Unlike
+    /// [`ParallelConfig::effective_threads`] the auto default is 1, not the
+    /// machine width: intra-run fan-out only pays off when subproblem-level
+    /// parallelism leaves cores idle, so it is strictly opt-in (explicit
+    /// config or `HETSEP_INTRA_THREADS`).
+    pub fn effective_intra_threads(&self) -> usize {
+        if self.intra_threads > 0 {
+            return self.intra_threads;
+        }
+        env_threads("HETSEP_INTRA_THREADS").unwrap_or(1)
+    }
+}
+
+/// Parses a positive thread count from an environment variable.
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// Engine tuning knobs.
@@ -129,11 +155,21 @@ pub struct EngineConfig {
     /// threads). On by default; disable via
     /// [`crate::Verifier::with_transfer_cache`] or `--no-transfer-cache`.
     pub transfer_cache: bool,
-    /// Entry budget for the transfer cache; exceeding it clears the whole
-    /// cache (counted in [`Counter::TransferCacheEvictions`]). Bulk clearing
-    /// is sound (the cache is exact, so losing entries only costs time) and
-    /// keeps the hit path free of bookkeeping.
+    /// Entry budget for the transfer cache. The cache holds two generations
+    /// of at most `capacity / 2` entries each; when the young generation
+    /// fills, the old generation is discarded (counted in
+    /// [`Counter::TransferCacheEvictions`]) and the young one ages into its
+    /// place. Probes that hit the old generation promote the entry back into
+    /// the young one, so the warm working set survives rotation — unlike the
+    /// previous flush-all policy, which dumped every entry exactly when the
+    /// cache was most valuable. Eviction is sound either way (the cache is
+    /// exact, so losing entries only costs time).
     pub transfer_cache_capacity: usize,
+    /// Revert to the pre-two-generation flush-all eviction policy (clear the
+    /// entire cache when `transfer_cache_capacity` is reached). Kept as an
+    /// A/B baseline so tests can prove the two-generation policy evicts
+    /// strictly less at identical verdicts; never faster, off by default.
+    pub transfer_cache_flush_all: bool,
 }
 
 impl Default for EngineConfig {
@@ -148,6 +184,7 @@ impl Default for EngineConfig {
             preanalysis: false,
             transfer_cache: true,
             transfer_cache_capacity: 1 << 20,
+            transfer_cache_flush_all: false,
         }
     }
 }
@@ -239,6 +276,140 @@ struct TransferEntry {
     /// Largest universe size among the (unblurred) post-structures, so
     /// `peak_nodes` accounting stays exact on hits.
     peak_post_nodes: usize,
+}
+
+/// Key of one memoized transfer application: (content-deduped action id,
+/// interned pre-structure id).
+type TransferKey = (u32, StructureId);
+
+/// The per-run transfer cache with generational eviction.
+///
+/// Entries live in a *young* and an *old* generation of at most `cap`
+/// entries each (`cap` = half the configured capacity). Inserts go into the
+/// young generation; when it fills, the old generation is discarded — its
+/// entry count feeds [`Counter::TransferCacheEvictions`] — and young becomes
+/// old. A probe that hits the old generation promotes the entry back into
+/// the young one, so anything re-referenced within one generation's worth of
+/// inserts is never evicted: the warm working set survives rotation instead
+/// of being dumped wholesale. The optional `flush_all` mode reproduces the
+/// historical clear-everything policy as an A/B baseline.
+struct TransferCache {
+    /// Entry budget per generation (flush-all: for the whole cache).
+    cap: usize,
+    /// Use the historical flush-all policy instead of two generations.
+    flush_all: bool,
+    /// The young generation: receives inserts and promotions.
+    young: HashMap<TransferKey, TransferEntry>,
+    /// The old generation: read-only until discarded by the next rotation.
+    old: HashMap<TransferKey, TransferEntry>,
+}
+
+impl TransferCache {
+    fn new(capacity: usize, flush_all: bool) -> TransferCache {
+        let cap = if flush_all {
+            capacity.max(1)
+        } else {
+            (capacity / 2).max(1)
+        };
+        TransferCache {
+            cap,
+            flush_all,
+            young: HashMap::new(),
+            old: HashMap::new(),
+        }
+    }
+
+    /// Read-only membership probe (no promotion) — used by the speculative
+    /// classification pass, which must not perturb eviction order.
+    fn contains(&self, key: &TransferKey) -> bool {
+        self.young.contains_key(key) || self.old.contains_key(key)
+    }
+
+    /// Probes the cache; an old-generation hit is promoted into the young
+    /// generation (rotating first if it is full).
+    fn get(&mut self, key: &TransferKey, metrics: &mut RunMetrics) -> Option<&TransferEntry> {
+        if self.young.contains_key(key) {
+            return self.young.get(key);
+        }
+        let entry = self.old.remove(key)?;
+        self.rotate_if_full(metrics);
+        Some(self.young.entry(*key).or_insert(entry))
+    }
+
+    /// Inserts a freshly computed entry, evicting first if the receiving
+    /// generation is full.
+    fn insert(&mut self, key: TransferKey, entry: TransferEntry, metrics: &mut RunMetrics) {
+        self.rotate_if_full(metrics);
+        self.young.insert(key, entry);
+    }
+
+    /// Evicts when the young generation is at capacity: flush-all clears
+    /// everything; two-generation discards only the old generation and ages
+    /// the young one. Either way [`Counter::TransferCacheEvictions`] counts
+    /// the entries actually discarded.
+    fn rotate_if_full(&mut self, metrics: &mut RunMetrics) {
+        if self.young.len() < self.cap {
+            return;
+        }
+        if self.flush_all {
+            metrics
+                .counters
+                .add(Counter::TransferCacheEvictions, self.young.len() as u64);
+            self.young.clear();
+        } else {
+            metrics
+                .counters
+                .add(Counter::TransferCacheEvictions, self.old.len() as u64);
+            self.old = std::mem::take(&mut self.young);
+        }
+    }
+}
+
+/// One precomputed transfer application, produced by the intra-subproblem
+/// fan-out (phase 2 of the batched worklist loop): blurred canonical posts —
+/// *not* yet interned, id assignment stays serial — converted violations,
+/// the peak unblurred post universe, and the metrics of exactly the work
+/// done, merged into the run's metrics only if the result is consumed.
+struct ComputedTransfer {
+    posts: Vec<Structure>,
+    violations: Vec<(String, bool)>,
+    peak_post_nodes: usize,
+    metrics: RunMetrics,
+}
+
+/// Minimum predicted-miss count for which a batch fans its transfers out
+/// over the intra-subproblem worker pool: below this, thread-scope setup
+/// costs more than the pipeline work it would parallelize.
+const INTRA_FANOUT_MIN: usize = 4;
+
+/// The transfer pipeline of one action application: focus → coerce → update
+/// (inside [`apply_planned`]) plus canonical abstraction of every
+/// post-structure. Pure in `(action, s)` given the fixed table/plan/limit —
+/// the worklist loop and the speculative fan-out both funnel through this
+/// function, so a precomputed result is bit-for-bit what the inline path
+/// would have produced. Returns blurred posts in emission order, `(label,
+/// definite?)` violation pairs, and the largest unblurred post universe.
+fn compute_transfer(
+    action: &hetsep_tvl::action::Action,
+    s: &Structure,
+    table: &PredTable,
+    plan: &CoercePlan,
+    focus_limit: usize,
+    metrics: &mut RunMetrics,
+) -> (Vec<Structure>, Vec<(String, bool)>, usize) {
+    let out = apply_planned(action, s, table, plan, focus_limit, metrics);
+    let violations = out
+        .violations
+        .iter()
+        .map(|v| (v.label.clone(), v.value == Kleene::False))
+        .collect();
+    let mut peak_post_nodes = 0usize;
+    let mut posts = Vec::with_capacity(out.results.len());
+    for post in out.results {
+        peak_post_nodes = peak_post_nodes.max(post.node_count());
+        posts.push(metrics.time(Phase::Canon, || blur(&post, table)));
+    }
+    (posts, violations, peak_post_nodes)
 }
 
 /// Computes the merge key of the (already interned) structure `id`.
@@ -406,7 +577,10 @@ pub fn run_shared(
             .collect();
         action_ids.push(ids);
     }
-    let mut cache: HashMap<(u32, StructureId), TransferEntry> = HashMap::new();
+    let mut cache = TransferCache::new(
+        config.transfer_cache_capacity,
+        config.transfer_cache_flush_all,
+    );
     // The shared layer sits strictly behind the per-run cache: it is only
     // consulted (and populated) when that cache misses, so the added cost is
     // bounded by one content probe per distinct (action, pre-structure) pair
@@ -415,16 +589,173 @@ pub fn run_shared(
         .filter(|_| config.transfer_cache)
         .map(|s| s.run_scope(table, config.focus_limit, &uniq_actions));
 
-    'outer: while let Some(Reverse((_, _, node, sid))) = worklist.pop() {
-        // Poll the cross-run flag at the top of every visit, not only every
-        // `CANCEL_CHECK_INTERVAL` applications: a single expensive
+    let intra_workers = config.parallel.effective_intra_threads();
+    // Fallback cancellation flag for the intra-batch fan-out when the caller
+    // supplied none (`map_ordered` always polls a flag).
+    let local_cancel = AtomicBool::new(false);
+    // Memoized speculative transfers keyed by (action, pre-structure).
+    // Results computed by the phase-2 fan-out wait here until phase 3
+    // commits their application; because the key is the full input of a pure
+    // function, entries stay valid across batch requeues and are removed —
+    // consumed or discarded — exactly when their application commits.
+    let mut speculative: HashMap<TransferKey, ComputedTransfer> = HashMap::new();
+
+    // Each iteration drains one *batch*: every queued entry of the
+    // highest-priority (rank, node) pair. Entries of one node sit
+    // contiguously at the top of the heap — reachable nodes have unique
+    // ranks, and among unreachable nodes (which share the sentinel rank)
+    // draining stops at the first entry for a different node. Entries keep
+    // their insertion sequence: a back-edge push from an earlier batch
+    // member can outrank the remaining members, in which case phase 3
+    // requeues them (original sequence and all) so the commit order replays
+    // the serial pop order exactly.
+    'outer: while let Some(&Reverse((rank, _, node, _))) = worklist.peek() {
+        let mut batch: Vec<(u64, StructureId)> = Vec::new();
+        while let Some(&Reverse((r, s, n, sid))) = worklist.peek() {
+            if r != rank || n != node {
+                break;
+            }
+            worklist.pop();
+            batch.push((s, sid));
+        }
+        // Exploitable-width telemetry, counted from the drained batch size
+        // *before* any worker configuration is consulted: the values — and
+        // with them every emitted trace — are identical whatever
+        // `intra_threads` is set to.
+        if batch.len() >= 2 {
+            metrics.counters.add(Counter::IntraBatches, 1);
+            metrics
+                .counters
+                .add(Counter::IntraBatchItems, batch.len() as u64);
+        }
+        // Poll the cross-run flag at the top of every batch (the batched
+        // equivalent of the former per-visit top poll): a single expensive
         // focus/coerce expansion must not delay a budget-triggered cancel by
-        // a full visit.
+        // a whole batch. Further polls run every `CANCEL_CHECK_INTERVAL`
+        // applications below.
         if let Some(flag) = cancel {
             if flag.load(Ordering::Relaxed) {
                 outcome = AnalysisOutcome::BudgetExceeded;
                 metrics.counters.add(Counter::Cancelled, 1);
                 break 'outer;
+            }
+        }
+
+        // Phase 1 (speculative, strictly read-only): predict which
+        // applications of this batch miss every cache and will therefore
+        // compute the transfer pipeline. Probes must not perturb observable
+        // state — `TransferCache::contains` skips promotion, the shared
+        // scope is a snapshot — and keys already claimed by an earlier
+        // application of this batch are tracked in `pending` (the first
+        // application inserts the entry the later ones will hit).
+        // Enumeration stops at the visit budget: the loop below breaks
+        // there, so later applications must not be precomputed.
+        //
+        // Phase 2: fan the predicted misses over the worker pool
+        // (`map_ordered`, input-order results) and stash the results in the
+        // `speculative` memo. The transfer is a pure function of the
+        // (action, interned pre-structure) key, so memoized results stay
+        // valid across batch requeues — a member pushed back by a
+        // higher-priority back-edge entry reclaims its precompute when it is
+        // drained again instead of recomputing. Mispredictions and
+        // cancelled-before-start slots fall back to inline computation in
+        // phase 3 — speculation can only waste work, never change a result,
+        // because both sides run `compute_transfer` on identical inputs and
+        // the metrics of unconsumed results are discarded.
+        // Cheap width precheck: a batch that cannot reach the fan-out
+        // threshold even if every application misses skips classification
+        // outright — small batches must not pay probe or clone overhead.
+        let apps_per_structure: usize = cfg
+            .out_edges(node)
+            .iter()
+            .map(|&e| instance.actions[e].len())
+            .sum();
+        if intra_workers > 1
+            && live_structures <= config.max_structures
+            && batch.len() * apps_per_structure >= INTRA_FANOUT_MIN
+        {
+            // (action, action id, pre-structure id) of every predicted miss.
+            // Structures are cloned only after the threshold check below —
+            // classification itself never allocates per application.
+            let mut job_metas: Vec<(&hetsep_tvl::action::Action, TransferKey)> = Vec::new();
+            let mut pending: HashSet<TransferKey> = HashSet::new();
+            let mut spec_visits = visits;
+            'classify: for &(_, sid) in &batch {
+                let mut words: Option<Vec<u64>> = None;
+                for &edge_ix in cfg.out_edges(node) {
+                    for (action_ix, action) in instance.actions[edge_ix].iter().enumerate() {
+                        spec_visits += 1;
+                        if spec_visits > config.max_visits {
+                            break 'classify;
+                        }
+                        let key = (action_ids[edge_ix][action_ix], sid);
+                        let predicted_hit = speculative.contains_key(&key)
+                            || pending.contains(&key)
+                            || (config.transfer_cache
+                                && (cache.contains(&key)
+                                    || shared_scope.as_ref().is_some_and(|scope| {
+                                        let w = words.get_or_insert_with(|| {
+                                            interner.resolve(sid).to_words()
+                                        });
+                                        scope.contains(key.0, w)
+                                    })));
+                        if !predicted_hit {
+                            pending.insert(key);
+                            job_metas.push((action, key));
+                        }
+                    }
+                }
+            }
+            if job_metas.len() >= INTRA_FANOUT_MIN {
+                let jobs: Vec<(&hetsep_tvl::action::Action, Structure)> = job_metas
+                    .iter()
+                    .map(|&(action, (_, sid))| (action, interner.resolve(sid).clone()))
+                    .collect();
+                let flag = cancel.unwrap_or(&local_cancel);
+                let timed = config.phase_timings;
+                let computed = map_ordered(&jobs, intra_workers, flag, |_, job, _| {
+                    let mut local = RunMetrics::new(timed);
+                    let (posts, violations, peak_post_nodes) = compute_transfer(
+                        job.0,
+                        &job.1,
+                        table,
+                        &plan,
+                        config.focus_limit,
+                        &mut local,
+                    );
+                    ComputedTransfer {
+                        posts,
+                        violations,
+                        peak_post_nodes,
+                        metrics: local,
+                    }
+                });
+                for ((_, key), result) in job_metas.into_iter().zip(computed) {
+                    if let Some(c) = result {
+                        speculative.insert(key, c);
+                    }
+                }
+            }
+        }
+
+        // Phase 3: the serial worklist body, application by application in
+        // the exact pre-batching order — every counter bump, budget check,
+        // cache probe and downstream merge/push runs here, on one thread.
+        for (batch_ix, &(entry_seq, sid)) in batch.iter().enumerate() {
+        // A back-edge push from an earlier member of this batch can carry a
+        // higher priority than the remaining members; serial processing
+        // would pop it first. Requeue the rest of the batch with their
+        // original sequence numbers — restoring the exact heap state — and
+        // drain again. Precomputed transfers for requeued members stay in
+        // the `speculative` memo and are reclaimed on the next drain.
+        if batch_ix > 0 {
+            if let Some(&Reverse((r, sq, _, _))) = worklist.peek() {
+                if (r, sq) < (rank, entry_seq) {
+                    for &(q, d) in &batch[batch_ix..] {
+                        worklist.push(Reverse((rank, q, node, d)));
+                    }
+                    continue 'outer;
+                }
             }
         }
         let s = interner.resolve(sid).clone();
@@ -456,13 +787,18 @@ pub fn run_shared(
                 // state-set insertion, worklist pushes, structure counting)
                 // runs on the shared path below either way.
                 let cache_key = (action_ids[edge_ix][action_ix], sid);
+                // Claim any precomputed transfer for this application up
+                // front: if the caches hit after all (a misprediction), the
+                // speculative result is simply dropped, exactly like the
+                // inline computation it replaced would never have run.
+                let precomp = speculative.remove(&cache_key);
                 let mut replay: Option<Vec<StructureId>> = None;
                 // Encoded pre-structure of a shared-store probe that missed,
                 // kept so the compute path records the result without
                 // re-encoding.
                 let mut shared_input: Option<Vec<u64>> = None;
                 if config.transfer_cache {
-                    if let Some(entry) = cache.get(&cache_key) {
+                    if let Some(entry) = cache.get(&cache_key, &mut metrics) {
                         metrics.counters.add(Counter::TransferCacheHits, 1);
                         if !entry.violations.is_empty() {
                             for (label, definite) in &entry.violations {
@@ -499,12 +835,6 @@ pub fn run_shared(
                             // them replays the cold run's id assignment.
                             let posts: Vec<StructureId> =
                                 hit.posts.into_iter().map(|p| interner.intern(p)).collect();
-                            if cache.len() >= config.transfer_cache_capacity {
-                                metrics
-                                    .counters
-                                    .add(Counter::TransferCacheEvictions, cache.len() as u64);
-                                cache.clear();
-                            }
                             cache.insert(
                                 cache_key,
                                 TransferEntry {
@@ -512,6 +842,7 @@ pub fn run_shared(
                                     violations: hit.violations,
                                     peak_post_nodes: hit.peak_post_nodes,
                                 },
+                                &mut metrics,
                             );
                             replay = Some(posts);
                         } else {
@@ -526,28 +857,38 @@ pub fn run_shared(
                         if config.transfer_cache {
                             metrics.counters.add(Counter::TransferCacheMisses, 1);
                         }
-                        let out =
-                            apply_planned(action, &s, table, &plan, config.focus_limit, &mut metrics);
-                        if !out.violations.is_empty() {
-                            for v in &out.violations {
-                                let definite = v.value == hetsep_tvl::Kleene::False;
+                        // Consume the precomputed transfer if phase 2
+                        // produced one for this application; otherwise
+                        // (speculation off, below the fan-out threshold,
+                        // cancelled before start) compute inline. Both sides
+                        // are `compute_transfer` on identical inputs, so the
+                        // merged-in metrics and the results are
+                        // byte-identical either way.
+                        let (blurred, violations, peak_post_nodes) = match precomp {
+                            Some(c) => {
+                                metrics.merge(&c.metrics);
+                                (c.posts, c.violations, c.peak_post_nodes)
+                            }
+                            None => compute_transfer(
+                                action,
+                                &s,
+                                table,
+                                &plan,
+                                config.focus_limit,
+                                &mut metrics,
+                            ),
+                        };
+                        if !violations.is_empty() {
+                            for (label, definite) in &violations {
                                 errors
-                                    .entry((edge.line, v.label.clone()))
-                                    .and_modify(|d| *d |= definite)
-                                    .or_insert(definite);
+                                    .entry((edge.line, label.clone()))
+                                    .and_modify(|d| *d |= *definite)
+                                    .or_insert(*definite);
                             }
                             collect_failing_sites(instance, &s, &mut failing_sites);
                         }
-                        let violations: Vec<(String, bool)> = out
-                            .violations
-                            .iter()
-                            .map(|v| (v.label.clone(), v.value == hetsep_tvl::Kleene::False))
-                            .collect();
-                        let mut peak_post_nodes = 0usize;
-                        let mut posts = Vec::with_capacity(out.results.len());
-                        for post in out.results {
-                            peak_post_nodes = peak_post_nodes.max(post.node_count());
-                            let keyed = metrics.time(Phase::Canon, || blur(&post, table));
+                        let mut posts = Vec::with_capacity(blurred.len());
+                        for keyed in blurred {
                             posts.push(interner.intern(keyed));
                         }
                         peak_nodes = peak_nodes.max(peak_post_nodes);
@@ -567,12 +908,6 @@ pub fn run_shared(
                             );
                         }
                         if config.transfer_cache {
-                            if cache.len() >= config.transfer_cache_capacity {
-                                metrics
-                                    .counters
-                                    .add(Counter::TransferCacheEvictions, cache.len() as u64);
-                                cache.clear();
-                            }
                             cache.insert(
                                 cache_key,
                                 TransferEntry {
@@ -580,6 +915,7 @@ pub fn run_shared(
                                     violations,
                                     peak_post_nodes,
                                 },
+                                &mut metrics,
                             );
                         }
                         posts
@@ -634,6 +970,7 @@ pub fn run_shared(
                     }
                 }
             }
+        }
         }
     }
 

@@ -507,6 +507,18 @@ impl RunScope<'_> {
         })
     }
 
+    /// Membership-only probe: whether [`RunScope::probe`] would find an
+    /// entry for `(action, input)`, without decoding the posts. Used by the
+    /// engine's speculative batch classification, where a cheap prediction
+    /// is enough (a decode failure downgrades the later full probe to a
+    /// miss, which the engine handles by computing inline).
+    pub fn contains(&self, action: u32, input_words: &[u64]) -> bool {
+        let ActionSlot::Warm(gid) = self.slots[action as usize] else {
+            return false;
+        };
+        self.session.snapshot.lookup(gid, input_words).is_some()
+    }
+
     /// Records a computed transfer for future jobs. `action` is the
     /// run-local content id (also its index in the delta's action list).
     pub fn record(

@@ -122,6 +122,23 @@ pub fn run_serve(o: &Options) -> Result<(), String> {
     save_cache(o, &session)
 }
 
+/// Removes the daemon's socket file when dropped, so *every* exit path of
+/// [`serve_socket`] — clean shutdown, transport errors bubbling out of the
+/// accept loop through `?`, panics — unbinds the filesystem name. Without
+/// this, an error return leaked a stale socket file that a later daemon
+/// start had to clobber manually.
+#[cfg(unix)]
+struct SocketFileGuard {
+    path: std::path::PathBuf,
+}
+
+#[cfg(unix)]
+impl Drop for SocketFileGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Serves connections sequentially on a unix socket until a client sends
 /// `shutdown`. The workspace (and its warm transfer store) persists across
 /// connections — a client can reconnect and replay from earlier work.
@@ -131,9 +148,24 @@ fn serve_socket(path: &str, session: &mut Session, quiet: bool) -> Result<(), St
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path).map_err(|e| format!("{path}: {e}"))?;
+    // From here on the socket file exists; the guard removes it however the
+    // accept loop exits.
+    let _guard = SocketFileGuard { path: path.into() };
     if !quiet {
         eprintln!("serving on {path}");
     }
+    serve_accept_loop(&listener, path, session)
+}
+
+/// The accept loop of [`serve_socket`], separated from socket-file lifetime
+/// management: any transport error propagates as `Err` and the caller's
+/// [`SocketFileGuard`] still cleans up.
+#[cfg(unix)]
+fn serve_accept_loop(
+    listener: &std::os::unix::net::UnixListener,
+    path: &str,
+    session: &mut Session,
+) -> Result<(), String> {
     for stream in listener.incoming() {
         let stream = stream.map_err(|e| format!("{path}: {e}"))?;
         let reader = io::BufReader::new(
@@ -145,7 +177,6 @@ fn serve_socket(path: &str, session: &mut Session, quiet: bool) -> Result<(), St
             break;
         }
     }
-    let _ = std::fs::remove_file(path);
     Ok(())
 }
 
@@ -199,6 +230,95 @@ mod tests {
         assert!(lines[0].contains("\"op\":\"load_program\""), "{}", lines[0]);
         assert!(lines[1].contains("\"verdict\":\"verified\""), "{}", lines[1]);
         assert!(lines[2].contains("\"op\":\"shutdown\""), "{}", lines[2]);
+    }
+
+    /// An accept error must not leak the socket file: the RAII guard removes
+    /// it on the error path, so a post-error daemon restart can bind the
+    /// same path without clobbering anything.
+    #[cfg(unix)]
+    #[test]
+    fn accept_error_still_removes_socket_file() {
+        use std::os::unix::net::UnixListener;
+        let dir = std::env::temp_dir().join(format!(
+            "hetsep-serve-err-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("daemon.sock");
+        let path_str = path.to_str().unwrap().to_owned();
+
+        let listener = UnixListener::bind(&path).unwrap();
+        let guard = SocketFileGuard { path: path.clone() };
+        // A non-blocking listener makes `accept` fail deterministically with
+        // `WouldBlock` — the same `?` path any transport error takes.
+        listener.set_nonblocking(true).unwrap();
+        let mut session = Session::new();
+        let err = serve_accept_loop(&listener, &path_str, &mut session);
+        assert!(err.is_err(), "WouldBlock must surface as a transport error");
+        assert!(path.exists(), "file still bound while the guard lives");
+        drop(guard);
+        assert!(!path.exists(), "guard must remove the socket file");
+
+        // The restart contract: after the failed run, a plain bind on the
+        // same path succeeds with no stale file in the way.
+        let relisten = UnixListener::bind(&path);
+        assert!(relisten.is_ok(), "post-error restart must bind: {relisten:?}");
+        drop(relisten);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    /// End-to-end over a real unix socket: a client session ending in
+    /// `shutdown` terminates `serve_socket`, and the socket file is gone
+    /// afterwards (clean path through the same guard).
+    #[cfg(unix)]
+    #[test]
+    fn socket_clean_shutdown_removes_socket_file() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+        let dir = std::env::temp_dir().join(format!(
+            "hetsep-serve-ok-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("daemon.sock");
+        let path_str = path.to_str().unwrap().to_owned();
+
+        let server = std::thread::spawn({
+            let path_str = path_str.clone();
+            move || {
+                let mut session = Session::new();
+                serve_socket(&path_str, &mut session, true)
+            }
+        });
+        // Wait for the daemon to bind, then drive one request/response pair.
+        let mut stream = None;
+        for _ in 0..200 {
+            match UnixStream::connect(&path) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        }
+        let stream = stream.expect("daemon never bound its socket");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        (&stream)
+            .write_all(hetsep_ir::Request::Shutdown.to_json().as_bytes())
+            .unwrap();
+        (&stream).write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"op\":\"shutdown\""), "{line}");
+        server.join().unwrap().unwrap();
+        assert!(
+            !path.exists(),
+            "clean shutdown must remove the socket file"
+        );
+        let _ = std::fs::remove_dir(&dir);
     }
 
     /// Malformed input is answered in-band, not treated as a transport

@@ -316,7 +316,7 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig, store: &mut TransferStore) 
     // One engine thread per job: the outer pool is the parallelism, and a
     // fixed inner thread count keeps per-job results and delta order
     // independent of the outer schedule.
-    engine.parallel = ParallelConfig { threads: 1 };
+    engine.parallel = ParallelConfig { threads: 1, intra_threads: 1 };
 
     let snapshot = std::mem::take(store);
     let start = Instant::now();

@@ -170,6 +170,398 @@ pub fn for_each_set(words: &[u64], mut f: impl FnMut(usize)) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wide-lane block kernels.
+//
+// The per-word primitives above process 64 lanes per operation; the kernels
+// below process whole *rows* (multi-word slices) in manually unrolled
+// 4×`u64` blocks — 256 lanes per loop iteration — with a scalar remainder
+// loop for the last `len % 4` words. Unrolling gives the optimizer four
+// independent dependency chains per iteration, which is what lets it keep
+// the ALU ports (or, with the `simd` feature on an AVX2 host, the 256-bit
+// vector units) busy. Semantics are defined by the per-word identities: each
+// block kernel must be lane-for-lane equal to mapping its `*_word` primitive
+// over the row, which the property tests in `tests/properties.rs` check
+// exhaustively for every operand pair in every lane, on both the unrolled
+// and the SIMD paths.
+
+/// Words per unrolled block (4 × 64 = 256 lanes per iteration).
+pub const BLOCK_WORDS: usize = 4;
+
+/// Minimum row length (words) for the AVX2 dispatch. Below this the
+/// per-call feature probe and the non-inlinable `#[target_feature]` call
+/// cost more than the vector ops save, so short rows always take the
+/// unrolled path.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+const SIMD_MIN_WORDS: usize = 2 * BLOCK_WORDS;
+
+/// Bitwise OR of `src` into `dst` (the Warshall closure inner union), block
+/// at a time.
+#[inline]
+pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if dst.len() >= SIMD_MIN_WORDS && is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 availability checked at runtime.
+        unsafe { simd::or_into_avx2(dst, src) };
+        return;
+    }
+    let mut d = dst.chunks_exact_mut(BLOCK_WORDS);
+    let mut s = src.chunks_exact(BLOCK_WORDS);
+    for (db, sb) in d.by_ref().zip(s.by_ref()) {
+        db[0] |= sb[0];
+        db[1] |= sb[1];
+        db[2] |= sb[2];
+        db[3] |= sb[3];
+    }
+    for (dw, &sw) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dw |= sw;
+    }
+}
+
+/// Asserts the five-slice row-kernel length contract.
+#[inline]
+fn check_rows(t1: &[u64], h1: &[u64], t2: &[u64], h2: &[u64], to: &[u64], ho: &[u64]) {
+    let len = to.len();
+    assert!(
+        t1.len() == len
+            && h1.len() == len
+            && t2.len() == len
+            && h2.len() == len
+            && ho.len() == len,
+        "row kernels require equal-length plane slices"
+    );
+}
+
+macro_rules! binary_row_kernel {
+    ($(#[$doc:meta])* $name:ident, $word:ident, $avx2:ident) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(
+            t1: &[u64],
+            h1: &[u64],
+            t2: &[u64],
+            h2: &[u64],
+            to: &mut [u64],
+            ho: &mut [u64],
+        ) {
+            check_rows(t1, h1, t2, h2, to, ho);
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if to.len() >= SIMD_MIN_WORDS && is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 availability checked at runtime.
+                unsafe { simd::$avx2(t1, h1, t2, h2, to, ho) };
+                return;
+            }
+            let mut tob = to.chunks_exact_mut(BLOCK_WORDS);
+            let mut hob = ho.chunks_exact_mut(BLOCK_WORDS);
+            let mut t1b = t1.chunks_exact(BLOCK_WORDS);
+            let mut h1b = h1.chunks_exact(BLOCK_WORDS);
+            let mut t2b = t2.chunks_exact(BLOCK_WORDS);
+            let mut h2b = h2.chunks_exact(BLOCK_WORDS);
+            for (tw, hw) in tob.by_ref().zip(hob.by_ref()) {
+                let (a, b, c, d) = (
+                    t1b.next().unwrap(),
+                    h1b.next().unwrap(),
+                    t2b.next().unwrap(),
+                    h2b.next().unwrap(),
+                );
+                for i in 0..BLOCK_WORDS {
+                    let (x, y) = $word(a[i], b[i], c[i], d[i]);
+                    tw[i] = x;
+                    hw[i] = y;
+                }
+            }
+            let (tr, hr) = (tob.into_remainder(), hob.into_remainder());
+            let (a, b, c, d) =
+                (t1b.remainder(), h1b.remainder(), t2b.remainder(), h2b.remainder());
+            for i in 0..tr.len() {
+                let (x, y) = $word(a[i], b[i], c[i], d[i]);
+                tr[i] = x;
+                hr[i] = y;
+            }
+        }
+    };
+}
+
+binary_row_kernel!(
+    /// Row-wide Kleene conjunction: [`and_word`] over every word of the row.
+    and_rows,
+    and_word,
+    and_rows_avx2
+);
+binary_row_kernel!(
+    /// Row-wide Kleene disjunction: [`or_word`] over every word of the row.
+    or_rows,
+    or_word,
+    or_rows_avx2
+);
+binary_row_kernel!(
+    /// Row-wide information-order join: [`join_word`] over every word.
+    join_rows,
+    join_word,
+    join_rows_avx2
+);
+
+/// Row-wide Kleene negation of an `n`-lane row ([`not_word`] per word, with
+/// the per-word valid mask keeping padding bits zero).
+#[inline]
+pub fn not_rows(t: &[u64], h: &[u64], n: usize, to: &mut [u64], ho: &mut [u64]) {
+    let len = to.len();
+    assert!(t.len() == len && h.len() == len && ho.len() == len);
+    let full = if len > 0 && tail_mask(n) == !0 { len } else { len.saturating_sub(1) };
+    {
+        let mut tob = to[..full].chunks_exact_mut(BLOCK_WORDS);
+        let mut hob = ho[..full].chunks_exact_mut(BLOCK_WORDS);
+        let mut tb = t[..full].chunks_exact(BLOCK_WORDS);
+        let mut hb = h[..full].chunks_exact(BLOCK_WORDS);
+        for (tw, hw) in tob.by_ref().zip(hob.by_ref()) {
+            let (a, b) = (tb.next().unwrap(), hb.next().unwrap());
+            for i in 0..BLOCK_WORDS {
+                let (x, y) = not_word(a[i], b[i], !0);
+                tw[i] = x;
+                hw[i] = y;
+            }
+        }
+        let (tr, hr) = (tob.into_remainder(), hob.into_remainder());
+        let (a, b) = (tb.remainder(), hb.remainder());
+        for i in 0..tr.len() {
+            let (x, y) = not_word(a[i], b[i], !0);
+            tr[i] = x;
+            hr[i] = y;
+        }
+    }
+    for w in full..len {
+        let (a, b) = not_word(t[w], h[w], word_mask(n, w));
+        to[w] = a;
+        ho[w] = b;
+    }
+}
+
+/// In-place information-order weakening `True → Unknown` of a whole row:
+/// `h |= t; t = 0` (the merge-conflict weakening), block at a time.
+#[inline]
+pub fn weaken_rows(t: &mut [u64], h: &mut [u64]) {
+    assert_eq!(t.len(), h.len());
+    let mut tb = t.chunks_exact_mut(BLOCK_WORDS);
+    let mut hb = h.chunks_exact_mut(BLOCK_WORDS);
+    for (tw, hw) in tb.by_ref().zip(hb.by_ref()) {
+        for i in 0..BLOCK_WORDS {
+            hw[i] |= tw[i];
+            tw[i] = 0;
+        }
+    }
+    for (tw, hw) in tb.into_remainder().iter_mut().zip(hb.into_remainder()) {
+        *hw |= *tw;
+        *tw = 0;
+    }
+}
+
+/// Whether any valid lane of an `n`-lane row is definitely `False`
+/// (`t = 0, h = 0`): the ∀-fold's counterexample probe.
+#[inline]
+pub fn any_false(t: &[u64], h: &[u64], n: usize) -> bool {
+    assert_eq!(t.len(), h.len());
+    let len = t.len();
+    // Padding lanes read as False but are not valid: exclude the tail word
+    // from the block sweep whenever it carries padding.
+    let full = if len > 0 && tail_mask(n) == !0 { len } else { len.saturating_sub(1) };
+    let mut tb = t[..full].chunks_exact(BLOCK_WORDS);
+    let mut hb = h[..full].chunks_exact(BLOCK_WORDS);
+    for (a, b) in tb.by_ref().zip(hb.by_ref()) {
+        let mut acc = 0;
+        for i in 0..BLOCK_WORDS {
+            acc |= !(a[i] | b[i]);
+        }
+        if acc != 0 {
+            return true;
+        }
+    }
+    for (&a, &b) in tb.remainder().iter().zip(hb.remainder()) {
+        if !(a | b) != 0 {
+            return true;
+        }
+    }
+    len > full && word_mask(n, len - 1) & !(t[len - 1] | h[len - 1]) != 0
+}
+
+/// Whether any valid lane of a whole plane slab (rows of `stride` words,
+/// `n` valid lanes per row) violates `a ⊑ b` — the embedding check
+/// [`le_info_violations`] applied block-wide.
+#[inline]
+pub fn le_info_any(ta: &[u64], ha: &[u64], tb: &[u64], hb: &[u64], n: usize, stride: usize) -> bool {
+    let len = ta.len();
+    assert!(ha.len() == len && tb.len() == len && hb.len() == len);
+    if stride == 0 || len == 0 {
+        return false;
+    }
+    debug_assert_eq!(len % stride, 0);
+    if tail_mask(n) == !0 {
+        // Every word fully valid: one unmasked sweep over the whole slab.
+        let mut tab = ta.chunks_exact(BLOCK_WORDS);
+        let mut hab = ha.chunks_exact(BLOCK_WORDS);
+        let mut tbb = tb.chunks_exact(BLOCK_WORDS);
+        let mut hbb = hb.chunks_exact(BLOCK_WORDS);
+        for (a, b) in tab.by_ref().zip(hab.by_ref()) {
+            let (c, d) = (tbb.next().unwrap(), hbb.next().unwrap());
+            let mut acc = 0;
+            for i in 0..BLOCK_WORDS {
+                acc |= le_info_violations(a[i], b[i], c[i], d[i], !0);
+            }
+            if acc != 0 {
+                return true;
+            }
+        }
+        let (a, b) = (tab.remainder(), hab.remainder());
+        let (c, d) = (tbb.remainder(), hbb.remainder());
+        for i in 0..a.len() {
+            if le_info_violations(a[i], b[i], c[i], d[i], !0) != 0 {
+                return true;
+            }
+        }
+        return false;
+    }
+    // Rows end in a padding tail: sweep each row's full words unmasked, then
+    // mask its final word. Padding bits are zero on both sides by the stride
+    // invariant, and (False ⊑ False) is never a violation, so the full-word
+    // sweep could even tolerate them — the mask keeps the contract explicit.
+    for row in 0..len / stride {
+        let base = row * stride;
+        for w in 0..stride - 1 {
+            if le_info_violations(ta[base + w], ha[base + w], tb[base + w], hb[base + w], !0) != 0
+            {
+                return true;
+            }
+        }
+        let w = base + stride - 1;
+        if le_info_violations(ta[w], ha[w], tb[w], hb[w], tail_mask(n)) != 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether any lane is possibly set (`≠ False`) in *both* plane pairs:
+/// `(t1|h1) & (t2|h2)` over the row, block at a time (the failing-site and
+/// overlap scans).
+#[inline]
+pub fn overlap_any(t1: &[u64], h1: &[u64], t2: &[u64], h2: &[u64]) -> bool {
+    let len = t1.len();
+    assert!(h1.len() == len && t2.len() == len && h2.len() == len);
+    let mut t1b = t1.chunks_exact(BLOCK_WORDS);
+    let mut h1b = h1.chunks_exact(BLOCK_WORDS);
+    let mut t2b = t2.chunks_exact(BLOCK_WORDS);
+    let mut h2b = h2.chunks_exact(BLOCK_WORDS);
+    for (a, b) in t1b.by_ref().zip(h1b.by_ref()) {
+        let (c, d) = (t2b.next().unwrap(), h2b.next().unwrap());
+        let mut acc = 0;
+        for i in 0..BLOCK_WORDS {
+            acc |= (a[i] | b[i]) & (c[i] | d[i]);
+        }
+        if acc != 0 {
+            return true;
+        }
+    }
+    let (a, b) = (t1b.remainder(), h1b.remainder());
+    let (c, d) = (t2b.remainder(), h2b.remainder());
+    for i in 0..a.len() {
+        if (a[i] | b[i]) & (c[i] | d[i]) != 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// AVX2 realizations of the row kernels (the `simd` feature on x86-64
+/// hosts). Each function is lane-for-lane identical to its unrolled
+/// counterpart — the property tests run on whichever path the host
+/// dispatches to, and CI runs them with the feature both on and off.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    use std::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_andnot_si256, _mm256_loadu_si256, _mm256_or_si256,
+        _mm256_storeu_si256, _mm256_xor_si256,
+    };
+
+    #[inline]
+    unsafe fn load(s: &[u64], w: usize) -> __m256i {
+        _mm256_loadu_si256(s.as_ptr().add(w) as *const __m256i)
+    }
+
+    #[inline]
+    unsafe fn store(s: &mut [u64], w: usize, v: __m256i) {
+        _mm256_storeu_si256(s.as_mut_ptr().add(w) as *mut __m256i, v)
+    }
+
+    macro_rules! avx2_binary_kernel {
+        ($name:ident, $word:ident, |$t1:ident, $h1:ident, $t2:ident, $h2:ident| ($te:expr, $he:expr)) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(
+                t1: &[u64],
+                h1: &[u64],
+                t2: &[u64],
+                h2: &[u64],
+                to: &mut [u64],
+                ho: &mut [u64],
+            ) {
+                let len = to.len();
+                let blocks = len - len % super::BLOCK_WORDS;
+                let mut w = 0;
+                while w < blocks {
+                    let $t1 = load(t1, w);
+                    let $h1 = load(h1, w);
+                    let $t2 = load(t2, w);
+                    let $h2 = load(h2, w);
+                    store(to, w, $te);
+                    store(ho, w, $he);
+                    w += super::BLOCK_WORDS;
+                }
+                while w < len {
+                    let (a, b) = super::$word(t1[w], h1[w], t2[w], h2[w]);
+                    to[w] = a;
+                    ho[w] = b;
+                    w += 1;
+                }
+            }
+        };
+    }
+
+    // t' = t1 & t2; h' = (t1|h1) & (t2|h2) & !t'
+    avx2_binary_kernel!(and_rows_avx2, and_word, |at, ah, bt, bh| (
+        _mm256_and_si256(at, bt),
+        _mm256_andnot_si256(
+            _mm256_and_si256(at, bt),
+            _mm256_and_si256(_mm256_or_si256(at, ah), _mm256_or_si256(bt, bh))
+        )
+    ));
+    // t' = t1 | t2; h' = (h1|h2) & !t'
+    avx2_binary_kernel!(or_rows_avx2, or_word, |at, ah, bt, bh| (
+        _mm256_or_si256(at, bt),
+        _mm256_andnot_si256(_mm256_or_si256(at, bt), _mm256_or_si256(ah, bh))
+    ));
+    // t' = t1 & t2; h' = (t1^t2) | h1 | h2
+    avx2_binary_kernel!(join_rows_avx2, join_word, |at, ah, bt, bh| (
+        _mm256_and_si256(at, bt),
+        _mm256_or_si256(_mm256_xor_si256(at, bt), _mm256_or_si256(ah, bh))
+    ));
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn or_into_avx2(dst: &mut [u64], src: &[u64]) {
+        let len = dst.len();
+        let blocks = len - len % super::BLOCK_WORDS;
+        let mut w = 0;
+        while w < blocks {
+            let d = load(dst, w);
+            let s = load(src, w);
+            store(dst, w, _mm256_or_si256(d, s));
+            w += super::BLOCK_WORDS;
+        }
+        while w < len {
+            dst[w] |= src[w];
+            w += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

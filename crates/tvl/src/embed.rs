@@ -139,9 +139,9 @@ fn consistent(conc: &Structure, abst: &Structure, table: &PredTable, map: &[Node
 /// degenerate embedding used to compare two views of the same universe.
 ///
 /// Word-parallel: both structures share the same plane geometry, so the
-/// pointwise `⊑` test is [`bits::le_info_violations`] over corresponding
-/// words — 64 individuals (or pairs) per comparison, short-circuiting on the
-/// first word with any violating lane.
+/// pointwise `⊑` test is [`bits::le_info_any`] over corresponding plane
+/// slabs — a wide-lane block of individuals (or pairs) per comparison,
+/// short-circuiting on the first block with any violating lane.
 pub fn le_pointwise(a: &Structure, b: &Structure, table: &PredTable) -> bool {
     let n = a.node_count();
     if n != b.node_count() {
@@ -155,12 +155,7 @@ pub fn le_pointwise(a: &Structure, b: &Structure, table: &PredTable) -> bool {
     }
     let stride = a.stride_words();
     let plane_le = |ta: &[u64], ha: &[u64], tb: &[u64], hb: &[u64]| {
-        ta.iter().zip(ha).zip(tb.iter().zip(hb)).enumerate().all(
-            |(w, ((&twa, &hwa), (&twb, &hwb)))| {
-                let valid = bits::word_mask(n, w % stride);
-                bits::le_info_violations(twa, hwa, twb, hwb, valid) == 0
-            },
-        )
+        !bits::le_info_any(ta, ha, tb, hb, n, stride)
     };
     let unary_ok = table.iter_arity(Arity::Unary).all(|p| {
         let slot = table.slot(p);

@@ -363,11 +363,7 @@ fn quantifier_fold(
 fn fold_planes(t: &[u64], h: &[u64], n: usize, negated: bool, q: Quant) -> Kleene {
     let has_t = bits::any_set(t);
     let has_h = bits::any_set(h);
-    let has_f = t
-        .iter()
-        .zip(h)
-        .enumerate()
-        .any(|(w, (&tw, &hw))| bits::word_mask(n, w) & !(tw | hw) != 0);
+    let has_f = bits::any_false(t, h, n);
     decide(has_t, has_h, has_f, negated, q)
 }
 
@@ -467,7 +463,7 @@ fn tc_closure(
 
 /// In-place boolean transitive closure (paths of length ≥ 1) of an `n × n`
 /// bit adjacency matrix with `stride`-word rows: Warshall's algorithm with
-/// the inner union taken 64 lanes at a time.
+/// the inner union taken a wide-lane block at a time ([`bits::or_into`]).
 fn bool_closure(adj: &mut [u64], n: usize, stride: usize) {
     let mut krow = vec![0u64; stride];
     for k in 0..n {
@@ -475,9 +471,7 @@ fn bool_closure(adj: &mut [u64], n: usize, stride: usize) {
         krow.copy_from_slice(&adj[k * stride..(k + 1) * stride]);
         for row in adj.chunks_exact_mut(stride).take(n) {
             if (row[kw] >> kb) & 1 != 0 {
-                for (dst, &kword) in row.iter_mut().zip(&krow) {
-                    *dst |= kword;
-                }
+                bits::or_into(row, &krow);
             }
         }
     }

@@ -94,19 +94,17 @@ fn merge_classes<K: std::hash::Hash + Eq>(
 /// states.
 ///
 /// Word-parallel: "two definite holders" is `count_set` over the `true`-plane,
-/// and the weakening True → 1/2 is `h |= t; t = 0` on whole words (the two
-/// planes are disjoint, so OR-ing the old `t` bits into `h` encodes exactly
-/// Unknown on the former holders and leaves every other value untouched).
+/// and the weakening True → 1/2 is `h |= t; t = 0` block-wide
+/// ([`crate::bits::weaken_rows`]; the two planes are disjoint, so OR-ing the
+/// old `t` bits into `h` encodes exactly Unknown on the former holders and
+/// leaves every other value untouched).
 pub fn weaken_union_conflicts(s: &Structure, table: &PredTable) -> Structure {
     let mut out = s.clone();
     for p in table.unique_preds() {
         let slot = table.slot(p);
         if crate::bits::count_set(out.unary_planes(slot).0) >= 2 {
             let (t, h) = out.unary_planes_mut(slot);
-            for (tw, hw) in t.iter_mut().zip(h.iter_mut()) {
-                *hw |= *tw;
-                *tw = 0;
-            }
+            crate::bits::weaken_rows(t, h);
         }
     }
     for f in table.function_preds() {
@@ -117,10 +115,7 @@ pub fn weaken_union_conflicts(s: &Structure, table: &PredTable) -> Structure {
             }
             if crate::bits::count_set(out.binary_row(slot, src.index()).0) >= 2 {
                 let (t, h) = out.binary_row_mut(slot, src.index());
-                for (tw, hw) in t.iter_mut().zip(h.iter_mut()) {
-                    *hw |= *tw;
-                    *tw = 0;
-                }
+                crate::bits::weaken_rows(t, h);
             }
         }
     }

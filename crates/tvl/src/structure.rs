@@ -614,17 +614,14 @@ impl Structure {
     /// Whether some individual carries both `p` and `q` possibly true
     /// (value `≠ False` for each).
     ///
-    /// One AND of the two predicates' maybe-masks (`t | h`) per word — 64
-    /// individuals per comparison, short-circuiting on the first hit.
+    /// One AND of the two predicates' maybe-masks (`t | h`) per wide-lane
+    /// block ([`bits::overlap_any`]), short-circuiting on the first hit.
     pub fn maybe_overlap(&self, table: &PredTable, p: PredId, q: PredId) -> bool {
         assert_eq!(table.arity(p), Arity::Unary);
         assert_eq!(table.arity(q), Arity::Unary);
         let (tp, hp) = self.unary_planes(table.slot(p));
         let (tq, hq) = self.unary_planes(table.slot(q));
-        tp.iter()
-            .zip(hp)
-            .zip(tq.iter().zip(hq))
-            .any(|((&a, &b), (&c, &d))| (a | b) & (c | d) != 0)
+        bits::overlap_any(tp, hp, tq, hq)
     }
 
     /// The single individual on which `p` definitely holds, if there is

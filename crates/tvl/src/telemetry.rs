@@ -120,8 +120,8 @@ pub enum Counter {
     /// the cache. `hits + misses` equals the action applications that reached
     /// the transfer step (a run that aborts mid-visit loses at most one).
     TransferCacheMisses,
-    /// Transfer-cache entries discarded when the cache exceeded its
-    /// configured capacity (bulk eviction; see
+    /// Transfer-cache entries actually discarded by capacity eviction
+    /// (generational: a full young generation discards the old one; see
     /// `EngineConfig::transfer_cache_capacity` in `hetsep-core`).
     TransferCacheEvictions,
     /// Action applications answered from a *cross-job* shared transfer store
@@ -146,11 +146,20 @@ pub enum Counter {
     /// Structure-count upper bound predicted for the subproblem's may-share
     /// component (sums across rows to the predicted cost of the family).
     PreanalysisEstimatedStructures,
+    /// Worklist batches (all queued structures of one CFG location at equal
+    /// priority, drained together) holding two or more structures — the
+    /// batches whose transfers the engine *can* fan out over the
+    /// intra-subproblem worker pool. Counted from the drained batch size, so
+    /// the value is identical whatever `intra_threads` is configured;
+    /// `IntraBatchItems / IntraBatches` is the mean exploitable width.
+    IntraBatches,
+    /// Structures in those multi-structure batches (see [`Counter::IntraBatches`]).
+    IntraBatchItems,
 }
 
 impl Counter {
     /// Every counter, in fixed reporting order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::InternHits,
         Counter::InternMisses,
         Counter::WorklistPushes,
@@ -171,6 +180,8 @@ impl Counter {
         Counter::PreanalysisPrunedBaseline,
         Counter::PreanalysisPrunedFlow,
         Counter::PreanalysisEstimatedStructures,
+        Counter::IntraBatches,
+        Counter::IntraBatchItems,
     ];
 
     /// Stable snake_case label used in traces and JSON output.
@@ -196,6 +207,8 @@ impl Counter {
             Counter::PreanalysisPrunedBaseline => "preanalysis_pruned_baseline",
             Counter::PreanalysisPrunedFlow => "preanalysis_pruned_flow",
             Counter::PreanalysisEstimatedStructures => "preanalysis_estimated_structures",
+            Counter::IntraBatches => "intra_batches",
+            Counter::IntraBatchItems => "intra_batch_items",
         }
     }
 
@@ -230,6 +243,8 @@ impl Counter {
             Counter::PreanalysisPrunedBaseline => 17,
             Counter::PreanalysisPrunedFlow => 18,
             Counter::PreanalysisEstimatedStructures => 19,
+            Counter::IntraBatches => 20,
+            Counter::IntraBatchItems => 21,
         }
     }
 }

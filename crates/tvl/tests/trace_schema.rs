@@ -63,6 +63,16 @@ fn fixed_events() -> Vec<Event> {
             counter: Counter::PreanalysisEstimatedStructures,
             value: 96,
         },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::IntraBatches,
+            value: 5,
+        },
+        Event::CounterSample {
+            index: 0,
+            counter: Counter::IntraBatchItems,
+            value: 17,
+        },
         Event::LocationStructures {
             index: 0,
             location: 5,

@@ -10,10 +10,28 @@ cargo test -q
 # Word-parallel Kleene kernels: the exhaustive truth-table identities and
 # stride-padding leak checks must also pass under release codegen (the
 # bit-twiddling kernels are exactly what optimization rewrites hardest).
-cargo test -q -p hetsep-tvl --release --test properties -- \
-    word_kernels_match_scalar_truth_tables_in_every_lane \
-    stride_padding_bits_never_leak
+# The block (4x u64 unrolled) kernel paths run twice: once on the portable
+# code and once with the `simd` feature's AVX2 dispatch enabled — both must
+# agree with the per-word kernels lane for lane.
+for features in "" "--features simd"; do
+    # shellcheck disable=SC2086
+    cargo test -q -p hetsep-tvl --release $features --test properties -- \
+        word_kernels_match_scalar_truth_tables_in_every_lane \
+        stride_padding_bits_never_leak \
+        block_kernels_match_word_kernels_in_every_lane \
+        block_scan_kernels_respect_stride_padding
+done
 cargo test -q -p hetsep-tvl --release --test bulk_grow
+
+# Scheduler determinism matrix: the scenario-suite byte-identity contracts
+# must hold whatever the outer (subproblem) and inner (intra-batch
+# transfer fan-out) worker counts are. The expensive generated workloads
+# stay out of the matrix; everything else runs under both env settings.
+for t in 1 4; do
+    HETSEP_THREADS=$t HETSEP_INTRA_THREADS=$t \
+        cargo test -q -p hetsep-core --release --test determinism -- \
+        --skip generated_workloads
+done
 cargo clippy --workspace -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo run -q -p hetsep --example quickstart --release > /dev/null
@@ -37,6 +55,13 @@ cargo run -q -p hetsep --bin hetsep --release -- \
 # reported/complete accounting against silent drift.
 table3_quick_json="$(mktemp)"
 cargo run -q -p hetsep-bench --bin table3 --release -- \
+    --threads 1 --json "$table3_quick_json" ISPath KernelBench1 db > /dev/null
+sed 's/"subproblems".*//' "$table3_quick_json" | sed -n \
+    's/.*"benchmark": "\([^"]*\)", "mode": "\([^"]*\)", "space": \([0-9]*\), "visits": \([0-9]*\),.*"reported": \([^,]*\), "complete": \([^,]*\),.*/\1 \2 space=\3 visits=\4 reported=\5 complete=\6/p' \
+    | diff -u scripts/table3_quick.golden -
+# Same subset with the intra-batch transfer fan-out forced on: partition
+# workers may only change wall-clock, never a semantic column.
+HETSEP_INTRA_THREADS=4 cargo run -q -p hetsep-bench --bin table3 --release -- \
     --threads 1 --json "$table3_quick_json" ISPath KernelBench1 db > /dev/null
 sed 's/"subproblems".*//' "$table3_quick_json" | sed -n \
     's/.*"benchmark": "\([^"]*\)", "mode": "\([^"]*\)", "space": \([0-9]*\), "visits": \([0-9]*\),.*"reported": \([^,]*\), "complete": \([^,]*\),.*/\1 \2 space=\3 visits=\4 reported=\5 complete=\6/p' \
