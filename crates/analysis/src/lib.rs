@@ -86,7 +86,7 @@ pub fn lint_all(
                 }
             }
             Err(e) => {
-                diags.push(Diagnostic::error("E013", e.message, e.line));
+                diags.push(e.to_diagnostic());
             }
         }
     }
@@ -135,10 +135,15 @@ mod tests {
     }
 
     #[test]
-    fn lint_all_reports_cfg_errors_as_e013() {
+    fn lint_all_reports_cfg_errors_with_stable_codes() {
         let src = "program P uses X; void loop() { loop(); } void main() { loop(); }";
         let p = hetsep_ir::parse_program(src).unwrap();
         let d = lint_all(&p, Some(src), None, None);
-        assert!(d.iter().any(|x| x.code == "E013"), "{d:?}");
+        let rec = d.iter().find(|x| x.code == "E016").unwrap_or_else(|| panic!("{d:?}"));
+        assert!(rec.message.contains("recursive"), "{rec:?}");
+        assert!(rec.col > 0, "span resolved against source: {rec:?}");
+        let rendered = rec.render(Some(src));
+        assert!(rendered.contains("error[E016]"), "{rendered}");
+        assert!(rendered.lines().last().unwrap().contains('^'), "{rendered}");
     }
 }

@@ -12,7 +12,7 @@
 use std::io::Write as _;
 use std::time::Duration;
 
-use hetsep::core::TransferStore;
+use hetsep::core::CacheFile;
 use hetsep::corpus::{corpus_engine_config, corpus_jobs};
 use hetsep::sched::{run_batch, BatchConfig, BatchResult};
 use hetsep::suite::corpus::CorpusConfig;
@@ -23,6 +23,7 @@ fn main() {
     let mut workers: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json_path = String::from("BENCH_corpus.json");
     let mut args = std::env::args().skip(1);
+    let mut no_summaries = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => {
@@ -38,6 +39,7 @@ fn main() {
                 workers = v.parse().expect("--workers needs an integer");
             }
             "--json" => json_path = args.next().expect("--json needs a path"),
+            "--no-summaries" => no_summaries = true,
             other => panic!("unknown argument `{other}`"),
         }
     }
@@ -45,14 +47,16 @@ fn main() {
 
     eprintln!("generating {jobs} jobs (seed {seed})...");
     let corpus = corpus_jobs(&CorpusConfig { jobs, seed });
+    let mut engine = corpus_engine_config();
+    engine.summaries = !no_summaries;
     let config = BatchConfig {
         workers,
-        engine: corpus_engine_config(),
+        engine,
     };
 
     eprintln!("cold run ({workers} workers)...");
-    let mut store = TransferStore::new();
-    let cold = run_batch(&corpus, &config, &mut store);
+    let mut store = CacheFile::new();
+    let cold = run_batch(&corpus, &config, &mut store.transfers, &mut store.summaries);
     eprintln!("cold: {}", summary(&cold));
 
     // Persist and reload: the warm run exercises the on-disk format, not
@@ -60,11 +64,11 @@ fn main() {
     let cache_path = std::env::temp_dir().join(format!("hetsep_corpus_{seed}_{jobs}.cache"));
     store.save(&cache_path).expect("cache save");
     let cache_bytes = std::fs::metadata(&cache_path).map_or(0, |m| m.len());
-    let mut reloaded = TransferStore::load(&cache_path).expect("cache load");
+    let mut reloaded = CacheFile::load(&cache_path).expect("cache load");
     let _ = std::fs::remove_file(&cache_path);
 
     eprintln!("warm run ({workers} workers)...");
-    let warm = run_batch(&corpus, &config, &mut reloaded);
+    let warm = run_batch(&corpus, &config, &mut reloaded.transfers, &mut reloaded.summaries);
     eprintln!("warm: {}", summary(&warm));
 
     // The contract the scheduler ships under: the cache changes how fast
@@ -91,8 +95,8 @@ fn main() {
         workers,
         &cold,
         &warm,
-        store.entry_count(),
-        store.structure_count(),
+        store.transfers.entry_count(),
+        store.transfers.structure_count(),
         cache_bytes,
     );
     let mut f = std::fs::File::create(&json_path).expect("create json");

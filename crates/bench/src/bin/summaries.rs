@@ -1,0 +1,244 @@
+//! Measures the per-procedure summary cache on the shared-library family:
+//! cold vs warm runs, summaries vs the inlining-equivalent baseline.
+//!
+//! Usage: `summaries [--json PATH] [--repeats N]` (default: JSON written to
+//! `BENCH_summaries.json`, 5 repeats per cell, minimum wall reported).
+//!
+//! Three configurations per workload:
+//!
+//! * `baseline` — `EngineConfig::summaries` off: every call region drains
+//!   its body, exactly as call-site inlining re-analyzed every site;
+//! * `cold` — summaries on, empty summary store: the first evaluation per
+//!   (region content, input abstraction) drains, repeats replay from the
+//!   in-run memo (`summary_hits`);
+//! * `warm` — summaries on, store populated by the cold run: evaluations
+//!   replay from the cross-run store (`shared_summary_hits`).
+//!
+//! Verdicts, errors, visits, and space are asserted byte-identical across
+//! all three — the cache changes how fast answers arrive, never which
+//! answers arrive (see `crates/core/tests/summaries.rs` for the suite-wide
+//! matrix).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Duration;
+
+use hetsep::core::engine::EngineConfig;
+use hetsep::core::{Counter, ModeKind, VerificationReport, VerifyRequest, Workspace};
+use hetsep::suite::generators::{shared_lib, SharedLibWorkload};
+
+/// One measured workload of the family.
+struct Workload {
+    name: &'static str,
+    source: String,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "SharedLib",
+            source: shared_lib(
+                "SharedLib",
+                &SharedLibWorkload {
+                    clients: 3,
+                    calls_per_client: 4,
+                    lib_reads: 3,
+                    loop_wrapped: false,
+                    buggy_client: None,
+                },
+            ),
+        },
+        Workload {
+            name: "SharedLibLoop",
+            source: shared_lib(
+                "SharedLibLoop",
+                &SharedLibWorkload {
+                    clients: 2,
+                    calls_per_client: 2,
+                    lib_reads: 2,
+                    loop_wrapped: true,
+                    buggy_client: Some(1),
+                },
+            ),
+        },
+        Workload {
+            name: "SharedLibWide",
+            source: shared_lib(
+                "SharedLibWide",
+                &SharedLibWorkload {
+                    clients: 6,
+                    calls_per_client: 10,
+                    lib_reads: 12,
+                    loop_wrapped: false,
+                    buggy_client: None,
+                },
+            ),
+        },
+        Workload {
+            name: "SharedLibDeep",
+            source: shared_lib(
+                "SharedLibDeep",
+                &SharedLibWorkload {
+                    clients: 4,
+                    calls_per_client: 8,
+                    lib_reads: 16,
+                    loop_wrapped: true,
+                    buggy_client: None,
+                },
+            ),
+        },
+    ]
+}
+
+/// One verification under `config`, on a workspace carrying `store`
+/// contents forward when `ws` is `Some`.
+fn verify(ws: &mut Workspace, source: &str) -> VerificationReport {
+    let program = ws.add_program(source).expect("workload parses");
+    let spec = ws.add_builtin_spec("IOStreams").expect("builtin spec");
+    ws.verify(&VerifyRequest {
+        program: program.id,
+        spec: spec.id,
+        strategy: None,
+        kind: ModeKind::Vanilla,
+    })
+    .expect("workload verifies")
+    .report
+}
+
+/// The semantic fingerprint every configuration must agree on.
+fn semantics(r: &VerificationReport) -> (usize, bool, u64, usize) {
+    (r.errors.len(), r.complete, r.total_visits, r.max_space)
+}
+
+struct Cell {
+    wall: Duration,
+    report: VerificationReport,
+}
+
+/// Runs one configuration `repeats` times on fresh state and returns the
+/// minimum-wall run (reports are deterministic; only wall varies).
+fn measure(repeats: usize, mut run: impl FnMut() -> VerificationReport) -> Cell {
+    let mut best: Option<Cell> = None;
+    for _ in 0..repeats {
+        let report = run();
+        let wall = report.elapsed_wall;
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(Cell { wall, report });
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn main() {
+    let mut json_path = String::from("BENCH_summaries.json");
+    let mut repeats: usize = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--repeats" => {
+                let v = args.next().expect("--repeats needs a value");
+                repeats = v.parse::<usize>().expect("--repeats needs an integer").max(1);
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let on = EngineConfig::default();
+    let off = EngineConfig {
+        summaries: false,
+        ..EngineConfig::default()
+    };
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "Workload", "Baseline", "Cold", "Warm", "Visits", "Evals", "Hits", "Shared"
+    );
+    println!("{}", "-".repeat(92));
+
+    let mut rows = String::from("[\n");
+    let loads = workloads();
+    for (ix, w) in loads.iter().enumerate() {
+        let baseline = measure(repeats, || {
+            verify(&mut Workspace::with_config(off.clone()), &w.source)
+        });
+        let cold = measure(repeats, || {
+            verify(&mut Workspace::with_config(on.clone()), &w.source)
+        });
+        // Warm: the workspace keeps the cold run's summary store mounted, so
+        // the repeat verify replays regions from the cross-run store.
+        let warm = measure(repeats, || {
+            let mut ws = Workspace::with_config(on.clone());
+            verify(&mut ws, &w.source);
+            verify(&mut ws, &w.source)
+        });
+
+        assert_eq!(
+            semantics(&baseline.report),
+            semantics(&cold.report),
+            "{}: summaries changed observable results (cold)",
+            w.name
+        );
+        assert_eq!(
+            semantics(&baseline.report),
+            semantics(&warm.report),
+            "{}: summaries changed observable results (warm)",
+            w.name
+        );
+        let c = |cell: &Cell, counter| cell.report.metrics.counters.get(counter);
+        let evals = c(&cold, Counter::CallEvaluations);
+        let cold_hits = c(&cold, Counter::SummaryHits);
+        let warm_shared = c(&warm, Counter::SharedSummaryHits);
+        assert!(evals > 0, "{}: no call regions evaluated", w.name);
+        assert!(cold_hits > 0, "{}: in-run memo never hit", w.name);
+        assert!(warm_shared > 0, "{}: cross-run store never hit", w.name);
+        assert_eq!(
+            c(&cold, Counter::SummaryHits) + c(&cold, Counter::SummaryMisses),
+            evals,
+            "{}: summary counter invariant",
+            w.name
+        );
+
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            w.name,
+            format!("{:.2?}", baseline.wall),
+            format!("{:.2?}", cold.wall),
+            format!("{:.2?}", warm.wall),
+            cold.report.total_visits,
+            evals,
+            cold_hits,
+            warm_shared,
+        );
+
+        let _ = write!(
+            rows,
+            "  {{\"name\": \"{}\", \"mode\": \"vanilla\", \
+             \"errors\": {}, \"complete\": {}, \"visits\": {}, \"space\": {}, \
+             \"baseline_wall_ms\": {:.3}, \"cold_wall_ms\": {:.3}, \
+             \"warm_wall_ms\": {:.3}, \"call_evaluations\": {}, \
+             \"cold_summary_hits\": {}, \"cold_summary_misses\": {}, \
+             \"warm_summary_hits\": {}, \"warm_shared_summary_hits\": {}}}",
+            w.name,
+            cold.report.errors.len(),
+            cold.report.complete,
+            cold.report.total_visits,
+            cold.report.max_space,
+            baseline.wall.as_secs_f64() * 1e3,
+            cold.wall.as_secs_f64() * 1e3,
+            warm.wall.as_secs_f64() * 1e3,
+            evals,
+            cold_hits,
+            c(&cold, Counter::SummaryMisses),
+            c(&warm, Counter::SummaryHits),
+            warm_shared,
+        );
+        rows.push_str(if ix + 1 == loads.len() { "\n" } else { ",\n" });
+    }
+    rows.push_str("]\n");
+
+    let mut f = std::fs::File::create(&json_path)
+        .unwrap_or_else(|e| panic!("could not create {json_path}: {e}"));
+    f.write_all(rows.as_bytes()).expect("write json");
+    println!("wrote {json_path}");
+}

@@ -2,7 +2,8 @@
 //! benchmark programs, per verification mode.
 //!
 //! Usage: `table3 [--threads N] [--json PATH] [--metrics] [--trace PATH]
-//! [--no-preanalysis] [--no-transfer-cache] [benchmark-name …]` (default:
+//! [--no-preanalysis] [--no-transfer-cache] [--no-summaries]
+//! [benchmark-name …]` (default:
 //! all benchmarks, auto thread count, JSON written to `BENCH_table3.json`
 //! in the working directory).
 //!
@@ -24,6 +25,11 @@
 //! default). Cache hits replay memoized interned post-structures, so every
 //! column except the wall-clock times (and the cache counters) is
 //! byte-identical with the cache on or off.
+//!
+//! `--no-summaries` disables call-region summary memoization (on by
+//! default) — the inlining-equivalent A/B baseline. Summary hits replay a
+//! whole region drain, so, as with the transfer cache, every semantic
+//! column is byte-identical on or off.
 
 use std::io::Write as _;
 
@@ -40,6 +46,7 @@ fn main() {
     let mut metrics = false;
     let mut no_preanalysis = false;
     let mut no_transfer_cache = false;
+    let mut no_summaries = false;
     let mut trace_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -55,6 +62,7 @@ fn main() {
             "--metrics" => metrics = true,
             "--no-preanalysis" => no_preanalysis = true,
             "--no-transfer-cache" => no_transfer_cache = true,
+            "--no-summaries" => no_summaries = true,
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace needs a path"));
             }
@@ -83,6 +91,9 @@ fn main() {
     }
     if no_transfer_cache {
         config.transfer_cache = false;
+    }
+    if no_summaries {
+        config.summaries = false;
     }
     let mut null = NullSink;
     let mut trace = trace_path.as_ref().map(|path| {

@@ -23,6 +23,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -170,6 +171,21 @@ pub struct EngineConfig {
     /// A/B baseline so tests can prove the two-generation policy evicts
     /// strictly less at identical verdicts; never faster, off by default.
     pub transfer_cache_flush_all: bool,
+    /// Memoize per-procedure summaries: the engine always evaluates a
+    /// spliced call region as a nested subproblem of its entry structure
+    /// (see the region drain in [`run_shared`]); with this flag on, the
+    /// result — exit structures, violations, failing sites, and exact
+    /// visit/peak accounting — is memoized per `(region content, interned
+    /// input structure)` and replayed on repeat evaluations, so a library
+    /// procedure called from N sites (or re-entered each loop iteration with
+    /// a stable abstraction) is drained once per calling context instead of
+    /// once per arrival. The nested drain is a pure function of its key, so
+    /// verdicts, errors, `visits`, and `structures` are byte-identical with
+    /// summaries on or off — only the `summary_*`/`call_evaluations`
+    /// counters and wall-clock differ. Applies under the powerset merge
+    /// policy (every mode driver's policy); other policies drain flat. On by
+    /// default; disable via `--no-summaries`.
+    pub summaries: bool,
 }
 
 impl Default for EngineConfig {
@@ -185,6 +201,7 @@ impl Default for EngineConfig {
             transfer_cache: true,
             transfer_cache_capacity: 1 << 20,
             transfer_cache_flush_all: false,
+            summaries: true,
         }
     }
 }
@@ -491,69 +508,249 @@ pub fn run_cancellable(
     config: &EngineConfig,
     cancel: Option<&AtomicBool>,
 ) -> RunResult {
-    run_shared(instance, config, cancel, None)
+    run_shared(instance, config, cancel, None, None)
 }
 
-/// Runs the worklist analysis with an optional cross-job shared transfer
-/// session (see [`crate::jobcache`]).
+/// A structural stop signal: the visit/structure budget was exhausted or the
+/// cross-run cancellation flag was raised. Unwinds every nested region drain
+/// back to [`run_shared`]; the outcome and counter were already recorded on
+/// [`EngineSt`] at the raise site.
+struct Stop;
+
+/// One evaluated call region: everything needed to replay the nested drain
+/// of a spliced callee body for one boundary structure (see
+/// [`EngineConfig::summaries`]).
+struct RegionSummary {
+    /// Interned canonical structures that reached the region exit, in
+    /// first-arrival order of the nested drain.
+    exits: Vec<StructureId>,
+    /// Violations raised inside the region as `(line, label, definite?)`,
+    /// sorted; lines are callee declaration lines, identical across splices
+    /// of one procedure, so replayed reports attribute like computed ones.
+    violations: Vec<(u32, String, bool)>,
+    /// Failing allocation sites recorded inside the region, sorted.
+    failing: Vec<SiteId>,
+    /// Action applications the nested drain performed.
+    visits: u64,
+    /// Peak region-local live structures above the caller's count at entry.
+    peak_extra: usize,
+    /// Largest universe size among structures visited inside the region.
+    peak_nodes: usize,
+}
+
+/// Mirror of one in-flight region evaluation: while its nested drain runs,
+/// every violation, failing site, live-count high-water mark and peak
+/// universe raised anywhere below it — including replayed inner summaries —
+/// is recorded here as well as on the run totals, so the finished summary
+/// replays nested effects exactly. Recorders stack: an inner region's
+/// contribution flows into every enclosing recorder.
+struct Recorder {
+    /// The run's live structure count when the region was entered;
+    /// `peak_extra` is measured above this base.
+    live_base: usize,
+    peak_extra: usize,
+    peak_nodes: usize,
+    /// `(line, label)` → definite?, OR-joined like the run's error map.
+    violations: HashMap<(u32, String), bool>,
+    failing: HashSet<SiteId>,
+}
+
+/// Exit collector of one nested region drain: arrivals at the region's exit
+/// node are gathered (deduplicated, in arrival order) instead of merged into
+/// a location set, so the caller commits them — once, against the caller's
+/// own state for the exit node — whether the summary was computed or
+/// replayed.
+struct RegionSink<'a> {
+    /// Global node index of the region's exit.
+    exit: usize,
+    exits: &'a mut Vec<StructureId>,
+    seen: HashSet<StructureId>,
+}
+
+/// The immutable context of one engine run, shared by the global drain and
+/// every nested region drain.
+struct EngineCtx<'a> {
+    instance: &'a AnalysisInstance,
+    config: &'a EngineConfig,
+    cancel: Option<&'a AtomicBool>,
+    /// Reverse-postorder worklist rank per CFG node.
+    rpo: Vec<u32>,
+    plan: CoercePlan,
+    /// Content-deduped action id per `(edge, action index)` (transfer-cache
+    /// keys; see the dedup scan in [`run_shared`]).
+    action_ids: Vec<Vec<u32>>,
+    intra_workers: usize,
+    /// Fallback cancellation flag for the intra-batch fan-out when the
+    /// caller supplied none (`map_ordered` always polls a flag).
+    local_cancel: AtomicBool,
+    /// Region index by global entry-node index; empty when the run drains
+    /// flat (non-powerset merge policy or a region-free CFG).
+    region_by_entry: HashMap<usize, usize>,
+    /// Content id per region — an index into the run's distinct-content
+    /// list, so splices of one procedure with identical instrumentation
+    /// share summaries.
+    region_contents: Vec<u32>,
+    /// Whether region evaluations are memoized (see
+    /// [`EngineConfig::summaries`]).
+    summaries_active: bool,
+    /// Table predicate id → allocation site, for decoding persisted failing
+    /// sites.
+    site_of_pred: HashMap<u32, SiteId>,
+    /// Allocation site → table predicate id, for encoding them.
+    pred_of_site: HashMap<SiteId, u32>,
+}
+
+/// The mutable state of one engine run, threaded through the global drain
+/// and every nested region drain (which share the interner, both transfer
+/// cache layers and all counters with their caller).
+struct EngineSt<'s> {
+    metrics: RunMetrics,
+    interner: StructureInterner,
+    cache: TransferCache,
+    shared_scope: Option<crate::jobcache::RunScope<'s>>,
+    summary_scope: Option<crate::summary::SummaryRunScope<'s>>,
+    /// Precomputed speculative transfers (phase 2 of the global drain).
+    speculative: HashMap<TransferKey, ComputedTransfer>,
+    /// In-run summary memo: `(region content id, input id)` → summary.
+    memo: HashMap<(u32, StructureId), Rc<RegionSummary>>,
+    visits: u64,
+    /// Structures currently stored across all live location sets (the
+    /// global ones plus any in-flight nested drains').
+    live: usize,
+    peak_structures: usize,
+    peak_nodes: usize,
+    /// `(line, label)` → definite?
+    errors: HashMap<(u32, String), bool>,
+    failing_sites: HashSet<SiteId>,
+    /// One recorder per in-flight region evaluation, innermost last.
+    recorders: Vec<Recorder>,
+    outcome: AnalysisOutcome,
+}
+
+impl EngineSt<'_> {
+    /// Counts a newly stored structure against the live total and every
+    /// enclosing region recorder.
+    fn bump_live(&mut self) {
+        self.live += 1;
+        self.peak_structures = self.peak_structures.max(self.live);
+        for r in &mut self.recorders {
+            r.peak_extra = r.peak_extra.max(self.live - r.live_base);
+        }
+    }
+
+    fn raise_peak_nodes(&mut self, n: usize) {
+        self.peak_nodes = self.peak_nodes.max(n);
+        for r in &mut self.recorders {
+            r.peak_nodes = r.peak_nodes.max(n);
+        }
+    }
+
+    fn note_violation(&mut self, line: u32, label: &str, definite: bool) {
+        self.errors
+            .entry((line, label.to_string()))
+            .and_modify(|d| *d |= definite)
+            .or_insert(definite);
+        for r in &mut self.recorders {
+            r.violations
+                .entry((line, label.to_string()))
+                .and_modify(|d| *d |= definite)
+                .or_insert(definite);
+        }
+    }
+
+    fn note_failing_site(&mut self, site: SiteId) {
+        self.failing_sites.insert(site);
+        for r in &mut self.recorders {
+            r.failing.insert(site);
+        }
+    }
+
+    /// Records the allocation sites of the chosen objects of a violating
+    /// pre-state (paper §4.2: allocation-site based identification of failed
+    /// individuals).
+    ///
+    /// A site fails iff some individual is possibly `chosen` *and* possibly
+    /// carries the site's predicate; with bit-packed structures that is one
+    /// word-parallel maybe-mask intersection per site
+    /// ([`Structure::maybe_overlap`]) instead of a node × site probe loop.
+    fn note_failing_structure(&mut self, instance: &AnalysisInstance, s: &Structure) {
+        let table = &instance.vocab.table;
+        let Some(chosen) = instance.vocab.chosen else {
+            return;
+        };
+        for (&site, &pred) in &instance.vocab.site_preds {
+            if s.maybe_overlap(table, chosen, pred) {
+                self.note_failing_site(site);
+            }
+        }
+    }
+
+    /// Whether replaying `summary` is guaranteed not to mask a budget abort:
+    /// replay is all-or-nothing, so it is only taken when even the summary's
+    /// full visit count and peak live footprint stay within budget. On a
+    /// refusal the region is recomputed inline, which aborts at exactly the
+    /// application where the recorded drain would have.
+    fn replay_fits(&self, summary: &RegionSummary, config: &EngineConfig) -> bool {
+        self.visits + summary.visits <= config.max_visits
+            && self.live + summary.peak_extra <= config.max_structures
+    }
+
+    /// Replays a memoized region evaluation: visits, peaks, violations and
+    /// failing sites advance exactly as the recorded nested drain advanced
+    /// them. Replayed applications count as transfer-cache hits — re-draining
+    /// the region would find every one of its transfers in the per-run cache
+    /// — keeping `hits + misses == visits` intact.
+    fn replay(&mut self, ctx: &EngineCtx<'_>, summary: &RegionSummary) {
+        self.visits += summary.visits;
+        if ctx.config.transfer_cache {
+            self.metrics
+                .counters
+                .add(Counter::TransferCacheHits, summary.visits);
+        }
+        self.peak_structures = self.peak_structures.max(self.live + summary.peak_extra);
+        for r in &mut self.recorders {
+            r.peak_extra = r.peak_extra.max(self.live + summary.peak_extra - r.live_base);
+        }
+        self.raise_peak_nodes(summary.peak_nodes);
+        for (line, label, definite) in &summary.violations {
+            self.note_violation(*line, label, *definite);
+        }
+        for &site in &summary.failing {
+            self.note_failing_site(site);
+        }
+    }
+}
+
+/// Runs the worklist analysis with optional cross-job shared transfer and
+/// summary sessions (see [`crate::jobcache`] and [`crate::summary`]).
 ///
-/// When a session is given (and `config.transfer_cache` is on — the shared
-/// layer sits strictly behind the per-run cache), a per-run-cache miss first
-/// probes the session's store snapshot by *content* key; a shared hit
-/// replays the memoized posts/violations/peak exactly and counts
+/// When a transfer session is given (and `config.transfer_cache` is on — the
+/// shared layer sits strictly behind the per-run cache), a per-run-cache
+/// miss first probes the session's store snapshot by *content* key; a shared
+/// hit replays the memoized posts/violations/peak exactly and counts
 /// [`Counter::SharedCacheHits`] instead of a transfer-cache miss, while a
 /// shared miss computes the pipeline as usual and records the result into
-/// the session's delta for future jobs. Results are observation-equivalent
-/// with and without a session; only cache counters and wall-clock differ.
-pub fn run_shared(
+/// the session's delta for future jobs. A summary session does the same one
+/// level up, for whole call-region evaluations (see
+/// [`EngineConfig::summaries`]): a shared summary hit seeds the in-run memo
+/// and counts [`Counter::SharedSummaryHits`]. Results are
+/// observation-equivalent with and without sessions; only cache counters and
+/// wall-clock differ.
+pub fn run_shared<'s>(
     instance: &AnalysisInstance,
     config: &EngineConfig,
     cancel: Option<&AtomicBool>,
-    shared: Option<&crate::jobcache::SharedTransferSession<'_>>,
+    shared: Option<&'s crate::jobcache::SharedTransferSession<'s>>,
+    summaries: Option<&'s crate::summary::SharedSummarySession<'s>>,
 ) -> RunResult {
     let start = Instant::now();
     let table = &instance.vocab.table;
     let cfg = &instance.cfg;
     let n_nodes = cfg.node_count();
-    let rpo = rpo_ranks(cfg);
 
     let mut metrics = RunMetrics::new(config.phase_timings);
     let mut interner = StructureInterner::new();
-    let mut states: Vec<HashMap<MergeKey, StructureId>> = vec![HashMap::new(); n_nodes];
-    // Min-heap on (rpo rank, insertion sequence): lower-ranked locations
-    // first, FIFO among equal ranks — a deterministic priority worklist.
-    let mut worklist: BinaryHeap<Reverse<(u32, u64, usize, StructureId)>> = BinaryHeap::new();
-    let mut seq: u64 = 0;
 
-    // `blur` output is already canonical — nodes are emitted in ascending
-    // canonical-name order and names are unique per node (verified by the
-    // `canonical_key_is_identity_on_blurred` property test) — so blurred
-    // structures are interned directly without a re-keying pass.
-    let init = metrics.time(Phase::Canon, || blur(&Structure::new(table), table));
-    let init_id = interner.intern(init);
-    let init_key = metrics.time(Phase::Merge, || {
-        merge_key(&mut interner, init_id, instance, config.merge)
-    });
-    states[cfg.entry()].insert(init_key, init_id);
-    worklist.push(Reverse((rpo[cfg.entry()], seq, cfg.entry(), init_id)));
-    seq += 1;
-    metrics.counters.add(Counter::WorklistPushes, 1);
-    metrics
-        .counters
-        .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
-
-    let mut visits: u64 = 0;
-    let mut live_structures: usize = 1;
-    let mut peak_structures: usize = 1;
-    let mut peak_nodes: usize = 0;
-    let mut outcome = AnalysisOutcome::Complete;
-    // (line, label) → definite?
-    let mut errors: HashMap<(u32, String), bool> = HashMap::new();
-    let mut failing_sites: HashSet<SiteId> = HashSet::new();
-
-    // The coerce constraint set depends only on the vocabulary: compile it
-    // once instead of re-deriving it inside every action application.
-    let plan = CoercePlan::new(table);
     // Content-keyed action ids for transfer-cache keys: `action_ids[e][i]`
     // identifies action `i` of edge `e` by *content*, so structurally equal
     // actions on different edges (skip edges, `assume(?)` branch pairs,
@@ -577,29 +774,191 @@ pub fn run_shared(
             .collect();
         action_ids.push(ids);
     }
-    let mut cache = TransferCache::new(
+
+    // Region-structured evaluation applies under the powerset policy only:
+    // the joining merge policies fold arrivals at every location, so a
+    // region's behavior is not a function of single entry structures there
+    // and the CFG drains flat, exactly as a region-free graph does.
+    let use_regions = config.merge == StructureMerge::Powerset && !cfg.regions().is_empty();
+    let mut region_by_entry: HashMap<usize, usize> = HashMap::new();
+    let mut region_contents: Vec<u32> = Vec::new();
+    let mut distinct_contents: Vec<String> = Vec::new();
+    if use_regions {
+        let mut content_ix: HashMap<String, u32> = HashMap::new();
+        for (ix, region) in cfg.regions().iter().enumerate() {
+            region_by_entry.insert(region.entry.index(), ix);
+            let content = crate::summary::region_content(region, cfg, &instance.actions);
+            let id = *content_ix.entry(content.clone()).or_insert_with(|| {
+                distinct_contents.push(content);
+                (distinct_contents.len() - 1) as u32
+            });
+            region_contents.push(id);
+        }
+    }
+    let summaries_active = use_regions && config.summaries;
+    // Site ↔ table-predicate maps, for persisting failing sites by content.
+    let mut site_of_pred: HashMap<u32, SiteId> = HashMap::new();
+    let mut pred_of_site: HashMap<SiteId, u32> = HashMap::new();
+    for (&site, &pred) in &instance.vocab.site_preds {
+        site_of_pred.insert(pred.index() as u32, site);
+        pred_of_site.insert(site, pred.index() as u32);
+    }
+
+    let cache = TransferCache::new(
         config.transfer_cache_capacity,
         config.transfer_cache_flush_all,
     );
-    // The shared layer sits strictly behind the per-run cache: it is only
-    // consulted (and populated) when that cache misses, so the added cost is
-    // bounded by one content probe per distinct (action, pre-structure) pair
-    // per run.
-    let mut shared_scope = shared
+    // The shared layers sit strictly behind the per-run memos: they are only
+    // consulted (and populated) when those miss, so the added cost is
+    // bounded by one content probe per distinct key per run.
+    let shared_scope = shared
         .filter(|_| config.transfer_cache)
         .map(|s| s.run_scope(table, config.focus_limit, &uniq_actions));
+    let summary_scope = summaries
+        .filter(|_| summaries_active)
+        .map(|s| s.run_scope(table, config.focus_limit, &distinct_contents));
 
-    let intra_workers = config.parallel.effective_intra_threads();
-    // Fallback cancellation flag for the intra-batch fan-out when the caller
-    // supplied none (`map_ordered` always polls a flag).
-    let local_cancel = AtomicBool::new(false);
-    // Memoized speculative transfers keyed by (action, pre-structure).
-    // Results computed by the phase-2 fan-out wait here until phase 3
-    // commits their application; because the key is the full input of a pure
-    // function, entries stay valid across batch requeues and are removed —
-    // consumed or discarded — exactly when their application commits.
-    let mut speculative: HashMap<TransferKey, ComputedTransfer> = HashMap::new();
+    let ctx = EngineCtx {
+        instance,
+        config,
+        cancel,
+        rpo: rpo_ranks(cfg),
+        // The coerce constraint set depends only on the vocabulary: compile
+        // it once instead of re-deriving it inside every action application.
+        plan: CoercePlan::new(table),
+        action_ids,
+        intra_workers: config.parallel.effective_intra_threads(),
+        local_cancel: AtomicBool::new(false),
+        region_by_entry,
+        region_contents,
+        summaries_active,
+        site_of_pred,
+        pred_of_site,
+    };
 
+    // `blur` output is already canonical — nodes are emitted in ascending
+    // canonical-name order and names are unique per node (verified by the
+    // `canonical_key_is_identity_on_blurred` property test) — so blurred
+    // structures are interned directly without a re-keying pass.
+    let init = metrics.time(Phase::Canon, || blur(&Structure::new(table), table));
+    let init_id = interner.intern(init);
+    let init_key = metrics.time(Phase::Merge, || {
+        merge_key(&mut interner, init_id, instance, config.merge)
+    });
+    let mut states: Vec<HashMap<MergeKey, StructureId>> = vec![HashMap::new(); n_nodes];
+    // Min-heap on (rpo rank, insertion sequence): lower-ranked locations
+    // first, FIFO among equal ranks — a deterministic priority worklist.
+    let mut worklist: BinaryHeap<Reverse<(u32, u64, usize, StructureId)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    states[cfg.entry()].insert(init_key, init_id);
+    worklist.push(Reverse((ctx.rpo[cfg.entry()], seq, cfg.entry(), init_id)));
+    seq += 1;
+    metrics.counters.add(Counter::WorklistPushes, 1);
+    metrics
+        .counters
+        .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
+
+    let mut st = EngineSt {
+        metrics,
+        interner,
+        cache,
+        shared_scope,
+        summary_scope,
+        speculative: HashMap::new(),
+        memo: HashMap::new(),
+        visits: 0,
+        live: 1,
+        peak_structures: 1,
+        peak_nodes: 0,
+        errors: HashMap::new(),
+        failing_sites: HashSet::new(),
+        recorders: Vec::new(),
+        outcome: AnalysisOutcome::Complete,
+    };
+
+    // A `Stop` already recorded its outcome and counter on `st`.
+    let _ = drain(
+        &ctx,
+        &mut st,
+        &mut states,
+        &mut worklist,
+        &mut seq,
+        0,
+        None,
+        None,
+        true,
+    );
+
+    if let Some(scope) = st.shared_scope.take() {
+        scope.finish();
+    }
+    if let Some(scope) = st.summary_scope.take() {
+        scope.finish();
+    }
+
+    let reports: Vec<ErrorReport> = st
+        .errors
+        .into_iter()
+        .map(|((line, label), definite)| ErrorReport {
+            line,
+            label,
+            definite,
+        })
+        .collect();
+
+    st.metrics.counters.add(Counter::InternHits, st.interner.hits());
+    st.metrics
+        .counters
+        .add(Counter::InternMisses, st.interner.misses());
+    st.metrics.per_location = states
+        .iter()
+        .map(|m| u32::try_from(m.len()).unwrap_or(u32::MAX))
+        .collect();
+
+    RunResult {
+        errors: dedup_reports(reports),
+        failing_sites: st.failing_sites,
+        stats: RunStats {
+            visits: st.visits,
+            structures: st.peak_structures,
+            distinct_structures: st.interner.len(),
+            peak_nodes: st.peak_nodes,
+            wall: start.elapsed(),
+            locations: n_nodes,
+            metrics: st.metrics,
+        },
+        outcome: st.outcome,
+    }
+}
+
+/// Drains one worklist to fixpoint — the batched core loop shared by the
+/// global run and every nested region evaluation.
+///
+/// `states` and `worklist` belong to the caller: the global run passes the
+/// full per-node vector (`base` 0), a region evaluation a region-local
+/// slice indexed by `node - base`. When `sink` is given, arrivals at its
+/// exit node are collected instead of committed. When `own_entry` is
+/// `Some`, batches at that node are processed normally (it is the region
+/// being drained); any *other* node with a region entry is intercepted and
+/// evaluated as a nested subproblem via [`eval_region`]. `speculate`
+/// enables the intra-subproblem fan-out (phases 1–2) in the global drain
+/// only — nested drains are short and stay serial.
+#[allow(clippy::too_many_arguments)]
+fn drain(
+    ctx: &EngineCtx<'_>,
+    st: &mut EngineSt<'_>,
+    states: &mut [HashMap<MergeKey, StructureId>],
+    worklist: &mut BinaryHeap<Reverse<(u32, u64, usize, StructureId)>>,
+    seq: &mut u64,
+    base: usize,
+    own_entry: Option<usize>,
+    mut sink: Option<RegionSink<'_>>,
+    speculate: bool,
+) -> Result<(), Stop> {
+    let instance = ctx.instance;
+    let config = ctx.config;
+    let cfg = &instance.cfg;
+    let table = &instance.vocab.table;
     // Each iteration drains one *batch*: every queued entry of the
     // highest-priority (rank, node) pair. Entries of one node sit
     // contiguously at the top of the heap — reachable nodes have unique
@@ -618,27 +977,45 @@ pub fn run_shared(
             worklist.pop();
             batch.push((s, sid));
         }
-        // Exploitable-width telemetry, counted from the drained batch size
-        // *before* any worker configuration is consulted: the values — and
-        // with them every emitted trace — are identical whatever
-        // `intra_threads` is set to.
-        if batch.len() >= 2 {
-            metrics.counters.add(Counter::IntraBatches, 1);
-            metrics
-                .counters
-                .add(Counter::IntraBatchItems, batch.len() as u64);
-        }
         // Poll the cross-run flag at the top of every batch (the batched
         // equivalent of the former per-visit top poll): a single expensive
         // focus/coerce expansion must not delay a budget-triggered cancel by
         // a whole batch. Further polls run every `CANCEL_CHECK_INTERVAL`
         // applications below.
-        if let Some(flag) = cancel {
+        if let Some(flag) = ctx.cancel {
             if flag.load(Ordering::Relaxed) {
-                outcome = AnalysisOutcome::BudgetExceeded;
-                metrics.counters.add(Counter::Cancelled, 1);
-                break 'outer;
+                st.outcome = AnalysisOutcome::BudgetExceeded;
+                st.metrics.counters.add(Counter::Cancelled, 1);
+                return Err(Stop);
             }
+        }
+        // A batch at another region's entry is not applied edge by edge:
+        // each arrival is evaluated as a nested subproblem of that region
+        // (computed or replayed — see `eval_region`) and its exit structures
+        // are committed at the region's exit node. The exit's rank exceeds
+        // the entry's (the exit is a DFS descendant of the entry), so these
+        // commits never outrank the batch being drained.
+        if own_entry != Some(node) {
+            if let Some(&region_ix) = ctx.region_by_entry.get(&node) {
+                let exit = cfg.regions()[region_ix].exit.index();
+                for &(_, sid) in &batch {
+                    let summary = eval_region(ctx, st, region_ix, sid)?;
+                    for &xid in &summary.exits {
+                        commit_post(ctx, st, states, worklist, seq, base, exit, xid, &mut sink);
+                    }
+                }
+                continue 'outer;
+            }
+        }
+        // Exploitable-width telemetry, counted from the drained batch size
+        // *before* any worker configuration is consulted: the values — and
+        // with them every emitted trace — are identical whatever
+        // `intra_threads` is set to.
+        if batch.len() >= 2 {
+            st.metrics.counters.add(Counter::IntraBatches, 1);
+            st.metrics
+                .counters
+                .add(Counter::IntraBatchItems, batch.len() as u64);
         }
 
         // Phase 1 (speculative, strictly read-only): predict which
@@ -670,8 +1047,9 @@ pub fn run_shared(
             .iter()
             .map(|&e| instance.actions[e].len())
             .sum();
-        if intra_workers > 1
-            && live_structures <= config.max_structures
+        if speculate
+            && ctx.intra_workers > 1
+            && st.live <= config.max_structures
             && batch.len() * apps_per_structure >= INTRA_FANOUT_MIN
         {
             // (action, action id, pre-structure id) of every predicted miss.
@@ -679,29 +1057,38 @@ pub fn run_shared(
             // classification itself never allocates per application.
             let mut job_metas: Vec<(&hetsep_tvl::action::Action, TransferKey)> = Vec::new();
             let mut pending: HashSet<TransferKey> = HashSet::new();
-            let mut spec_visits = visits;
-            'classify: for &(_, sid) in &batch {
-                let mut words: Option<Vec<u64>> = None;
-                for &edge_ix in cfg.out_edges(node) {
-                    for (action_ix, action) in instance.actions[edge_ix].iter().enumerate() {
-                        spec_visits += 1;
-                        if spec_visits > config.max_visits {
-                            break 'classify;
-                        }
-                        let key = (action_ids[edge_ix][action_ix], sid);
-                        let predicted_hit = speculative.contains_key(&key)
-                            || pending.contains(&key)
-                            || (config.transfer_cache
-                                && (cache.contains(&key)
-                                    || shared_scope.as_ref().is_some_and(|scope| {
-                                        let w = words.get_or_insert_with(|| {
-                                            interner.resolve(sid).to_words()
-                                        });
-                                        scope.contains(key.0, w)
-                                    })));
-                        if !predicted_hit {
-                            pending.insert(key);
-                            job_metas.push((action, key));
+            let mut spec_visits = st.visits;
+            {
+                let EngineSt {
+                    interner,
+                    cache,
+                    shared_scope,
+                    speculative,
+                    ..
+                } = &*st;
+                'classify: for &(_, sid) in &batch {
+                    let mut words: Option<Vec<u64>> = None;
+                    for &edge_ix in cfg.out_edges(node) {
+                        for (action_ix, action) in instance.actions[edge_ix].iter().enumerate() {
+                            spec_visits += 1;
+                            if spec_visits > config.max_visits {
+                                break 'classify;
+                            }
+                            let key = (ctx.action_ids[edge_ix][action_ix], sid);
+                            let predicted_hit = speculative.contains_key(&key)
+                                || pending.contains(&key)
+                                || (config.transfer_cache
+                                    && (cache.contains(&key)
+                                        || shared_scope.as_ref().is_some_and(|scope| {
+                                            let w = words.get_or_insert_with(|| {
+                                                interner.resolve(sid).to_words()
+                                            });
+                                            scope.contains(key.0, w)
+                                        })));
+                            if !predicted_hit {
+                                pending.insert(key);
+                                job_metas.push((action, key));
+                            }
                         }
                     }
                 }
@@ -709,20 +1096,15 @@ pub fn run_shared(
             if job_metas.len() >= INTRA_FANOUT_MIN {
                 let jobs: Vec<(&hetsep_tvl::action::Action, Structure)> = job_metas
                     .iter()
-                    .map(|&(action, (_, sid))| (action, interner.resolve(sid).clone()))
+                    .map(|&(action, (_, sid))| (action, st.interner.resolve(sid).clone()))
                     .collect();
-                let flag = cancel.unwrap_or(&local_cancel);
+                let flag = ctx.cancel.unwrap_or(&ctx.local_cancel);
                 let timed = config.phase_timings;
-                let computed = map_ordered(&jobs, intra_workers, flag, |_, job, _| {
+                let plan = &ctx.plan;
+                let computed = map_ordered(&jobs, ctx.intra_workers, flag, |_, job, _| {
                     let mut local = RunMetrics::new(timed);
-                    let (posts, violations, peak_post_nodes) = compute_transfer(
-                        job.0,
-                        &job.1,
-                        table,
-                        &plan,
-                        config.focus_limit,
-                        &mut local,
-                    );
+                    let (posts, violations, peak_post_nodes) =
+                        compute_transfer(job.0, &job.1, table, plan, config.focus_limit, &mut local);
                     ComputedTransfer {
                         posts,
                         violations,
@@ -732,7 +1114,7 @@ pub fn run_shared(
                 });
                 for ((_, key), result) in job_metas.into_iter().zip(computed) {
                     if let Some(c) = result {
-                        speculative.insert(key, c);
+                        st.speculative.insert(key, c);
                     }
                 }
             }
@@ -742,298 +1124,481 @@ pub fn run_shared(
         // the exact pre-batching order — every counter bump, budget check,
         // cache probe and downstream merge/push runs here, on one thread.
         for (batch_ix, &(entry_seq, sid)) in batch.iter().enumerate() {
-        // A back-edge push from an earlier member of this batch can carry a
-        // higher priority than the remaining members; serial processing
-        // would pop it first. Requeue the rest of the batch with their
-        // original sequence numbers — restoring the exact heap state — and
-        // drain again. Precomputed transfers for requeued members stay in
-        // the `speculative` memo and are reclaimed on the next drain.
-        if batch_ix > 0 {
-            if let Some(&Reverse((r, sq, _, _))) = worklist.peek() {
-                if (r, sq) < (rank, entry_seq) {
-                    for &(q, d) in &batch[batch_ix..] {
-                        worklist.push(Reverse((rank, q, node, d)));
+            // A back-edge push from an earlier member of this batch can
+            // carry a higher priority than the remaining members; serial
+            // processing would pop it first. Requeue the rest of the batch
+            // with their original sequence numbers — restoring the exact
+            // heap state — and drain again. Precomputed transfers for
+            // requeued members stay in the `speculative` memo and are
+            // reclaimed on the next drain.
+            if batch_ix > 0 {
+                if let Some(&Reverse((r, sq, _, _))) = worklist.peek() {
+                    if (r, sq) < (rank, entry_seq) {
+                        for &(q, d) in &batch[batch_ix..] {
+                            worklist.push(Reverse((rank, q, node, d)));
+                        }
+                        continue 'outer;
                     }
-                    continue 'outer;
                 }
             }
-        }
-        let s = interner.resolve(sid).clone();
-        for &edge_ix in cfg.out_edges(node) {
-            let edge = &cfg.edges()[edge_ix];
-            for (action_ix, action) in instance.actions[edge_ix].iter().enumerate() {
-                visits += 1;
-                if visits > config.max_visits || live_structures > config.max_structures {
-                    outcome = AnalysisOutcome::BudgetExceeded;
-                    metrics.counters.add(Counter::BudgetExhausted, 1);
-                    if let Some(flag) = cancel {
-                        flag.store(true, Ordering::Relaxed);
-                    }
-                    break 'outer;
-                }
-                if visits.is_multiple_of(CANCEL_CHECK_INTERVAL) {
-                    if let Some(flag) = cancel {
-                        if flag.load(Ordering::Relaxed) {
-                            outcome = AnalysisOutcome::BudgetExceeded;
-                            metrics.counters.add(Counter::Cancelled, 1);
-                            break 'outer;
+            let s = st.interner.resolve(sid).clone();
+            for &edge_ix in cfg.out_edges(node) {
+                let edge = &cfg.edges()[edge_ix];
+                for (action_ix, action) in instance.actions[edge_ix].iter().enumerate() {
+                    st.visits += 1;
+                    if st.visits > config.max_visits || st.live > config.max_structures {
+                        st.outcome = AnalysisOutcome::BudgetExceeded;
+                        st.metrics.counters.add(Counter::BudgetExhausted, 1);
+                        if let Some(flag) = ctx.cancel {
+                            flag.store(true, Ordering::Relaxed);
                         }
+                        return Err(Stop);
                     }
-                }
-                // The transfer function is a pure function of the (interned)
-                // pre-structure and the action, so its output — canonical
-                // post ids, violations, peak universe size — can be replayed
-                // exactly from the cache. Everything downstream (merge keys,
-                // state-set insertion, worklist pushes, structure counting)
-                // runs on the shared path below either way.
-                let cache_key = (action_ids[edge_ix][action_ix], sid);
-                // Claim any precomputed transfer for this application up
-                // front: if the caches hit after all (a misprediction), the
-                // speculative result is simply dropped, exactly like the
-                // inline computation it replaced would never have run.
-                let precomp = speculative.remove(&cache_key);
-                let mut replay: Option<Vec<StructureId>> = None;
-                // Encoded pre-structure of a shared-store probe that missed,
-                // kept so the compute path records the result without
-                // re-encoding.
-                let mut shared_input: Option<Vec<u64>> = None;
-                if config.transfer_cache {
-                    if let Some(entry) = cache.get(&cache_key, &mut metrics) {
-                        metrics.counters.add(Counter::TransferCacheHits, 1);
-                        if !entry.violations.is_empty() {
-                            for (label, definite) in &entry.violations {
-                                errors
-                                    .entry((edge.line, label.clone()))
-                                    .and_modify(|d| *d |= *definite)
-                                    .or_insert(*definite);
+                    if st.visits.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                        if let Some(flag) = ctx.cancel {
+                            if flag.load(Ordering::Relaxed) {
+                                st.outcome = AnalysisOutcome::BudgetExceeded;
+                                st.metrics.counters.add(Counter::Cancelled, 1);
+                                return Err(Stop);
                             }
-                            collect_failing_sites(instance, &s, &mut failing_sites);
                         }
-                        peak_nodes = peak_nodes.max(entry.peak_post_nodes);
-                        replay = Some(entry.posts.clone());
-                    } else if let Some(scope) = shared_scope.as_ref() {
-                        let words = s.to_words();
-                        if let Some(hit) = scope.probe(cache_key.0, &words, table) {
-                            // A shared hit replaces — not joins — the local
-                            // miss: the pipeline is skipped, so only
-                            // `SharedCacheHits` advances and a warm corpus
-                            // run reports strictly fewer transfer-cache
-                            // misses than a cold one.
-                            metrics.counters.add(Counter::SharedCacheHits, 1);
-                            if !hit.violations.is_empty() {
-                                for (label, definite) in &hit.violations {
-                                    errors
-                                        .entry((edge.line, label.clone()))
-                                        .and_modify(|d| *d |= *definite)
-                                        .or_insert(*definite);
+                    }
+                    // The transfer function is a pure function of the
+                    // (interned) pre-structure and the action, so its output
+                    // — canonical post ids, violations, peak universe size —
+                    // can be replayed exactly from the cache. Everything
+                    // downstream (merge keys, state-set insertion, worklist
+                    // pushes, structure counting) runs through `commit_post`
+                    // either way.
+                    let cache_key = (ctx.action_ids[edge_ix][action_ix], sid);
+                    // Claim any precomputed transfer for this application up
+                    // front: if the caches hit after all (a misprediction),
+                    // the speculative result is simply dropped, exactly like
+                    // the inline computation it replaced would never have
+                    // run.
+                    let precomp = st.speculative.remove(&cache_key);
+                    let mut replay: Option<Vec<StructureId>> = None;
+                    // Encoded pre-structure of a shared-store probe that
+                    // missed, kept so the compute path records the result
+                    // without re-encoding.
+                    let mut shared_input: Option<Vec<u64>> = None;
+                    if config.transfer_cache {
+                        let local_hit = {
+                            let EngineSt { cache, metrics, .. } = &mut *st;
+                            cache.get(&cache_key, metrics).map(|entry| {
+                                (
+                                    entry.posts.clone(),
+                                    entry.violations.clone(),
+                                    entry.peak_post_nodes,
+                                )
+                            })
+                        };
+                        if let Some((posts, violations, peak_post_nodes)) = local_hit {
+                            st.metrics.counters.add(Counter::TransferCacheHits, 1);
+                            if !violations.is_empty() {
+                                for (label, definite) in &violations {
+                                    st.note_violation(edge.line, label, *definite);
                                 }
-                                collect_failing_sites(instance, &s, &mut failing_sites);
+                                st.note_failing_structure(instance, &s);
                             }
-                            peak_nodes = peak_nodes.max(hit.peak_post_nodes);
-                            // Stored posts are the exact canonical blur
-                            // outputs of the original compute, so interning
-                            // them replays the cold run's id assignment.
-                            let posts: Vec<StructureId> =
-                                hit.posts.into_iter().map(|p| interner.intern(p)).collect();
-                            cache.insert(
-                                cache_key,
-                                TransferEntry {
-                                    posts: posts.clone(),
-                                    violations: hit.violations,
-                                    peak_post_nodes: hit.peak_post_nodes,
-                                },
-                                &mut metrics,
-                            );
+                            st.raise_peak_nodes(peak_post_nodes);
                             replay = Some(posts);
                         } else {
-                            metrics.counters.add(Counter::SharedCacheMisses, 1);
-                            shared_input = Some(words);
+                            let probe = match st.shared_scope.as_ref() {
+                                Some(scope) => {
+                                    let words = s.to_words();
+                                    match scope.probe(cache_key.0, &words, table) {
+                                        Some(hit) => Some(Ok(hit)),
+                                        None => Some(Err(words)),
+                                    }
+                                }
+                                None => None,
+                            };
+                            match probe {
+                                Some(Ok(hit)) => {
+                                    // A shared hit replaces — not joins — the
+                                    // local miss: the pipeline is skipped, so
+                                    // only `SharedCacheHits` advances and a
+                                    // warm corpus run reports strictly fewer
+                                    // transfer-cache misses than a cold one.
+                                    st.metrics.counters.add(Counter::SharedCacheHits, 1);
+                                    if !hit.violations.is_empty() {
+                                        for (label, definite) in &hit.violations {
+                                            st.note_violation(edge.line, label, *definite);
+                                        }
+                                        st.note_failing_structure(instance, &s);
+                                    }
+                                    st.raise_peak_nodes(hit.peak_post_nodes);
+                                    // Stored posts are the exact canonical
+                                    // blur outputs of the original compute,
+                                    // so interning them replays the cold
+                                    // run's id assignment.
+                                    let posts: Vec<StructureId> = hit
+                                        .posts
+                                        .into_iter()
+                                        .map(|p| st.interner.intern(p))
+                                        .collect();
+                                    {
+                                        let EngineSt { cache, metrics, .. } = &mut *st;
+                                        cache.insert(
+                                            cache_key,
+                                            TransferEntry {
+                                                posts: posts.clone(),
+                                                violations: hit.violations,
+                                                peak_post_nodes: hit.peak_post_nodes,
+                                            },
+                                            metrics,
+                                        );
+                                    }
+                                    replay = Some(posts);
+                                }
+                                Some(Err(words)) => {
+                                    st.metrics.counters.add(Counter::SharedCacheMisses, 1);
+                                    shared_input = Some(words);
+                                }
+                                None => {}
+                            }
                         }
                     }
-                }
-                let post_ids = match replay {
-                    Some(posts) => posts,
-                    None => {
-                        if config.transfer_cache {
-                            metrics.counters.add(Counter::TransferCacheMisses, 1);
-                        }
-                        // Consume the precomputed transfer if phase 2
-                        // produced one for this application; otherwise
-                        // (speculation off, below the fan-out threshold,
-                        // cancelled before start) compute inline. Both sides
-                        // are `compute_transfer` on identical inputs, so the
-                        // merged-in metrics and the results are
-                        // byte-identical either way.
-                        let (blurred, violations, peak_post_nodes) = match precomp {
-                            Some(c) => {
-                                metrics.merge(&c.metrics);
-                                (c.posts, c.violations, c.peak_post_nodes)
-                            }
-                            None => compute_transfer(
-                                action,
-                                &s,
-                                table,
-                                &plan,
-                                config.focus_limit,
-                                &mut metrics,
-                            ),
-                        };
-                        if !violations.is_empty() {
-                            for (label, definite) in &violations {
-                                errors
-                                    .entry((edge.line, label.clone()))
-                                    .and_modify(|d| *d |= *definite)
-                                    .or_insert(*definite);
-                            }
-                            collect_failing_sites(instance, &s, &mut failing_sites);
-                        }
-                        let mut posts = Vec::with_capacity(blurred.len());
-                        for keyed in blurred {
-                            posts.push(interner.intern(keyed));
-                        }
-                        peak_nodes = peak_nodes.max(peak_post_nodes);
-                        if let (Some(scope), Some(input)) =
-                            (shared_scope.as_mut(), shared_input.take())
-                        {
-                            let post_words = posts
-                                .iter()
-                                .map(|&id| interner.resolve(id).to_words())
-                                .collect();
-                            scope.record(
-                                cache_key.0,
-                                input,
-                                post_words,
-                                violations.clone(),
-                                peak_post_nodes,
-                            );
-                        }
-                        if config.transfer_cache {
-                            cache.insert(
-                                cache_key,
-                                TransferEntry {
-                                    posts: posts.clone(),
-                                    violations,
-                                    peak_post_nodes,
-                                },
-                                &mut metrics,
-                            );
-                        }
-                        posts
-                    }
-                };
-                for keyed_id in post_ids {
-                    let key = metrics.time(Phase::Merge, || {
-                        merge_key(&mut interner, keyed_id, instance, config.merge)
-                    });
-                    match states[edge.to].get(&key) {
+                    let post_ids = match replay {
+                        Some(posts) => posts,
                         None => {
-                            live_structures += 1;
-                            peak_structures = peak_structures.max(live_structures);
-                            states[edge.to].insert(key, keyed_id);
-                            worklist.push(Reverse((rpo[edge.to], seq, edge.to, keyed_id)));
-                            seq += 1;
-                            metrics.counters.add(Counter::WorklistPushes, 1);
-                            metrics
-                                .counters
-                                .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
-                        }
-                        Some(&existing) if existing == keyed_id => {}
-                        Some(&existing) => {
-                            // Join into the existing representative. The raw
-                            // union may violate uniqueness/functionality
-                            // constraints across the merged states; weaken
-                            // those conflicts to 1/2 so coerce does not
-                            // discard the join.
-                            metrics.counters.add(Counter::MergeJoins, 1);
-                            let merged = metrics.time(Phase::Merge, || {
-                                let ex = interner.resolve(existing);
-                                let ky = interner.resolve(keyed_id);
-                                blur(
-                                    &hetsep_tvl::merge::weaken_union_conflicts(
-                                        &ex.union(ky),
-                                        table,
-                                    ),
-                                    table,
-                                )
-                            });
-                            let merged_id = interner.intern(merged);
-                            if merged_id != existing {
-                                states[edge.to].insert(key, merged_id);
-                                worklist.push(Reverse((rpo[edge.to], seq, edge.to, merged_id)));
-                                seq += 1;
-                                metrics.counters.add(Counter::WorklistPushes, 1);
-                                metrics
-                                    .counters
-                                    .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
+                            if config.transfer_cache {
+                                st.metrics.counters.add(Counter::TransferCacheMisses, 1);
                             }
+                            // Consume the precomputed transfer if phase 2
+                            // produced one for this application; otherwise
+                            // (speculation off, below the fan-out threshold,
+                            // cancelled before start) compute inline. Both
+                            // sides are `compute_transfer` on identical
+                            // inputs, so the merged-in metrics and the
+                            // results are byte-identical either way.
+                            let (blurred, violations, peak_post_nodes) = match precomp {
+                                Some(c) => {
+                                    st.metrics.merge(&c.metrics);
+                                    (c.posts, c.violations, c.peak_post_nodes)
+                                }
+                                None => {
+                                    let EngineSt { metrics, .. } = &mut *st;
+                                    compute_transfer(
+                                        action,
+                                        &s,
+                                        table,
+                                        &ctx.plan,
+                                        config.focus_limit,
+                                        metrics,
+                                    )
+                                }
+                            };
+                            if !violations.is_empty() {
+                                for (label, definite) in &violations {
+                                    st.note_violation(edge.line, label, *definite);
+                                }
+                                st.note_failing_structure(instance, &s);
+                            }
+                            let mut posts = Vec::with_capacity(blurred.len());
+                            for keyed in blurred {
+                                posts.push(st.interner.intern(keyed));
+                            }
+                            st.raise_peak_nodes(peak_post_nodes);
+                            if shared_input.is_some() {
+                                let EngineSt {
+                                    interner,
+                                    shared_scope,
+                                    ..
+                                } = &mut *st;
+                                if let (Some(scope), Some(input)) =
+                                    (shared_scope.as_mut(), shared_input.take())
+                                {
+                                    let post_words = posts
+                                        .iter()
+                                        .map(|&id| interner.resolve(id).to_words())
+                                        .collect();
+                                    scope.record(
+                                        cache_key.0,
+                                        input,
+                                        post_words,
+                                        violations.clone(),
+                                        peak_post_nodes,
+                                    );
+                                }
+                            }
+                            if config.transfer_cache {
+                                let EngineSt { cache, metrics, .. } = &mut *st;
+                                cache.insert(
+                                    cache_key,
+                                    TransferEntry {
+                                        posts: posts.clone(),
+                                        violations,
+                                        peak_post_nodes,
+                                    },
+                                    metrics,
+                                );
+                            }
+                            posts
                         }
+                    };
+                    for keyed_id in post_ids {
+                        commit_post(
+                            ctx, st, states, worklist, seq, base, edge.to, keyed_id, &mut sink,
+                        );
                     }
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Commits one post-structure at node `to` of the caller's state slice:
+/// merge-keys it, joins or inserts per the merge policy, and pushes changed
+/// representatives onto the caller's worklist. Arrivals at a region sink's
+/// exit node are collected instead (deduplicated, arrival order) — the
+/// region's caller commits them against its own states.
+#[allow(clippy::too_many_arguments)]
+fn commit_post(
+    ctx: &EngineCtx<'_>,
+    st: &mut EngineSt<'_>,
+    states: &mut [HashMap<MergeKey, StructureId>],
+    worklist: &mut BinaryHeap<Reverse<(u32, u64, usize, StructureId)>>,
+    seq: &mut u64,
+    base: usize,
+    to: usize,
+    keyed_id: StructureId,
+    sink: &mut Option<RegionSink<'_>>,
+) {
+    if let Some(sink) = sink.as_mut() {
+        if to == sink.exit {
+            if sink.seen.insert(keyed_id) {
+                sink.exits.push(keyed_id);
+            }
+            return;
         }
     }
-
-    if let Some(scope) = shared_scope.take() {
-        scope.finish();
-    }
-
-    let reports: Vec<ErrorReport> = errors
-        .into_iter()
-        .map(|((line, label), definite)| ErrorReport {
-            line,
-            label,
-            definite,
+    let key = {
+        let EngineSt {
+            metrics, interner, ..
+        } = &mut *st;
+        metrics.time(Phase::Merge, || {
+            merge_key(interner, keyed_id, ctx.instance, ctx.config.merge)
         })
-        .collect();
-
-    metrics.counters.add(Counter::InternHits, interner.hits());
-    metrics
-        .counters
-        .add(Counter::InternMisses, interner.misses());
-    metrics.per_location = states
-        .iter()
-        .map(|m| u32::try_from(m.len()).unwrap_or(u32::MAX))
-        .collect();
-
-    RunResult {
-        errors: dedup_reports(reports),
-        failing_sites,
-        stats: RunStats {
-            visits,
-            structures: peak_structures,
-            distinct_structures: interner.len(),
-            peak_nodes,
-            wall: start.elapsed(),
-            locations: n_nodes,
-            metrics,
-        },
-        outcome,
+    };
+    match states[to - base].get(&key) {
+        None => {
+            st.bump_live();
+            states[to - base].insert(key, keyed_id);
+            worklist.push(Reverse((ctx.rpo[to], *seq, to, keyed_id)));
+            *seq += 1;
+            st.metrics.counters.add(Counter::WorklistPushes, 1);
+            st.metrics
+                .counters
+                .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
+        }
+        Some(&existing) if existing == keyed_id => {}
+        Some(&existing) => {
+            // Join into the existing representative. The raw union may
+            // violate uniqueness/functionality constraints across the merged
+            // states; weaken those conflicts to 1/2 so coerce does not
+            // discard the join.
+            st.metrics.counters.add(Counter::MergeJoins, 1);
+            let table = &ctx.instance.vocab.table;
+            let merged = {
+                let EngineSt {
+                    metrics, interner, ..
+                } = &mut *st;
+                metrics.time(Phase::Merge, || {
+                    let ex = interner.resolve(existing);
+                    let ky = interner.resolve(keyed_id);
+                    blur(
+                        &hetsep_tvl::merge::weaken_union_conflicts(&ex.union(ky), table),
+                        table,
+                    )
+                })
+            };
+            let merged_id = st.interner.intern(merged);
+            if merged_id != existing {
+                states[to - base].insert(key, merged_id);
+                worklist.push(Reverse((ctx.rpo[to], *seq, to, merged_id)));
+                *seq += 1;
+                st.metrics.counters.add(Counter::WorklistPushes, 1);
+                st.metrics
+                    .counters
+                    .raise(Counter::WorklistPeakDepth, worklist.len() as u64);
+            }
+        }
     }
 }
 
-/// Records the allocation sites of the chosen objects of a violating
-/// pre-state (paper §4.2: allocation-site based identification of failed
-/// individuals).
+/// Evaluates a call region for one entry structure: the memoized layer over
+/// [`compute_region`]. With summaries off the region is recomputed every
+/// time — same nested drain, no memo — so results cannot depend on the flag.
 ///
-/// A site fails iff some individual is possibly `chosen` *and* possibly
-/// carries the site's predicate; with bit-packed structures that is one
-/// word-parallel maybe-mask intersection per site
-/// ([`Structure::maybe_overlap`]) instead of a node × site probe loop.
-fn collect_failing_sites(
-    instance: &AnalysisInstance,
-    s: &Structure,
-    failing: &mut HashSet<SiteId>,
-) {
-    let table = &instance.vocab.table;
-    let Some(chosen) = instance.vocab.chosen else {
-        return;
-    };
-    for (&site, &pred) in &instance.vocab.site_preds {
-        if s.maybe_overlap(table, chosen, pred) {
-            failing.insert(site);
+/// Counter discipline: every evaluation counts [`Counter::CallEvaluations`]
+/// and exactly one of [`Counter::SummaryHits`] (replayed) or
+/// [`Counter::SummaryMisses`] (computed, or a memo/shared hit refused by the
+/// budget guard). A shared-store hit additionally counts
+/// [`Counter::SharedSummaryHits`], whether or not it is replayable.
+fn eval_region(
+    ctx: &EngineCtx<'_>,
+    st: &mut EngineSt<'_>,
+    region_ix: usize,
+    input: StructureId,
+) -> Result<Rc<RegionSummary>, Stop> {
+    if !ctx.summaries_active {
+        return compute_region(ctx, st, region_ix, input, false);
+    }
+    st.metrics.counters.add(Counter::CallEvaluations, 1);
+    let key = (ctx.region_contents[region_ix], input);
+    let mut memoized = st.memo.get(&key).cloned();
+    if memoized.is_none() {
+        let hit = match st.summary_scope.as_ref() {
+            Some(scope) => {
+                let words = st.interner.resolve(input).to_words();
+                scope.probe(key.0, &words, &ctx.instance.vocab.table)
+            }
+            None => None,
+        };
+        if let Some(hit) = hit {
+            st.metrics.counters.add(Counter::SharedSummaryHits, 1);
+            // Stored exits are the exact canonical structures of the
+            // original nested drain, so interning them replays the cold
+            // run's id assignment.
+            let mut exits = Vec::with_capacity(hit.exits.len());
+            for x in hit.exits {
+                exits.push(st.interner.intern(x));
+            }
+            let mut failing: Vec<SiteId> = hit
+                .failing_preds
+                .iter()
+                .filter_map(|p| ctx.site_of_pred.get(p).copied())
+                .collect();
+            failing.sort_unstable();
+            let summary = Rc::new(RegionSummary {
+                exits,
+                violations: hit.violations,
+                failing,
+                visits: hit.visits,
+                peak_extra: hit.peak_extra,
+                peak_nodes: hit.peak_nodes,
+            });
+            st.memo.insert(key, summary.clone());
+            memoized = Some(summary);
         }
     }
+    if let Some(summary) = memoized {
+        if st.replay_fits(&summary, ctx.config) {
+            st.metrics.counters.add(Counter::SummaryHits, 1);
+            st.replay(ctx, &summary);
+            return Ok(summary);
+        }
+        st.metrics.counters.add(Counter::SummaryMisses, 1);
+        return compute_region(ctx, st, region_ix, input, false);
+    }
+    st.metrics.counters.add(Counter::SummaryMisses, 1);
+    compute_region(ctx, st, region_ix, input, true)
+}
+
+/// Runs a call region as a nested subproblem of one entry structure:
+/// region-local states and worklist, drained by the same batched loop as
+/// the global run (sharing the interner, caches and counters through `st`).
+/// Region-local structures are discarded when the drain finishes — only the
+/// exit structures escape, committed by the caller — so `N` spliced copies
+/// of a procedure cost one body's peak footprint at a time, not `N`.
+fn compute_region(
+    ctx: &EngineCtx<'_>,
+    st: &mut EngineSt<'_>,
+    region_ix: usize,
+    input: StructureId,
+    record: bool,
+) -> Result<Rc<RegionSummary>, Stop> {
+    let region = &ctx.instance.cfg.regions()[region_ix];
+    let entry = region.entry.index();
+    let base = region.nodes().start;
+    let live_base = st.live;
+    let visits_base = st.visits;
+    st.recorders.push(Recorder {
+        live_base,
+        peak_extra: 0,
+        peak_nodes: 0,
+        violations: HashMap::new(),
+        failing: HashSet::new(),
+    });
+    let mut states: Vec<HashMap<MergeKey, StructureId>> =
+        vec![HashMap::new(); region.nodes().len()];
+    let mut worklist: BinaryHeap<Reverse<(u32, u64, usize, StructureId)>> = BinaryHeap::new();
+    let mut exits: Vec<StructureId> = Vec::new();
+    // Region drains only run under the powerset policy, so the entry seed's
+    // merge key is its own id — no timed merge-key pass, and the input is
+    // not re-counted against the live total (it is already stored at the
+    // caller's entry-node state).
+    states[entry - base].insert(MergeKey::Whole(input), input);
+    let mut seq: u64 = 0;
+    worklist.push(Reverse((ctx.rpo[entry], seq, entry, input)));
+    seq += 1;
+    let sink = RegionSink {
+        exit: region.exit.index(),
+        exits: &mut exits,
+        seen: HashSet::new(),
+    };
+    drain(
+        ctx,
+        st,
+        &mut states,
+        &mut worklist,
+        &mut seq,
+        base,
+        Some(entry),
+        Some(sink),
+        false,
+    )?;
+    let rec = st.recorders.pop().expect("recorder pushed above");
+    st.live = live_base;
+    let mut violations: Vec<(u32, String, bool)> = rec
+        .violations
+        .into_iter()
+        .map(|((line, label), definite)| (line, label, definite))
+        .collect();
+    violations.sort();
+    let mut failing: Vec<SiteId> = rec.failing.into_iter().collect();
+    failing.sort_unstable();
+    let summary = Rc::new(RegionSummary {
+        exits,
+        violations,
+        failing,
+        visits: st.visits - visits_base,
+        peak_extra: rec.peak_extra,
+        peak_nodes: rec.peak_nodes,
+    });
+    if record {
+        st.memo
+            .insert((ctx.region_contents[region_ix], input), summary.clone());
+        if let Some(mut scope) = st.summary_scope.take() {
+            let input_words = st.interner.resolve(input).to_words();
+            let exit_words: Vec<Vec<u64>> = summary
+                .exits
+                .iter()
+                .map(|&x| st.interner.resolve(x).to_words())
+                .collect();
+            let mut failing_preds: Vec<u32> = summary
+                .failing
+                .iter()
+                .filter_map(|s| ctx.pred_of_site.get(s).copied())
+                .collect();
+            failing_preds.sort_unstable();
+            scope.record(
+                ctx.region_contents[region_ix],
+                input_words,
+                exit_words,
+                summary.violations.clone(),
+                failing_preds,
+                summary.visits,
+                summary.peak_extra,
+                summary.peak_nodes,
+            );
+            st.summary_scope = Some(scope);
+        }
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]

@@ -328,24 +328,30 @@ impl TransferStore {
     }
 }
 
-const MAGIC: &[u8] = b"HSEPTC01";
+/// Magic prefix of a standalone transfer-store file (also the legacy format
+/// accepted by [`crate::summary::CacheFile::from_bytes`]).
+pub(crate) const MAGIC: &[u8] = b"HSEPTC01";
 
-fn push_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
     push_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    at: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
         if self.at + len > self.bytes.len() {
             return Err("truncated store".into());
         }
@@ -354,19 +360,19 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn byte(&mut self) -> Result<u8, String> {
+    pub(crate) fn byte(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         let len = self.u32()? as usize;
         String::from_utf8(self.take(len)?.to_vec()).map_err(|e| format!("bad utf8: {e}"))
     }

@@ -30,6 +30,7 @@ use hetsep_tvl::telemetry::{Counter, Event, EventSink, NullSink, Phase, RunMetri
 
 use crate::engine::{run_shared, AnalysisOutcome, EngineConfig, RunResult, RunStats};
 use crate::jobcache::SharedTransferSession;
+use crate::summary::SharedSummarySession;
 use crate::report::{dedup_reports, ErrorReport, VerifyError};
 use crate::translate::{translate, TranslateOptions};
 use crate::vocab::SiteId;
@@ -483,6 +484,7 @@ fn site_options(base: &TranslateOptions, choice_ix: usize, site: SiteId) -> Tran
 /// (on any path, including single-threaded), and in-flight runs abort at
 /// their next poll — the verification is inconclusive at that point either
 /// way, so the remaining work only refines an already-incomplete report.
+#[allow(clippy::too_many_arguments)]
 fn run_sites(
     program: &Program,
     spec: &Spec,
@@ -491,12 +493,13 @@ fn run_sites(
     sites: &[SiteId],
     config: &EngineConfig,
     shared: Option<&SharedTransferSession<'_>>,
+    summaries: Option<&SharedSummarySession<'_>>,
 ) -> Result<Vec<(SiteId, RunResult)>, VerifyError> {
     let threads = config.parallel.effective_threads().clamp(1, sites.len().max(1));
     let cancel = AtomicBool::new(false);
     let slots = crate::parallel::map_ordered(sites, threads, &cancel, |_, &site, flag| {
         let result = translate(program, spec, &site_options(base, choice_ix, site))
-            .map(|inst| run_shared(&inst, config, Some(flag), shared));
+            .map(|inst| run_shared(&inst, config, Some(flag), shared, summaries));
         if result.is_err() {
             flag.store(true, Ordering::Relaxed);
         }
@@ -552,6 +555,7 @@ pub struct Verifier<'a> {
     config: EngineConfig,
     sink: Option<&'a mut dyn EventSink>,
     shared: Option<&'a SharedTransferSession<'a>>,
+    summaries: Option<&'a SharedSummarySession<'a>>,
 }
 
 impl<'a> Verifier<'a> {
@@ -565,6 +569,7 @@ impl<'a> Verifier<'a> {
             config: EngineConfig::default(),
             sink: None,
             shared: None,
+            summaries: None,
         }
     }
 
@@ -636,6 +641,28 @@ impl<'a> Verifier<'a> {
         self
     }
 
+    /// Enables or disables per-procedure summary memoization (see
+    /// [`EngineConfig::summaries`]). The nested region drain is a pure
+    /// function of its `(region content, input structure)` key, so verdicts,
+    /// error sets and `visits`/`space` statistics are byte-identical with
+    /// summaries on or off — only the summary counters and wall-clock time
+    /// change. On by default.
+    pub fn with_summaries(mut self, on: bool) -> Verifier<'a> {
+        self.config.summaries = on;
+        self
+    }
+
+    /// Attaches a cross-job shared summary session (see [`crate::summary`]):
+    /// in-run summary-memo misses probe the session's store snapshot by
+    /// region content, and computed region summaries are recorded into the
+    /// session's delta for future jobs. Observation-equivalent, like
+    /// [`Verifier::shared_cache`] one level up. Requires summaries (on by
+    /// default) to have any effect.
+    pub fn shared_summaries(mut self, session: &'a SharedSummarySession<'a>) -> Verifier<'a> {
+        self.summaries = Some(session);
+        self
+    }
+
     /// Runs the verification.
     ///
     /// # Errors
@@ -650,6 +677,7 @@ impl<'a> Verifier<'a> {
             config,
             sink,
             shared,
+            summaries,
         } = self;
         let mut null = NullSink;
         let sink: &mut dyn EventSink = match sink {
@@ -657,7 +685,7 @@ impl<'a> Verifier<'a> {
             None => &mut null,
         };
         let start = Instant::now();
-        let mut report = verify_inner(program, spec, &mode, &config, shared)?;
+        let mut report = verify_inner(program, spec, &mode, &config, shared, summaries)?;
         report.elapsed_wall = start.elapsed();
         if sink.enabled() {
             emit_report(&report, sink);
@@ -709,7 +737,7 @@ pub fn verify_with_sink(
     sink: &mut dyn EventSink,
 ) -> Result<VerificationReport, VerifyError> {
     let start = Instant::now();
-    let mut report = verify_inner(program, spec, mode, config, None)?;
+    let mut report = verify_inner(program, spec, mode, config, None, None)?;
     report.elapsed_wall = start.elapsed();
     if sink.enabled() {
         emit_report(&report, sink);
@@ -790,13 +818,14 @@ pub(crate) fn verify_inner(
     mode: &Mode,
     config: &EngineConfig,
     shared: Option<&SharedTransferSession<'_>>,
+    summaries: Option<&SharedSummarySession<'_>>,
 ) -> Result<VerificationReport, VerifyError> {
     match mode {
         Mode::Vanilla => {
             let inst = translate(program, spec, &TranslateOptions::default())?;
             let mut report = VerificationReport::empty();
             report.stages_run = 1;
-            report.absorb(None, run_shared(&inst, config, None, shared));
+            report.absorb(None, run_shared(&inst, config, None, shared, summaries));
             Ok(report.finish())
         }
         Mode::Separation {
@@ -817,7 +846,7 @@ pub(crate) fn verify_inner(
             report.stages_run = 1;
             if *simultaneous {
                 let inst = translate(program, spec, &base)?;
-                report.absorb(None, run_shared(&inst, config, None, shared));
+                report.absorb(None, run_shared(&inst, config, None, shared, summaries));
                 return Ok(report.finish());
             }
             // Non-simultaneous: one run per allocation site of the first
@@ -829,7 +858,7 @@ pub(crate) fn verify_inner(
                 .position(|c| c.mode == ChoiceMode::Some);
             match first_some {
                 None => {
-                    report.absorb(None, run_shared(&probe, config, None, shared));
+                    report.absorb(None, run_shared(&probe, config, None, shared, summaries));
                 }
                 Some(choice_ix) => {
                     let class = &stage.choices[choice_ix].class;
@@ -837,7 +866,7 @@ pub(crate) fn verify_inner(
                     if sites.is_empty() {
                         // Nothing of the chosen class is ever allocated: a
                         // single (cheap) run covers the empty family.
-                        report.absorb(None, run_shared(&probe, config, None, shared));
+                        report.absorb(None, run_shared(&probe, config, None, shared, summaries));
                     }
                     // Pruning pre-pass: both preanalysis generations run
                     // once and every site either proves safe is skipped
@@ -857,7 +886,7 @@ pub(crate) fn verify_inner(
                         .filter(|s| !safe.contains(s))
                         .collect();
                     let mut results =
-                        run_sites(program, spec, &base, choice_ix, &to_run, config, shared)?
+                        run_sites(program, spec, &base, choice_ix, &to_run, config, shared, summaries)?
                             .into_iter()
                             .peekable();
                     // Merge in original site order so reports are identical
@@ -899,7 +928,7 @@ pub(crate) fn verify_inner(
                     ..TranslateOptions::default()
                 };
                 let inst = translate(program, spec, &options)?;
-                let result = run_shared(&inst, config, None, shared);
+                let result = run_shared(&inst, config, None, shared, summaries);
                 report.stages_run = ix + 1;
                 let stage_errors = result.errors.clone();
                 last_stage_complete = result.outcome == AnalysisOutcome::Complete;

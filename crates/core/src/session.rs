@@ -258,6 +258,10 @@ impl Session {
                     cache_misses: c(Counter::TransferCacheMisses),
                     shared_hits: c(Counter::SharedCacheHits),
                     shared_misses: c(Counter::SharedCacheMisses),
+                    call_evaluations: c(Counter::CallEvaluations),
+                    summary_hits: c(Counter::SummaryHits),
+                    summary_misses: c(Counter::SummaryMisses),
+                    shared_summary_hits: c(Counter::SharedSummaryHits),
                     errors: r
                         .errors
                         .iter()
@@ -343,6 +347,7 @@ impl Session {
             lint_cache_hits: self.workspace.lint_cache_hits(),
             store_entries: self.workspace.store().entry_count() as u64,
             store_structures: self.workspace.store().structure_count() as u64,
+            summary_entries: self.workspace.summary_store().entry_count() as u64,
         }
     }
 }

@@ -42,6 +42,7 @@ use hetsep_strategy::ast::Strategy;
 use crate::engine::EngineConfig;
 use crate::jobcache::{SharedTransferSession, TransferStore};
 use crate::modes::{verify_inner, Mode, ModeKind, VerificationReport};
+use crate::summary::{SharedSummarySession, SummaryStore};
 use crate::report::VerifyError;
 
 /// FNV-1a 64-bit content fingerprint, rendered as 16 hex digits on the
@@ -201,6 +202,7 @@ pub struct Workspace {
     specs: ArtifactSet<Spec>,
     strategies: ArtifactSet<Strategy>,
     store: TransferStore,
+    summaries: SummaryStore,
     config: EngineConfig,
     /// Memoized lint batches per artifact triple. Artifacts are
     /// content-addressed and immutable, so a key hit is exact — the cache
@@ -347,6 +349,20 @@ impl Workspace {
         self.store = store;
     }
 
+    /// The mounted cross-request summary store (see [`crate::summary`]) —
+    /// whole call-region evaluations memoized across requests, one level
+    /// above the per-transfer store.
+    pub fn summary_store(&self) -> &SummaryStore {
+        &self.summaries
+    }
+
+    /// Mounts a summary store, replacing the current one. Like
+    /// [`Workspace::mount_store`], verdicts never depend on it — only the
+    /// summary counters and wall-clock do.
+    pub fn mount_summary_store(&mut self, store: SummaryStore) {
+        self.summaries = store;
+    }
+
     /// Lints a registered artifact triple through `hetsep-analysis`'s
     /// `lint_all`, memoizing the full diagnostic batch: registered
     /// artifacts never change, so a repeated triple is a lookup, not a
@@ -400,10 +416,20 @@ impl Workspace {
         let spec = self.spec(request.spec);
         let start = Instant::now();
         let session = SharedTransferSession::new(&self.store);
-        let mut report = verify_inner(program, spec, &mode, &self.config, Some(&session))?;
+        let summary_session = SharedSummarySession::new(&self.summaries);
+        let mut report = verify_inner(
+            program,
+            spec,
+            &mode,
+            &self.config,
+            Some(&session),
+            Some(&summary_session),
+        )?;
         report.elapsed_wall = start.elapsed();
         let deltas = session.into_deltas();
         self.store.absorb(deltas);
+        let summary_deltas = summary_session.into_deltas();
+        self.summaries.absorb(summary_deltas);
         Ok(VerifyOutput { report, kind })
     }
 }

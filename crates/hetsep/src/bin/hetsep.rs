@@ -167,6 +167,7 @@ fn cmd_verify(o: &Options) -> Result<ExitCode, String> {
         phase_timings: o.metrics,
         preanalysis: o.preanalysis,
         transfer_cache: o.transfer_cache,
+        summaries: o.summaries,
         ..EngineConfig::default()
     };
     // The trace sink outlives the builder; NullSink when --trace is absent.
@@ -349,7 +350,7 @@ fn cmd_check(o: &Options) -> Result<ExitCode, String> {
 }
 
 fn cmd_corpus(o: &Options) -> Result<ExitCode, String> {
-    use hetsep::core::TransferStore;
+    use hetsep::core::CacheFile;
     use hetsep::corpus::{corpus_engine_config, corpus_jobs};
     use hetsep::sched::{run_batch, BatchConfig};
     use hetsep::suite::corpus::CorpusConfig;
@@ -358,25 +359,28 @@ fn cmd_corpus(o: &Options) -> Result<ExitCode, String> {
         jobs: o.jobs,
         seed: o.seed,
     });
-    let mut store = match &o.cache_path {
+    let mut cache = match &o.cache_path {
         Some(path) if std::path::Path::new(path).exists() => {
-            let store = TransferStore::load(std::path::Path::new(path))?;
+            let cache = CacheFile::load(std::path::Path::new(path))?;
             if !o.quiet {
                 eprintln!(
-                    "cache loaded from {path}: {} transfer(s), {} structure(s)",
-                    store.entry_count(),
-                    store.structure_count()
+                    "cache loaded from {path}: {} transfer(s), {} structure(s), {} summar(ies)",
+                    cache.transfers.entry_count(),
+                    cache.transfers.structure_count(),
+                    cache.summaries.entry_count()
                 );
             }
-            store
+            cache
         }
-        _ => TransferStore::new(),
+        _ => CacheFile::new(),
     };
+    let mut engine = corpus_engine_config();
+    engine.summaries = o.summaries;
     let config = BatchConfig {
         workers: o.workers.max(1),
-        engine: corpus_engine_config(),
+        engine,
     };
-    let result = run_batch(&jobs, &config, &mut store);
+    let result = run_batch(&jobs, &config, &mut cache.transfers, &mut cache.summaries);
     if let Some(path) = &o.json_path {
         let mut out = String::from("[\n");
         for (ix, outcome) in result.outcomes.iter().enumerate() {
@@ -391,14 +395,15 @@ fn cmd_corpus(o: &Options) -> Result<ExitCode, String> {
         }
     }
     if let Some(path) = &o.cache_path {
-        store
+        cache
             .save(std::path::Path::new(path))
             .map_err(|e| format!("{path}: {e}"))?;
         if !o.quiet {
             eprintln!(
-                "cache saved to {path}: {} transfer(s), {} structure(s)",
-                store.entry_count(),
-                store.structure_count()
+                "cache saved to {path}: {} transfer(s), {} structure(s), {} summar(ies)",
+                cache.transfers.entry_count(),
+                cache.transfers.structure_count(),
+                cache.summaries.entry_count()
             );
         }
     }
@@ -409,7 +414,7 @@ fn cmd_corpus(o: &Options) -> Result<ExitCode, String> {
         eprintln!(
             "{} jobs in {:.2?} ({:.1} jobs/s, workers={}): latency p50 {:.2?} \
              p95 {:.2?} p99 {:.2?}; cache hits={} misses={} shared_hits={} \
-             shared_misses={}",
+             shared_misses={}; summary hits={} misses={} shared_hits={}",
             result.outcomes.len(),
             result.wall,
             result.jobs_per_sec,
@@ -421,6 +426,9 @@ fn cmd_corpus(o: &Options) -> Result<ExitCode, String> {
             result.total(|j| j.cache_misses),
             result.total(|j| j.shared_hits),
             result.total(|j| j.shared_misses),
+            result.total(|j| j.summary_hits),
+            result.total(|j| j.summary_misses),
+            result.total(|j| j.shared_summary_hits),
         );
     }
     Ok(if result.count("failed") == 0 {

@@ -42,6 +42,9 @@ pub struct Options {
     pub preanalysis: bool,
     /// `--no-transfer-cache` clears this.
     pub transfer_cache: bool,
+    /// `--no-summaries` clears this (disables call-region summary
+    /// memoization; verdicts are identical either way).
+    pub summaries: bool,
     /// `--format text|json`.
     pub format: String,
     /// `--deny warnings`.
@@ -78,6 +81,7 @@ impl Default for Options {
             dot: false,
             preanalysis: false,
             transfer_cache: true,
+            summaries: true,
             format: "text".into(),
             deny_warnings: false,
             suite: false,
@@ -107,6 +111,7 @@ const FLAG_SPECS: &[FlagSpec] = &[
     FlagSpec { name: "--preanalysis", value: None, help: "enable the sound subproblem-pruning pre-pass" },
     FlagSpec { name: "--metrics", value: None, help: "print per-phase timings and counters to stderr" },
     FlagSpec { name: "--no-transfer-cache", value: None, help: "disable the exact transfer-function cache" },
+    FlagSpec { name: "--no-summaries", value: None, help: "disable call-region summary memoization (A/B baseline)" },
     FlagSpec { name: "--trace", value: Some("<path>"), help: "stream typed run events as NDJSON to <path>" },
     FlagSpec { name: "--quiet", value: None, help: "suppress the stderr summary (-q)" },
     FlagSpec { name: "--format", value: Some("text|json"), help: "diagnostic output format (default text)" },
@@ -146,7 +151,8 @@ pub const COMMANDS: &[Command] = &[
         requires_positional: true,
         flags: &[
             "--spec", "--strategy", "--mode", "--no-hetero", "--max-visits",
-            "--preanalysis", "--metrics", "--no-transfer-cache", "--trace", "--quiet",
+            "--preanalysis", "--metrics", "--no-transfer-cache", "--no-summaries",
+            "--trace", "--quiet",
         ],
     },
     Command {
@@ -182,7 +188,10 @@ pub const COMMANDS: &[Command] = &[
         summary: "batch a generated corpus over the job scheduler",
         positional: "",
         requires_positional: false,
-        flags: &["--jobs", "--seed", "--workers", "--cache", "--json", "--quiet"],
+        flags: &[
+            "--jobs", "--seed", "--workers", "--cache", "--json", "--no-summaries",
+            "--quiet",
+        ],
     },
     Command {
         name: "serve",
@@ -191,7 +200,7 @@ pub const COMMANDS: &[Command] = &[
         requires_positional: false,
         flags: &[
             "--cache", "--socket", "--max-visits", "--preanalysis",
-            "--no-transfer-cache", "--quiet",
+            "--no-transfer-cache", "--no-summaries", "--quiet",
         ],
     },
 ];
@@ -306,6 +315,7 @@ pub fn parse(cmd: &Command, args: &[String]) -> Result<Parsed, String> {
             "--quiet" => o.quiet = true,
             "--preanalysis" => o.preanalysis = true,
             "--no-transfer-cache" => o.transfer_cache = false,
+            "--no-summaries" => o.summaries = false,
             "--suite" => o.suite = true,
             "--jobs" => {
                 o.jobs = next(&mut it, "--jobs")?
@@ -420,6 +430,7 @@ mod tests {
         assert_eq!(o.cache_path.as_deref(), Some("/tmp/x"));
         assert_eq!(o.max_visits, 99);
         assert!(o.transfer_cache);
+        assert!(o.summaries);
     }
 
     #[test]

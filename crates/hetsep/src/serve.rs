@@ -14,13 +14,14 @@
 //! entry point — only the cache counters (and wall-clock, which the
 //! protocol deliberately omits) differ between a cold and a warm run.
 //!
-//! `--cache <path>` persists the transfer store across daemon restarts,
-//! sharing the on-disk format with `hetsep corpus --cache`.
+//! `--cache <path>` persists the transfer store and summary store across
+//! daemon restarts, sharing the on-disk container format with
+//! `hetsep corpus --cache` (legacy bare transfer-store files still load).
 
 use std::io::{self, BufRead, Write};
 
 use hetsep_core::engine::EngineConfig;
-use hetsep_core::{Session, TransferStore, Workspace};
+use hetsep_core::{CacheFile, Session, Workspace};
 use hetsep_ir::Response;
 
 use crate::options::Options;
@@ -60,43 +61,52 @@ pub fn serve_stream(
 }
 
 /// Builds the daemon's session from the CLI options: engine budget from the
-/// flags, transfer store preloaded from `--cache` when the file exists.
+/// flags, transfer and summary stores preloaded from `--cache` when the
+/// file exists.
 fn build_session(o: &Options) -> Result<Session, String> {
     let config = EngineConfig {
         max_visits: o.max_visits,
         preanalysis: o.preanalysis,
         transfer_cache: o.transfer_cache,
+        summaries: o.summaries,
         ..EngineConfig::default()
     };
     let mut workspace = Workspace::with_config(config);
     if let Some(path) = &o.cache_path {
         if std::path::Path::new(path).exists() {
-            let store = TransferStore::load(std::path::Path::new(path))?;
+            let cache = CacheFile::load(std::path::Path::new(path))?;
             if !o.quiet {
                 eprintln!(
-                    "cache loaded from {path}: {} transfer(s), {} structure(s)",
-                    store.entry_count(),
-                    store.structure_count()
+                    "cache loaded from {path}: {} transfer(s), {} structure(s), {} summar(ies)",
+                    cache.transfers.entry_count(),
+                    cache.transfers.structure_count(),
+                    cache.summaries.entry_count()
                 );
             }
-            workspace.mount_store(store);
+            workspace.mount_store(cache.transfers);
+            workspace.mount_summary_store(cache.summaries);
         }
     }
     Ok(Session::with_workspace(workspace))
 }
 
-/// Saves the session's transfer store back to `--cache`, if given.
+/// Saves the session's transfer and summary stores back to `--cache`, if
+/// given.
 fn save_cache(o: &Options, session: &Session) -> Result<(), String> {
     if let Some(path) = &o.cache_path {
-        let store = session.workspace().store();
-        store
+        let cache = CacheFile {
+            transfers: session.workspace().store().clone(),
+            summaries: session.workspace().summary_store().clone(),
+        };
+        cache
             .save(std::path::Path::new(path))
             .map_err(|e| format!("{path}: {e}"))?;
         if !o.quiet {
             eprintln!(
-                "cache saved to {path}: {} transfer(s), {} structure(s)",
-                store.entry_count(),
-                store.structure_count()
+                "cache saved to {path}: {} transfer(s), {} structure(s), {} summar(ies)",
+                cache.transfers.entry_count(),
+                cache.transfers.structure_count(),
+                cache.summaries.entry_count()
             );
         }
     }

@@ -9,7 +9,7 @@
 
 use hetsep::corpus::{corpus_engine_config, corpus_jobs};
 use hetsep::suite::corpus::CorpusConfig;
-use hetsep_core::TransferStore;
+use hetsep_core::CacheFile;
 use hetsep_prng::XorShift;
 use hetsep_sched::{run_batch, BatchConfig, BatchResult, Job};
 
@@ -17,21 +17,21 @@ fn corpus(jobs: usize) -> Vec<Job> {
     corpus_jobs(&CorpusConfig { jobs, seed: 42 })
 }
 
-fn batch(jobs: &[Job], workers: usize, store: &mut TransferStore) -> BatchResult {
+fn batch(jobs: &[Job], workers: usize, cache: &mut CacheFile) -> BatchResult {
     let cfg = BatchConfig {
         workers,
         engine: corpus_engine_config(),
     };
-    run_batch(jobs, &cfg, store)
+    run_batch(jobs, &cfg, &mut cache.transfers, &mut cache.summaries)
 }
 
 #[test]
 fn results_are_independent_of_worker_count_and_job_order() {
     let jobs = corpus(24);
 
-    let mut store_one = TransferStore::new();
+    let mut store_one = CacheFile::new();
     let one = batch(&jobs, 1, &mut store_one);
-    let mut store_four = TransferStore::new();
+    let mut store_four = CacheFile::new();
     let four = batch(&jobs, 4, &mut store_four);
 
     for (a, b) in one.outcomes.iter().zip(&four.outcomes) {
@@ -43,7 +43,7 @@ fn results_are_independent_of_worker_count_and_job_order() {
     // A shuffled submission order changes neither any job's outcome row.
     let mut shuffled = jobs.clone();
     XorShift::new(7).shuffle(&mut shuffled);
-    let mut store_shuffled = TransferStore::new();
+    let mut store_shuffled = CacheFile::new();
     let mixed = batch(&shuffled, 4, &mut store_shuffled);
     for (job, outcome) in shuffled.iter().zip(&mixed.outcomes) {
         let reference = one
@@ -63,14 +63,14 @@ fn persisted_cache_is_observation_equivalent() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("transfer.cache");
 
-    let mut store = TransferStore::new();
+    let mut store = CacheFile::new();
     let cold = batch(&jobs, 4, &mut store);
     store.save(&path).unwrap();
-    let entries = store.entry_count();
+    let entries = store.transfers.entry_count();
     assert!(entries > 0);
 
-    let mut reloaded = TransferStore::load(&path).unwrap();
-    assert_eq!(reloaded.entry_count(), entries);
+    let mut reloaded = CacheFile::load(&path).unwrap();
+    assert_eq!(reloaded.transfers.entry_count(), entries);
     let warm = batch(&jobs, 4, &mut reloaded);
     std::fs::remove_file(&path).unwrap();
 
@@ -89,5 +89,5 @@ fn persisted_cache_is_observation_equivalent() {
     // and the repeat corpus is a fixed point of the store.
     assert!(warm.total(|o| o.shared_hits) > 0);
     assert!(warm.total(|o| o.cache_misses) < cold.total(|o| o.cache_misses));
-    assert_eq!(reloaded.entry_count(), entries, "no new entries on repeat");
+    assert_eq!(reloaded.transfers.entry_count(), entries, "no new entries on repeat");
 }

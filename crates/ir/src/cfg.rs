@@ -1,28 +1,129 @@
-//! Control-flow graphs.
+//! Control-flow graphs on flat arena storage.
 //!
 //! [`Cfg::build`] lowers a program to a graph whose edges carry primitive
 //! operations ([`CfgOp`]): reference/boolean moves, field loads and stores,
 //! allocations, library calls, and branch assumptions. Program-level
-//! procedures are inlined (recursion is rejected), so the translated analysis
-//! instance is intraprocedural — mirroring the paper's treatment, which
-//! delegates interprocedural structure to [Rinetzky & Sagiv] and notes it
-//! does not interact with separation.
+//! procedure calls are *spliced*: each call site expands the callee body
+//! in place (recursion is rejected), so the translated analysis instance
+//! stays intraprocedural — mirroring the paper's treatment, which delegates
+//! interprocedural structure to [Rinetzky & Sagiv] and notes it does not
+//! interact with separation.
+//!
+//! Unlike the historical inliner, splices are *stable* and *addressable*:
+//!
+//! * Callee-local names are prefixed `{proc}::` (not per-splice counters),
+//!   and compiler temporaries restart per splice (`{proc}::tmp$N`), so the
+//!   spliced body of a procedure is byte-identical at every call site.
+//! * Every splice is recorded as a [`CallRegion`] — a single-entry,
+//!   single-exit range of contiguously numbered nodes and edges — and
+//!   fingerprinted with FNV-1a over its (splice-relative) edge pool slice.
+//!   Identical regions of the same procedure share a fingerprint, which is
+//!   what makes per-procedure summary reuse possible one layer up.
+//! * Node lines, edges, and the adjacency lists live in flat pools (the
+//!   adjacency is CSR: one shared index pool plus per-node offsets), and
+//!   procedures/regions are addressed by the newtype indices [`NodeId`],
+//!   [`EdgeId`], and [`ProcId`].
 
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 
 use crate::ast::{Arg, Block, Cond, Expr, MethodDecl, Place, Program, Stmt};
+use crate::diag::Diagnostic;
 
-/// Maximum procedure-inlining depth (guards against mutual recursion blowup).
-const MAX_INLINE_DEPTH: usize = 64;
+/// Maximum procedure-splicing depth (guards against nested-call blowup).
+const MAX_CALL_DEPTH: usize = 64;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over raw bytes.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A typed index of a CFG node in the flat node pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+/// A typed index of a CFG edge in the flat edge pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(u32);
+
+/// A typed index of a spliced procedure in [`Cfg::procs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(u32);
+
+macro_rules! index_newtype {
+    ($name:ident) => {
+        impl $name {
+            /// Wraps a pool index.
+            pub fn from_index(ix: usize) -> Self {
+                $name(u32::try_from(ix).expect("pool index fits in u32"))
+            }
+
+            /// The underlying pool index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+index_newtype!(NodeId);
+index_newtype!(EdgeId);
+index_newtype!(ProcId);
 
 /// An error produced during CFG construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CfgError {
+    /// Stable diagnostic code (`E014`–`E022`).
+    pub code: &'static str,
     /// Explanation of the error.
     pub message: String,
     /// 1-based source line.
     pub line: u32,
+    /// Offending source token, when one exists (drives caret spans).
+    pub snippet: Option<String>,
+}
+
+impl CfgError {
+    /// Renders the error as a [`Diagnostic`] with its stable code and,
+    /// when a snippet is known, a caret span locatable in the source.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let d = Diagnostic::error(self.code, self.message.clone(), self.line);
+        match &self.snippet {
+            Some(s) => d.with_snippet(s.clone()),
+            None => d,
+        }
+    }
 }
 
 impl fmt::Display for CfgError {
@@ -147,15 +248,74 @@ pub struct CfgEdge {
     pub line: u32,
 }
 
-/// A control-flow graph with typed variables.
+/// A procedure whose body was spliced into the CFG at least once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcInfo {
+    /// Source-level procedure name.
+    pub name: String,
+    /// FNV-1a fingerprint of the procedure's spliced body (splice-relative,
+    /// so it is independent of where in the CFG the body landed). For the
+    /// entry procedure this covers the whole edge pool.
+    pub fingerprint: u64,
+}
+
+/// One splice of a procedure body: a single-entry, single-exit subgraph
+/// occupying a contiguous range of the node and edge pools.
+///
+/// The entry node's only interior role is to start the region; the exit
+/// node is the unique join all `return`s and the fall-through path reach.
+/// Parameter binding and result copy-out happen *outside* the region, so
+/// two regions of the same procedure have byte-identical interiors (same
+/// variable names, same relative topology, same source lines) and therefore
+/// equal fingerprints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRegion {
+    /// The spliced procedure.
+    pub proc: ProcId,
+    /// Region entry node (first node of the range).
+    pub entry: NodeId,
+    /// Region exit node (unique successor-facing node of the range).
+    pub exit: NodeId,
+    node_start: u32,
+    node_end: u32,
+    edge_start: u32,
+    edge_end: u32,
+    /// FNV-1a over the region's edge-pool slice, rendered relative to the
+    /// region base so identical splices hash identically.
+    pub fingerprint: u64,
+}
+
+impl CallRegion {
+    /// Node-pool indices covered by the region (entry and exit included).
+    pub fn nodes(&self) -> Range<usize> {
+        self.node_start as usize..self.node_end as usize
+    }
+
+    /// Edge-pool indices interior to the region.
+    pub fn edges(&self) -> Range<usize> {
+        self.edge_start as usize..self.edge_end as usize
+    }
+
+    /// Whether `node` lies inside the region's node range.
+    pub fn contains_node(&self, node: usize) -> bool {
+        self.nodes().contains(&node)
+    }
+}
+
+/// A control-flow graph with typed variables on flat arena pools.
 #[derive(Debug, Clone, Default)]
 pub struct Cfg {
     lines: Vec<u32>,
     edges: Vec<CfgEdge>,
-    out: Vec<Vec<usize>>,
+    /// CSR adjacency: `out_pool[out_starts[n]..out_starts[n + 1]]` are the
+    /// indices of edges leaving node `n`, in edge-creation order.
+    out_pool: Vec<usize>,
+    out_starts: Vec<u32>,
     entry: usize,
     exit: usize,
     var_types: HashMap<String, String>,
+    procs: Vec<ProcInfo>,
+    regions: Vec<CallRegion>,
 }
 
 impl Cfg {
@@ -166,32 +326,37 @@ impl Cfg {
     /// Fails on recursion, unknown procedures, or unsupported argument forms.
     pub fn build(program: &Program, entry: &str) -> Result<Cfg, CfgError> {
         let main = program.method(entry).ok_or_else(|| CfgError {
+            code: "E014",
             message: format!("no procedure named `{entry}`"),
             line: 0,
+            snippet: Some(entry.to_owned()),
         })?;
         let mut b = Builder {
             program,
-            cfg: Cfg::default(),
-            tmp_counter: 0,
-            inline_counter: 0,
+            lines: Vec::new(),
+            edges: Vec::new(),
+            var_types: HashMap::new(),
+            procs: Vec::new(),
+            proc_ix: HashMap::new(),
+            regions: Vec::new(),
+            tmp_counters: HashMap::new(),
             call_stack: vec![entry.to_owned()],
         };
+        let entry_proc = b.intern_proc(entry);
+        debug_assert_eq!(entry_proc.index(), 0);
         let n_entry = b.node(main.line);
         let n_exit = b.node(main.line);
-        b.cfg.entry = n_entry;
-        b.cfg.exit = n_exit;
-        let frame = Frame {
+        let mut frame = Frame {
             subst: HashMap::new(),
             prefix: String::new(),
             return_node: n_exit,
             result_var: None,
         };
-        let mut frame = frame;
         let end = b.lower_block(&main.body, &mut frame, n_entry)?;
         if let Some(end) = end {
             b.edge(end, n_exit, CfgOp::Nop, main.line);
         }
-        Ok(b.cfg)
+        Ok(b.seal(n_entry, n_exit))
     }
 
     /// Number of nodes.
@@ -216,7 +381,9 @@ impl Cfg {
 
     /// Indices of edges leaving `node`.
     pub fn out_edges(&self, node: usize) -> &[usize] {
-        &self.out[node]
+        let lo = self.out_starts[node] as usize;
+        let hi = self.out_starts[node + 1] as usize;
+        &self.out_pool[lo..hi]
     }
 
     /// Source line associated with a node.
@@ -225,7 +392,8 @@ impl Cfg {
     }
 
     /// Declared type of a CFG variable, if known (`"boolean"` or a class
-    /// name; inlined variables are prefixed with their inline frame).
+    /// name; spliced callee variables are prefixed with their procedure,
+    /// e.g. `open::s`).
     pub fn var_type(&self, var: &str) -> Option<&str> {
         self.var_types.get(var).map(String::as_str)
     }
@@ -240,10 +408,46 @@ impl Cfg {
         v.sort();
         v
     }
+
+    /// Every procedure spliced into the CFG. Index 0 is the entry procedure.
+    pub fn procs(&self) -> &[ProcInfo] {
+        &self.procs
+    }
+
+    /// Procedure metadata by id.
+    pub fn proc(&self, id: ProcId) -> &ProcInfo {
+        &self.procs[id.index()]
+    }
+
+    /// Every call-site splice, in completion order (inner regions of nested
+    /// calls precede the region that contains them).
+    pub fn regions(&self) -> &[CallRegion] {
+        &self.regions
+    }
+
+    /// Fingerprint of the entry procedure, which covers the entire edge
+    /// pool — a whole-CFG content address.
+    pub fn fingerprint(&self) -> u64 {
+        self.procs.first().map_or(FNV_OFFSET, |p| p.fingerprint)
+    }
+}
+
+/// Hashes the edge slice `range`, rendering node indices relative to
+/// `node_base` so the hash is independent of placement in the pool.
+fn fingerprint_edges(edges: &[CfgEdge], range: Range<usize>, node_base: usize) -> u64 {
+    let mut h = Fnv::new();
+    for edge in &edges[range] {
+        h.write_u32(edge.from.wrapping_sub(node_base) as u32);
+        h.write_u32(edge.to.wrapping_sub(node_base) as u32);
+        h.write_u32(edge.line);
+        h.write(format!("{:?}", edge.op).as_bytes());
+        h.write(b";");
+    }
+    h.finish()
 }
 
 struct Frame {
-    /// Source name → CFG variable name within this inline frame.
+    /// Source name → CFG variable name within this splice frame.
     subst: HashMap<String, String>,
     /// Prefix applied to variables declared in this frame.
     prefix: String,
@@ -270,37 +474,111 @@ impl Frame {
 
 struct Builder<'p> {
     program: &'p Program,
-    cfg: Cfg,
-    tmp_counter: u32,
-    inline_counter: u32,
+    lines: Vec<u32>,
+    edges: Vec<CfgEdge>,
+    var_types: HashMap<String, String>,
+    procs: Vec<ProcInfo>,
+    proc_ix: HashMap<String, ProcId>,
+    regions: Vec<CallRegion>,
+    /// Per-frame-prefix temporary counters; reset at each splice so the
+    /// temporaries of a procedure body are named identically at every
+    /// call site (`{proc}::tmp$N`).
+    tmp_counters: HashMap<String, u32>,
     call_stack: Vec<String>,
 }
 
 impl<'p> Builder<'p> {
     fn node(&mut self, line: u32) -> usize {
-        self.cfg.lines.push(line);
-        self.cfg.out.push(Vec::new());
-        self.cfg.lines.len() - 1
+        self.lines.push(line);
+        self.lines.len() - 1
     }
 
     fn edge(&mut self, from: usize, to: usize, op: CfgOp, line: u32) {
-        let ix = self.cfg.edges.len();
-        self.cfg.edges.push(CfgEdge { from, to, op, line });
-        self.cfg.out[from].push(ix);
+        self.edges.push(CfgEdge { from, to, op, line });
     }
 
-    fn fresh_tmp(&mut self, ty: &str) -> String {
-        self.tmp_counter += 1;
-        let name = format!("tmp${}", self.tmp_counter);
-        self.cfg.var_types.insert(name.clone(), ty.to_owned());
+    fn intern_proc(&mut self, name: &str) -> ProcId {
+        if let Some(&id) = self.proc_ix.get(name) {
+            return id;
+        }
+        let id = ProcId::from_index(self.procs.len());
+        self.procs.push(ProcInfo {
+            name: name.to_owned(),
+            fingerprint: 0,
+        });
+        self.proc_ix.insert(name.to_owned(), id);
+        id
+    }
+
+    fn fresh_tmp(&mut self, prefix: &str, ty: &str) -> String {
+        let n = self.tmp_counters.entry(prefix.to_owned()).or_insert(0);
+        *n += 1;
+        let name = format!("{prefix}tmp${n}");
+        self.var_types.insert(name.clone(), ty.to_owned());
         name
     }
 
-    fn err<T>(&self, message: impl Into<String>, line: u32) -> Result<T, CfgError> {
+    fn err<T>(
+        &self,
+        code: &'static str,
+        message: impl Into<String>,
+        line: u32,
+        snippet: Option<String>,
+    ) -> Result<T, CfgError> {
         Err(CfgError {
+            code,
             message: message.into(),
             line,
+            snippet,
         })
+    }
+
+    /// Builds the CSR adjacency, fingerprints regions and procedures, and
+    /// assembles the final [`Cfg`].
+    fn seal(mut self, entry: usize, exit: usize) -> Cfg {
+        let n = self.lines.len();
+        let mut out_starts = vec![0u32; n + 1];
+        for e in &self.edges {
+            out_starts[e.from + 1] += 1;
+        }
+        for i in 0..n {
+            out_starts[i + 1] += out_starts[i];
+        }
+        let mut cursor: Vec<u32> = out_starts[..n].to_vec();
+        let mut out_pool = vec![0usize; self.edges.len()];
+        for (ix, e) in self.edges.iter().enumerate() {
+            out_pool[cursor[e.from] as usize] = ix;
+            cursor[e.from] += 1;
+        }
+        for region in &mut self.regions {
+            region.fingerprint = fingerprint_edges(
+                &self.edges,
+                region.edge_start as usize..region.edge_end as usize,
+                region.node_start as usize,
+            );
+        }
+        // A procedure's fingerprint is its first region's; the entry
+        // procedure (index 0) owns the whole pool.
+        for region in &self.regions {
+            let p = &mut self.procs[region.proc.index()];
+            if p.fingerprint == 0 {
+                p.fingerprint = region.fingerprint;
+            }
+        }
+        if let Some(p) = self.procs.first_mut() {
+            p.fingerprint = fingerprint_edges(&self.edges, 0..self.edges.len(), 0);
+        }
+        Cfg {
+            lines: self.lines,
+            edges: self.edges,
+            out_pool,
+            out_starts,
+            entry,
+            exit,
+            var_types: self.var_types,
+            procs: self.procs,
+            regions: self.regions,
+        }
     }
 
     /// Lowers a block starting at `cur`; returns the block's fall-through
@@ -334,7 +612,7 @@ impl<'p> Builder<'p> {
         match stmt {
             Stmt::VarDecl { ty, name, init, line } => {
                 let unique = frame.declare(name);
-                self.cfg.var_types.insert(unique.clone(), ty.clone());
+                self.var_types.insert(unique.clone(), ty.clone());
                 let is_bool = ty == "boolean";
                 match init {
                     Some(expr) => {
@@ -359,7 +637,7 @@ impl<'p> Builder<'p> {
             Stmt::Assign { target, value, line } => match target {
                 Place::Var(v) => {
                     let unique = frame.lookup(v);
-                    let is_bool = self.cfg.var_types.get(&unique).map(String::as_str)
+                    let is_bool = self.var_types.get(&unique).map(String::as_str)
                         == Some("boolean");
                     let next = self.lower_assign(&unique, is_bool, value, frame, cur, *line)?;
                     Ok(Some(next))
@@ -391,7 +669,7 @@ impl<'p> Builder<'p> {
                     method,
                     args,
                 } => {
-                    let next = self.inline_call(method, args, None, frame, cur, *line)?;
+                    let next = self.splice_call(method, args, None, frame, cur, *line)?;
                     Ok(Some(next))
                 }
                 Expr::New { class, args } => {
@@ -404,7 +682,12 @@ impl<'p> Builder<'p> {
                     self.edge(cur, next, op, *line);
                     Ok(Some(next))
                 }
-                other => self.err(format!("expression {other:?} has no effect"), *line),
+                other => self.err(
+                    "E020",
+                    format!("expression {other:?} has no effect"),
+                    *line,
+                    None,
+                ),
             },
             Stmt::If {
                 cond,
@@ -458,7 +741,7 @@ impl<'p> Builder<'p> {
                     (None, None) => CfgOp::Nop,
                     (Some(_), None) => CfgOp::Nop, // checked earlier; be lenient
                     (None, Some(_)) => {
-                        return self.err("missing return value", *line);
+                        return self.err("E022", "missing return value", *line, None);
                     }
                 };
                 self.edge(cur, frame.return_node, op, *line);
@@ -476,7 +759,6 @@ impl<'p> Builder<'p> {
         cur: usize,
         line: u32,
     ) -> Result<usize, CfgError> {
-        let next = self.node(line);
         let op = match value {
             Expr::Null => CfgOp::AssignNull { dst: dst.to_owned() },
             Expr::True => CfgOp::AssignBool {
@@ -541,11 +823,11 @@ impl<'p> Builder<'p> {
                 method,
                 args,
             } => {
-                // Inline the procedure; its return is assigned to dst.
-                // The freshly created `next` node is unused in this path.
-                return self.inline_call(method, args, Some(dst.to_owned()), frame, cur, line);
+                // Splice the procedure; its return is assigned to dst.
+                return self.splice_call(method, args, Some(dst.to_owned()), frame, cur, line);
             }
         };
+        let next = self.node(line);
         self.edge(cur, next, op, line);
         Ok(next)
     }
@@ -561,7 +843,6 @@ impl<'p> Builder<'p> {
     ) -> Result<usize, CfgError> {
         // Determine boolean-ness from a program-local class declaration.
         let is_bool_field = self
-            .cfg
             .var_types
             .get(base)
             .and_then(|ty| self.program.class(ty))
@@ -620,7 +901,7 @@ impl<'p> Builder<'p> {
             }
             Expr::New { class, .. } => {
                 // Desugar: tmp = new C(...); base.field = tmp;
-                let tmp = self.fresh_tmp(class);
+                let tmp = self.fresh_tmp(&frame.prefix, class);
                 let mid = self.lower_assign(&tmp, false, value, frame, cur, line)?;
                 let next = self.node(line);
                 self.edge(
@@ -636,7 +917,7 @@ impl<'p> Builder<'p> {
                 Ok(next)
             }
             Expr::Call { .. } | Expr::FieldAccess(..) => {
-                let tmp = self.fresh_tmp("unknown");
+                let tmp = self.fresh_tmp(&frame.prefix, "unknown");
                 let mid = self.lower_assign(&tmp, false, value, frame, cur, line)?;
                 let next = self.node(line);
                 self.edge(
@@ -651,7 +932,12 @@ impl<'p> Builder<'p> {
                 );
                 Ok(next)
             }
-            other => self.err(format!("unsupported field store of {other:?}"), line),
+            other => self.err(
+                "E021",
+                format!("unsupported field store of {other:?}"),
+                line,
+                Some(field.to_owned()),
+            ),
         }
     }
 
@@ -746,7 +1032,18 @@ impl<'p> Builder<'p> {
         Ok((t, f))
     }
 
-    fn inline_call(
+    /// Splices a procedure body at a call site, recording it as a
+    /// [`CallRegion`].
+    ///
+    /// Layout discipline (what makes regions reusable):
+    ///
+    /// * parameter binding runs *before* the region on caller-visible
+    ///   names, so argument identities never leak into the interior;
+    /// * the region interior references only `{method}::`-prefixed
+    ///   variables (including the `$ret` slot and restarted `tmp$N`
+    ///   temporaries), all carrying callee source lines;
+    /// * the result is copied out of `{method}::$ret` *after* the region.
+    fn splice_call(
         &mut self,
         method: &str,
         args: &[Arg],
@@ -756,42 +1053,56 @@ impl<'p> Builder<'p> {
         line: u32,
     ) -> Result<usize, CfgError> {
         let decl: &MethodDecl = self.program.method(method).ok_or_else(|| CfgError {
+            code: "E015",
             message: format!("call to undefined procedure `{method}`"),
             line,
+            snippet: Some(method.to_owned()),
         })?;
-        if self.call_stack.contains(&method.to_owned()) {
+        if self.call_stack.iter().any(|m| m == method) {
             return self.err(
-                format!("recursive call to `{method}` is not supported (procedures are inlined)"),
+                "E016",
+                format!(
+                    "recursive call to `{method}` is not supported (procedure bodies are spliced \
+                     per call site)"
+                ),
                 line,
+                Some(method.to_owned()),
             );
         }
-        if self.call_stack.len() >= MAX_INLINE_DEPTH {
-            return self.err("inlining depth limit exceeded", line);
+        if self.call_stack.len() >= MAX_CALL_DEPTH {
+            return self.err(
+                "E017",
+                format!("call nesting depth limit ({MAX_CALL_DEPTH}) exceeded"),
+                line,
+                Some(method.to_owned()),
+            );
         }
         if args.len() != decl.params.len() {
             return self.err(
+                "E018",
                 format!(
                     "`{method}` expects {} arguments, got {}",
                     decl.params.len(),
                     args.len()
                 ),
                 line,
+                Some(method.to_owned()),
             );
         }
-        self.inline_counter += 1;
-        let prefix = format!("{method}@{}::", self.inline_counter);
+        let proc = self.intern_proc(method);
+        let prefix = format!("{method}::");
         let mut callee = Frame {
             subst: HashMap::new(),
             prefix: prefix.clone(),
-            return_node: self.node(line),
-            result_var: result.clone(),
+            return_node: usize::MAX, // patched below, before the body lowers
+            result_var: None,
         };
-        // Bind parameters.
+        // Bind parameters (outside the region: argument names are the
+        // caller's business).
         let mut pcur = cur;
         for ((pname, pty), arg) in decl.params.iter().zip(args) {
             let unique = callee.declare(pname);
-            self.cfg.var_types.insert(unique.clone(), pty.clone());
-            let next = self.node(line);
+            self.var_types.insert(unique.clone(), pty.clone());
             let op = match arg {
                 Arg::Var(v) => {
                     let src = frame.lookup(v);
@@ -806,26 +1117,72 @@ impl<'p> Builder<'p> {
                 }
                 Arg::Null => CfgOp::AssignNull { dst: unique },
                 Arg::Str(_) => {
-                    return self.err("string arguments to procedures are not supported", line)
+                    return self.err(
+                        "E019",
+                        "string arguments to procedures are not supported",
+                        line,
+                        Some(method.to_owned()),
+                    )
                 }
             };
+            let next = self.node(line);
             self.edge(pcur, next, op, line);
             pcur = next;
         }
-        if let Some(res) = &result {
-            // Default-initialize the result in case the callee falls off the
-            // end without returning (checked elsewhere; keeps the CFG total).
-            let next = self.node(line);
-            self.edge(pcur, next, CfgOp::AssignNull { dst: res.clone() }, line);
-            pcur = next;
+        // Open the region: a dedicated entry node, then a dedicated exit
+        // node, so the interior ranges are contiguous.
+        let entry = self.node(line);
+        self.edge(pcur, entry, CfgOp::Nop, line);
+        let node_start = entry;
+        let edge_start = self.edges.len();
+        let exit = self.node(line);
+        callee.return_node = exit;
+        let ret_var = result.as_ref().map(|_| format!("{prefix}$ret"));
+        callee.result_var = ret_var.clone();
+        let mut bcur = entry;
+        if let Some(rv) = &ret_var {
+            let rty = decl.ret.clone().unwrap_or_else(|| "unknown".to_owned());
+            self.var_types.insert(rv.clone(), rty);
+            // Default-initialize the result slot in case the callee falls
+            // off the end without returning (checked elsewhere; keeps the
+            // CFG total). Carries the callee's line: part of the region.
+            let next = self.node(decl.line);
+            self.edge(bcur, next, CfgOp::AssignNull { dst: rv.clone() }, decl.line);
+            bcur = next;
         }
+        let saved_tmps = self.tmp_counters.insert(prefix.clone(), 0);
         self.call_stack.push(method.to_owned());
-        let body_end = self.lower_block(&decl.body, &mut callee, pcur)?;
+        let body_end = self.lower_block(&decl.body, &mut callee, bcur);
         self.call_stack.pop();
-        if let Some(end) = body_end {
-            self.edge(end, callee.return_node, CfgOp::Nop, line);
+        match saved_tmps {
+            Some(n) => {
+                self.tmp_counters.insert(prefix.clone(), n);
+            }
+            None => {
+                self.tmp_counters.remove(&prefix);
+            }
         }
-        Ok(callee.return_node)
+        if let Some(end) = body_end? {
+            self.edge(end, exit, CfgOp::Nop, decl.line);
+        }
+        self.regions.push(CallRegion {
+            proc,
+            entry: NodeId::from_index(entry),
+            exit: NodeId::from_index(exit),
+            node_start: node_start as u32,
+            node_end: self.lines.len() as u32,
+            edge_start: edge_start as u32,
+            edge_end: self.edges.len() as u32,
+            fingerprint: 0, // filled in by seal()
+        });
+        // Copy the result out (outside the region).
+        if let (Some(res), Some(rv)) = (result, ret_var) {
+            let next = self.node(line);
+            self.edge(exit, next, CfgOp::AssignVar { dst: res, src: rv }, line);
+            Ok(next)
+        } else {
+            Ok(exit)
+        }
     }
 
     fn subst_args(&self, args: &[Arg], frame: &Frame) -> Vec<Arg> {
@@ -912,6 +1269,29 @@ void main() {
     }
 
     #[test]
+    fn out_edges_match_edge_pool() {
+        let cfg = build(
+            r#"
+program P uses IOStreams;
+void main() {
+    InputStream a = new InputStream();
+    if (a == null) { } else { a.read(); }
+    a.close();
+}
+"#,
+        );
+        // CSR adjacency agrees with the flat edge pool, edge by edge.
+        let mut seen = 0usize;
+        for node in 0..cfg.node_count() {
+            for &ix in cfg.out_edges(node) {
+                assert_eq!(cfg.edges()[ix].from, node);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, cfg.edges().len());
+    }
+
+    #[test]
     fn call_bool_condition_emits_call_then_nondet() {
         let cfg = build(
             r#"
@@ -934,7 +1314,7 @@ void main() {
     }
 
     #[test]
-    fn procedures_are_inlined_with_renaming() {
+    fn procedures_are_spliced_with_renaming() {
         let cfg = build(
             r#"
 program P uses IOStreams;
@@ -948,18 +1328,91 @@ void main() {
 }
 "#,
         );
-        // The inlined `s` has a frame-prefixed name and type InputStream.
-        let inlined: Vec<_> = cfg
+        // The spliced `s` has a stable procedure-prefixed name and type
+        // InputStream; the `$ret` slot carries the declared return type.
+        let spliced: Vec<_> = cfg
             .variables()
             .into_iter()
-            .filter(|(n, _)| n.starts_with("open@"))
+            .filter(|(n, _)| n.starts_with("open::"))
             .collect();
-        assert_eq!(inlined.len(), 1);
-        assert_eq!(inlined[0].1, "InputStream");
-        // The return became an assignment to `a`.
+        assert_eq!(spliced, vec![("open::$ret", "InputStream"), ("open::s", "InputStream")]);
+        // The return became an assignment to `$ret`, copied out to `a`.
         assert!(cfg.edges().iter().any(
-            |e| matches!(&e.op, CfgOp::AssignVar { dst, src } if dst == "a" && src.starts_with("open@"))
+            |e| matches!(&e.op, CfgOp::AssignVar { dst, src } if dst == "open::$ret" && src == "open::s")
         ));
+        assert!(cfg.edges().iter().any(
+            |e| matches!(&e.op, CfgOp::AssignVar { dst, src } if dst == "a" && src == "open::$ret")
+        ));
+    }
+
+    #[test]
+    fn call_regions_are_recorded_and_fingerprints_shared() {
+        let cfg = build(
+            r#"
+program P uses IOStreams;
+void use(InputStream s) {
+    s.read();
+}
+void main() {
+    InputStream a = new InputStream();
+    use(a);
+    use(a);
+    a.close();
+}
+"#,
+        );
+        let regions = cfg.regions();
+        assert_eq!(regions.len(), 2);
+        let (r1, r2) = (&regions[0], &regions[1]);
+        assert_eq!(r1.proc, r2.proc);
+        assert_eq!(cfg.proc(r1.proc).name, "use");
+        // Identical splices of the same procedure hash identically.
+        assert_eq!(r1.fingerprint, r2.fingerprint);
+        assert_ne!(r1.fingerprint, 0);
+        assert_eq!(cfg.proc(r1.proc).fingerprint, r1.fingerprint);
+        // Regions are single-entry/single-exit over contiguous ranges, and
+        // interior edges stay inside the node range.
+        for r in regions {
+            assert!(r.contains_node(r.entry.index()));
+            assert!(r.contains_node(r.exit.index()));
+            for e in &cfg.edges()[r.edges()] {
+                assert!(r.contains_node(e.from) && r.contains_node(e.to));
+            }
+            // Nothing outside the region targets an interior node except
+            // through the entry.
+            for (ix, e) in cfg.edges().iter().enumerate() {
+                if !r.edges().contains(&ix) && r.contains_node(e.to) {
+                    assert_eq!(e.to, r.entry.index());
+                }
+            }
+        }
+        // The two regions' interiors are byte-identical modulo offset.
+        let (e1, e2) = (r1.edges(), r2.edges());
+        assert_eq!(e1.len(), e2.len());
+        for (a, b) in cfg.edges()[e1].iter().zip(&cfg.edges()[e2]) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.line, b.line);
+        }
+    }
+
+    #[test]
+    fn distinct_procedures_get_distinct_fingerprints() {
+        let cfg = build(
+            r#"
+program P uses IOStreams;
+void ping(InputStream s) { s.read(); }
+void pong(InputStream s) { s.close(); }
+void main() {
+    InputStream a = new InputStream();
+    ping(a);
+    pong(a);
+}
+"#,
+        );
+        assert_eq!(cfg.regions().len(), 2);
+        let f1 = cfg.regions()[0].fingerprint;
+        let f2 = cfg.regions()[1].fingerprint;
+        assert_ne!(f1, f2);
     }
 
     #[test]
@@ -974,6 +1427,39 @@ void main() { loop(); }
         .unwrap();
         let err = Cfg::build(&p, "main").unwrap_err();
         assert!(err.message.contains("recursive"), "{}", err.message);
+        assert_eq!(err.code, "E016");
+        let d = err.to_diagnostic();
+        assert_eq!(d.code, "E016");
+        assert_eq!(d.snippet.as_deref(), Some("loop"));
+    }
+
+    #[test]
+    fn undefined_procedure_has_stable_code() {
+        let p = parse_program(
+            r#"
+program P uses IOStreams;
+void main() { missing(); }
+"#,
+        )
+        .unwrap();
+        let err = Cfg::build(&p, "main").unwrap_err();
+        assert_eq!(err.code, "E015");
+        assert_eq!(err.snippet.as_deref(), Some("missing"));
+    }
+
+    #[test]
+    fn arity_mismatch_has_stable_code() {
+        let p = parse_program(
+            r#"
+program P uses IOStreams;
+void use(InputStream s) { s.read(); }
+void main() { use(); }
+"#,
+        )
+        .unwrap();
+        let err = Cfg::build(&p, "main").unwrap_err();
+        assert_eq!(err.code, "E018");
+        assert!(err.message.contains("expects 1 arguments, got 0"), "{}", err.message);
     }
 
     #[test]
@@ -995,6 +1481,31 @@ void main() {
         assert!(ops.iter().any(
             |o| matches!(o, CfgOp::StoreField { src: Some(s), .. } if s.starts_with("tmp$"))
         ));
+    }
+
+    #[test]
+    fn spliced_temporaries_restart_per_call_site() {
+        let cfg = build(
+            r#"
+program P uses IOStreams;
+class Holder { InputStream s; }
+void fill(Holder h) {
+    h.s = new InputStream();
+}
+void main() {
+    Holder h = new Holder();
+    fill(h);
+    fill(h);
+}
+"#,
+        );
+        // Both splices name the temporary identically, so the regions
+        // fingerprint identically (the whole point of stable naming).
+        assert_eq!(cfg.var_type("fill::tmp$1"), Some("InputStream"));
+        assert_eq!(cfg.var_type("fill::tmp$2"), None);
+        let regions = cfg.regions();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].fingerprint, regions[1].fingerprint);
     }
 
     #[test]

@@ -284,6 +284,15 @@ pub struct VerifyOutcome {
     pub shared_hits: u64,
     /// Workspace-store probes that missed.
     pub shared_misses: u64,
+    /// Call-region evaluations (each is a summary hit or miss).
+    pub call_evaluations: u64,
+    /// Region evaluations replayed from a memoized summary.
+    pub summary_hits: u64,
+    /// Region evaluations that drained the region body.
+    pub summary_misses: u64,
+    /// Workspace summary-store hits (summaries replayed from previous
+    /// requests).
+    pub shared_summary_hits: u64,
     /// Deduplicated per-line violation reports.
     pub errors: Vec<WireError>,
 }
@@ -307,6 +316,8 @@ pub struct StatusInfo {
     pub store_entries: u64,
     /// Distinct structures in the workspace store's pool.
     pub store_structures: u64,
+    /// Memoized call-region summaries in the workspace summary store.
+    pub summary_entries: u64,
 }
 
 /// One daemon response (daemon → client, one per line).
@@ -373,7 +384,9 @@ impl Response {
                      \"verdict\":{},\"complete\":{},\"visits\":{},\"space\":{},\
                      \"subproblems\":{},\"pruned\":{},\"components\":{},\
                      \"estimated_structures\":{},\"cache_hits\":{},\"cache_misses\":{},\
-                     \"shared_hits\":{},\"shared_misses\":{},\"errors\":[",
+                     \"shared_hits\":{},\"shared_misses\":{},\
+                     \"call_evaluations\":{},\"summary_hits\":{},\
+                     \"summary_misses\":{},\"shared_summary_hits\":{},\"errors\":[",
                     json::string(&o.program),
                     json::string(&o.mode),
                     json::string(&o.verdict),
@@ -388,6 +401,10 @@ impl Response {
                     o.cache_misses,
                     o.shared_hits,
                     o.shared_misses,
+                    o.call_evaluations,
+                    o.summary_hits,
+                    o.summary_misses,
+                    o.shared_summary_hits,
                 );
                 for (ix, e) in o.errors.iter().enumerate() {
                     let _ = write!(
@@ -425,7 +442,8 @@ impl Response {
             Response::Status(s) => format!(
                 "{{\"ok\":true,\"op\":\"status\",\"programs\":{},\"specs\":{},\
                  \"strategies\":{},\"requests\":{},\"verifies\":{},\
-                 \"lint_cache_hits\":{},\"store_entries\":{},\"store_structures\":{}}}",
+                 \"lint_cache_hits\":{},\"store_entries\":{},\"store_structures\":{},\
+                 \"summary_entries\":{}}}",
                 s.programs,
                 s.specs,
                 s.strategies,
@@ -434,6 +452,7 @@ impl Response {
                 s.lint_cache_hits,
                 s.store_entries,
                 s.store_structures,
+                s.summary_entries,
             ),
             Response::Shutdown => "{\"ok\":true,\"op\":\"shutdown\"}".to_owned(),
             Response::Error { op, message } => format!(

@@ -108,6 +108,10 @@ fn response_goldens() -> Vec<(Response, &'static str)> {
                 cache_misses: 32,
                 shared_hits: 0,
                 shared_misses: 32,
+                call_evaluations: 6,
+                summary_hits: 4,
+                summary_misses: 2,
+                shared_summary_hits: 1,
                 errors: vec![WireError {
                     line: 9,
                     label: "read requires open".into(),
@@ -119,6 +123,8 @@ fn response_goldens() -> Vec<(Response, &'static str)> {
              \"subproblems\":2,\"pruned\":1,\"components\":2,\
              \"estimated_structures\":96,\"cache_hits\":10,\"cache_misses\":32,\
              \"shared_hits\":0,\"shared_misses\":32,\
+             \"call_evaluations\":6,\"summary_hits\":4,\
+             \"summary_misses\":2,\"shared_summary_hits\":1,\
              \"errors\":[{\"line\":9,\"label\":\"read requires open\",\
              \"definite\":false}]}",
         ),
@@ -148,10 +154,12 @@ fn response_goldens() -> Vec<(Response, &'static str)> {
                 lint_cache_hits: 1,
                 store_entries: 120,
                 store_structures: 48,
+                summary_entries: 7,
             }),
             "{\"ok\":true,\"op\":\"status\",\"programs\":2,\"specs\":1,\
              \"strategies\":1,\"requests\":9,\"verifies\":3,\
-             \"lint_cache_hits\":1,\"store_entries\":120,\"store_structures\":48}",
+             \"lint_cache_hits\":1,\"store_entries\":120,\"store_structures\":48,\
+             \"summary_entries\":7}",
         ),
         (Response::Shutdown, "{\"ok\":true,\"op\":\"shutdown\"}"),
         (

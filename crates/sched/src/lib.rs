@@ -38,8 +38,10 @@ use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
 
 use hetsep_core::jobcache::{RunDelta, SharedTransferSession};
+use hetsep_core::summary::{SharedSummarySession, SummaryDelta};
 use hetsep_core::{
-    map_ordered, Counter, EngineConfig, Mode, ModeKind, ParallelConfig, TransferStore, Verifier,
+    map_ordered, Counter, EngineConfig, Mode, ModeKind, ParallelConfig, SummaryStore,
+    TransferStore, Verifier,
 };
 // The workspace's one string-escaping rule, shared with diagnostics and the
 // serve protocol.
@@ -117,6 +119,14 @@ pub struct JobOutcome {
     pub shared_hits: u64,
     /// Cross-job shared-store probes that missed.
     pub shared_misses: u64,
+    /// Call-region evaluations (each is a summary hit or miss).
+    pub call_evaluations: u64,
+    /// Region evaluations replayed from a memoized summary.
+    pub summary_hits: u64,
+    /// Region evaluations that drained the region body.
+    pub summary_misses: u64,
+    /// Cross-job shared summary-store hits.
+    pub shared_summary_hits: u64,
     /// Failure message when `verdict == "failed"`.
     pub failure: Option<String>,
     /// Wall-clock latency of this job (excluded from the stable JSON).
@@ -134,7 +144,9 @@ impl JobOutcome {
              \"space\": {}, \"peak_nodes\": {}, \"subproblems\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_evictions\": {}, \"shared_hits\": {}, \
-             \"shared_misses\": {}",
+             \"shared_misses\": {}, \"call_evaluations\": {}, \
+             \"summary_hits\": {}, \"summary_misses\": {}, \
+             \"shared_summary_hits\": {}",
             json_string(&self.name),
             self.mode,
             self.verdict,
@@ -149,6 +161,10 @@ impl JobOutcome {
             self.cache_evictions,
             self.shared_hits,
             self.shared_misses,
+            self.call_evaluations,
+            self.summary_hits,
+            self.summary_misses,
+            self.shared_summary_hits,
         );
         if let Some(f) = &self.failure {
             s.push_str(&format!(", \"failure\": {}", json_string(f)));
@@ -212,13 +228,14 @@ impl BatchResult {
     }
 }
 
-/// Runs one job against a store snapshot, returning its outcome and the
-/// transfers it computed.
+/// Runs one job against frozen transfer- and summary-store snapshots,
+/// returning its outcome and the transfers and summaries it computed.
 fn run_job(
     job: &Job,
     engine: &EngineConfig,
     snapshot: &TransferStore,
-) -> (JobOutcome, Vec<RunDelta>) {
+    summaries: &SummaryStore,
+) -> (JobOutcome, Vec<RunDelta>, Vec<SummaryDelta>) {
     let start = Instant::now();
     let fail = |msg: String, start: Instant| JobOutcome {
         name: job.name.clone(),
@@ -235,44 +252,55 @@ fn run_job(
         cache_evictions: 0,
         shared_hits: 0,
         shared_misses: 0,
+        call_evaluations: 0,
+        summary_hits: 0,
+        summary_misses: 0,
+        shared_summary_hits: 0,
         failure: Some(msg),
         wall: start.elapsed(),
     };
 
     let program = match hetsep_ir::parse_program(&job.program) {
         Ok(p) => p,
-        Err(e) => return (fail(format!("parse: {e}"), start), Vec::new()),
+        Err(e) => return (fail(format!("parse: {e}"), start), Vec::new(), Vec::new()),
     };
     let Some(spec) = hetsep_easl::builtin::by_name(&program.uses) else {
         return (
             fail(format!("unknown spec: {}", program.uses), start),
             Vec::new(),
+            Vec::new(),
         );
     };
     let strategy = if job.mode.needs_strategy() {
         let Some(src) = &job.strategy else {
-            return (fail("mode requires a strategy".into(), start), Vec::new());
+            return (
+                fail("mode requires a strategy".into(), start),
+                Vec::new(),
+                Vec::new(),
+            );
         };
         match hetsep_strategy::parse_strategy(src) {
             Ok(s) => Some(s),
-            Err(e) => return (fail(format!("strategy: {e}"), start), Vec::new()),
+            Err(e) => return (fail(format!("strategy: {e}"), start), Vec::new(), Vec::new()),
         }
     } else {
         None
     };
     let mode = match Mode::from_kind(job.mode, strategy) {
         Ok(m) => m,
-        Err(e) => return (fail(e.to_string(), start), Vec::new()),
+        Err(e) => return (fail(e.to_string(), start), Vec::new(), Vec::new()),
     };
     // The label a job reports under is resolved from the strategy (`single`
     // vs. `multi`), not echoed from the request.
     let mode_label = mode.kind().as_str();
 
     let session = SharedTransferSession::new(snapshot);
+    let summary_session = SharedSummarySession::new(summaries);
     let report = Verifier::new(&program, &spec)
         .mode(mode)
         .config(engine.clone())
         .shared_cache(&session)
+        .shared_summaries(&summary_session)
         .run();
     match report {
         Ok(report) => {
@@ -299,19 +327,28 @@ fn run_job(
                 cache_evictions: c(Counter::TransferCacheEvictions),
                 shared_hits: c(Counter::SharedCacheHits),
                 shared_misses: c(Counter::SharedCacheMisses),
+                call_evaluations: c(Counter::CallEvaluations),
+                summary_hits: c(Counter::SummaryHits),
+                summary_misses: c(Counter::SummaryMisses),
+                shared_summary_hits: c(Counter::SharedSummaryHits),
                 failure: None,
                 wall: start.elapsed(),
             };
-            (outcome, session.into_deltas())
+            (outcome, session.into_deltas(), summary_session.into_deltas())
         }
-        Err(e) => (fail(e.to_string(), start), Vec::new()),
+        Err(e) => (fail(e.to_string(), start), Vec::new(), Vec::new()),
     }
 }
 
 /// Runs a batch of jobs over the worker pool, probing and then growing the
 /// persistent `store` (see the module docs for the snapshot + delta
 /// determinism contract).
-pub fn run_batch(jobs: &[Job], config: &BatchConfig, store: &mut TransferStore) -> BatchResult {
+pub fn run_batch(
+    jobs: &[Job],
+    config: &BatchConfig,
+    store: &mut TransferStore,
+    summaries: &mut SummaryStore,
+) -> BatchResult {
     let mut engine = config.engine.clone();
     // One engine thread per job: the outer pool is the parallelism, and a
     // fixed inner thread count keeps per-job results and delta order
@@ -319,22 +356,26 @@ pub fn run_batch(jobs: &[Job], config: &BatchConfig, store: &mut TransferStore) 
     engine.parallel = ParallelConfig { threads: 1, intra_threads: 1 };
 
     let snapshot = std::mem::take(store);
+    let summary_snapshot = std::mem::take(summaries);
     let start = Instant::now();
     let cancel = AtomicBool::new(false);
     let results = map_ordered(jobs, config.workers, &cancel, |_, job, _| {
-        run_job(job, &engine, &snapshot)
+        run_job(job, &engine, &snapshot, &summary_snapshot)
     });
     let wall = start.elapsed();
 
     let mut merged = snapshot;
+    let mut merged_summaries = summary_snapshot;
     let mut outcomes = Vec::with_capacity(jobs.len());
     for r in results {
         // The flag is never raised, so every slot is filled.
-        let (outcome, deltas) = r.expect("job scheduler never cancels");
+        let (outcome, deltas, summary_deltas) = r.expect("job scheduler never cancels");
         merged.absorb(deltas);
+        merged_summaries.absorb(summary_deltas);
         outcomes.push(outcome);
     }
     *store = merged;
+    *summaries = merged_summaries;
 
     let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.wall).collect();
     latencies.sort_unstable();
@@ -402,7 +443,8 @@ mod tests {
     #[test]
     fn batch_reports_verdicts_in_job_order() {
         let mut store = TransferStore::new();
-        let result = run_batch(&jobs(), &BatchConfig::default(), &mut store);
+        let mut summaries = SummaryStore::new();
+        let result = run_batch(&jobs(), &BatchConfig::default(), &mut store, &mut summaries);
         let verdicts: Vec<&str> = result.outcomes.iter().map(|o| o.verdict).collect();
         assert_eq!(verdicts, ["verified", "errors", "failed"]);
         assert_eq!(
@@ -418,9 +460,10 @@ mod tests {
     #[test]
     fn warm_store_replays_instead_of_recomputing() {
         let mut store = TransferStore::new();
-        let cold = run_batch(&jobs(), &BatchConfig::default(), &mut store);
+        let mut summaries = SummaryStore::new();
+        let cold = run_batch(&jobs(), &BatchConfig::default(), &mut store, &mut summaries);
         let entries = store.entry_count();
-        let warm = run_batch(&jobs(), &BatchConfig::default(), &mut store);
+        let warm = run_batch(&jobs(), &BatchConfig::default(), &mut store, &mut summaries);
         assert!(entries > 0);
         assert_eq!(
             store.entry_count(),
@@ -441,11 +484,12 @@ mod tests {
         let jobs = jobs();
         let run = |workers: usize| {
             let mut store = TransferStore::new();
+            let mut summaries = SummaryStore::new();
             let cfg = BatchConfig {
                 workers,
                 ..BatchConfig::default()
             };
-            run_batch(&jobs, &cfg, &mut store)
+            run_batch(&jobs, &cfg, &mut store, &mut summaries)
         };
         let one = run(1);
         let four = run(4);

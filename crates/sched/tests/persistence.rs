@@ -2,7 +2,7 @@
 //! the store must behave exactly like the in-memory original — a warm batch
 //! replays transfers instead of recomputing them and adds no entries.
 
-use hetsep_core::TransferStore;
+use hetsep_core::{SummaryStore, TransferStore};
 use hetsep_sched::{run_batch, BatchConfig, Job};
 use hetsep_core::ModeKind;
 
@@ -36,14 +36,16 @@ fn jobs() -> Vec<Job> {
 #[test]
 fn persisted_store_round_trips() {
     let mut store = TransferStore::new();
-    let cold = run_batch(&jobs(), &BatchConfig::default(), &mut store);
+    let mut summaries = SummaryStore::new();
+    let cold = run_batch(&jobs(), &BatchConfig::default(), &mut store, &mut summaries);
     let bytes = store.to_bytes();
 
     let mut reloaded = TransferStore::from_bytes(&bytes).expect("load");
+    let mut warm_summaries = SummaryStore::new();
     assert_eq!(reloaded.entry_count(), store.entry_count());
     assert_eq!(reloaded.structure_count(), store.structure_count());
 
-    let warm = run_batch(&jobs(), &BatchConfig::default(), &mut reloaded);
+    let warm = run_batch(&jobs(), &BatchConfig::default(), &mut reloaded, &mut warm_summaries);
     assert_eq!(
         reloaded.entry_count(),
         store.entry_count(),
@@ -66,7 +68,8 @@ fn persisted_store_round_trips() {
 #[test]
 fn corrupt_bytes_are_rejected() {
     let mut store = TransferStore::new();
-    run_batch(&jobs(), &BatchConfig::default(), &mut store);
+    let mut summaries = SummaryStore::new();
+    run_batch(&jobs(), &BatchConfig::default(), &mut store, &mut summaries);
     let bytes = store.to_bytes();
     assert!(TransferStore::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     let mut truncated = bytes.clone();

@@ -256,6 +256,72 @@ pub fn sql_executor(w: &SqlExecutorWorkload) -> String {
     out
 }
 
+/// Parameters for the shared-library clients.
+#[derive(Debug, Clone)]
+pub struct SharedLibWorkload {
+    /// Number of independent client streams.
+    pub clients: usize,
+    /// Library call sites per client.
+    pub calls_per_client: usize,
+    /// `read()`s in the library procedure body.
+    pub lib_reads: usize,
+    /// Wrap each client's call run in a non-deterministic loop.
+    pub loop_wrapped: bool,
+    /// Index of the client closed *before* its last library call (a
+    /// read-after-close inside the shared library body), if any.
+    pub buggy_client: Option<usize>,
+}
+
+/// Generates a shared-library client: one library procedure (`process`)
+/// called from `clients × calls_per_client` sites, every site passing a
+/// different stream through the *same* callee body.
+///
+/// This is the summary-cache stress shape: under call-site inlining each
+/// site re-expands and re-analyzes the library body, whereas per-procedure
+/// summaries compute the body once per distinct input abstraction and
+/// replay it everywhere else — the warm-over-cold and
+/// summaries-over-inlining wins `BENCH_summaries.json` reports.
+pub fn shared_lib(name: &str, w: &SharedLibWorkload) -> String {
+    let mut out = String::new();
+    writeln!(out, "program {name} uses IOStreams;").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "void process(InputStream s) {{").unwrap();
+    for _ in 0..w.lib_reads {
+        writeln!(out, "    s.read();").unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "void main() {{").unwrap();
+    for i in 0..w.clients {
+        writeln!(out, "    InputStream c{i} = new InputStream();").unwrap();
+        let buggy = w.buggy_client == Some(i);
+        let calls = if buggy {
+            w.calls_per_client.saturating_sub(1)
+        } else {
+            w.calls_per_client
+        };
+        if w.loop_wrapped {
+            writeln!(out, "    while (?) {{").unwrap();
+            for _ in 0..calls {
+                writeln!(out, "        process(c{i});").unwrap();
+            }
+            writeln!(out, "    }}").unwrap();
+        } else {
+            for _ in 0..calls {
+                writeln!(out, "    process(c{i});").unwrap();
+            }
+        }
+        writeln!(out, "    c{i}.close();").unwrap();
+        if buggy {
+            // The bug lives *inside* the shared body: the stream is already
+            // closed when the library reads it.
+            writeln!(out, "    process(c{i});").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +392,26 @@ mod tests {
                 executors: 4,
                 queries: 2,
             }),
+            shared_lib(
+                "SL",
+                &SharedLibWorkload {
+                    clients: 3,
+                    calls_per_client: 4,
+                    lib_reads: 3,
+                    loop_wrapped: false,
+                    buggy_client: None,
+                },
+            ),
+            shared_lib(
+                "SLL",
+                &SharedLibWorkload {
+                    clients: 2,
+                    calls_per_client: 2,
+                    lib_reads: 2,
+                    loop_wrapped: true,
+                    buggy_client: Some(1),
+                },
+            ),
         ] {
             let p = hetsep_ir::parse_program(&src).unwrap();
             assert!(

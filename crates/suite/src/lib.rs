@@ -16,6 +16,8 @@
 //! | `KernelBench1`   | collections/iterators kernel \[14\]         | static source (1 real error) |
 //! | `KernelBench3`   | larger kernel — vanilla does not finish   | generated |
 //! | `SQLExecutor`    | open-source JDBC framework — vanilla does not finish | generated |
+//! | `SharedLib`      | one library procedure, many call sites    | generated (summary-cache stress shape) |
+//! | `SharedLibLoop`  | loop-wrapped erroneous variant            | generated (1 real error inside the shared body) |
 //!
 //! The originals (SpecJVM98, SQLExecutor) are proprietary or unavailable;
 //! the analogs preserve the *verification-relevant* structure: how many
@@ -118,6 +120,8 @@ pub fn all() -> Vec<Benchmark> {
         programs::kernel_bench1(),
         programs::kernel_bench3(),
         programs::sql_executor(),
+        programs::shared_lib(),
+        programs::shared_lib_loop(),
     ]
 }
 

@@ -3,8 +3,9 @@
 use hetsep_strategy::builtin as strategies;
 
 use crate::generators::{
-    db_program, jdbc_client, kernel, sql_executor as gen_sql_executor, JdbcWorkload,
-    KernelWorkload, SqlExecutorWorkload,
+    db_program, jdbc_client, kernel, shared_lib as gen_shared_lib,
+    sql_executor as gen_sql_executor, JdbcWorkload, KernelWorkload, SharedLibWorkload,
+    SqlExecutorWorkload,
 };
 use crate::{Benchmark, TableMode};
 
@@ -379,6 +380,59 @@ pub fn sql_executor() -> Benchmark {
         ],
         actual_errors: 0,
         expected_reported: vec![None, Some(0), Some(0), Some(0)],
+    }
+}
+
+/// `SharedLib`: one library procedure called from many sites across many
+/// client streams — the summary-cache stress shape. Correct usage
+/// throughout; every mode verifies.
+pub fn shared_lib() -> Benchmark {
+    Benchmark {
+        name: "SharedLib",
+        description: "shared library clients / IOStreams",
+        source: gen_shared_lib(
+            "SharedLib",
+            &SharedLibWorkload {
+                clients: 3,
+                calls_per_client: 4,
+                lib_reads: 3,
+                loop_wrapped: false,
+                buggy_client: None,
+            },
+        ),
+        single_strategy: strategies::IOSTREAM_SINGLE,
+        multi_strategy: None,
+        incremental_strategy: None,
+        modes: vec![TableMode::Vanilla, TableMode::Single, TableMode::Sim],
+        actual_errors: 0,
+        expected_reported: vec![Some(0), Some(0), Some(0)],
+    }
+}
+
+/// `SharedLibLoop`: the loop-wrapped erroneous variant — library calls
+/// under non-deterministic repetition, plus one client passed to the
+/// library *after* it is closed. Both `read()` lines of the shared body
+/// fail for that client, so every mode reports the two per-line errors.
+pub fn shared_lib_loop() -> Benchmark {
+    Benchmark {
+        name: "SharedLibLoop",
+        description: "shared library loop err / IOStreams",
+        source: gen_shared_lib(
+            "SharedLibLoop",
+            &SharedLibWorkload {
+                clients: 2,
+                calls_per_client: 2,
+                lib_reads: 2,
+                loop_wrapped: true,
+                buggy_client: Some(1),
+            },
+        ),
+        single_strategy: strategies::IOSTREAM_SINGLE,
+        multi_strategy: None,
+        incremental_strategy: None,
+        modes: vec![TableMode::Vanilla, TableMode::Single, TableMode::Sim],
+        actual_errors: 2,
+        expected_reported: vec![Some(2), Some(2), Some(2)],
     }
 }
 

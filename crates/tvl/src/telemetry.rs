@@ -155,11 +155,28 @@ pub enum Counter {
     IntraBatches,
     /// Structures in those multi-structure batches (see [`Counter::IntraBatches`]).
     IntraBatchItems,
+    /// Call-region evaluations: structures arriving at a spliced procedure's
+    /// entry node while summary memoization is active. Every evaluation is
+    /// answered by a summary hit or computed as a miss, so
+    /// `SummaryHits + SummaryMisses == CallEvaluations`.
+    CallEvaluations,
+    /// Call-region evaluations replayed from a memoized per-procedure
+    /// summary (in-run memo or shared store) instead of re-draining the
+    /// callee body.
+    SummaryHits,
+    /// Call-region evaluations that drained the callee body as a nested
+    /// subproblem and recorded the summary for future evaluations.
+    SummaryMisses,
+    /// Summary hits answered by a *cross-job* shared summary store (a
+    /// persisted section beside the transfer store; see `hetsep-core`'s
+    /// `summary` module). A subset of `SummaryHits`, so a warm run reports
+    /// strictly fewer `SummaryMisses` than a cold one.
+    SharedSummaryHits,
 }
 
 impl Counter {
     /// Every counter, in fixed reporting order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 26] = [
         Counter::InternHits,
         Counter::InternMisses,
         Counter::WorklistPushes,
@@ -182,6 +199,10 @@ impl Counter {
         Counter::PreanalysisEstimatedStructures,
         Counter::IntraBatches,
         Counter::IntraBatchItems,
+        Counter::CallEvaluations,
+        Counter::SummaryHits,
+        Counter::SummaryMisses,
+        Counter::SharedSummaryHits,
     ];
 
     /// Stable snake_case label used in traces and JSON output.
@@ -209,6 +230,10 @@ impl Counter {
             Counter::PreanalysisEstimatedStructures => "preanalysis_estimated_structures",
             Counter::IntraBatches => "intra_batches",
             Counter::IntraBatchItems => "intra_batch_items",
+            Counter::CallEvaluations => "call_evaluations",
+            Counter::SummaryHits => "summary_hits",
+            Counter::SummaryMisses => "summary_misses",
+            Counter::SharedSummaryHits => "shared_summary_hits",
         }
     }
 
@@ -245,6 +270,10 @@ impl Counter {
             Counter::PreanalysisEstimatedStructures => 19,
             Counter::IntraBatches => 20,
             Counter::IntraBatchItems => 21,
+            Counter::CallEvaluations => 22,
+            Counter::SummaryHits => 23,
+            Counter::SummaryMisses => 24,
+            Counter::SharedSummaryHits => 25,
         }
     }
 }

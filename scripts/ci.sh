@@ -54,19 +54,36 @@ cargo run -q -p hetsep --bin hetsep --release -- \
 # columns deliberately excluded). Guards the exact transfer cache and the
 # reported/complete accounting against silent drift.
 table3_quick_json="$(mktemp)"
+table3_quick() {
+    sed 's/"subproblems".*//' "$table3_quick_json" | sed -n \
+        's/.*"benchmark": "\([^"]*\)", "mode": "\([^"]*\)", "space": \([0-9]*\), "visits": \([0-9]*\),.*"reported": \([^,]*\), "complete": \([^,]*\),.*/\1 \2 space=\3 visits=\4 reported=\5 complete=\6/p' \
+        | diff -u scripts/table3_quick.golden -
+}
 cargo run -q -p hetsep-bench --bin table3 --release -- \
-    --threads 1 --json "$table3_quick_json" ISPath KernelBench1 db > /dev/null
-sed 's/"subproblems".*//' "$table3_quick_json" | sed -n \
-    's/.*"benchmark": "\([^"]*\)", "mode": "\([^"]*\)", "space": \([0-9]*\), "visits": \([0-9]*\),.*"reported": \([^,]*\), "complete": \([^,]*\),.*/\1 \2 space=\3 visits=\4 reported=\5 complete=\6/p' \
-    | diff -u scripts/table3_quick.golden -
+    --threads 1 --json "$table3_quick_json" ISPath KernelBench1 db SharedLibLoop > /dev/null
+table3_quick
 # Same subset with the intra-batch transfer fan-out forced on: partition
 # workers may only change wall-clock, never a semantic column.
 HETSEP_INTRA_THREADS=4 cargo run -q -p hetsep-bench --bin table3 --release -- \
-    --threads 1 --json "$table3_quick_json" ISPath KernelBench1 db > /dev/null
-sed 's/"subproblems".*//' "$table3_quick_json" | sed -n \
-    's/.*"benchmark": "\([^"]*\)", "mode": "\([^"]*\)", "space": \([0-9]*\), "visits": \([0-9]*\),.*"reported": \([^,]*\), "complete": \([^,]*\),.*/\1 \2 space=\3 visits=\4 reported=\5 complete=\6/p' \
-    | diff -u scripts/table3_quick.golden -
+    --threads 1 --json "$table3_quick_json" ISPath KernelBench1 db SharedLibLoop > /dev/null
+table3_quick
+# And the summaries A/B: `--no-summaries` is the inlining-equivalent
+# baseline, so the semantic columns must be byte-identical against the
+# very same golden — only wall-clock and the summary counters may move.
+cargo run -q -p hetsep-bench --bin table3 --release -- \
+    --threads 1 --no-summaries --json "$table3_quick_json" \
+    ISPath KernelBench1 db SharedLibLoop > /dev/null
+table3_quick
 rm -f "$table3_quick_json"
+
+# Per-procedure summary gate: the shared-library bench asserts internally
+# that verdicts/visits/space are identical across baseline (summaries
+# off), cold, and warm runs, that the in-run memo and the cross-run store
+# both hit, and that every region evaluation is exactly one hit or miss.
+summaries_json="$(mktemp)"
+cargo run -q -p hetsep-bench --bin summaries --release -- \
+    --json "$summaries_json" --repeats 1 > /dev/null
+rm -f "$summaries_json"
 
 # Corpus scheduler smoke gate: a 50-job generated corpus run twice through
 # a persisted cross-job cache. Both runs must reproduce the committed
